@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module that regenerates it at
+``smoke`` scale (documented in EXPERIMENTS.md) and records the
+reproduced series in ``benchmark.extra_info`` so the numbers land in the
+saved benchmark JSON.  Full-scale regeneration is available through the
+CLI (``repro fig3 --scale paper`` etc.).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+#: Scale used by the figure benchmarks: one-third hardware/workload size,
+#: 3 runs — seconds per figure instead of hours, same load character.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    n_runs=3,
+    size_factor=1 / 3,
+    population_size=16,
+    max_iterations=80,
+    max_stale_iterations=40,
+    n_trials=1,
+)
+
+#: Tiny scale for the ablation benchmarks (they sweep several variants).
+BENCH_TINY = ExperimentScale(
+    name="bench-tiny",
+    n_runs=2,
+    size_factor=0.25,
+    population_size=10,
+    max_iterations=30,
+    max_stale_iterations=15,
+    n_trials=1,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_tiny() -> ExperimentScale:
+    return BENCH_TINY

@@ -1,0 +1,54 @@
+"""Benchmarks for the Section-5 ablation studies.
+
+* bias sweep over [1, 2] (the paper's bias-1.6 tuning experiment);
+* Seeded vs unseeded PSG (the paper's "perform comparably" claim);
+* stop-at-first-failure vs skip-ahead (cost of the termination rule).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import bias_sweep, seeding_ablation, stop_rule_ablation
+
+
+def test_bias_sweep(benchmark, bench_tiny):
+    out = benchmark.pedantic(
+        lambda: bias_sweep(scale=bench_tiny, biases=(1.0, 1.3, 1.6, 2.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(out["table"])
+    benchmark.extra_info["best_bias"] = out["best_bias"]
+    benchmark.extra_info["means"] = {
+        f"{b:.1f}": ci.mean for b, ci in out["results"].items()
+    }
+    assert set(out["results"]) == {1.0, 1.3, 1.6, 2.0}
+
+
+def test_seeding_ablation(benchmark, bench_tiny):
+    out = benchmark.pedantic(
+        lambda: seeding_ablation(scale=bench_tiny),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(out["table"])
+    benchmark.extra_info["psg"] = out["psg"].mean
+    benchmark.extra_info["seeded_psg"] = out["seeded_psg"].mean
+    # paper: comparable performance — the seeded variant should not be
+    # dramatically worse (it starts from at-least-as-good seeds).
+    assert out["seeded_psg"].mean >= 0.5 * out["psg"].mean
+
+
+def test_stop_rule_ablation(benchmark, bench_tiny):
+    out = benchmark.pedantic(
+        lambda: stop_rule_ablation(scale=bench_tiny),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(out["table"])
+    benchmark.extra_info["stop"] = out["stop"].mean
+    benchmark.extra_info["skip"] = out["skip"].mean
+    # skip-ahead dominates stop-at-first-failure on the same ordering
+    assert out["difference"].mean >= -1e-9

@@ -1,0 +1,41 @@
+"""Benchmarks of the discrete-event simulator substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import compare_to_estimates, simulate_allocation
+from repro.heuristics import most_worth_first
+from repro.workload import SCENARIO_3, generate_model
+
+
+@pytest.fixture(scope="module")
+def allocated():
+    model = generate_model(
+        SCENARIO_3.scaled(n_strings=8, n_machines=4), seed=9
+    )
+    return most_worth_first(model).allocation
+
+
+def test_simulate_allocation(benchmark, allocated):
+    trace = benchmark(simulate_allocation, allocated, 20)
+    # every string completed every data set
+    for k in allocated:
+        assert trace.completed_datasets(k) == 20
+
+
+def test_analytic_validation_pipeline(benchmark, allocated):
+    comparison = benchmark.pedantic(
+        lambda: compare_to_estimates(
+            allocated, n_datasets=30, skip_datasets=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["mean_rel_err"] = float(
+        comparison.comp_relative_errors().mean()
+    )
+    # steady-state means stay below the worst-case-phase estimates
+    # (conservatism), modulo a small numerical margin.
+    for (k, i), (est, meas) in comparison.comp.items():
+        assert meas <= est * 1.05 + 1e-9, (k, i)

@@ -1,0 +1,122 @@
+"""Benchmarks of the extension subsystems (beyond the paper's artifacts).
+
+* crossover-operator ablation — the paper's positional top-part
+  crossover vs standard OX/PMX under the PSG projection;
+* local-search improvement on top of MWF — how much of the GA's gain a
+  cheap deterministic pass recovers;
+* dynamic-policy comparison along a drift trajectory;
+* DAG allocation at scenario-1 parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag import allocate_dags, generate_dag_system
+from repro.dynamic import (
+    RemapPolicy,
+    RepairPolicy,
+    ShedPolicy,
+    simulate_drift,
+    uniform_ramp,
+)
+from repro.experiments.ablations import crossover_ablation
+from repro.heuristics import most_worth_first, mwf_with_local_search
+from repro.workload import SCENARIO_1, SCENARIO_3, generate_model
+
+
+def test_crossover_ablation(benchmark, bench_tiny):
+    out = benchmark.pedantic(
+        lambda: crossover_ablation(scale=bench_tiny),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(out["table"])
+    benchmark.extra_info["best_operator"] = out["best_operator"]
+    benchmark.extra_info["means"] = {
+        op: ci.mean for op, ci in out["results"].items()
+    }
+    assert set(out["results"]) == {"positional", "ox", "pmx"}
+
+
+def test_local_search_gain(benchmark):
+    """MWF vs MWF+LS paired over several instances."""
+    params = SCENARIO_1.scaled(n_strings=40, n_machines=4)
+
+    def run():
+        gains = []
+        for seed in range(4):
+            model = generate_model(params, seed=seed)
+            base = most_worth_first(model)
+            improved = mwf_with_local_search(model)
+            gains.append(improved.fitness.worth - base.fitness.worth)
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mean_worth_gain"] = float(np.mean(gains))
+    print(f"\nlocal-search worth gain per instance: {gains}")
+    assert all(g >= 0 for g in gains)  # the search never degrades
+
+
+def test_dynamic_policies(benchmark):
+    model = generate_model(
+        SCENARIO_3.scaled(n_strings=10, n_machines=5), seed=4
+    )
+    initial = most_worth_first(model)
+    trajectory = uniform_ramp(model.n_strings, 12, peak_delta=3.0)
+
+    def run():
+        return {
+            policy.name: simulate_drift(model, initial, trajectory, policy)
+            for policy in (ShedPolicy(), RepairPolicy(), RemapPolicy("mwf"))
+        }
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, run_ in runs.items():
+        print(f"  {run_.summary()}")
+        benchmark.extra_info[name] = run_.worth_retention()
+    # Note: per-step dominance of repair over shed is NOT an invariant
+    # once their allocation histories diverge (a repaired placement can
+    # be more fragile later); the single-step dominance from a shared
+    # state is asserted in tests/test_dynamic.py.  Here: sanity bounds.
+    for run_ in runs.values():
+        assert 0.0 < run_.worth_retention() <= 1.0 + 1e-9
+    assert runs["shed"].total_moved == 0
+
+
+def test_dag_allocation(benchmark):
+    system = generate_dag_system(
+        SCENARIO_1.scaled(n_strings=25, n_machines=4), seed=5
+    )
+    outcome = benchmark.pedantic(
+        lambda: allocate_dags(system), rounds=1, iterations=1
+    )
+    benchmark.extra_info["worth"] = outcome.total_worth()
+    benchmark.extra_info["mapped"] = len(outcome.mapped_ids)
+    assert outcome.report.feasible
+    assert outcome.total_worth() > 0
+
+
+def test_surge_curves(benchmark, bench_tiny):
+    """Worth retention vs surge per heuristic — the quantitative form
+    of the paper's slackness-implies-robustness argument."""
+    from repro.experiments import run_surge_curves
+
+    out = benchmark.pedantic(
+        lambda: run_surge_curves(
+            scale=bench_tiny,
+            heuristics=("mwf", "seeded-psg"),
+            deltas=(0.0, 0.5, 1.0, 2.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(out["table"])
+    for name, curve in out["curves"].items():
+        benchmark.extra_info[name] = list(curve.means())
+        assert curve.is_nonincreasing()
+        assert curve.retention[0.0].mean == 1.0

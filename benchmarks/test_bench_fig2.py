@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of Figure 2 (CPU-sharing overlap cases).
+
+Figure 2's three cases have closed-form expected computation times; the
+benchmark times the full regeneration (analytic model + discrete-event
+simulation) and asserts exact agreement for every case.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_overlap_cases(benchmark):
+    out = benchmark(run_fig2, n_datasets=40)
+    print()
+    print(out["table"])
+    for name, data in out.items():
+        if name == "table":
+            continue
+        benchmark.extra_info[name] = {
+            "closed_form": data["closed_form"],
+            "simulated": data["simulated"],
+        }
+        assert data["exact"], name

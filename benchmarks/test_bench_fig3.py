@@ -1,0 +1,41 @@
+"""Benchmark + regeneration of Figure 3 (total worth, scenario 1).
+
+The paper's Figure 3 compares PSG, MWF, TF, Seeded PSG, and the LP
+upper bound on the highly loaded (capacity-limited) scenario.  The
+reproduction target is the *shape*: PSG/Seeded PSG ≥ MWF > TF, all
+below the UB.  The measured series is stored in
+``benchmark.extra_info["series"]``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure
+
+
+def test_fig3_total_worth_highly_loaded(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_figure("fig3", scale=bench_scale, base_seed=1_000),
+        rounds=1,
+        iterations=1,
+    )
+    labels, means, errs = result.series()
+    benchmark.extra_info["series"] = dict(zip(labels, means))
+    benchmark.extra_info["ci_half_widths"] = dict(zip(labels, errs))
+    print()
+    print(result.chart())
+    print(result.table())
+
+    # Reproduction checks (paper Figure 3 shape).
+    assert result.heuristics_below_ub()
+    assert result.evolutionary_dominates()
+    agg = result.aggregates
+    # Scenario 1 is load-bound: nobody should reach the full worth.
+    total = sum(
+        s.worth
+        for s in __import__("repro").workload.generate_model(
+            result.outcome.config.effective_scenario(),
+            seed=result.outcome.records[0].seed,
+        ).strings
+    )
+    assert agg["ub"].mean <= total + 1e-6
+    assert agg["mwf"].mean > 0

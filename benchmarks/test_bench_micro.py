@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These track the engineering that makes the reproduction tractable: the
+incremental feasibility update (vs the from-scratch analysis), the IMR
+projection, and one full GENITOR fitness evaluation.  Regression here
+multiplies directly into experiment wall-clock time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, AllocationState, analyze
+from repro.heuristics import allocate_sequence, imr_map_string, mwf_order
+from repro.workload import SCENARIO_1, generate_model
+
+
+@pytest.fixture(scope="module")
+def paper_scale_model():
+    """Full 150-string / 12-machine scenario-1 instance."""
+    return generate_model(SCENARIO_1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def loaded_state(paper_scale_model):
+    """State with ~half the capacity consumed, as mid-allocation."""
+    state = AllocationState(paper_scale_model)
+    rng = np.random.default_rng(0)
+    for s in paper_scale_model.strings[:40]:
+        state.try_add(
+            s.string_id, rng.integers(0, 12, size=s.n_apps)
+        )
+    return state
+
+
+def test_incremental_try_add(benchmark, paper_scale_model, loaded_state):
+    """Cost of one add+remove cycle against a loaded state."""
+    target = paper_scale_model.strings[120]
+    machines = np.arange(target.n_apps) % 12
+
+    def add_remove():
+        if loaded_state.try_add(target.string_id, machines):
+            loaded_state.remove(target.string_id)
+
+    benchmark(add_remove)
+
+
+def test_full_analysis(benchmark, loaded_state):
+    """From-scratch two-stage analysis of the same allocation —
+    the baseline the incremental path must beat by orders of magnitude."""
+    alloc = loaded_state.as_allocation()
+    report = benchmark(analyze, alloc)
+    assert report.feasible
+
+
+def test_imr_single_string(benchmark, paper_scale_model, loaded_state):
+    """Deriving one IMR assignment against a loaded state."""
+    target = paper_scale_model.strings[130]
+    assignment = benchmark(
+        imr_map_string, loaded_state, target.string_id
+    )
+    assert assignment.shape == (target.n_apps,)
+
+
+def test_chromosome_projection(benchmark, paper_scale_model):
+    """One full GENITOR fitness evaluation: allocate-until-failure over
+    the MWF ordering of the paper-scale instance."""
+    order = mwf_order(paper_scale_model)
+    outcome = benchmark(allocate_sequence, paper_scale_model, order)
+    assert outcome.state.total_worth > 0
+
+
+def test_allocation_construction(benchmark, paper_scale_model):
+    """Materializing an Allocation from assignments (validation cost)."""
+    rng = np.random.default_rng(1)
+    assignments = {
+        s.string_id: rng.integers(0, 12, size=s.n_apps)
+        for s in paper_scale_model.strings
+    }
+    alloc = benchmark(Allocation, paper_scale_model, assignments)
+    assert alloc.n_strings == 150

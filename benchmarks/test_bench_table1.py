@@ -1,0 +1,31 @@
+"""Benchmark + regression anchor for Table 1 (scenario µ ranges).
+
+Table 1 is an input table; this benchmark times workload generation for
+each scenario (the operational meaning of the table) and asserts the
+rendered ranges match the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_table1, table1_rows
+from repro.workload import SCENARIOS, generate_model
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    assert rows == [
+        ("scenario1", "µ ∈ [4, 6]", "µ ∈ [3, 4.5]"),
+        ("scenario2", "µ ∈ [1.25, 2.75]", "µ ∈ [1.5, 2.5]"),
+        ("scenario3", "µ ∈ [4, 6]", "µ ∈ [3, 4.5]"),
+    ]
+    print()
+    print(render_table1())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_workload_generation_speed(benchmark, name):
+    """Sampling a full paper-scale instance per scenario."""
+    model = benchmark(generate_model, SCENARIOS[name], 42)
+    assert model.n_strings == SCENARIOS[name].n_strings

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Extending the library: a custom ordering heuristic.
+
+Every heuristic in the paper is an *ordering* of strings projected into
+a mapping by the IMR allocate-until-failure routine.  That makes new
+heuristics one function: produce an ordering, call
+``allocate_sequence``.  This example adds two:
+
+* **worth-density first** — rank strings by worth per unit of average
+  CPU demand (worth "bang per buck"), a classic knapsack-style rule the
+  paper does not evaluate;
+* **worth-density GENITOR seed** — the same ordering injected as an
+  extra seed into the GENITOR engine, showing how to build custom
+  seeded searches from library parts.
+
+Both are compared against the paper's heuristics on a scenario-1
+workload.
+
+Run:  python examples/custom_heuristic.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import SystemModel
+from repro.genitor import GenitorConfig, GenitorEngine, StoppingRules
+from repro.heuristics import (
+    HeuristicResult,
+    allocate_sequence,
+    most_worth_first,
+    mwf_order,
+    tf_order,
+    tightest_first,
+    timed_section,
+)
+from repro.heuristics.psg import _make_fitness_fn
+from repro.workload import SCENARIO_1, generate_model
+
+
+def worth_density_order(model: SystemModel) -> tuple[int, ...]:
+    """Strings ranked by worth per unit of average CPU-share demand."""
+    density = []
+    for s in model.strings:
+        demand = float(
+            (s.avg_comp_times * s.avg_cpu_utils).sum() / s.period
+        )
+        density.append(s.worth / demand)
+    order = np.lexsort((np.arange(model.n_strings), -np.asarray(density)))
+    return tuple(int(k) for k in order)
+
+
+def worth_density_first(model: SystemModel) -> HeuristicResult:
+    """The new single-shot heuristic, in ~10 lines."""
+    with timed_section() as elapsed:
+        order = worth_density_order(model)
+        outcome = allocate_sequence(model, order)
+    return HeuristicResult(
+        name="worth-density",
+        allocation=outcome.state.as_allocation(),
+        fitness=outcome.fitness(),
+        order=order,
+        mapped_ids=outcome.mapped_ids,
+        runtime_seconds=elapsed[0],
+    )
+
+
+def triple_seeded_psg(model: SystemModel, rng_seed: int) -> HeuristicResult:
+    """Seeded PSG with a third seed: the worth-density ordering."""
+    config = GenitorConfig(
+        population_size=24,
+        rules=StoppingRules(max_iterations=250, max_stale_iterations=100),
+    )
+    with timed_section() as elapsed:
+        engine = GenitorEngine(
+            genes=range(model.n_strings),
+            fitness_fn=_make_fitness_fn(model),
+            config=config,
+            rng=np.random.default_rng(rng_seed),
+            seeds=(mwf_order(model), tf_order(model),
+                   worth_density_order(model)),
+        )
+        best = engine.run()
+        outcome = allocate_sequence(model, best.chromosome)
+    return HeuristicResult(
+        name="psg-3-seeds",
+        allocation=outcome.state.as_allocation(),
+        fitness=best.fitness,
+        order=best.chromosome,
+        mapped_ids=outcome.mapped_ids,
+        runtime_seconds=elapsed[0],
+        stats={"stop_reason": engine.stats.stop_reason},
+    )
+
+
+def main() -> None:
+    params = SCENARIO_1.scaled(n_strings=50, n_machines=4)
+    model = generate_model(params, seed=99)
+    print(f"instance: {model.n_strings} strings / {model.n_machines} "
+          f"machines, worth available {model.total_worth_available:g}\n")
+
+    results = [
+        most_worth_first(model),
+        tightest_first(model),
+        worth_density_first(model),
+        triple_seeded_psg(model, rng_seed=3),
+    ]
+    print(format_table(
+        ["heuristic", "worth", "slackness", "mapped", "seconds"],
+        [
+            (r.name, r.fitness.worth, f"{r.fitness.slackness:.4f}",
+             r.n_mapped, f"{r.runtime_seconds:.3f}")
+            for r in results
+        ],
+    ))
+    wd = next(r for r in results if r.name == "worth-density")
+    mwf = next(r for r in results if r.name == "mwf")
+    print(
+        f"\nworth-density vs MWF: {wd.fitness.worth:g} vs "
+        f"{mwf.fitness.worth:g} — density ordering considers demand, "
+        "not just worth, and often squeezes in more value."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: generate a workload, run every paper heuristic, compare.
+
+This is the five-minute tour of the library:
+
+1. sample a scenario-1 (highly loaded) workload instance,
+2. run MWF, TF, PSG, and Seeded PSG on it,
+3. compute the LP upper bound,
+4. print the comparison the paper's Figure 3 charts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import bar_chart, format_table
+from repro.genitor import GenitorConfig, StoppingRules
+from repro.heuristics import get_heuristic
+from repro.lp import upper_bound
+from repro.workload import SCENARIO_1, generate_model
+
+
+def main() -> None:
+    # A reduced instance (one-third scale) keeps this demo under a
+    # minute; drop the .scaled(...) call for the paper's full size.
+    params = SCENARIO_1.scaled(n_strings=50, n_machines=4)
+    model = generate_model(params, seed=2026)
+    print(f"instance: {model.n_strings} strings on {model.n_machines} "
+          f"machines, total worth available {model.total_worth_available:g}")
+
+    # GA budget for the demo (the paper uses population 250 / 5000 its).
+    ga_config = GenitorConfig(
+        population_size=32,
+        bias=1.6,
+        rules=StoppingRules(max_iterations=200, max_stale_iterations=80),
+    )
+
+    rows = []
+    series = {}
+    for name in ("psg", "mwf", "tf", "seeded-psg"):
+        heuristic = get_heuristic(name)
+        if name in ("psg", "seeded-psg"):
+            result = heuristic(model, config=ga_config, rng=7)
+        else:
+            result = heuristic(model)
+        rows.append((
+            name,
+            result.fitness.worth,
+            f"{result.fitness.slackness:.4f}",
+            result.n_mapped,
+            f"{result.runtime_seconds:.3f}",
+        ))
+        series[name] = result.fitness.worth
+        print(f"  {result.summary()}")
+
+    ub = upper_bound(model, objective="partial")
+    series["UB"] = ub.value
+    rows.append(("ub (LP)", ub.value, "-", "-", "-"))
+
+    print()
+    print(format_table(
+        ["method", "total worth", "slackness", "mapped", "seconds"], rows
+    ))
+    print()
+    print(bar_chart(
+        list(series), list(series.values()),
+        title="Total worth vs the fractional-mapping upper bound",
+    ))
+
+
+if __name__ == "__main__":
+    main()

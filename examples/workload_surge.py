@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Workload-surge study: does maximizing slackness buy real robustness?
+
+The paper's argument for the secondary metric (system slackness Λ) is
+that an allocation with more headroom absorbs more unpredictable input
+workload growth without re-mapping.  This example tests that argument
+directly on the lightly loaded scenario 3:
+
+1. sample several scenario-3 instances,
+2. allocate each with MWF (worth-greedy, slackness-blind ordering) and
+   with PSG (which optimizes slackness once everything fits),
+3. binary-search the maximum uniform surge δ* each mapping absorbs
+   (workload scaled by 1+δ, QoS bounds fixed),
+4. report the slackness → δ* relationship and the closed-form stage-1
+   limit Λ/(1−Λ) for comparison.
+
+Run:  python examples/workload_surge.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, mean_ci
+from repro.genitor import GenitorConfig, StoppingRules
+from repro.heuristics import most_worth_first, psg
+from repro.robustness import max_absorbable_surge
+from repro.workload import SCENARIO_3, generate_model
+
+N_INSTANCES = 6
+GA = GenitorConfig(
+    population_size=24,
+    rules=StoppingRules(max_iterations=250, max_stale_iterations=100),
+)
+
+
+def main() -> None:
+    params = SCENARIO_3.scaled(n_strings=10, n_machines=5)
+    rows = []
+    deltas = {"mwf": [], "psg": []}
+    slacks = {"mwf": [], "psg": []}
+    for seed in range(N_INSTANCES):
+        model = generate_model(params, seed=seed)
+        results = {
+            "mwf": most_worth_first(model),
+            "psg": psg(model, config=GA, rng=seed),
+        }
+        for name, res in results.items():
+            if res.n_mapped < model.n_strings:
+                # partial mapping — surge comparison needs complete ones
+                continue
+            profile = max_absorbable_surge(res.allocation)
+            deltas[name].append(profile.max_delta)
+            slacks[name].append(profile.slackness)
+            rows.append((
+                f"seed {seed}", name,
+                f"{profile.slackness:.3f}",
+                f"{profile.max_delta:.1%}",
+                f"{profile.stage1_limit:.1%}",
+                "QoS" if profile.qos_bound else "capacity",
+            ))
+    print(format_table(
+        ["instance", "heuristic", "slackness Λ", "max surge δ*",
+         "Λ/(1−Λ)", "binding"],
+        rows,
+    ))
+    print()
+    for name in ("mwf", "psg"):
+        if deltas[name]:
+            ci_d = mean_ci(deltas[name])
+            ci_s = mean_ci(slacks[name])
+            print(f"{name:>4}: mean slackness {ci_s}, mean absorbable "
+                  f"surge {ci_d}")
+    if deltas["mwf"] and deltas["psg"]:
+        gain = np.mean(deltas["psg"]) - np.mean(deltas["mwf"])
+        print(f"\nPSG's slackness optimization buys {gain:+.1%} extra "
+              "absorbable workload growth on average — the paper's "
+              "robustness argument, quantified.")
+
+
+if __name__ == "__main__":
+    main()

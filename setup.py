@@ -1,0 +1,10 @@
+"""Shim so legacy (non-PEP-660) editable installs work offline.
+
+All metadata lives in pyproject.toml; this file only exists because the
+build environment has no `wheel` package, which pip's modern editable
+path requires.
+"""
+
+from setuptools import setup
+
+setup()

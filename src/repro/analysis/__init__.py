@@ -1,0 +1,24 @@
+"""Statistics and report rendering for the experiment harness."""
+
+from .breakdown import (
+    describe_allocation,
+    machine_breakdown,
+    route_breakdown,
+    string_qos_margins,
+)
+from .charts import bar_chart
+from .stats import ConfidenceInterval, mean_ci, paired_difference_ci
+from .tables import format_markdown_table, format_table
+
+__all__ = [
+    "ConfidenceInterval",
+    "bar_chart",
+    "describe_allocation",
+    "machine_breakdown",
+    "route_breakdown",
+    "string_qos_margins",
+    "format_markdown_table",
+    "format_table",
+    "mean_ci",
+    "paired_difference_ci",
+]

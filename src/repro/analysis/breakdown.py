@@ -1,0 +1,176 @@
+"""Allocation diagnostics: per-resource and per-string breakdowns.
+
+Renders what operators actually ask of an allocation: which machines
+and routes carry how much load and from whom, which resource binds the
+slackness, and how close each string sits to its QoS bounds.  Used by
+``repro describe`` and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.feasibility import analyze
+from ..core.metrics import system_slackness
+from ..core.timing import TimingEstimator
+from ..core.utilization import (
+    UtilizationSnapshot,
+    string_machine_load,
+)
+from .tables import format_table
+
+__all__ = [
+    "machine_breakdown",
+    "route_breakdown",
+    "string_qos_margins",
+    "describe_allocation",
+]
+
+
+def machine_breakdown(allocation: Allocation) -> list[dict]:
+    """Per-machine load report.
+
+    Each row: machine index, utilization, number of hosted applications,
+    and the per-string load shares (descending).
+    """
+    model = allocation.model
+    totals = np.zeros(model.n_machines)
+    per_string: dict[int, np.ndarray] = {}
+    for k in allocation:
+        load = string_machine_load(
+            model.strings[k], allocation.machines_for(k)
+        )
+        per_string[k] = load
+        totals += load
+    rows = []
+    for j in range(model.n_machines):
+        shares = sorted(
+            (
+                (float(load[j]), k)
+                for k, load in per_string.items()
+                if load[j] > 0
+            ),
+            reverse=True,
+        )
+        rows.append({
+            "machine": j,
+            "utilization": float(totals[j]),
+            "n_apps": len(allocation.apps_on_machine(j)),
+            "top_strings": [(k, share) for share, k in shares[:3]],
+        })
+    return rows
+
+
+def route_breakdown(
+    allocation: Allocation, top: int = 10
+) -> list[dict]:
+    """The ``top`` most-utilized inter-machine routes with their users."""
+    model = allocation.model
+    from ..core.utilization import route_utilization
+
+    util = route_utilization(allocation)
+    M = model.n_machines
+    entries = [
+        (float(util[j1, j2]), j1, j2)
+        for j1 in range(M)
+        for j2 in range(M)
+        if j1 != j2 and util[j1, j2] > 0
+    ]
+    entries.sort(reverse=True)
+    rows = []
+    for value, j1, j2 in entries[:top]:
+        rows.append({
+            "route": (j1, j2),
+            "utilization": value,
+            "transfers": allocation.transfers_on_route(j1, j2),
+        })
+    return rows
+
+
+def string_qos_margins(allocation: Allocation) -> list[dict]:
+    """Per-string distance to the QoS bounds.
+
+    ``latency_margin`` and ``throughput_margin`` are fractions of the
+    respective bound still unused (negative = violated).
+    """
+    model = allocation.model
+    estimator = TimingEstimator(allocation)
+    rows = []
+    for k, timing in estimator.all_timings().items():
+        s = model.strings[k]
+        latency = timing.end_to_end_latency()
+        worst_comp = float(timing.comp_times.max(initial=0.0))
+        worst_tran = float(timing.tran_times.max(initial=0.0))
+        worst_stage = max(worst_comp, worst_tran)
+        rows.append({
+            "string": k,
+            "name": s.name,
+            "worth": s.worth,
+            "latency": latency,
+            "latency_bound": s.max_latency,
+            "latency_margin": 1.0 - latency / s.max_latency,
+            "throughput_margin": 1.0 - worst_stage / s.period,
+        })
+    rows.sort(key=lambda r: r["latency_margin"])
+    return rows
+
+
+def describe_allocation(allocation: Allocation) -> str:
+    """Full text report: feasibility, slackness, binding resource,
+    machine loads, hottest routes, and the tightest strings."""
+    report = analyze(allocation)
+    snapshot = report.utilization
+    lines = [report.summary()]
+    lines.append(
+        f"slackness Λ = {system_slackness(snapshot):.4f} "
+        f"(binding: {snapshot.binding_resource()})"
+    )
+    lines.append("")
+    lines.append("machine loads:")
+    rows = [
+        (
+            f"machine {r['machine']}",
+            f"{r['utilization']:.4f}",
+            r["n_apps"],
+            ", ".join(
+                f"s{k}:{share:.3f}" for k, share in r["top_strings"]
+            ) or "-",
+        )
+        for r in machine_breakdown(allocation)
+    ]
+    lines.append(
+        format_table(["resource", "U", "apps", "top strings"], rows)
+    )
+    routes = route_breakdown(allocation, top=5)
+    if routes:
+        lines.append("")
+        lines.append("hottest routes:")
+        rows = [
+            (
+                f"{r['route'][0]}->{r['route'][1]}",
+                f"{r['utilization']:.4f}",
+                len(r["transfers"]),
+            )
+            for r in routes
+        ]
+        lines.append(format_table(["route", "U", "transfers"], rows))
+    margins = string_qos_margins(allocation)
+    if margins:
+        lines.append("")
+        lines.append("tightest strings (by latency margin):")
+        rows = [
+            (
+                f"s{r['string']} ({r['name']})",
+                f"{r['worth']:g}",
+                f"{r['latency']:.2f}/{r['latency_bound']:.2f}",
+                f"{r['latency_margin']:.1%}",
+                f"{r['throughput_margin']:.1%}",
+            )
+            for r in margins[:8]
+        ]
+        lines.append(format_table(
+            ["string", "worth", "latency", "lat. margin", "thr. margin"],
+            rows,
+        ))
+    return "\n".join(lines)

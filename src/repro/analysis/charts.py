@@ -1,0 +1,55 @@
+"""ASCII bar charts mirroring the paper's figures.
+
+Figures 3–5 are bar charts (one bar per heuristic plus the upper bound).
+With no plotting backend available offline, the experiment harness
+renders them as horizontal ASCII bars with error whiskers — enough to
+read off the ordering and rough magnitudes the reproduction targets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    errors: Sequence[float] | None = None,
+    width: int = 50,
+    title: str = "",
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value.
+
+    Parameters
+    ----------
+    labels / values:
+        One bar per entry, drawn in the given order (the paper's figure
+        order is PSG, MWF, TF, Seeded PSG, UB).
+    errors:
+        Optional 95%-CI half-widths, printed after the value as ``±e``.
+    width:
+        Character width of the longest bar.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if errors is not None and len(errors) != len(values):
+        raise ValueError("errors must match values length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    vmax = max((v for v in values if v > 0), default=0.0)
+    label_w = max((len(s) for s in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for i, (label, value) in enumerate(zip(labels, values)):
+        n = 0 if vmax <= 0 else int(round(width * max(value, 0.0) / vmax))
+        bar = "█" * n
+        val = value_format.format(value)
+        if errors is not None:
+            val += f" ± {value_format.format(errors[i])}"
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {val}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness and CLI print the same rows the paper's figures
+chart; this module renders them as aligned ASCII (GitHub-markdown
+compatible) tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: bool = True,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Numeric-looking cells are right-aligned by default; the first column
+    is always left-aligned (it names the row).
+    """
+    cells = [[_stringify(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if i == 0 or not align_right:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a GitHub-markdown table (used by EXPERIMENTS.md snippets)."""
+    cells = [[_stringify(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in cells:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)

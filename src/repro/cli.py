@@ -1,0 +1,320 @@
+"""Command-line interface — the reproduction's "interactive software
+application" (Section 8).
+
+Subcommands cover the full paper workflow:
+
+* ``repro table1`` / ``fig2`` / ``fig3`` / ``fig4`` / ``fig5`` /
+  ``runtime`` — regenerate each evaluation artifact at a chosen scale;
+* ``repro ablate {bias,seeding,stop-rule}`` — the Section-5 ablations;
+* ``repro generate`` / ``allocate`` / ``evaluate`` / ``ub`` /
+  ``surge`` / ``simulate`` — the single-instance workflow on JSON
+  model/allocation files.
+
+Every command prints plain text to stdout and is deterministic for a
+given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis.tables import format_table
+from .core.feasibility import analyze
+from .core.metrics import evaluate
+from .des import compare_to_estimates
+from .experiments import (
+    SCALES,
+    bias_sweep,
+    crossover_ablation,
+    full_report,
+    heterogeneity_ablation,
+    render_table1,
+    run_fig2,
+    run_figure,
+    run_runtime_table,
+    seeding_ablation,
+    stop_rule_ablation,
+)
+from .heuristics import available, get_heuristic
+from .io_utils import (
+    load_allocation,
+    load_model,
+    save_allocation,
+    save_model,
+)
+from .lp import upper_bound
+from .robustness import max_absorbable_surge
+from .workload import generate_model, get_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="smoke",
+        help="experiment scale preset (see EXPERIMENTS.md)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Resource Allocation for Periodic "
+            "Applications in a Shipboard Environment' (IPPS 2005)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the paper's Table 1")
+
+    p = sub.add_parser("fig2", help="Figure 2: CPU-sharing overlap cases")
+    p.add_argument("--datasets", type=int, default=40)
+
+    for fig in ("fig3", "fig4", "fig5"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        _add_scale(p)
+        p.add_argument("--seed", type=int, default=1_000)
+        p.add_argument("--no-ub", action="store_true",
+                       help="skip the LP upper bound")
+        p.add_argument("--workers", type=int, default=1)
+
+    p = sub.add_parser("runtime", help="heuristic runtime comparison")
+    _add_scale(p)
+    p.add_argument("--seed", type=int, default=2_000)
+
+    p = sub.add_parser("ablate", help="Section-5 ablation studies")
+    p.add_argument(
+        "study",
+        choices=("bias", "seeding", "stop-rule", "crossover",
+                 "heterogeneity"),
+    )
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "surge-curve",
+        help="worth retained vs uniform workload surge, per heuristic",
+    )
+    _add_scale(p)
+
+    p = sub.add_parser(
+        "report", help="regenerate every paper artifact into one document"
+    )
+    _add_scale(p)
+    p.add_argument("-o", "--output", default=None,
+                   help="write markdown here instead of stdout")
+
+    p = sub.add_parser("generate", help="sample a workload instance")
+    p.add_argument("--scenario", default="1", help="1 | 2 | 3")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--strings", type=int, default=None,
+                   help="override the scenario's string count")
+    p.add_argument("--machines", type=int, default=None,
+                   help="override the scenario's machine count")
+    p.add_argument("-o", "--output", required=True, help="model JSON path")
+
+    p = sub.add_parser("allocate", help="run a heuristic on a model file")
+    p.add_argument("--model", required=True)
+    p.add_argument("--heuristic", default="mwf",
+                   help=f"one of: {', '.join(available())}")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None,
+                   help="write the allocation JSON here")
+
+    p = sub.add_parser("evaluate", help="feasibility + metrics of an allocation")
+    p.add_argument("--model", required=True)
+    p.add_argument("--allocation", required=True)
+
+    p = sub.add_parser(
+        "describe", help="per-resource/per-string allocation diagnostics"
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--allocation", required=True)
+
+    p = sub.add_parser("ub", help="LP upper bound of a model file")
+    p.add_argument("--model", required=True)
+    p.add_argument("--objective", choices=("partial", "complete"),
+                   default="partial")
+    p.add_argument("--solver", choices=("highs", "simplex"), default="highs")
+
+    p = sub.add_parser("surge", help="max absorbable workload surge")
+    p.add_argument("--model", required=True)
+    p.add_argument("--allocation", required=True)
+
+    p = sub.add_parser("simulate", help="discrete-event validation run")
+    p.add_argument("--model", required=True)
+    p.add_argument("--allocation", required=True)
+    p.add_argument("--datasets", type=int, default=30)
+    p.add_argument("--skip", type=int, default=3)
+
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = run_figure(
+        args.command,
+        scale=args.scale,
+        base_seed=args.seed,
+        compute_ub=not args.no_ub,
+        n_workers=args.workers,
+    )
+    print(result.chart())
+    print()
+    print(result.table())
+    print()
+    print(f"heuristics below UB: {result.heuristics_below_ub()}")
+    print(f"evolutionary dominates: {result.evolutionary_dominates()}")
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    heuristic = get_heuristic(args.heuristic)
+    if args.heuristic in ("psg", "seeded-psg", "random-order", "best-random"):
+        result = heuristic(model, rng=args.seed)
+    else:
+        result = heuristic(model)
+    print(result.summary())
+    if args.output:
+        save_allocation(result.allocation, args.output)
+        print(f"allocation written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    allocation = load_allocation(args.allocation, model)
+    report = analyze(allocation)
+    fitness = evaluate(allocation)
+    print(report.summary())
+    print(f"total worth: {fitness.worth:g}")
+    print(f"system slackness: {fitness.slackness:.4f}")
+    print(f"strings mapped: {allocation.n_strings}/{model.n_strings}")
+    return 0 if report.feasible else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    allocation = load_allocation(args.allocation, model)
+    comparison = compare_to_estimates(
+        allocation, n_datasets=args.datasets, skip_datasets=args.skip
+    )
+    print(comparison.summary())
+    rows = [
+        (f"string {k} app {i}", est, meas, abs(meas - est) / est)
+        for (k, i), (est, meas) in sorted(comparison.comp.items())
+    ]
+    print(format_table(
+        ["application", "eq.(5) estimate", "simulated mean", "rel err"],
+        rows[:40],
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+    if args.command == "fig2":
+        print(run_fig2(n_datasets=args.datasets)["table"])
+        return 0
+    if args.command in ("fig3", "fig4", "fig5"):
+        return _cmd_figure(args)
+    if args.command == "runtime":
+        out = run_runtime_table(scale=args.scale, seed=args.seed)
+        print(out["table"])
+        print(f"GA slower than single-shot: {out['ordering_ok']}")
+        return 0
+    if args.command == "ablate":
+        study = {
+            "bias": bias_sweep,
+            "seeding": seeding_ablation,
+            "stop-rule": stop_rule_ablation,
+            "crossover": crossover_ablation,
+            "heterogeneity": heterogeneity_ablation,
+        }[args.study]
+        print(study(scale=args.scale)["table"])
+        return 0
+    if args.command == "surge-curve":
+        from .experiments import run_surge_curves
+
+        out = run_surge_curves(scale=args.scale)
+        print(out["table"])
+        return 0
+    if args.command == "report":
+        report = full_report(scale=args.scale)
+        text = report.to_markdown()
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text)
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        print(f"\nall checks passed: {report.all_passed}")
+        return 0 if report.all_passed else 1
+    if args.command == "generate":
+        params = get_scenario(args.scenario)
+        overrides = {}
+        if args.strings is not None:
+            overrides["n_strings"] = args.strings
+        if args.machines is not None:
+            overrides["n_machines"] = args.machines
+        if overrides:
+            params = params.scaled(**overrides)
+        model = generate_model(params, seed=args.seed)
+        save_model(model, args.output)
+        print(
+            f"wrote {model.n_strings}-string / {model.n_machines}-machine "
+            f"instance ({params.name}, seed {args.seed}) to {args.output}"
+        )
+        return 0
+    if args.command == "allocate":
+        return _cmd_allocate(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "describe":
+        from .analysis import describe_allocation
+
+        model = load_model(args.model)
+        allocation = load_allocation(args.allocation, model)
+        print(describe_allocation(allocation))
+        return 0
+    if args.command == "ub":
+        model = load_model(args.model)
+        result = upper_bound(
+            model, objective=args.objective, solver=args.solver
+        )
+        label = "total worth" if args.objective == "partial" else "slackness Λ"
+        print(f"upper bound ({label}): {result.value:.6g}")
+        print(f"mean string fraction: {result.string_fractions.mean():.4f}")
+        return 0
+    if args.command == "surge":
+        model = load_model(args.model)
+        allocation = load_allocation(args.allocation, model)
+        profile = max_absorbable_surge(allocation)
+        print(f"slackness Λ: {profile.slackness:.4f}")
+        print(f"stage-1 surge limit Λ/(1-Λ): {profile.stage1_limit:.4f}")
+        print(f"max absorbable surge δ*: {profile.max_delta:.4f}")
+        print(f"QoS-bound before capacity: {profile.qos_bound}")
+        return 0
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Allocation (mapping) representation.
+
+An :class:`Allocation` records, for a subset of a model's strings, the
+machine assignment ``m[i, k]`` of every application — the paper's
+application-to-machine mapping in the *solution space*.  Partial resource
+allocation (Section 1) is the norm: an allocation need not cover every
+string in the model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .exceptions import AllocationError
+from .model import SystemModel
+
+__all__ = ["Allocation"]
+
+
+class Allocation:
+    """Immutable application-to-machine mapping for a set of strings.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.core.model.SystemModel` the mapping refers to.
+    assignments:
+        Mapping from string id ``k`` to a sequence ``m`` of machine
+        indices, one per application of string ``k`` (``m[i]`` is the
+        paper's ``m[i, k]``).
+
+    The class validates that every referenced string exists, that
+    assignment lengths match application counts, and that machine indices
+    are in range.  Instances are hashable and comparable so heuristics
+    can deduplicate solutions.
+    """
+
+    __slots__ = ("model", "_assignments", "_key")
+
+    def __init__(
+        self, model: SystemModel, assignments: Mapping[int, Sequence[int]]
+    ):
+        clean: dict[int, np.ndarray] = {}
+        for k, machines in assignments.items():
+            if not 0 <= k < model.n_strings:
+                raise AllocationError(
+                    f"string id {k} out of range [0, {model.n_strings})"
+                )
+            arr = np.asarray(machines, dtype=np.int64).copy()
+            n_apps = model.strings[k].n_apps
+            if arr.shape != (n_apps,):
+                raise AllocationError(
+                    f"string {k}: assignment length {arr.shape} != "
+                    f"n_apps ({n_apps},)"
+                )
+            if arr.size and (arr.min() < 0 or arr.max() >= model.n_machines):
+                raise AllocationError(
+                    f"string {k}: machine index out of range "
+                    f"[0, {model.n_machines})"
+                )
+            arr.setflags(write=False)
+            clean[k] = arr
+        self.model = model
+        self._assignments = clean
+        self._key = tuple(
+            (k, tuple(int(j) for j in clean[k])) for k in sorted(clean)
+        )
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def string_ids(self) -> tuple[int, ...]:
+        """Sorted ids of the strings this allocation maps."""
+        return tuple(sorted(self._assignments))
+
+    @property
+    def n_strings(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, string_id: int) -> bool:
+        return string_id in self._assignments
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._assignments))
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def machines_for(self, string_id: int) -> np.ndarray:
+        """Machine index per application of ``string_id`` (read-only)."""
+        try:
+            return self._assignments[string_id]
+        except KeyError:
+            raise AllocationError(
+                f"string {string_id} is not mapped in this allocation"
+            ) from None
+
+    def machine_of(self, string_id: int, app_index: int) -> int:
+        """The paper's ``m[i, k]`` (0-based)."""
+        return int(self.machines_for(string_id)[app_index])
+
+    # -- derived quantities --------------------------------------------------
+
+    def total_worth(self) -> float:
+        """Sum of worth factors over the mapped strings (Section 4)."""
+        return float(
+            sum(self.model.strings[k].worth for k in self._assignments)
+        )
+
+    def apps_on_machine(self, j: int) -> list[tuple[int, int]]:
+        """All ``(string_id, app_index)`` pairs assigned to machine ``j``."""
+        out = []
+        for k, arr in self._assignments.items():
+            for i in np.flatnonzero(arr == j):
+                out.append((k, int(i)))
+        return out
+
+    def transfers_on_route(self, j1: int, j2: int) -> list[tuple[int, int]]:
+        """All ``(string_id, app_index)`` transfers using route j1 -> j2.
+
+        ``app_index`` identifies the *sending* application; the transfer
+        carries ``output_sizes[app_index]`` bytes.
+        """
+        out = []
+        for k, arr in self._assignments.items():
+            if arr.size < 2:
+                continue
+            hits = np.flatnonzero((arr[:-1] == j1) & (arr[1:] == j2))
+            for i in hits:
+                out.append((k, int(i)))
+        return out
+
+    # -- functional updates ---------------------------------------------------
+
+    def with_string(
+        self, string_id: int, machines: Sequence[int]
+    ) -> "Allocation":
+        """A new allocation with ``string_id`` (re)mapped to ``machines``."""
+        assignments = dict(self._assignments)
+        assignments[string_id] = machines
+        return Allocation(self.model, assignments)
+
+    def without_string(self, string_id: int) -> "Allocation":
+        """A new allocation with ``string_id`` removed."""
+        assignments = {
+            k: v for k, v in self._assignments.items() if k != string_id
+        }
+        return Allocation(self.model, assignments)
+
+    def restricted_to(self, string_ids: Iterable[int]) -> "Allocation":
+        """A new allocation keeping only the listed (mapped) strings."""
+        keep = set(string_ids)
+        return Allocation(
+            self.model,
+            {k: v for k, v in self._assignments.items() if k in keep},
+        )
+
+    # -- equality -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return self.model is other.model and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash((id(self.model), self._key))
+
+    def __repr__(self) -> str:
+        return (
+            f"Allocation(n_strings={self.n_strings}, "
+            f"worth={self.total_worth():g})"
+        )
+
+    @classmethod
+    def empty(cls, model: SystemModel) -> "Allocation":
+        """An allocation mapping no strings."""
+        return cls(model, {})

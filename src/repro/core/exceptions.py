@@ -1,0 +1,62 @@
+"""Exception hierarchy for the TSCE reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Exceptions are deliberately fine-grained: the
+allocation heuristics distinguish between *model* errors (malformed input),
+*allocation* errors (an assignment that is structurally impossible), and
+*solver* errors (the LP substrate failed).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "AllocationError",
+    "InfeasibleError",
+    "SolverError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """A system-model object (machine, route, string, ...) is malformed.
+
+    Raised during model validation, e.g. a negative period, a string whose
+    output-size vector does not match its application count, or a network
+    whose bandwidth matrix is not square.
+    """
+
+
+class AllocationError(ReproError):
+    """An allocation refers to entities that do not exist in the model.
+
+    This is *structural* invalidity (bad machine index, unmapped
+    application), distinct from a mapping that is structurally fine but
+    fails the paper's two-stage feasibility analysis.
+    """
+
+
+class InfeasibleError(ReproError):
+    """A mapping (or LP) admits no feasible solution.
+
+    Carries an optional ``violations`` list describing which constraints
+    failed; see :class:`repro.core.feasibility.FeasibilityReport`.
+    """
+
+    def __init__(self, message: str, violations: list | None = None):
+        super().__init__(message)
+        #: Structured description of the constraint failures, if available.
+        self.violations = violations or []
+
+
+class SolverError(ReproError):
+    """The underlying LP solver failed (did not converge / numerical issue)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,188 @@
+"""Two-stage feasibility analysis (Section 3).
+
+An allocation is *feasible* when
+
+* **Stage 1** — every machine utilization (eq. 2) and every route
+  utilization (eq. 3) is at most 1, and
+* **Stage 2** — under the tightness-priority sharing model, the estimated
+  computation times (eq. 5), transfer times (eq. 6), and end-to-end
+  latency of every mapped string satisfy the QoS constraints of eq. (1):
+
+  .. math::
+
+     t_{comp}^k[i] \\le P[k], \\qquad
+     t_{tran}^k[i] \\le P[k], \\qquad
+     t_{comp}^k[n_k] + \\sum_{i<n_k}(t_{comp}^k[i] + t_{tran}^k[i])
+         \\le L_{max}[k].
+
+:func:`analyze` runs both stages and returns a structured
+:class:`FeasibilityReport`; :func:`is_feasible` is the boolean shortcut.
+The analysis here recomputes everything from scratch (vectorized, one
+priority-ordered sweep); the heuristics use the incremental
+:class:`repro.core.state.AllocationState`, which the test suite checks
+against this module property-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .allocation import Allocation
+from .timing import TimingEstimator
+from .utilization import UtilizationSnapshot
+
+__all__ = [
+    "DEFAULT_TOL",
+    "Violation",
+    "FeasibilityReport",
+    "analyze",
+    "is_feasible",
+]
+
+#: Relative tolerance applied to every capacity/QoS comparison.  Guards
+#: against spurious failures from floating-point accumulation order; the
+#: incremental and from-scratch analyses must agree for utilizations this
+#: close to a bound.
+DEFAULT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed constraint.
+
+    ``kind`` is one of ``machine-capacity``, ``route-capacity``,
+    ``throughput-comp``, ``throughput-tran``, ``latency``.  ``where``
+    identifies the resource or (string, app) pair; ``value``/``bound``
+    hold the violated comparison.
+    """
+
+    kind: str
+    where: str
+    value: float
+    bound: float
+
+    def __str__(self) -> str:
+        return f"{self.kind} at {self.where}: {self.value:.6g} > {self.bound:.6g}"
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of the two-stage analysis.
+
+    Attributes
+    ----------
+    stage1_ok / stage2_ok:
+        Per-stage verdicts.  Stage 2 is still evaluated when stage 1
+        fails (useful for diagnosis), matching the paper's description of
+        the stages as independent checks.
+    violations:
+        All constraint failures found (empty iff feasible).
+    utilization:
+        The stage-1 :class:`~repro.core.utilization.UtilizationSnapshot`.
+    latencies:
+        Estimated end-to-end latency per mapped string.
+    """
+
+    stage1_ok: bool
+    stage2_ok: bool
+    utilization: UtilizationSnapshot
+    latencies: dict[int, float] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.stage1_ok and self.stage2_ok
+
+    def summary(self) -> str:
+        if self.feasible:
+            return (
+                "feasible (max utilization "
+                f"{self.utilization.max_utilization():.4f})"
+            )
+        head = f"infeasible ({len(self.violations)} violations)"
+        lines = [head] + [f"  - {v}" for v in self.violations[:10]]
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+
+def analyze(
+    allocation: Allocation, tol: float = DEFAULT_TOL
+) -> FeasibilityReport:
+    """Run the full two-stage feasibility analysis on an allocation."""
+    model = allocation.model
+    snapshot = UtilizationSnapshot.of(allocation)
+    violations: list[Violation] = []
+
+    # --- stage 1: capacity --------------------------------------------------
+    for j in range(model.n_machines):
+        if snapshot.machine[j] > 1.0 + tol:
+            violations.append(
+                Violation("machine-capacity", f"machine {j}", float(snapshot.machine[j]), 1.0)
+            )
+    M = model.n_machines
+    route = snapshot.route
+    over = np.argwhere(route > 1.0 + tol)
+    for j1, j2 in over:
+        if j1 != j2:
+            violations.append(
+                Violation(
+                    "route-capacity",
+                    f"route {j1}->{j2}",
+                    float(route[j1, j2]),
+                    1.0,
+                )
+            )
+    stage1_ok = not violations
+
+    # --- stage 2: throughput and latency -------------------------------------
+    stage2_ok = True
+    latencies: dict[int, float] = {}
+    estimator = TimingEstimator(allocation)
+    for k, timing in estimator.all_timings().items():
+        s = model.strings[k]
+        period = s.period
+        for i, t in enumerate(timing.comp_times):
+            if t > period * (1.0 + tol):
+                stage2_ok = False
+                violations.append(
+                    Violation(
+                        "throughput-comp",
+                        f"string {k} app {i}",
+                        float(t),
+                        period,
+                    )
+                )
+        for i, t in enumerate(timing.tran_times):
+            if t > period * (1.0 + tol):
+                stage2_ok = False
+                violations.append(
+                    Violation(
+                        "throughput-tran",
+                        f"string {k} transfer {i}",
+                        float(t),
+                        period,
+                    )
+                )
+        lat = timing.end_to_end_latency()
+        latencies[k] = lat
+        if lat > s.max_latency * (1.0 + tol):
+            stage2_ok = False
+            violations.append(
+                Violation("latency", f"string {k}", lat, s.max_latency)
+            )
+
+    return FeasibilityReport(
+        stage1_ok=stage1_ok,
+        stage2_ok=stage2_ok,
+        utilization=snapshot,
+        latencies=latencies,
+        violations=violations,
+    )
+
+
+def is_feasible(allocation: Allocation, tol: float = DEFAULT_TOL) -> bool:
+    """``True`` iff the allocation passes both feasibility stages."""
+    return analyze(allocation, tol=tol).feasible

@@ -1,0 +1,92 @@
+"""Performance goal: total worth and system slackness (Section 4).
+
+The paper evaluates a mapping by a two-component metric:
+
+* **Total worth** (primary): the sum of worth factors ``I[k]`` over the
+  strings that passed the two-stage feasibility analysis.
+* **System slackness** ``Λ`` (secondary, eq. 7): the minimum residual
+  capacity ``1 - U`` over every resource in the set ``Ω`` — all machines
+  plus all finite-bandwidth (inter-machine) routes.  Slackness measures
+  the system's headroom to absorb unpredictable input-workload increases
+  without re-allocation.
+
+Heuristics maximize worth first and slackness second;
+:class:`Fitness` encodes that lexicographic order and is the GENITOR
+chromosome fitness.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .allocation import Allocation
+from .utilization import UtilizationSnapshot
+
+__all__ = ["system_slackness", "Fitness", "evaluate"]
+
+
+def system_slackness(snapshot: UtilizationSnapshot) -> float:
+    """Eq. (7): ``Λ = min over Ω of (1 - U)``.
+
+    ``Ω`` contains every machine and every inter-machine route.  Routes
+    with infinite bandwidth (intra-machine) never bind and are excluded;
+    unused resources contribute slack 1 and therefore only bind in an
+    entirely empty system.
+
+    Slackness can be negative when the allocation over-subscribes a
+    resource (such an allocation is stage-1 infeasible).
+    """
+    slack = 1.0 - float(snapshot.machine.max(initial=0.0))
+    M = snapshot.route.shape[0]
+    off = snapshot.route[~np.eye(M, dtype=bool)]
+    if off.size:
+        slack = min(slack, 1.0 - float(off.max()))
+    return slack
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Fitness:
+    """Lexicographic (worth, slackness) fitness.
+
+    ``Fitness(a) > Fitness(b)`` iff ``a`` has larger worth, or equal
+    worth and larger slackness — exactly the paper's "highest level for
+    the primary component while maximizing system slackness at that
+    level".
+    """
+
+    worth: float
+    slackness: float
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.worth, self.slackness)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __lt__(self, other: "Fitness") -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
+        return self.as_tuple() < other.as_tuple()
+
+    def __str__(self) -> str:
+        return f"(worth={self.worth:g}, slack={self.slackness:.4f})"
+
+
+def evaluate(allocation: Allocation) -> Fitness:
+    """Compute the two-component metric of an allocation.
+
+    The caller is responsible for only passing allocations that passed
+    feasibility (the heuristics guarantee this by construction); the
+    metric itself does not re-run the analysis.
+    """
+    snapshot = UtilizationSnapshot.of(allocation)
+    return Fitness(
+        worth=allocation.total_worth(),
+        slackness=system_slackness(snapshot),
+    )

@@ -1,0 +1,438 @@
+"""Incremental allocation state for sequential string allocation.
+
+Every heuristic in the paper — IMR-driven MWF/TF and each GENITOR fitness
+evaluation — allocates strings one at a time and re-validates the
+two-stage feasibility analysis after each addition.  Re-running the
+from-scratch analysis (:mod:`repro.core.feasibility`) after every string
+would cost ``O(A²)`` per chromosome; this module maintains enough cached
+state to make *try add one string* cost proportional to the resources the
+string actually touches.
+
+Cached per mapped string ``z`` and resource ``ρ`` (machine or route):
+
+* ``load[z, ρ]`` — the string's stage-1 utilization contribution,
+* ``tmax[z, ρ]`` — the largest nominal time of the string's
+  applications/transfers on ``ρ`` (the binding one for throughput, since
+  the waiting term of eqs. 5–6 is identical for every application of the
+  same string on the same resource),
+* ``count[z, ρ]`` — how many of the string's applications/transfers use
+  ``ρ`` (weights the waiting term in the latency sum),
+* ``H[z, ρ]`` — the total utilization of strictly-higher-priority strings
+  on ``ρ`` (the aggregation identity of :mod:`repro.core.timing`), and
+* ``wait_sum[z]`` — ``Σ_ρ count[z, ρ] · H[z, ρ]``, so the estimated
+  end-to-end latency is ``nominal_path[z] + P[z] · wait_sum[z]``.
+
+Adding a string of tightness ``T*`` only increases ``H`` for
+lower-priority strings sharing one of its resources, so the incremental
+check touches exactly those strings.  The test suite asserts that the
+accept/reject decisions and all cached quantities agree with the
+from-scratch analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .allocation import Allocation
+from .exceptions import AllocationError
+from .feasibility import DEFAULT_TOL
+from .metrics import Fitness
+from .model import SystemModel
+from .tightness import priority_key, relative_tightness
+
+__all__ = ["AllocationState", "RejectionReason"]
+
+Route = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RejectionReason:
+    """Why :meth:`AllocationState.try_add` rejected a string."""
+
+    stage: int
+    kind: str
+    where: str
+    value: float
+    bound: float
+
+    def __str__(self) -> str:
+        return (
+            f"stage {self.stage} {self.kind} at {self.where}: "
+            f"{self.value:.6g} > {self.bound:.6g}"
+        )
+
+
+@dataclass
+class _StringRecord:
+    """Cached per-string quantities for a mapped string."""
+
+    machines: np.ndarray
+    key: tuple[float, int]
+    period: float
+    max_latency: float
+    nominal_path: float
+    # resource -> quantities; machines keyed by int, routes by (j1, j2)
+    m_load: dict[int, float]
+    m_tmax: dict[int, float]
+    m_count: dict[int, int]
+    r_load: dict[Route, float]
+    r_tmax: dict[Route, float]
+    r_count: dict[Route, int]
+    H_m: dict[int, float] = field(default_factory=dict)
+    H_r: dict[Route, float] = field(default_factory=dict)
+    wait_sum: float = 0.0
+
+
+class AllocationState:
+    """Mutable allocation with O(touched-resources) feasibility updates.
+
+    Parameters
+    ----------
+    model:
+        The problem instance.
+    tol:
+        Relative tolerance for capacity/QoS comparisons (same meaning as
+        in :mod:`repro.core.feasibility`).
+    """
+
+    def __init__(self, model: SystemModel, tol: float = DEFAULT_TOL):
+        self.model = model
+        self.tol = tol
+        M = model.n_machines
+        #: Eq. (2) utilization per machine (running totals).
+        self.machine_util = np.zeros(M)
+        #: Eq. (3) utilization per route (running totals, diag always 0).
+        self.route_util = np.zeros((M, M))
+        self._records: dict[int, _StringRecord] = {}
+        # resource -> set of string ids using it
+        self._machine_users: list[set[int]] = [set() for _ in range(M)]
+        self._route_users: dict[Route, set[int]] = {}
+        self._worth = 0.0
+        #: Diagnostic: why the most recent ``try_add`` failed (or None).
+        self.last_rejection: RejectionReason | None = None
+
+    # -- read-only views -------------------------------------------------------
+
+    @property
+    def n_strings(self) -> int:
+        return len(self._records)
+
+    @property
+    def mapped_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._records))
+
+    @property
+    def total_worth(self) -> float:
+        return self._worth
+
+    def machines_for(self, string_id: int) -> np.ndarray:
+        return self._records[string_id].machines
+
+    def __contains__(self, string_id: int) -> bool:
+        return string_id in self._records
+
+    def slackness(self) -> float:
+        """Eq. (7) over the current utilization accumulators."""
+        slack = 1.0 - float(self.machine_util.max(initial=0.0))
+        M = self.model.n_machines
+        off = self.route_util[~np.eye(M, dtype=bool)]
+        if off.size:
+            slack = min(slack, 1.0 - float(off.max()))
+        return slack
+
+    def fitness(self) -> Fitness:
+        return Fitness(worth=self._worth, slackness=self.slackness())
+
+    def as_allocation(self) -> Allocation:
+        """Materialize the current mapping as an immutable Allocation."""
+        return Allocation(
+            self.model, {k: rec.machines for k, rec in self._records.items()}
+        )
+
+    def estimated_latency(self, string_id: int) -> float:
+        """Estimated end-to-end latency of a mapped string."""
+        rec = self._records[string_id]
+        return rec.nominal_path + rec.period * rec.wait_sum
+
+    # -- string profiling -------------------------------------------------------
+
+    def _profile(self, string_id: int, machines: Sequence[int]) -> _StringRecord:
+        """Compute all per-resource quantities of a candidate assignment."""
+        s = self.model.strings[string_id]
+        net = self.model.network
+        m = np.asarray(machines, dtype=int)
+        if m.shape != (s.n_apps,):
+            raise AllocationError(
+                f"string {string_id}: assignment length {m.shape} != "
+                f"({s.n_apps},)"
+            )
+        if m.size and (m.min() < 0 or m.max() >= self.model.n_machines):
+            raise AllocationError(
+                f"string {string_id}: machine index out of range"
+            )
+        idx = np.arange(s.n_apps)
+        t = s.comp_times[idx, m]
+        work = s.work[idx, m]
+        m_load: dict[int, float] = {}
+        m_tmax: dict[int, float] = {}
+        m_count: dict[int, int] = {}
+        for i in range(s.n_apps):
+            j = int(m[i])
+            m_load[j] = m_load.get(j, 0.0) + float(work[i]) / s.period
+            m_tmax[j] = max(m_tmax.get(j, 0.0), float(t[i]))
+            m_count[j] = m_count.get(j, 0) + 1
+        r_load: dict[Route, float] = {}
+        r_tmax: dict[Route, float] = {}
+        r_count: dict[Route, int] = {}
+        nominal = float(t.sum())
+        if s.n_apps > 1:
+            src, dst = m[:-1], m[1:]
+            inv = net.inv_bandwidth[src, dst]
+            times = s.output_sizes * inv
+            nominal += float(times.sum())
+            for i in range(s.n_apps - 1):
+                j1, j2 = int(src[i]), int(dst[i])
+                if j1 == j2:
+                    continue  # infinite bandwidth: no load, no wait
+                r = (j1, j2)
+                r_load[r] = r_load.get(r, 0.0) + float(
+                    s.output_sizes[i] / s.period * inv[i]
+                )
+                r_tmax[r] = max(r_tmax.get(r, 0.0), float(times[i]))
+                r_count[r] = r_count.get(r, 0) + 1
+        tightness = nominal / s.max_latency
+        return _StringRecord(
+            machines=m,
+            key=priority_key(tightness, string_id),
+            period=s.period,
+            max_latency=s.max_latency,
+            nominal_path=nominal,
+            m_load=m_load,
+            m_tmax=m_tmax,
+            m_count=m_count,
+            r_load=r_load,
+            r_tmax=r_tmax,
+            r_count=r_count,
+        )
+
+    # -- the core operation -----------------------------------------------------
+
+    def try_add(self, string_id: int, machines: Sequence[int]) -> bool:
+        """Add a string if the resulting mapping stays feasible.
+
+        Runs the two-stage feasibility analysis incrementally.  On
+        success the state is mutated and ``True`` returned; on failure
+        the state is left untouched, ``False`` returned, and
+        :attr:`last_rejection` describes the first violated constraint.
+        """
+        if string_id in self._records:
+            raise AllocationError(f"string {string_id} is already mapped")
+        self.last_rejection = None
+        rec = self._profile(string_id, machines)
+        tol = self.tol
+
+        # ---- stage 1: capacity ---------------------------------------------
+        for j, load in rec.m_load.items():
+            if self.machine_util[j] + load > 1.0 + tol:
+                self.last_rejection = RejectionReason(
+                    1, "machine-capacity", f"machine {j}",
+                    float(self.machine_util[j] + load), 1.0,
+                )
+                return False
+        for (j1, j2), load in rec.r_load.items():
+            if self.route_util[j1, j2] + load > 1.0 + tol:
+                self.last_rejection = RejectionReason(
+                    1, "route-capacity", f"route {j1}->{j2}",
+                    float(self.route_util[j1, j2] + load), 1.0,
+                )
+                return False
+
+        # ---- stage 2a: the new string under existing interference -----------
+        key = rec.key
+        for j in rec.m_load:
+            H = 0.0
+            for z in self._machine_users[j]:
+                other = self._records[z]
+                if other.key > key:
+                    H += other.m_load[j]
+            rec.H_m[j] = H
+            if rec.m_tmax[j] + rec.period * H > rec.period * (1.0 + tol):
+                self.last_rejection = RejectionReason(
+                    2, "throughput-comp",
+                    f"string {string_id} on machine {j}",
+                    rec.m_tmax[j] + rec.period * H, rec.period,
+                )
+                return False
+        for r in rec.r_load:
+            H = 0.0
+            for z in self._route_users.get(r, ()):
+                other = self._records[z]
+                if other.key > key:
+                    H += other.r_load[r]
+            rec.H_r[r] = H
+            if rec.r_tmax[r] + rec.period * H > rec.period * (1.0 + tol):
+                self.last_rejection = RejectionReason(
+                    2, "throughput-tran",
+                    f"string {string_id} on route {r[0]}->{r[1]}",
+                    rec.r_tmax[r] + rec.period * H, rec.period,
+                )
+                return False
+        rec.wait_sum = sum(
+            rec.m_count[j] * rec.H_m[j] for j in rec.m_load
+        ) + sum(rec.r_count[r] * rec.H_r[r] for r in rec.r_load)
+        latency = rec.nominal_path + rec.period * rec.wait_sum
+        if latency > rec.max_latency * (1.0 + tol):
+            self.last_rejection = RejectionReason(
+                2, "latency", f"string {string_id}", latency, rec.max_latency
+            )
+            return False
+
+        # ---- stage 2b: existing lower-priority strings gain interference ----
+        # Accumulate wait_sum increments per affected string; check each
+        # resource-level throughput bound as we go.
+        wait_delta: dict[int, float] = {}
+        h_m_delta: dict[tuple[int, int], float] = {}  # (string, machine)
+        h_r_delta: dict[tuple[int, Route], float] = {}
+        for j, load in rec.m_load.items():
+            for z in self._machine_users[j]:
+                other = self._records[z]
+                if other.key >= key:
+                    continue
+                newH = other.H_m[j] + load
+                if (
+                    other.m_tmax[j] + other.period * newH
+                    > other.period * (1.0 + tol)
+                ):
+                    self.last_rejection = RejectionReason(
+                        2, "throughput-comp",
+                        f"string {z} on machine {j}",
+                        other.m_tmax[j] + other.period * newH, other.period,
+                    )
+                    return False
+                h_m_delta[(z, j)] = load
+                wait_delta[z] = wait_delta.get(z, 0.0) + other.m_count[j] * load
+        for r, load in rec.r_load.items():
+            for z in self._route_users.get(r, ()):
+                other = self._records[z]
+                if other.key >= key:
+                    continue
+                newH = other.H_r[r] + load
+                if (
+                    other.r_tmax[r] + other.period * newH
+                    > other.period * (1.0 + tol)
+                ):
+                    self.last_rejection = RejectionReason(
+                        2, "throughput-tran",
+                        f"string {z} on route {r[0]}->{r[1]}",
+                        other.r_tmax[r] + other.period * newH, other.period,
+                    )
+                    return False
+                h_r_delta[(z, r)] = load
+                wait_delta[z] = wait_delta.get(z, 0.0) + other.r_count[r] * load
+        for z, delta in wait_delta.items():
+            other = self._records[z]
+            new_latency = other.nominal_path + other.period * (
+                other.wait_sum + delta
+            )
+            if new_latency > other.max_latency * (1.0 + tol):
+                self.last_rejection = RejectionReason(
+                    2, "latency", f"string {z}", new_latency, other.max_latency
+                )
+                return False
+
+        # ---- commit ----------------------------------------------------------
+        for j, load in rec.m_load.items():
+            self.machine_util[j] += load
+            self._machine_users[j].add(string_id)
+        for r, load in rec.r_load.items():
+            self.route_util[r] += load
+            self._route_users.setdefault(r, set()).add(string_id)
+        for (z, j), load in h_m_delta.items():
+            self._records[z].H_m[j] += load
+        for (z, r), load in h_r_delta.items():
+            self._records[z].H_r[r] += load
+        for z, delta in wait_delta.items():
+            self._records[z].wait_sum += delta
+        self._records[string_id] = rec
+        self._worth += self.model.strings[string_id].worth
+        return True
+
+    def remove(self, string_id: int) -> None:
+        """Remove a mapped string, restoring all cached quantities.
+
+        The inverse of a successful :meth:`try_add`; used by local-search
+        extensions and by tests that verify the cache algebra.
+        """
+        rec = self._records.pop(string_id, None)
+        if rec is None:
+            raise AllocationError(f"string {string_id} is not mapped")
+        key = rec.key
+        for j, load in rec.m_load.items():
+            self.machine_util[j] -= load
+            self._machine_users[j].discard(string_id)
+            for z in self._machine_users[j]:
+                other = self._records[z]
+                if other.key < key:
+                    other.H_m[j] -= load
+                    other.wait_sum -= other.m_count[j] * load
+        for r, load in rec.r_load.items():
+            self.route_util[r] -= load
+            users = self._route_users.get(r)
+            if users is not None:
+                users.discard(string_id)
+                for z in users:
+                    other = self._records[z]
+                    if other.key < key:
+                        other.H_r[r] -= load
+                        other.wait_sum -= other.r_count[r] * load
+                if not users:
+                    del self._route_users[r]
+        self._worth -= self.model.strings[string_id].worth
+
+    # -- queries used by the IMR --------------------------------------------------
+
+    def machine_util_if(
+        self, j: int, string_id: int, app_index: int, extra: float = 0.0
+    ) -> float:
+        """``U_machine[j, i, k]``: utilization of ``j`` if app ``i`` joins.
+
+        ``extra`` lets the IMR account for applications of the same
+        string already tentatively placed on ``j`` but not yet committed
+        to the state.
+        """
+        s = self.model.strings[string_id]
+        share = s.work[app_index, j] / s.period
+        return float(self.machine_util[j] + extra + share)
+
+    def route_util_if(
+        self,
+        j1: int,
+        j2: int,
+        string_id: int,
+        transfer_index: int,
+        extra: float = 0.0,
+    ) -> float:
+        """``U_route[j1, j2, i, k]``: route utilization if transfer joins.
+
+        ``transfer_index`` is the index of the *sending* application;
+        the transfer carries ``output_sizes[transfer_index]`` bytes.
+        Intra-machine routes always report utilization 0.
+        """
+        if j1 == j2:
+            return 0.0
+        s = self.model.strings[string_id]
+        demand = (
+            s.output_sizes[transfer_index]
+            / s.period
+            * self.model.network.inv_bandwidth[j1, j2]
+        )
+        return float(self.route_util[j1, j2] + extra + demand)
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationState(n_strings={self.n_strings}, "
+            f"worth={self._worth:g}, slack={self.slackness():.4f})"
+        )

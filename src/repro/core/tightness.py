@@ -1,0 +1,97 @@
+"""Relative tightness (eq. 4) and its allocation-free ranking variant.
+
+Relative tightness ``T[k]`` is the ratio of the total *unshared* time a
+data set needs to traverse string ``S^k`` (under a concrete allocation)
+to the string's end-to-end latency bound ``Lmax[k]``.  The paper's local
+scheduling model gives strings with higher tightness higher execution
+priority on every shared machine and route, and the stage-2 feasibility
+analysis (eqs. 5–6) sums interference from strictly-higher-tightness
+strings only.
+
+Two variants are provided:
+
+* :func:`relative_tightness` — eq. (4) exactly, requires an assignment.
+* :func:`average_tightness` — the TF-heuristic ranking form (Section 5),
+  which replaces machine-specific times with the per-application averages
+  (eqs. 8–9) and route bandwidths with the system-wide average inverse
+  bandwidth, so strings can be ranked *before* any allocation exists.
+
+The paper assumes tightness values are distinct.  Random continuous
+workloads satisfy this with probability one; to stay deterministic under
+hand-built models with exact ties, every consumer of tightness in this
+library breaks ties by string id (see :func:`priority_key`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .model import AppString, Network
+
+__all__ = [
+    "relative_tightness",
+    "average_tightness",
+    "priority_key",
+    "tightness_rank_order",
+]
+
+
+def relative_tightness(
+    string: AppString, machines: Sequence[int], network: Network
+) -> float:
+    """Eq. (4): nominal end-to-end time over ``Lmax`` for an assignment.
+
+    Parameters
+    ----------
+    string:
+        The string ``S^k``.
+    machines:
+        Machine index per application (``m[i, k]``).
+    network:
+        The communication fabric (provides route bandwidths).
+    """
+    return string.nominal_path_time(machines, network) / string.max_latency
+
+
+def average_tightness(string: AppString, network: Network) -> float:
+    """Allocation-free tightness used by the TF heuristic (Section 5).
+
+    All allocation-specific terms of eq. (4) are replaced by averages:
+    nominal execution times by ``t_av^k[i]`` (eq. 8) and route bandwidth
+    by the average inverse bandwidth ``1/w_av``.
+    """
+    total = float(string.avg_comp_times.sum())
+    if string.n_apps > 1:
+        total += float(string.output_sizes.sum()) * network.avg_inv_bandwidth
+    return total / string.max_latency
+
+
+def priority_key(tightness: float, string_id: int) -> tuple[float, int]:
+    """Total priority order: tightness first, string id as tie-break.
+
+    Larger keys mean higher priority.  The id tie-break (*negated* so
+    lower ids win ties) keeps the order strict even when two strings have
+    exactly equal tightness, which the paper rules out by assumption but
+    hand-crafted tests can produce.
+    """
+    return (tightness, -string_id)
+
+
+def tightness_rank_order(
+    tightness_values: Sequence[float], descending: bool = True
+) -> np.ndarray:
+    """Indices that sort strings by tightness (ties by lower index first).
+
+    With ``descending=True`` (the default) the tightest string comes
+    first — the TF heuristic's mapping order.
+    """
+    t = np.asarray(tightness_values, dtype=float)
+    ids = np.arange(len(t))
+    if descending:
+        # lexsort: last key is primary. Sort by -t, ties by id ascending.
+        order = np.lexsort((ids, -t))
+    else:
+        order = np.lexsort((ids, t))
+    return order

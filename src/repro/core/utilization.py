@@ -1,0 +1,152 @@
+"""Stage-1 utilization quantities (eqs. 2 and 3).
+
+The first stage of the paper's feasibility analysis verifies that the
+average demand placed on every machine and every communication route does
+not exceed its capacity:
+
+* **Machine utilization** (eq. 2).  Application ``a^k_i`` assigned to
+  machine ``j`` requires, at minimum, average CPU share
+  ``(t^k[i, j] / P[k]) * u^k[i, j]`` to sustain one data set per period.
+  ``U_machine[j]`` is the sum of those shares over every application
+  mapped to ``j``.
+
+* **Route utilization** (eq. 3).  The transfer of ``O^k[i]`` bytes per
+  period over route ``(j1, j2)`` requires average bandwidth
+  ``O^k[i] / P[k]``; ``U_route[j1, j2]`` is the sum over all transfers on
+  the route divided by the route's total bandwidth ``w[j1, j2]``.
+
+Intra-machine routes have infinite bandwidth, hence utilization exactly 0.
+
+This module computes the quantities for a whole :class:`Allocation`
+(dense, vectorized per string) and also exposes per-string *load vectors*
+used by the incremental allocation state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .allocation import Allocation
+from .model import AppString, Network, SystemModel
+
+__all__ = [
+    "string_machine_load",
+    "string_route_load",
+    "machine_utilization",
+    "route_utilization",
+    "UtilizationSnapshot",
+]
+
+
+def string_machine_load(
+    string: AppString, machines: Sequence[int]
+) -> np.ndarray:
+    """Per-machine average CPU share demanded by one string.
+
+    Returns a length-``M`` vector whose ``j``-th entry is
+    ``sum_i (t^k[i, j] / P[k]) * u^k[i, j]`` over the applications of the
+    string assigned to machine ``j`` — the string's contribution to
+    eq. (2).
+    """
+    m = np.asarray(machines, dtype=int)
+    n_machines = string.n_machines
+    shares = (
+        string.comp_times[np.arange(string.n_apps), m]
+        * string.cpu_utils[np.arange(string.n_apps), m]
+        / string.period
+    )
+    load = np.zeros(n_machines)
+    np.add.at(load, m, shares)
+    return load
+
+
+def string_route_load(
+    string: AppString, machines: Sequence[int], network: Network
+) -> np.ndarray:
+    """Per-route utilization contributed by one string (eq. 3 numerator).
+
+    Returns an ``(M, M)`` matrix whose ``(j1, j2)`` entry is
+    ``sum_i O^k[i] / (P[k] * w[j1, j2])`` over the transfers of the string
+    routed ``j1 -> j2``.  The diagonal is always zero (infinite
+    bandwidth).
+    """
+    m = np.asarray(machines, dtype=int)
+    M = network.n_machines
+    load = np.zeros((M, M))
+    if string.n_apps < 2:
+        return load
+    src, dst = m[:-1], m[1:]
+    demand = string.output_sizes / string.period  # bytes/sec per transfer
+    util = demand * network.inv_bandwidth[src, dst]
+    np.add.at(load, (src, dst), util)
+    return load
+
+
+def machine_utilization(allocation: Allocation) -> np.ndarray:
+    """Eq. (2) for every machine: length-``M`` vector ``U_machine``."""
+    model = allocation.model
+    total = np.zeros(model.n_machines)
+    for k in allocation:
+        total += string_machine_load(
+            model.strings[k], allocation.machines_for(k)
+        )
+    return total
+
+
+def route_utilization(allocation: Allocation) -> np.ndarray:
+    """Eq. (3) for every route: ``(M, M)`` matrix ``U_route``.
+
+    The diagonal (intra-machine) is identically zero.
+    """
+    model = allocation.model
+    total = np.zeros((model.n_machines, model.n_machines))
+    for k in allocation:
+        total += string_route_load(
+            model.strings[k], allocation.machines_for(k), model.network
+        )
+    return total
+
+
+class UtilizationSnapshot:
+    """Machine and route utilizations of an allocation, with helpers.
+
+    A convenience bundle produced by the feasibility analysis and consumed
+    by the slackness metric, reports, and charts.
+    """
+
+    __slots__ = ("machine", "route")
+
+    def __init__(self, machine: np.ndarray, route: np.ndarray):
+        self.machine = machine
+        self.route = route
+
+    @classmethod
+    def of(cls, allocation: Allocation) -> "UtilizationSnapshot":
+        return cls(machine_utilization(allocation), route_utilization(allocation))
+
+    def max_utilization(self) -> float:
+        """Largest utilization over all machines and inter-machine routes."""
+        vals = [float(self.machine.max(initial=0.0))]
+        off = self.route[~np.eye(self.route.shape[0], dtype=bool)]
+        if off.size:
+            vals.append(float(off.max()))
+        return max(vals)
+
+    def within_capacity(self, tol: float = 1e-9) -> bool:
+        """Stage-1 verdict: every utilization is at most ``1 + tol``."""
+        return self.max_utilization() <= 1.0 + tol
+
+    def binding_resource(self) -> str:
+        """Human-readable name of the most utilized resource."""
+        j = int(np.argmax(self.machine))
+        best = ("machine", j, float(self.machine[j]))
+        M = self.route.shape[0]
+        mask = ~np.eye(M, dtype=bool)
+        if mask.any():
+            flat = np.where(mask, self.route, -np.inf)
+            j1, j2 = np.unravel_index(int(np.argmax(flat)), flat.shape)
+            if flat[j1, j2] > best[2]:
+                return f"route {j1}->{j2} (U={flat[j1, j2]:.4f})"
+        return f"machine {best[1]} (U={best[2]:.4f})"

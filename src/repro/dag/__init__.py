@@ -1,0 +1,30 @@
+"""DAG-structured application strings (footnote-2 generalization).
+
+Generalizes the paper's linear string model to directed acyclic graphs
+of applications: model (:class:`DagString`, :class:`DagSystem`),
+two-stage feasibility with critical-path latency
+(:func:`analyze_dag`), a topological greedy mapper generalizing the IMR
+(:func:`map_dag_string`, :func:`allocate_dags`), and a layered random
+workload generator.  All of it collapses to the linear implementation
+on chain DAGs — asserted by the equivalence test suite.
+"""
+
+from .feasibility import DagFeasibilityReport, analyze_dag, dag_tightness
+from .generator import generate_dag_string, generate_dag_system
+from .mapper import DagAllocationOutcome, allocate_dags, map_dag_string
+from .model import DagEdge, DagString, DagSystem, chain_edges
+
+__all__ = [
+    "DagAllocationOutcome",
+    "DagEdge",
+    "DagFeasibilityReport",
+    "DagString",
+    "DagSystem",
+    "allocate_dags",
+    "analyze_dag",
+    "chain_edges",
+    "dag_tightness",
+    "generate_dag_string",
+    "generate_dag_system",
+    "map_dag_string",
+]

@@ -1,0 +1,197 @@
+"""Two-stage feasibility analysis for DAG strings.
+
+Direct generalization of the paper's Section-3 analysis:
+
+* **stage 1** — machine utilization (eq. 2) is unchanged (it never used
+  the chain structure); route utilization (eq. 3) sums over DAG edges
+  instead of chain links;
+* **stage 2** — the timing estimates (eqs. 5–6) apply per shared
+  resource exactly as in the linear model via the aggregation identity
+  (waiting = period × higher-priority utilization on the resource);
+  only the latency constraint changes shape: the chain sum becomes the
+  **critical path** through estimated node and edge durations.
+
+Relative tightness generalizes to *nominal critical path / Lmax* —
+which reduces to eq. (4) on chains, since a chain's critical path is
+the sum of its stage times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.exceptions import AllocationError
+from ..core.feasibility import DEFAULT_TOL, Violation
+from ..core.tightness import priority_key
+from .model import DagString, DagSystem
+
+__all__ = ["DagFeasibilityReport", "dag_tightness", "analyze_dag"]
+
+Assignments = Mapping[int, Sequence[int]]
+
+
+def dag_tightness(
+    system: DagSystem, string_id: int, machines: Sequence[int]
+) -> float:
+    """Nominal critical path over ``Lmax`` (eq. 4 generalized)."""
+    s = system.strings[string_id]
+    return s.critical_path_time(machines, system.network) / s.max_latency
+
+
+@dataclass
+class DagFeasibilityReport:
+    """Outcome of the DAG two-stage analysis."""
+
+    stage1_ok: bool
+    stage2_ok: bool
+    machine_util: np.ndarray
+    route_util: np.ndarray
+    latencies: dict[int, float] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.stage1_ok and self.stage2_ok
+
+    def slackness(self) -> float:
+        """Eq. (7) over the DAG allocation's utilizations."""
+        slack = 1.0 - float(self.machine_util.max(initial=0.0))
+        M = self.route_util.shape[0]
+        off = self.route_util[~np.eye(M, dtype=bool)]
+        if off.size:
+            slack = min(slack, 1.0 - float(off.max()))
+        return slack
+
+
+def _loads(
+    system: DagSystem, string_id: int, machines: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(machine load vector, route load matrix) of one mapped DAG string."""
+    s = system.strings[string_id]
+    M = system.n_machines
+    idx = np.arange(s.n_apps)
+    shares = (
+        s.comp_times[idx, machines] * s.cpu_utils[idx, machines] / s.period
+    )
+    m_load = np.zeros(M)
+    np.add.at(m_load, machines, shares)
+    r_load = np.zeros((M, M))
+    for e in s.edges:
+        j1, j2 = int(machines[e.src]), int(machines[e.dst])
+        r_load[j1, j2] += (
+            e.nbytes / s.period * system.network.inv_bandwidth[j1, j2]
+        )
+    return m_load, r_load
+
+
+def analyze_dag(
+    system: DagSystem,
+    assignments: Assignments,
+    tol: float = DEFAULT_TOL,
+) -> DagFeasibilityReport:
+    """Run the generalized two-stage analysis on a DAG allocation."""
+    M = system.n_machines
+    net = system.network
+    clean: dict[int, np.ndarray] = {}
+    for k, machines in assignments.items():
+        if not 0 <= k < system.n_strings:
+            raise AllocationError(f"unknown string id {k}")
+        arr = np.asarray(machines, dtype=int)
+        s = system.strings[k]
+        if arr.shape != (s.n_apps,):
+            raise AllocationError(
+                f"string {k}: assignment length {arr.shape}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= M):
+            raise AllocationError(f"string {k}: machine out of range")
+        clean[k] = arr
+
+    # ---- stage 1 ---------------------------------------------------------
+    machine_util = np.zeros(M)
+    route_util = np.zeros((M, M))
+    per_string_loads: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for k, machines in clean.items():
+        m_load, r_load = _loads(system, k, machines)
+        per_string_loads[k] = (m_load, r_load)
+        machine_util += m_load
+        route_util += r_load
+
+    violations: list[Violation] = []
+    for j in range(M):
+        if machine_util[j] > 1.0 + tol:
+            violations.append(Violation(
+                "machine-capacity", f"machine {j}",
+                float(machine_util[j]), 1.0,
+            ))
+    for j1, j2 in np.argwhere(route_util > 1.0 + tol):
+        if j1 != j2:
+            violations.append(Violation(
+                "route-capacity", f"route {j1}->{j2}",
+                float(route_util[j1, j2]), 1.0,
+            ))
+    stage1_ok = not violations
+
+    # ---- stage 2: priority sweep with cumulative interference -------------
+    tightness = {
+        k: dag_tightness(system, k, machines)
+        for k, machines in clean.items()
+    }
+    order = sorted(
+        clean,
+        key=lambda k: priority_key(tightness[k], k),
+        reverse=True,
+    )
+    stage2_ok = True
+    latencies: dict[int, float] = {}
+    Hm = np.zeros(M)
+    Hr = np.zeros((M, M))
+    for k in order:
+        s = system.strings[k]
+        machines = clean[k]
+        idx = np.arange(s.n_apps)
+        comp = s.comp_times[idx, machines] + s.period * Hm[machines]
+        tran: dict[tuple[int, int], float] = {}
+        for e in s.edges:
+            j1, j2 = int(machines[e.src]), int(machines[e.dst])
+            tran[(e.src, e.dst)] = (
+                e.nbytes * net.inv_bandwidth[j1, j2]
+                + s.period * Hr[j1, j2]
+            )
+        for i in range(s.n_apps):
+            if comp[i] > s.period * (1.0 + tol):
+                stage2_ok = False
+                violations.append(Violation(
+                    "throughput-comp", f"string {k} app {i}",
+                    float(comp[i]), s.period,
+                ))
+        for (src, dst), t in tran.items():
+            if t > s.period * (1.0 + tol):
+                stage2_ok = False
+                violations.append(Violation(
+                    "throughput-tran", f"string {k} edge {src}->{dst}",
+                    float(t), s.period,
+                ))
+        latency = s.critical_path_time(
+            machines, net, comp_override=comp, tran_override=tran
+        )
+        latencies[k] = latency
+        if latency > s.max_latency * (1.0 + tol):
+            stage2_ok = False
+            violations.append(Violation(
+                "latency", f"string {k}", latency, s.max_latency,
+            ))
+        m_load, r_load = per_string_loads[k]
+        Hm += m_load
+        Hr += r_load
+
+    return DagFeasibilityReport(
+        stage1_ok=stage1_ok,
+        stage2_ok=stage2_ok,
+        machine_util=machine_util,
+        route_util=route_util,
+        latencies=latencies,
+        violations=violations,
+    )

@@ -1,0 +1,109 @@
+"""Random DAG-string workloads (Section-6 generator generalized).
+
+Samples layered DAGs: applications are grouped into layers and every
+application (except in the first layer) receives 1–2 incoming edges
+from earlier layers.  All scalar distributions match the linear
+generator (execution times, utilizations, edge sizes, worth levels),
+and the latency/period scaling uses the same µ-based formulas with the
+nominal critical path replacing the chain sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import Network
+from ..workload.generator import generate_network
+from ..workload.parameters import ScenarioParameters
+from .model import DagEdge, DagString, DagSystem
+
+__all__ = ["generate_dag_string", "generate_dag_system"]
+
+
+def _layered_edges(
+    n_apps: int, rng: np.random.Generator, size_range: tuple[float, float]
+) -> list[DagEdge]:
+    """Random layered DAG edges with 1-2 parents per non-root node."""
+    if n_apps <= 1:
+        return []
+    # random layer assignment preserving order (node i in layer <= node j
+    # for i < j keeps edges forward and acyclic)
+    n_layers = int(rng.integers(1, n_apps + 1))
+    boundaries = np.sort(rng.choice(n_apps, size=n_layers - 1, replace=False)) if n_layers > 1 else np.array([], dtype=int)
+    layer_of = np.zeros(n_apps, dtype=int)
+    for b in boundaries:
+        layer_of[b:] += 1
+    edges: list[DagEdge] = []
+    lo, hi = size_range
+    for i in range(n_apps):
+        earlier = np.flatnonzero(layer_of < layer_of[i])
+        if earlier.size == 0:
+            continue
+        n_parents = int(rng.integers(1, min(2, earlier.size) + 1))
+        parents = rng.choice(earlier, size=n_parents, replace=False)
+        for p in parents:
+            edges.append(DagEdge(int(p), i, float(rng.uniform(lo, hi))))
+    return edges
+
+
+def generate_dag_string(
+    string_id: int,
+    params: ScenarioParameters,
+    network: Network,
+    rng: np.random.Generator,
+) -> DagString:
+    """Sample one DAG string with Section-6 scalar distributions."""
+    M = params.n_machines
+    n_lo, n_hi = params.apps_per_string
+    n_apps = int(rng.integers(n_lo, n_hi + 1))
+    comp_times = rng.uniform(*params.comp_time_range, size=(n_apps, M))
+    cpu_utils = rng.uniform(*params.cpu_util_range, size=(n_apps, M))
+    edges = _layered_edges(n_apps, rng, params.output_size_range)
+    worth = float(rng.choice(params.worth_choices))
+
+    # µ-scaled latency bound on the *average-value* critical path.
+    t_av = comp_times.mean(axis=1)
+    inv_w_av = network.avg_inv_bandwidth
+    # average-value critical path: topological pass over average times
+    finish = np.zeros(n_apps)
+    preds: dict[int, list[DagEdge]] = {i: [] for i in range(n_apps)}
+    for e in edges:
+        preds[e.dst].append(e)
+    for i in range(n_apps):  # node ids are already topologically sorted
+        start = 0.0
+        for e in preds[i]:
+            start = max(start, finish[e.src] + e.nbytes * inv_w_av)
+        finish[i] = start + t_av[i]
+    nominal_cp = float(finish.max(initial=0.0))
+
+    mu_latency = float(rng.uniform(*params.latency_mu))
+    mu_period = float(rng.uniform(*params.period_mu))
+    max_latency = mu_latency * nominal_cp
+    stage_times = np.concatenate([
+        t_av, [e.nbytes * inv_w_av for e in edges] or [0.0]
+    ])
+    period = mu_period * float(stage_times.max())
+
+    return DagString(
+        string_id=string_id,
+        worth=worth,
+        period=period,
+        max_latency=max_latency,
+        comp_times=comp_times,
+        cpu_utils=cpu_utils,
+        edges=edges,
+    )
+
+
+def generate_dag_system(
+    params: ScenarioParameters,
+    seed: int | np.random.Generator | None = None,
+) -> DagSystem:
+    """Sample a complete DAG workload instance."""
+    rng = np.random.default_rng(seed)
+    network = generate_network(params, rng)
+    strings = [
+        generate_dag_string(k, params, network, rng)
+        for k in range(params.n_strings)
+    ]
+    return DagSystem(network, strings)

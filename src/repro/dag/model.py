@@ -1,0 +1,248 @@
+"""DAG-structured applications — the paper's footnote-2 generalization.
+
+The paper models each task as a linear *string* of applications and
+notes that "the final ARMS program may include DAGs of applications".
+This subpackage implements that generalization: a :class:`DagString`
+is a set of periodic applications connected by a directed acyclic graph
+of data transfers.  Everything specializes back to the paper's model
+when the DAG is a chain — the test suite asserts exact equivalence of
+utilizations, tightness, timing estimates, and feasibility verdicts
+against the linear implementation on chain DAGs.
+
+Semantics carried over from the linear model:
+
+* every application executes once per period ``P[k]``;
+* an application starts on a data set when *all* its incoming transfers
+  for that data set have arrived;
+* end-to-end latency is the completion time of the last application —
+  the **critical path** through estimated computation and transfer
+  times — and must not exceed ``Lmax[k]``;
+* the throughput constraint bounds every estimated computation and
+  transfer time by ``P[k]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..core.model import Network
+
+__all__ = ["DagEdge", "DagString", "DagSystem", "chain_edges"]
+
+
+class DagEdge:
+    """A directed data transfer between two applications of a DAG string."""
+
+    __slots__ = ("src", "dst", "nbytes")
+
+    def __init__(self, src: int, dst: int, nbytes: float):
+        if src == dst:
+            raise ModelError(f"self-edge on application {src}")
+        if nbytes <= 0:
+            raise ModelError(f"edge {src}->{dst}: nbytes must be positive")
+        self.src = int(src)
+        self.dst = int(dst)
+        self.nbytes = float(nbytes)
+
+    def __repr__(self) -> str:
+        return f"DagEdge({self.src}->{self.dst}, {self.nbytes:g}B)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DagEdge):
+            return NotImplemented
+        return (self.src, self.dst, self.nbytes) == (
+            other.src, other.dst, other.nbytes,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, self.nbytes))
+
+
+def chain_edges(output_sizes: Sequence[float]) -> list[DagEdge]:
+    """Edges of a linear chain ``0 -> 1 -> ... -> n-1`` (the paper's
+    string model as a special case)."""
+    return [
+        DagEdge(i, i + 1, nbytes)
+        for i, nbytes in enumerate(output_sizes)
+    ]
+
+
+class DagString:
+    """A DAG of periodic applications (generalizes ``AppString``).
+
+    Parameters mirror :class:`~repro.core.model.AppString`, with
+    ``edges`` replacing the implicit chain of ``output_sizes``.
+    Disconnected applications are allowed (independent work items under
+    one period/latency contract); cycles are rejected.
+    """
+
+    __slots__ = (
+        "string_id", "worth", "period", "max_latency",
+        "comp_times", "cpu_utils", "edges", "name",
+        "_graph", "_topo_order",
+    )
+
+    def __init__(
+        self,
+        string_id: int,
+        worth: float,
+        period: float,
+        max_latency: float,
+        comp_times: np.ndarray,
+        cpu_utils: np.ndarray,
+        edges: Sequence[DagEdge],
+        name: str = "",
+    ):
+        ct = np.asarray(comp_times, dtype=float).copy()
+        cu = np.asarray(cpu_utils, dtype=float).copy()
+        if string_id < 0:
+            raise ModelError(f"string_id must be >= 0, got {string_id}")
+        if worth <= 0 or period <= 0 or max_latency <= 0:
+            raise ModelError("worth, period, max_latency must be positive")
+        if ct.ndim != 2 or ct.shape[0] < 1:
+            raise ModelError(f"comp_times must be (n, M), got {ct.shape}")
+        if cu.shape != ct.shape:
+            raise ModelError("cpu_utils shape mismatch")
+        if not np.all(ct > 0):
+            raise ModelError("nominal execution times must be positive")
+        if not (np.all(cu > 0) and np.all(cu <= 1.0)):
+            raise ModelError("CPU utilizations must lie in (0, 1]")
+        n = ct.shape[0]
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(n))
+        for e in edges:
+            if not (0 <= e.src < n and 0 <= e.dst < n):
+                raise ModelError(f"edge {e} references unknown application")
+            if graph.has_edge(e.src, e.dst):
+                raise ModelError(f"duplicate edge {e.src}->{e.dst}")
+            graph.add_edge(e.src, e.dst, nbytes=e.nbytes)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ModelError("transfer graph contains a cycle")
+        ct.setflags(write=False)
+        cu.setflags(write=False)
+
+        self.string_id = string_id
+        self.worth = float(worth)
+        self.period = float(period)
+        self.max_latency = float(max_latency)
+        self.comp_times = ct
+        self.cpu_utils = cu
+        self.edges = tuple(edges)
+        self.name = name or f"dag-string-{string_id}"
+        self._graph = graph
+        self._topo_order = tuple(nx.topological_sort(graph))
+
+    @property
+    def n_apps(self) -> int:
+        return self.comp_times.shape[0]
+
+    @property
+    def n_machines(self) -> int:
+        return self.comp_times.shape[1]
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._graph
+
+    @property
+    def topo_order(self) -> tuple[int, ...]:
+        """Applications in a fixed topological order."""
+        return self._topo_order
+
+    def predecessors(self, i: int):
+        return self._graph.predecessors(i)
+
+    def successors(self, i: int):
+        return self._graph.successors(i)
+
+    def edge_bytes(self, src: int, dst: int) -> float:
+        return float(self._graph.edges[src, dst]["nbytes"])
+
+    def computational_intensity(self) -> np.ndarray:
+        """``t_av[i] · u_av[i] / P`` per application (mapper guide)."""
+        return (
+            self.comp_times.mean(axis=1)
+            * self.cpu_utils.mean(axis=1)
+            / self.period
+        )
+
+    def critical_path_time(
+        self,
+        machines: Sequence[int],
+        network: Network,
+        comp_override: np.ndarray | None = None,
+        tran_override: dict[tuple[int, int], float] | None = None,
+    ) -> float:
+        """Longest completion time over the DAG.
+
+        With no overrides this is the *nominal* critical path (the
+        tightness numerator); the stage-2 analysis passes estimated
+        computation/transfer times to obtain the estimated latency.
+        """
+        m = np.asarray(machines, dtype=int)
+        if m.shape != (self.n_apps,):
+            raise ModelError(
+                f"assignment length {m.shape} != ({self.n_apps},)"
+            )
+        comp = (
+            comp_override
+            if comp_override is not None
+            else self.comp_times[np.arange(self.n_apps), m]
+        )
+        finish = np.zeros(self.n_apps)
+        for i in self._topo_order:
+            start = 0.0
+            for p in self._graph.predecessors(i):
+                if tran_override is not None:
+                    tran = tran_override[(p, i)]
+                else:
+                    tran = self.edge_bytes(p, i) * network.inv_bandwidth[
+                        m[p], m[i]
+                    ]
+                start = max(start, finish[p] + tran)
+            finish[i] = start + comp[i]
+        return float(finish.max(initial=0.0))
+
+    def __repr__(self) -> str:
+        return (
+            f"DagString(id={self.string_id}, n_apps={self.n_apps}, "
+            f"n_edges={self._graph.number_of_edges()})"
+        )
+
+
+class DagSystem:
+    """A network plus a workload of DAG strings (ids = positions)."""
+
+    __slots__ = ("network", "strings")
+
+    def __init__(self, network: Network, strings: Sequence[DagString]):
+        strings = list(strings)
+        for k, s in enumerate(strings):
+            if s.string_id != k:
+                raise ModelError(
+                    f"string at position {k} has id {s.string_id}"
+                )
+            if s.n_machines != network.n_machines:
+                raise ModelError(
+                    f"string {k} sized for {s.n_machines} machines"
+                )
+        self.network = network
+        self.strings = strings
+
+    @property
+    def n_machines(self) -> int:
+        return self.network.n_machines
+
+    @property
+    def n_strings(self) -> int:
+        return len(self.strings)
+
+    def __repr__(self) -> str:
+        return (
+            f"DagSystem(n_machines={self.n_machines}, "
+            f"n_strings={self.n_strings})"
+        )

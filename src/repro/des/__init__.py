@@ -1,0 +1,28 @@
+"""Discrete-event simulator for allocated string systems.
+
+A fluid-flow simulator of the paper's resource-sharing semantics
+(tightness-priority CPU sharing with utilization caps, strict-priority
+route service) used to validate the analytic stage-2 timing model and
+to reproduce the Fig. 2 overlap cases.
+"""
+
+from .engine import StringSimulator, simulate_allocation
+from .fluid import FluidResource, Job
+from .trace import SimulationTrace, SpanRecord
+from .validate import (
+    TimingComparison,
+    compare_to_estimates,
+    random_phase_comparison,
+)
+
+__all__ = [
+    "FluidResource",
+    "Job",
+    "SimulationTrace",
+    "SpanRecord",
+    "StringSimulator",
+    "TimingComparison",
+    "compare_to_estimates",
+    "random_phase_comparison",
+    "simulate_allocation",
+]

@@ -1,0 +1,239 @@
+"""Discrete-event simulator for allocated string systems.
+
+Executes an :class:`~repro.core.allocation.Allocation` on the fluid
+resource model of :mod:`repro.des.fluid`:
+
+* every mapped string releases a data set at the head application each
+  period (periods aligned at t = 0, the paper's worst-case overlap
+  convention);
+* each application processes a data set as a cap-limited fluid job on
+  its machine (work ``t·u``, cap ``u``), with priority given by the
+  string's relative tightness — the paper's local scheduling policy;
+* each inter-application transfer is a strict-priority fluid job on its
+  route (work ``O`` bytes, cap = route bandwidth); intra-machine
+  transfers complete instantly;
+* application ``i+1`` starts on a data set the moment its transfer from
+  application ``i`` arrives (pipelined execution — different data sets
+  of one string are in flight simultaneously).
+
+The simulator exists to *validate* the paper's analytic stage-2 model:
+eqs. (5)–(6) should approximate the measured mean computation/transfer
+spans, exactly reproducing the three CPU-sharing cases of Fig. 2 (see
+:mod:`repro.des.validate` and the fig2 experiment).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.exceptions import SimulationError
+from ..core.tightness import relative_tightness
+from .fluid import FluidResource, Job
+from .trace import SimulationTrace, SpanRecord
+
+__all__ = ["StringSimulator", "simulate_allocation"]
+
+
+class StringSimulator:
+    """Event-driven execution of an allocation.
+
+    Parameters
+    ----------
+    allocation:
+        The mapping to execute (feasibility not required — an
+        over-committed system simply shows growing delays).
+    n_datasets:
+        Number of data sets released per string (string ``k`` releases
+        at ``phase_k + d·P[k]`` for ``d = 0..n_datasets-1``).
+    max_events:
+        Safety guard against runaway simulations of badly over-committed
+        systems.
+    phases:
+        Optional per-string release offsets (string id -> seconds).  The
+        default aligns every period at t = 0 — the paper's worst-case
+        overlap convention, under which eqs. (5)-(6) are derived.  The
+        paper notes the estimates' accuracy "depends on ... how the data
+        arrivals of different applications are relatively phased";
+        passing random phases lets the validation quantify that.
+    """
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        n_datasets: int = 20,
+        max_events: int = 2_000_000,
+        phases: dict[int, float] | None = None,
+    ):
+        if n_datasets < 1:
+            raise SimulationError("n_datasets must be >= 1")
+        self.allocation = allocation
+        self.model = allocation.model
+        self.n_datasets = n_datasets
+        self.max_events = max_events
+        self.phases = dict(phases or {})
+        for k, phase in self.phases.items():
+            if k not in allocation:
+                raise SimulationError(f"phase for unmapped string {k}")
+            if phase < 0:
+                raise SimulationError(f"negative phase for string {k}")
+        self.trace = SimulationTrace()
+
+        net = self.model.network
+        self._machines = [
+            FluidResource(1.0, name=f"machine-{j}")
+            for j in range(self.model.n_machines)
+        ]
+        self._routes: dict[tuple[int, int], FluidResource] = {}
+        for k in allocation:
+            m = allocation.machines_for(k)
+            for i in range(len(m) - 1):
+                j1, j2 = int(m[i]), int(m[i + 1])
+                if j1 != j2 and (j1, j2) not in self._routes:
+                    self._routes[(j1, j2)] = FluidResource(
+                        float(net.bandwidth[j1, j2]), name=f"route-{j1}->{j2}"
+                    )
+        self._tightness = {
+            k: relative_tightness(
+                self.model.strings[k], allocation.machines_for(k), net
+            )
+            for k in allocation
+        }
+        # event heap: (time, seq, kind, payload)
+        self._heap: list[tuple[float, int, str, tuple]] = []
+        self._seq = itertools.count()
+        self._scan_version = 0
+        self._release_times: dict[tuple[int, int], float] = {}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _priority(self, k: int, dataset: int, app: int) -> tuple:
+        """Job priority: tightness, then string id, then FIFO by data set."""
+        return (self._tightness[k], -k, -dataset, -app)
+
+    def _push(self, time: float, kind: str, payload: tuple) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def _all_resources(self):
+        yield from self._machines
+        yield from self._routes.values()
+
+    def _schedule_scan(self) -> None:
+        """(Re)schedule the single pending completion scan."""
+        nxt = min(
+            (r.next_completion() for r in self._all_resources()),
+            default=np.inf,
+        )
+        if np.isfinite(nxt):
+            self._scan_version += 1
+            self._push(nxt, "scan", (self._scan_version,))
+
+    # -- job lifecycle ---------------------------------------------------------------
+
+    def _start_comp(self, k: int, i: int, dataset: int, now: float) -> None:
+        s = self.model.strings[k]
+        j = self.allocation.machine_of(k, i)
+        job = Job(
+            work=float(s.work[i, j]),
+            cap=float(s.cpu_utils[i, j]),
+            priority=self._priority(k, dataset, i),
+            label=f"comp k={k} i={i} d={dataset}",
+        )
+        job.on_complete = lambda _job, t, k=k, i=i, d=dataset: (
+            self._finish_comp(k, i, d, t)
+        )
+        self._machines[j].add(job, now)
+
+    def _finish_comp(self, k: int, i: int, dataset: int, now: float) -> None:
+        release = self._release_times.pop(("comp", k, i, dataset), None)
+        if release is None:
+            raise SimulationError(f"unknown comp completion k={k} i={i}")
+        self.trace.record_comp(SpanRecord(k, i, dataset, release, now))
+        s = self.model.strings[k]
+        if i + 1 < s.n_apps:
+            self._begin_transfer(k, i, dataset, now)
+        else:
+            head_release = self._release_times.pop(("head", k, dataset))
+            self.trace.record_latency(k, dataset, head_release, now)
+
+    def _begin_transfer(self, k: int, i: int, dataset: int, now: float) -> None:
+        s = self.model.strings[k]
+        j1 = self.allocation.machine_of(k, i)
+        j2 = self.allocation.machine_of(k, i + 1)
+        self._release_times[("tran", k, i, dataset)] = now
+        if j1 == j2:
+            # Infinite intra-machine bandwidth: instantaneous delivery.
+            self.trace.record_tran(SpanRecord(k, i, dataset, now, now))
+            self._arrive_input(k, i + 1, dataset, now)
+            return
+        job = Job(
+            work=float(s.output_sizes[i]),
+            cap=float(self.model.network.bandwidth[j1, j2]),
+            priority=self._priority(k, dataset, i),
+            label=f"tran k={k} i={i} d={dataset}",
+        )
+        job.on_complete = lambda _job, t, k=k, i=i, d=dataset: (
+            self._finish_transfer(k, i, d, t)
+        )
+        self._routes[(j1, j2)].add(job, now)
+
+    def _finish_transfer(self, k: int, i: int, dataset: int, now: float) -> None:
+        release = self._release_times.pop(("tran", k, i, dataset))
+        self.trace.record_tran(SpanRecord(k, i, dataset, release, now))
+        self._arrive_input(k, i + 1, dataset, now)
+
+    def _arrive_input(self, k: int, i: int, dataset: int, now: float) -> None:
+        self._release_times[("comp", k, i, dataset)] = now
+        self._start_comp(k, i, dataset, now)
+
+    # -- the run -----------------------------------------------------------------------
+
+    def run(self) -> SimulationTrace:
+        """Execute the simulation; returns the collected trace."""
+        for k in self.allocation:
+            period = self.model.strings[k].period
+            phase = self.phases.get(k, 0.0)
+            for d in range(self.n_datasets):
+                self._push(phase + d * period, "release", (k, d))
+
+        events = 0
+        while self._heap:
+            events += 1
+            if events > self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events — system badly "
+                    "over-committed?"
+                )
+            time, _seq, kind, payload = heapq.heappop(self._heap)
+            if kind == "scan":
+                (version,) = payload
+                if version != self._scan_version:
+                    continue  # superseded scan
+                for resource in self._all_resources():
+                    for job in resource.pop_completed(time):
+                        job.on_complete(job, time)
+            elif kind == "release":
+                k, d = payload
+                self._release_times[("head", k, d)] = time
+                self._arrive_input(k, 0, d, time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+            self._schedule_scan()
+        return self.trace
+
+
+def simulate_allocation(
+    allocation: Allocation,
+    n_datasets: int = 20,
+    max_events: int = 2_000_000,
+    phases: dict[int, float] | None = None,
+) -> SimulationTrace:
+    """Convenience wrapper: build, run, and return the trace."""
+    return StringSimulator(
+        allocation, n_datasets=n_datasets, max_events=max_events,
+        phases=phases,
+    ).run()

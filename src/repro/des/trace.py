@@ -1,0 +1,112 @@
+"""Measurement collection for the discrete-event simulator.
+
+Records, per (string, application) and per data set:
+
+* computation span — from the instant the application's input is
+  available on its machine to computation completion (what eq. 5
+  estimates, including queueing/sharing delay);
+* transfer span — analogous for inter-application transfers (eq. 6);
+* end-to-end latency — release of a data set at the head of the string
+  to completion of its last application (the eq. 1 latency constraint).
+
+Aggregation helpers return means over completed data sets, optionally
+discarding a warm-up prefix so steady-state figures aren't polluted by
+the empty-system start.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SpanRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed computation or transfer."""
+
+    string_id: int
+    app_index: int
+    dataset: int
+    release: float
+    completion: float
+
+    @property
+    def span(self) -> float:
+        return self.completion - self.release
+
+
+@dataclass
+class SimulationTrace:
+    """All measurements from one simulation run."""
+
+    comp_spans: list[SpanRecord] = field(default_factory=list)
+    tran_spans: list[SpanRecord] = field(default_factory=list)
+    #: (string_id, dataset, release, completion) per finished data set.
+    latencies: list[tuple[int, int, float, float]] = field(default_factory=list)
+
+    # -- recording --------------------------------------------------------------
+
+    def record_comp(self, rec: SpanRecord) -> None:
+        self.comp_spans.append(rec)
+
+    def record_tran(self, rec: SpanRecord) -> None:
+        self.tran_spans.append(rec)
+
+    def record_latency(
+        self, string_id: int, dataset: int, release: float, completion: float
+    ) -> None:
+        self.latencies.append((string_id, dataset, release, completion))
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _mean_spans(
+        self, spans: list[SpanRecord], skip_datasets: int
+    ) -> dict[tuple[int, int], float]:
+        buckets: dict[tuple[int, int], list[float]] = defaultdict(list)
+        for rec in spans:
+            if rec.dataset >= skip_datasets:
+                buckets[(rec.string_id, rec.app_index)].append(rec.span)
+        return {key: float(np.mean(vals)) for key, vals in buckets.items()}
+
+    def mean_comp_times(
+        self, skip_datasets: int = 0
+    ) -> dict[tuple[int, int], float]:
+        """Mean measured computation span per (string, app)."""
+        return self._mean_spans(self.comp_spans, skip_datasets)
+
+    def mean_tran_times(
+        self, skip_datasets: int = 0
+    ) -> dict[tuple[int, int], float]:
+        """Mean measured transfer span per (string, sending app)."""
+        return self._mean_spans(self.tran_spans, skip_datasets)
+
+    def mean_latency(
+        self, string_id: int, skip_datasets: int = 0
+    ) -> float:
+        """Mean end-to-end latency of one string's completed data sets."""
+        vals = [
+            done - rel
+            for (k, d, rel, done) in self.latencies
+            if k == string_id and d >= skip_datasets
+        ]
+        if not vals:
+            raise ValueError(f"no completed data sets for string {string_id}")
+        return float(np.mean(vals))
+
+    def max_latency(self, string_id: int, skip_datasets: int = 0) -> float:
+        """Worst observed end-to-end latency of one string."""
+        vals = [
+            done - rel
+            for (k, d, rel, done) in self.latencies
+            if k == string_id and d >= skip_datasets
+        ]
+        if not vals:
+            raise ValueError(f"no completed data sets for string {string_id}")
+        return float(max(vals))
+
+    def completed_datasets(self, string_id: int) -> int:
+        return sum(1 for (k, *_rest) in self.latencies if k == string_id)

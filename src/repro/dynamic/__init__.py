@@ -1,0 +1,41 @@
+"""Dynamic remapping under workload drift (extension beyond the paper).
+
+The paper designs the *initial* static allocation to be robust and
+explicitly defers dynamic reallocation.  This subpackage closes the
+loop: workload-drift generators (:mod:`~repro.dynamic.perturbation`),
+remapping policies of increasing intervention cost
+(:mod:`~repro.dynamic.policies`), and a trajectory simulator
+(:mod:`~repro.dynamic.simulation`) measuring worth retention and
+intervention counts — which makes the value of planning-time slackness
+directly observable.
+"""
+
+from .perturbation import (
+    hotspot_surge,
+    random_walk,
+    scale_workload,
+    uniform_ramp,
+)
+from .policies import (
+    PolicyResponse,
+    RemapPolicy,
+    RepairPolicy,
+    ShedPolicy,
+    carry_forward,
+)
+from .simulation import DriftRun, StepRecord, simulate_drift
+
+__all__ = [
+    "DriftRun",
+    "PolicyResponse",
+    "RemapPolicy",
+    "RepairPolicy",
+    "ShedPolicy",
+    "StepRecord",
+    "carry_forward",
+    "hotspot_surge",
+    "random_walk",
+    "scale_workload",
+    "simulate_drift",
+    "uniform_ramp",
+]

@@ -1,0 +1,124 @@
+"""Workload drift models for the dynamic remapping study.
+
+The paper motivates robust *static* allocation by an environment whose
+input workload "is likely to change unpredictably" (Section 1) and
+defers dynamic reallocation to other work.  This module supplies the
+missing piece's input side: time series of per-string workload scale
+factors.  A factor of ``f`` multiplies a string's nominal execution
+times and output sizes (more data per data set), exactly like the
+uniform surge of :mod:`repro.robustness.surge` but per string and per
+time step.
+
+Three drift generators:
+
+* :func:`uniform_ramp` — the whole workload grows linearly to a target
+  surge (the robustness analysis' δ, unrolled over time);
+* :func:`hotspot_surge` — a subset of strings (e.g. one sensor suite
+  during an engagement) surges sharply while the rest stay nominal;
+* :func:`random_walk` — every string follows an independent geometric
+  random walk, the "unpredictable change" case.
+
+A trajectory is an ``(n_steps, n_strings)`` array of factors ≥ 0; step
+0 is conventionally all-ones (the planning-time workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import AppString, SystemModel
+
+__all__ = [
+    "scale_workload",
+    "uniform_ramp",
+    "hotspot_surge",
+    "random_walk",
+]
+
+
+def scale_workload(model: SystemModel, factors: np.ndarray) -> SystemModel:
+    """A model with string ``k``'s input workload scaled by ``factors[k]``.
+
+    Execution times and output sizes scale; CPU utilizations, periods,
+    QoS bounds, worth, and the hardware stay fixed (the QoS contract
+    does not loosen because the input grew).
+    """
+    factors = np.asarray(factors, dtype=float)
+    if factors.shape != (model.n_strings,):
+        raise ValueError(
+            f"need one factor per string ({model.n_strings}), got shape "
+            f"{factors.shape}"
+        )
+    if np.any(factors <= 0):
+        raise ValueError("factors must be strictly positive")
+    strings = [
+        AppString(
+            string_id=s.string_id,
+            worth=s.worth,
+            period=s.period,
+            max_latency=s.max_latency,
+            comp_times=s.comp_times * factors[s.string_id],
+            cpu_utils=s.cpu_utils,
+            output_sizes=s.output_sizes * factors[s.string_id],
+            name=s.name,
+        )
+        for s in model.strings
+    ]
+    return SystemModel(model.network, strings, model.machines)
+
+
+def uniform_ramp(
+    n_strings: int, n_steps: int, peak_delta: float
+) -> np.ndarray:
+    """All strings ramp linearly from 1.0 to ``1 + peak_delta``."""
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    if peak_delta < 0:
+        raise ValueError("peak_delta must be >= 0")
+    ramp = np.linspace(0.0, peak_delta, n_steps)
+    return 1.0 + np.tile(ramp[:, None], (1, n_strings))
+
+
+def hotspot_surge(
+    n_strings: int,
+    n_steps: int,
+    hot_ids: np.ndarray | list[int],
+    peak_delta: float,
+    onset: int | None = None,
+) -> np.ndarray:
+    """Selected strings jump to ``1 + peak_delta`` at step ``onset``.
+
+    Models a localized operational event — one sensor chain saturating —
+    while the rest of the workload stays nominal.
+    """
+    if onset is None:
+        onset = n_steps // 2
+    if not 0 <= onset < n_steps:
+        raise ValueError(f"onset {onset} outside [0, {n_steps})")
+    factors = np.ones((n_steps, n_strings))
+    hot = np.asarray(list(hot_ids), dtype=int)
+    if hot.size and (hot.min() < 0 or hot.max() >= n_strings):
+        raise ValueError("hot string id out of range")
+    factors[onset:, hot] = 1.0 + peak_delta
+    return factors
+
+
+def random_walk(
+    n_strings: int,
+    n_steps: int,
+    sigma: float,
+    rng: np.random.Generator | int | None = None,
+    drift: float = 0.0,
+) -> np.ndarray:
+    """Independent geometric random walks: ``f_{t+1} = f_t·e^(drift+σξ)``.
+
+    ``drift > 0`` biases the workload upward — the paper's "likely to
+    increase" environment.  Factors are clipped below at 0.1 so a walk
+    cannot drive a string's workload to zero.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    rng = np.random.default_rng(rng)
+    steps = rng.normal(drift, sigma, size=(n_steps - 1, n_strings))
+    log_f = np.vstack([np.zeros(n_strings), np.cumsum(steps, axis=0)])
+    return np.clip(np.exp(log_f), 0.1, None)

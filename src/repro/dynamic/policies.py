@@ -1,0 +1,186 @@
+"""Remapping policies for execution under drifting workload.
+
+When the input workload drifts away from the planning-time estimate,
+the initial allocation can violate QoS; something must respond.  Each
+policy implements one response, ordered by increasing intervention
+cost:
+
+* :class:`ShedPolicy` — keep every placement, but *shed* strings (drop
+  the least valuable ones) until the remainder is feasible again.  No
+  application moves; capability is lost instead.
+* :class:`RepairPolicy` — shed as above, then run the reinsertion local
+  search on the survivors and retry the shed strings — moves a few
+  placements to claw capability back.
+* :class:`RemapPolicy` — discard the mapping and re-run a full
+  heuristic on the drifted workload (the most disruptive response; in a
+  real TSCE every moved application pays a migration cost).
+
+All policies carry forward placements by *worth-descending* preference:
+when not everything fits, high-worth strings keep their slots first —
+consistent with the paper's primary metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.state import AllocationState
+from ..core.model import SystemModel
+from ..heuristics.base import HeuristicResult
+from ..heuristics.local_search import local_search
+from ..heuristics.registry import get_heuristic
+
+__all__ = [
+    "PolicyResponse",
+    "RemapPolicy",
+    "RepairPolicy",
+    "ShedPolicy",
+    "carry_forward",
+]
+
+
+@dataclass
+class PolicyResponse:
+    """Outcome of one policy invocation."""
+
+    allocation: Allocation
+    #: ids kept with their previous machine assignment
+    kept: tuple[int, ...]
+    #: ids dropped relative to the previous allocation
+    shed: tuple[int, ...]
+    #: ids whose applications changed machines (migration cost proxy)
+    moved: tuple[int, ...]
+    stats: dict = field(default_factory=dict)
+
+
+def carry_forward(
+    model: SystemModel, previous: Allocation
+) -> tuple[AllocationState, list[int]]:
+    """Re-validate an existing mapping on a (drifted) model.
+
+    Strings are re-admitted with their previous assignments in
+    worth-descending order; any string whose old placement no longer
+    passes the two-stage analysis is shed.  Returns the rebuilt state
+    and the shed ids.
+    """
+    state = AllocationState(model)
+    order = sorted(
+        previous,
+        key=lambda k: (-model.strings[k].worth, k),
+    )
+    shed: list[int] = []
+    for k in order:
+        if not state.try_add(k, previous.machines_for(k)):
+            shed.append(k)
+    return state, shed
+
+
+class Policy(Protocol):
+    """A remapping policy: (drifted model, previous mapping) → response."""
+
+    name: str
+
+    def respond(
+        self, model: SystemModel, previous: Allocation
+    ) -> PolicyResponse:  # pragma: no cover - protocol
+        ...
+
+
+class ShedPolicy:
+    """Keep placements; drop infeasible strings (lowest intervention)."""
+
+    name = "shed"
+
+    def respond(
+        self, model: SystemModel, previous: Allocation
+    ) -> PolicyResponse:
+        state, shed = carry_forward(model, previous)
+        return PolicyResponse(
+            allocation=state.as_allocation(),
+            kept=tuple(state.mapped_ids),
+            shed=tuple(shed),
+            moved=(),
+            stats={},
+        )
+
+
+class RepairPolicy:
+    """Shed, then locally repair: reinsertion search + retry shed strings."""
+
+    name = "repair"
+
+    def __init__(self, max_rounds: int = 5):
+        self.max_rounds = max_rounds
+
+    def respond(
+        self, model: SystemModel, previous: Allocation
+    ) -> PolicyResponse:
+        state, shed = carry_forward(model, previous)
+        baseline = HeuristicResult(
+            name="carry",
+            allocation=state.as_allocation(),
+            fitness=state.fitness(),
+            order=tuple(state.mapped_ids),
+            mapped_ids=tuple(state.mapped_ids),
+        )
+        improved = local_search(model, baseline, max_rounds=self.max_rounds)
+        moved = tuple(
+            k
+            for k in improved.allocation
+            if k in previous
+            and not np.array_equal(
+                improved.allocation.machines_for(k),
+                previous.machines_for(k),
+            )
+        )
+        still_shed = tuple(
+            k for k in previous if k not in improved.allocation
+        )
+        return PolicyResponse(
+            allocation=improved.allocation,
+            kept=tuple(
+                k for k in improved.allocation
+                if k in previous and k not in moved
+            ),
+            shed=still_shed,
+            moved=moved,
+            stats={"ls_moves": improved.stats.get("moves", 0),
+                   "initially_shed": tuple(shed)},
+        )
+
+
+class RemapPolicy:
+    """Re-run a full heuristic from scratch on the drifted model."""
+
+    def __init__(self, heuristic: str = "mwf", **kwargs):
+        self.heuristic_name = heuristic
+        self.kwargs = kwargs
+        self.name = f"remap-{heuristic}"
+
+    def respond(
+        self, model: SystemModel, previous: Allocation
+    ) -> PolicyResponse:
+        result = get_heuristic(self.heuristic_name)(model, **self.kwargs)
+        moved = []
+        kept = []
+        for k in result.allocation:
+            if k in previous:
+                if np.array_equal(
+                    result.allocation.machines_for(k),
+                    previous.machines_for(k),
+                ):
+                    kept.append(k)
+                else:
+                    moved.append(k)
+        shed = tuple(k for k in previous if k not in result.allocation)
+        return PolicyResponse(
+            allocation=result.allocation,
+            kept=tuple(kept),
+            shed=shed,
+            moved=tuple(moved),
+            stats={"heuristic": self.heuristic_name},
+        )

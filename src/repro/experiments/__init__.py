@@ -1,0 +1,65 @@
+"""Experiment harness: the paper's evaluation, regenerated.
+
+One entry point per paper artifact — ``fig2``/``fig3``/``fig4``/``fig5``,
+``table1``, the runtime comparison, and the Section-5 ablations — built
+on a shared multi-run :func:`run_experiment` engine with documented
+scale presets (``smoke`` / ``default`` / ``paper``).
+"""
+
+from .ablations import (
+    bias_sweep,
+    crossover_ablation,
+    heterogeneity_ablation,
+    seeding_ablation,
+    stop_rule_ablation,
+)
+from .convergence import ConvergenceTrace, run_convergence
+from .fig2 import FIG2_CASES, Fig2Case, build_case_model, run_fig2
+from .figures import FIGURES, FigureResult, fig3, fig4, fig5, run_figure
+from .runner import (
+    SCALES,
+    ExperimentConfig,
+    ExperimentOutcome,
+    ExperimentScale,
+    RunRecord,
+    run_experiment,
+)
+from .report import ReportSection, ReproductionReport, full_report
+from .runtime_table import RuntimeRow, run_runtime_table
+from .surge_curve import SurgeCurve, run_surge_curves
+from .table1 import render_table1, table1_rows
+
+__all__ = [
+    "FIG2_CASES",
+    "FIGURES",
+    "ExperimentConfig",
+    "ExperimentOutcome",
+    "ConvergenceTrace",
+    "ExperimentScale",
+    "Fig2Case",
+    "FigureResult",
+    "ReportSection",
+    "ReproductionReport",
+    "RunRecord",
+    "RuntimeRow",
+    "SurgeCurve",
+    "SCALES",
+    "bias_sweep",
+    "build_case_model",
+    "crossover_ablation",
+    "fig3",
+    "fig4",
+    "fig5",
+    "full_report",
+    "heterogeneity_ablation",
+    "render_table1",
+    "run_convergence",
+    "run_experiment",
+    "run_fig2",
+    "run_figure",
+    "run_runtime_table",
+    "run_surge_curves",
+    "seeding_ablation",
+    "stop_rule_ablation",
+    "table1_rows",
+]

@@ -1,0 +1,135 @@
+"""Regeneration of Figure 2: the three CPU-sharing overlap cases.
+
+Figure 2 illustrates the analytic waiting-time model of eq. (5) with two
+single-application strings sharing one machine; string 1 has higher
+tightness (priority):
+
+* **case 1** — equal periods, both applications at full CPU utilization:
+  the lower-priority application waits the full ``t¹`` every period, so
+  its estimated computation time is ``t² + t¹``.
+* **case 2** — ``P[1] = 2·P[2]``: only every other data set is delayed,
+  so the *average* wait is ``(P[2]/P[1])·t¹``.
+* **case 3** — as case 2 but ``u¹ = 0.5``: the lower-priority
+  application runs concurrently in the leftover capacity, shrinking the
+  average wait to ``(P[2]/P[1])·u¹·t¹``.
+
+For each case this experiment builds the two-string model, computes the
+eq. (5) estimate, runs the discrete-event simulator, and reports both —
+the reproduction check is *exact* agreement (the paper derives these
+cases in closed form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..core.allocation import Allocation
+from ..core.model import AppString, Network, SystemModel
+from ..core.timing import TimingEstimator
+from ..des.validate import compare_to_estimates
+
+__all__ = ["Fig2Case", "FIG2_CASES", "build_case_model", "run_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Case:
+    """Parameters of one Figure-2 overlap case.
+
+    ``t1``/``t2`` are the nominal execution times of the high- and
+    low-priority applications; the closed-form expected computation time
+    of application 2 is ``t2 + (P2/P1) * u1 * t1``.
+    """
+
+    name: str
+    period1: float
+    period2: float
+    util1: float
+    util2: float
+    t1: float = 2.0
+    t2: float = 3.0
+
+    @property
+    def expected_comp2(self) -> float:
+        """Closed-form eq. (5) estimate for the low-priority application."""
+        return self.t2 + (self.period2 / self.period1) * self.util1 * self.t1
+
+
+FIG2_CASES: tuple[Fig2Case, ...] = (
+    Fig2Case("case1: P1=P2, u=1", period1=10.0, period2=10.0, util1=1.0, util2=1.0),
+    Fig2Case("case2: P1=2*P2, u=1", period1=20.0, period2=10.0, util1=1.0, util2=1.0),
+    Fig2Case("case3: P1=2*P2, u1=0.5", period1=20.0, period2=10.0, util1=0.5, util2=1.0),
+)
+
+
+def build_case_model(case: Fig2Case) -> tuple[SystemModel, Allocation]:
+    """Two single-app strings sharing machine 0 of a two-machine system.
+
+    String 0 gets a much tighter latency bound than string 1, giving it
+    the higher priority the figure assumes.
+    """
+    network = Network(np.array([[np.inf, 1e6], [1e6, np.inf]]))
+    high = AppString(
+        string_id=0,
+        worth=1,
+        period=case.period1,
+        max_latency=case.t1 * 2,  # tight -> high tightness -> priority
+        comp_times=np.full((1, 2), case.t1),
+        cpu_utils=np.full((1, 2), case.util1),
+        output_sizes=np.empty(0),
+        name="string-1 (high priority)",
+    )
+    low = AppString(
+        string_id=1,
+        worth=1,
+        period=case.period2,
+        max_latency=case.t2 * 100,  # loose -> low tightness
+        comp_times=np.full((1, 2), case.t2),
+        cpu_utils=np.full((1, 2), case.util2),
+        output_sizes=np.empty(0),
+        name="string-2 (low priority)",
+    )
+    model = SystemModel(network, [high, low])
+    allocation = Allocation(model, {0: [0], 1: [0]})
+    return model, allocation
+
+
+def run_fig2(n_datasets: int = 40, skip_datasets: int = 2) -> dict:
+    """Regenerate the Figure-2 comparison.
+
+    Returns a dict with one entry per case:
+    ``{"analytic": eq5 estimate, "closed_form": the figure's formula,
+    "simulated": DES mean, "exact": bool}`` plus a rendered table under
+    the ``"table"`` key.
+    """
+    rows = []
+    out: dict = {}
+    for case in FIG2_CASES:
+        _model, allocation = build_case_model(case)
+        analytic = float(
+            TimingEstimator(allocation).string_timing(1).comp_times[0]
+        )
+        comparison = compare_to_estimates(
+            allocation, n_datasets=n_datasets, skip_datasets=skip_datasets
+        )
+        _est, simulated = comparison.comp[(1, 0)]
+        exact = (
+            abs(analytic - case.expected_comp2) < 1e-9
+            and abs(simulated - case.expected_comp2) < 1e-9
+        )
+        out[case.name] = {
+            "analytic": analytic,
+            "closed_form": case.expected_comp2,
+            "simulated": simulated,
+            "exact": exact,
+        }
+        rows.append(
+            (case.name, case.expected_comp2, analytic, simulated,
+             "yes" if exact else "NO")
+        )
+    out["table"] = format_table(
+        ["case", "closed form", "eq. (5)", "simulated", "exact"], rows
+    )
+    return out

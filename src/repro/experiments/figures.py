@@ -1,0 +1,186 @@
+"""Regeneration of Figures 3, 4, and 5 (Section 8).
+
+Each figure compares the four heuristics (PSG, MWF, TF, Seeded PSG, in
+the paper's bar order) against the LP upper bound:
+
+* **Figure 3** — mean total worth, scenario 1 (highly loaded / capacity
+  limited, 150 strings).
+* **Figure 4** — mean total worth, scenario 2 (QoS-limited, 150 strings).
+* **Figure 5** — mean system slackness, scenario 3 (lightly loaded,
+  25 strings, complete allocation).
+
+Each ``figN`` function runs the experiment at a chosen scale and
+returns a :class:`FigureResult` carrying the per-heuristic means/CIs,
+the rendered ASCII chart, and the qualitative checks the reproduction
+targets (heuristics never beat the UB; evolutionary ≥ single-shot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.charts import bar_chart
+from ..analysis.stats import ConfidenceInterval
+from ..analysis.tables import format_table
+from ..heuristics.registry import PAPER_HEURISTICS
+from ..workload import SCENARIO_1, SCENARIO_2, SCENARIO_3
+from .runner import (
+    SCALES,
+    ExperimentConfig,
+    ExperimentOutcome,
+    ExperimentScale,
+    run_experiment,
+)
+
+__all__ = ["FigureResult", "FIGURES", "fig3", "fig4", "fig5", "run_figure"]
+
+#: Bar order used in the paper's Figures 3-5.
+_BAR_ORDER = ("psg", "mwf", "tf", "seeded-psg", "ub")
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: data series + rendered chart."""
+
+    figure: str
+    title: str
+    metric: str
+    outcome: ExperimentOutcome
+    aggregates: dict[str, ConfidenceInterval] = field(default_factory=dict)
+
+    def series(self) -> tuple[list[str], list[float], list[float]]:
+        """(labels, means, ci half-widths) in the paper's bar order."""
+        labels, means, errs = [], [], []
+        for name in _BAR_ORDER:
+            if name in self.aggregates:
+                labels.append(name.upper() if name == "ub" else name)
+                means.append(self.aggregates[name].mean)
+                errs.append(self.aggregates[name].half_width)
+        return labels, means, errs
+
+    def chart(self, width: int = 48) -> str:
+        labels, means, errs = self.series()
+        return bar_chart(labels, means, errs, width=width, title=self.title)
+
+    def table(self) -> str:
+        labels, means, errs = self.series()
+        rows = [
+            (label, mean, err)
+            for label, mean, err in zip(labels, means, errs)
+        ]
+        return format_table(
+            [self.metric, "mean", "95% CI ±"],
+            [(label, mean, err) for label, mean, err in rows],
+        )
+
+    # -- qualitative reproduction checks --------------------------------------
+
+    def heuristics_below_ub(self) -> bool:
+        """No heuristic mean exceeds the UB mean (and no run beats its UB)."""
+        if "ub" not in self.aggregates:
+            return True
+        ub = self.aggregates["ub"].mean
+        ok_mean = all(
+            self.aggregates[h].mean <= ub + 1e-6
+            for h in self.outcome.config.heuristics
+        )
+        return ok_mean and self.outcome.ub_never_beaten()
+
+    def evolutionary_dominates(self) -> bool:
+        """PSG/Seeded-PSG mean ≥ MWF and TF means (the paper's headline)."""
+        agg = self.aggregates
+        needed = {"psg", "seeded-psg", "mwf", "tf"}
+        if not needed <= set(agg):
+            return True
+        best_ga = max(agg["psg"].mean, agg["seeded-psg"].mean)
+        return best_ga >= agg["mwf"].mean - 1e-9 and best_ga >= agg["tf"].mean - 1e-9
+
+
+_SPECS: dict[str, dict] = {
+    "fig3": dict(
+        scenario=SCENARIO_1,
+        metric="worth",
+        ub_objective="partial",
+        title="Figure 3: total worth — scenario 1 (highly loaded)",
+    ),
+    "fig4": dict(
+        scenario=SCENARIO_2,
+        metric="worth",
+        ub_objective="partial",
+        title="Figure 4: total worth — scenario 2 (QoS-limited)",
+    ),
+    "fig5": dict(
+        scenario=SCENARIO_3,
+        metric="slackness",
+        ub_objective="complete",
+        title="Figure 5: system slackness — scenario 3 (lightly loaded)",
+    ),
+}
+
+FIGURES: tuple[str, ...] = tuple(_SPECS)
+
+
+def run_figure(
+    figure: str,
+    scale: str | ExperimentScale = "smoke",
+    base_seed: int = 1_000,
+    compute_ub: bool = True,
+    n_workers: int = 1,
+) -> FigureResult:
+    """Regenerate one of Figures 3–5.
+
+    Parameters
+    ----------
+    figure:
+        ``"fig3"``, ``"fig4"``, or ``"fig5"``.
+    scale:
+        A preset name from :data:`~repro.experiments.runner.SCALES`
+        (``smoke`` / ``default`` / ``paper``) or a custom
+        :class:`ExperimentScale`.
+    base_seed:
+        First workload seed; run ``r`` uses ``base_seed + r``.
+    compute_ub:
+        Skip the LP bound when False (it dominates smoke-scale runtime
+        for scenario 1–2 sizes).
+    """
+    try:
+        spec = _SPECS[figure]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; choose from {FIGURES}"
+        ) from None
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    config = ExperimentConfig(
+        scenario=spec["scenario"],
+        heuristics=PAPER_HEURISTICS,
+        scale=scale,
+        metric=spec["metric"],
+        compute_ub=compute_ub,
+        ub_objective=spec["ub_objective"],
+        base_seed=base_seed,
+    )
+    outcome = run_experiment(config, n_workers=n_workers)
+    result = FigureResult(
+        figure=figure,
+        title=spec["title"],
+        metric=spec["metric"],
+        outcome=outcome,
+    )
+    result.aggregates = outcome.aggregate()
+    return result
+
+
+def fig3(**kwargs) -> FigureResult:
+    """Figure 3: total worth under the highly loaded scenario 1."""
+    return run_figure("fig3", **kwargs)
+
+
+def fig4(**kwargs) -> FigureResult:
+    """Figure 4: total worth under the QoS-limited scenario 2."""
+    return run_figure("fig4", **kwargs)
+
+
+def fig5(**kwargs) -> FigureResult:
+    """Figure 5: system slackness under the lightly loaded scenario 3."""
+    return run_figure("fig5", **kwargs)

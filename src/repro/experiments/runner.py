@@ -1,0 +1,289 @@
+"""Multi-run experiment engine (Sections 6 and 8).
+
+The paper evaluates each heuristic on 100 independently sampled
+workloads per scenario and reports the mean (with 95% confidence
+intervals) of total worth (scenarios 1–2) or system slackness
+(scenario 3), next to the LP upper bound.  For the evolutionary
+heuristics, each run reports the best of four independent trials.
+
+:func:`run_experiment` reproduces that protocol at a configurable scale:
+the paper's exact sizes (100 runs, population 250, 5 000 iterations,
+4 trials) take hours in pure Python, so :class:`ExperimentScale`
+provides documented presets — ``smoke`` (seconds, used by the benchmark
+suite), ``default`` (minutes), and ``paper`` (the full protocol).  Every
+random quantity derives from ``base_seed + run_index``, so any scale is
+exactly reproducible and heuristics are compared *paired* on identical
+workload instances.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.stats import ConfidenceInterval, mean_ci
+from ..core.exceptions import ModelError
+from ..genitor import GenitorConfig, StoppingRules
+from ..heuristics import best_of_trials, get_heuristic
+from ..lp import upper_bound
+from ..workload import ScenarioParameters, generate_model
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "ExperimentConfig",
+    "RunRecord",
+    "ExperimentOutcome",
+    "run_experiment",
+]
+
+_GA_HEURISTICS = frozenset({"psg", "seeded-psg"})
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for wall-clock time.
+
+    ``size_factor`` shrinks the *hardware and workload together* —
+    machines and strings scale proportionally, so a reduced instance
+    keeps the paper's load character (scenario 1 still saturates
+    capacity, scenario 3 still allocates completely).  GA parameters
+    apply to PSG/Seeded PSG only.
+    """
+
+    name: str
+    n_runs: int
+    size_factor: float
+    population_size: int
+    max_iterations: int
+    max_stale_iterations: int
+    n_trials: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.size_factor <= 1:
+            raise ModelError(
+                f"size_factor must be in (0, 1], got {self.size_factor}"
+            )
+        if self.n_runs < 1:
+            raise ModelError("n_runs must be >= 1")
+
+    def apply(self, scenario: ScenarioParameters) -> ScenarioParameters:
+        """Scenario with machines and strings scaled by ``size_factor``."""
+        if self.size_factor == 1.0:
+            return scenario
+        n_machines = max(2, round(scenario.n_machines * self.size_factor))
+        n_strings = max(2, round(scenario.n_strings * self.size_factor))
+        return scenario.scaled(n_strings=n_strings, n_machines=n_machines)
+
+    def genitor_config(self, bias: float = 1.6) -> GenitorConfig:
+        return GenitorConfig(
+            population_size=self.population_size,
+            bias=bias,
+            rules=StoppingRules(
+                max_iterations=self.max_iterations,
+                max_stale_iterations=self.max_stale_iterations,
+            ),
+        )
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        n_runs=3,
+        size_factor=1 / 3,  # 4 machines; 50 strings (scen 1-2), 8 (scen 3)
+        population_size=16,
+        max_iterations=80,
+        max_stale_iterations=40,
+        n_trials=1,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        n_runs=5,
+        size_factor=1.0,
+        population_size=50,
+        max_iterations=400,
+        max_stale_iterations=150,
+        n_trials=2,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        n_runs=100,
+        size_factor=1.0,
+        population_size=250,
+        max_iterations=5_000,
+        max_stale_iterations=300,
+        n_trials=4,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment: a scenario, a heuristic set, and a scale."""
+
+    scenario: ScenarioParameters
+    heuristics: tuple[str, ...]
+    scale: ExperimentScale
+    metric: str = "worth"  # or "slackness"
+    compute_ub: bool = True
+    ub_objective: str = "partial"  # or "complete"
+    base_seed: int = 1_000
+    bias: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("worth", "slackness"):
+            raise ModelError(f"unknown metric {self.metric!r}")
+        if self.ub_objective not in ("partial", "complete"):
+            raise ModelError(f"unknown ub_objective {self.ub_objective!r}")
+
+    def effective_scenario(self) -> ScenarioParameters:
+        return self.scale.apply(self.scenario)
+
+
+@dataclass
+class RunRecord:
+    """Per-run measurements: one row per heuristic plus the UB."""
+
+    run_index: int
+    seed: int
+    #: heuristic -> (worth, slackness, runtime seconds, strings mapped)
+    results: dict[str, tuple[float, float, float, int]]
+    ub_value: float | None = None
+    ub_runtime: float | None = None
+
+    def metric_of(self, name: str, metric: str) -> float:
+        worth, slack, _rt, _n = self.results[name]
+        return worth if metric == "worth" else slack
+
+
+@dataclass
+class ExperimentOutcome:
+    """All runs of one experiment, with aggregation helpers."""
+
+    config: ExperimentConfig
+    records: list[RunRecord] = field(default_factory=list)
+
+    def metric_samples(self, name: str) -> np.ndarray:
+        return np.array(
+            [r.metric_of(name, self.config.metric) for r in self.records]
+        )
+
+    def ub_samples(self) -> np.ndarray:
+        return np.array(
+            [r.ub_value for r in self.records if r.ub_value is not None]
+        )
+
+    def aggregate(self) -> dict[str, ConfidenceInterval]:
+        """Mean ± 95% CI of the experiment metric per heuristic (+ UB)."""
+        out = {
+            name: mean_ci(self.metric_samples(name))
+            for name in self.config.heuristics
+        }
+        ub = self.ub_samples()
+        if ub.size:
+            out["ub"] = mean_ci(ub)
+        return out
+
+    def runtimes(self) -> dict[str, ConfidenceInterval]:
+        """Mean ± CI heuristic runtime (seconds) per heuristic (+ UB)."""
+        out = {}
+        for name in self.config.heuristics:
+            out[name] = mean_ci(
+                [r.results[name][2] for r in self.records]
+            )
+        ub_rt = [r.ub_runtime for r in self.records if r.ub_runtime is not None]
+        if ub_rt:
+            out["ub"] = mean_ci(ub_rt)
+        return out
+
+    def ub_never_beaten(self, tol: float = 1e-6) -> bool:
+        """Sanity invariant: no heuristic ever exceeds the run's UB."""
+        for r in self.records:
+            if r.ub_value is None:
+                continue
+            for name in self.config.heuristics:
+                if r.metric_of(name, self.config.metric) > r.ub_value + tol:
+                    return False
+        return True
+
+
+def _run_one(
+    config: ExperimentConfig, run_index: int
+) -> RunRecord:
+    """Execute all heuristics (and the UB) on one sampled workload."""
+    seed = config.base_seed + run_index
+    model = generate_model(config.effective_scenario(), seed=seed)
+    ga_config = config.scale.genitor_config(bias=config.bias)
+    results: dict[str, tuple[float, float, float, int]] = {}
+    for name in config.heuristics:
+        heuristic = get_heuristic(name)
+        if name in _GA_HEURISTICS:
+            res = best_of_trials(
+                heuristic,
+                model,
+                n_trials=config.scale.n_trials,
+                rng=seed * 7_919 + 13,
+                config=ga_config,
+            )
+            runtime = res.stats.get(
+                "total_runtime_seconds", res.runtime_seconds
+            )
+        else:
+            res = heuristic(model)
+            runtime = res.runtime_seconds
+        results[name] = (
+            res.fitness.worth,
+            res.fitness.slackness,
+            float(runtime),
+            res.n_mapped,
+        )
+    ub_value = ub_runtime = None
+    if config.compute_ub:
+        t0 = time.perf_counter()
+        ub = upper_bound(model, objective=config.ub_objective)
+        ub_runtime = time.perf_counter() - t0
+        ub_value = ub.value
+    return RunRecord(
+        run_index=run_index, seed=seed, results=results,
+        ub_value=ub_value, ub_runtime=ub_runtime,
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    n_workers: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+) -> ExperimentOutcome:
+    """Run the full multi-run protocol.
+
+    Parameters
+    ----------
+    config:
+        What to run.
+    n_workers:
+        Process-level parallelism across runs (each run is independent;
+        1 keeps everything in-process, which is the right default on a
+        single-core box and under pytest).
+    progress:
+        Optional ``callback(done, total)`` fired after each run.
+    """
+    outcome = ExperimentOutcome(config=config)
+    n = config.scale.n_runs
+    if n_workers <= 1:
+        for r in range(n):
+            outcome.records.append(_run_one(config, r))
+            if progress is not None:
+                progress(r + 1, n)
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(_run_one, config, r) for r in range(n)]
+            for done, fut in enumerate(futures, start=1):
+                outcome.records.append(fut.result())
+                if progress is not None:
+                    progress(done, n)
+    outcome.records.sort(key=lambda r: r.run_index)
+    return outcome

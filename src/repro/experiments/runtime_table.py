@@ -1,0 +1,84 @@
+"""Heuristic-runtime comparison (Section 8, prose).
+
+The paper reports, for the full-scale scenario-1 workload:
+
+* MWF and TF execute "in a few seconds";
+* PSG / Seeded PSG take "approximately two hours per single run";
+* the LP upper bound solves in "less than two seconds".
+
+Absolute numbers are hardware- and implementation-bound; the
+reproduction target is the *relative* picture — the evolutionary
+heuristics are orders of magnitude slower than the single-shot ones,
+and the LP is fast relative to the GA.  :func:`run_runtime_table`
+measures all five on a common workload and reports seconds and ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..genitor import GenitorConfig
+from ..heuristics import get_heuristic
+from ..lp import upper_bound
+from ..workload import SCENARIO_1, ScenarioParameters, generate_model
+from .runner import SCALES, ExperimentScale
+
+__all__ = ["RuntimeRow", "run_runtime_table"]
+
+
+@dataclass
+class RuntimeRow:
+    """Measured runtime of one method."""
+
+    name: str
+    seconds: float
+    vs_mwf: float  # runtime ratio relative to MWF
+
+
+def run_runtime_table(
+    scenario: ScenarioParameters = SCENARIO_1,
+    scale: str | ExperimentScale = "smoke",
+    seed: int = 2_000,
+) -> dict:
+    """Time every heuristic plus the LP bound on one workload.
+
+    Returns ``{"rows": [RuntimeRow...], "table": str,
+    "ordering_ok": bool}`` where ``ordering_ok`` checks the paper's
+    qualitative claim: GA runtimes exceed single-shot runtimes, which
+    are of the same order as the LP solve.
+    """
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    params = scale.apply(scenario)
+    model = generate_model(params, seed=seed)
+    ga_config = scale.genitor_config()
+
+    rows: list[RuntimeRow] = []
+    timings: dict[str, float] = {}
+    for name in ("mwf", "tf"):
+        res = get_heuristic(name)(model)
+        timings[name] = res.runtime_seconds
+    for name in ("psg", "seeded-psg"):
+        res = get_heuristic(name)(model, config=ga_config, rng=seed)
+        timings[name] = res.runtime_seconds
+    t0 = time.perf_counter()
+    upper_bound(model, objective="partial")
+    timings["ub (LP)"] = time.perf_counter() - t0
+
+    base = max(timings["mwf"], 1e-9)
+    for name in ("psg", "mwf", "tf", "seeded-psg", "ub (LP)"):
+        rows.append(RuntimeRow(name, timings[name], timings[name] / base))
+
+    ordering_ok = (
+        timings["psg"] > timings["mwf"]
+        and timings["psg"] > timings["tf"]
+        and timings["seeded-psg"] > timings["mwf"]
+        and timings["seeded-psg"] > timings["tf"]
+    )
+    table = format_table(
+        ["method", "seconds", "x MWF"],
+        [(r.name, r.seconds, r.vs_mwf) for r in rows],
+    )
+    return {"rows": rows, "table": table, "ordering_ok": ordering_ok}

@@ -1,0 +1,39 @@
+"""GENITOR: steady-state genetic search over the permutation space.
+
+A problem-agnostic implementation of the evolutionary machinery behind
+the paper's PSG and Seeded PSG heuristics: linear-bias rank selection,
+positional top-part crossover, swap mutation, replace-worst insertion
+(implicit elitism), and the paper's three stopping rules.
+"""
+
+from .bias import biased_rank, selection_probabilities
+from .crossover import positional_crossover, random_cut, swap_mutation
+from .engine import GenitorConfig, GenitorEngine, GenitorStats
+from .operators import (
+    CROSSOVER_OPERATORS,
+    get_crossover,
+    order_crossover,
+    pmx_crossover,
+)
+from .population import Chromosome, Individual, Population
+from .stopping import StoppingRules, StopTracker
+
+__all__ = [
+    "CROSSOVER_OPERATORS",
+    "Chromosome",
+    "GenitorConfig",
+    "GenitorEngine",
+    "GenitorStats",
+    "Individual",
+    "Population",
+    "StopTracker",
+    "StoppingRules",
+    "biased_rank",
+    "get_crossover",
+    "order_crossover",
+    "pmx_crossover",
+    "positional_crossover",
+    "random_cut",
+    "selection_probabilities",
+    "swap_mutation",
+]

@@ -1,0 +1,73 @@
+"""Whitley's linear-bias rank selection (GENITOR's selective pressure).
+
+GENITOR selects parents by *rank*, not raw fitness.  With population size
+``N`` sorted best-first and bias ``b ∈ (1, 2]``, the selected rank is
+
+.. math::
+
+   \\left\\lfloor N \\cdot \\frac{b - \\sqrt{b^2 - 4(b-1)\\,u}}{2(b-1)}
+   \\right\\rfloor, \\qquad u \\sim U(0, 1)
+
+which makes the top-ranked individual ``b`` times more likely to be
+chosen than the median one — the paper's definition of bias ("a bias of
+1.5 implies that the top ranked chromosome is 1.5 times more likely to
+be selected ... than the median chromosome").  The paper tunes the bias
+to 1.6 by sweeping [1, 2] in steps of 0.1.
+
+``b = 1`` degenerates to uniform selection and is handled explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["biased_rank", "selection_probabilities"]
+
+
+def biased_rank(
+    n: int, bias: float, rng: np.random.Generator
+) -> int:
+    """Sample a rank in ``[0, n)`` (0 = best) with linear bias.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    bias:
+        Selective pressure in ``[1, 2]``; larger favors better ranks.
+    rng:
+        Randomness source.
+    """
+    if n <= 0:
+        raise ValueError("population must be non-empty")
+    if not 1.0 <= bias <= 2.0:
+        raise ValueError(f"bias must be in [1, 2], got {bias}")
+    u = rng.random()
+    if bias == 1.0:
+        idx = int(n * u)
+    else:
+        idx = int(
+            n
+            * (bias - np.sqrt(bias * bias - 4.0 * (bias - 1.0) * u))
+            / (2.0 * (bias - 1.0))
+        )
+    return min(idx, n - 1)
+
+
+def selection_probabilities(n: int, bias: float) -> np.ndarray:
+    """Exact selection probability of each rank (0 = best).
+
+    Used by tests to verify :func:`biased_rank` realizes the documented
+    distribution, and handy for diagnostics.  The linear-bias sampler
+    maps ``u`` to rank ``r`` when ``r/n <= f(u) < (r+1)/n`` for the
+    inverse transform above; solving for ``u`` gives rank probability
+    ``P(r) = (b·(2r+1)/n - (2r+1)(r+... )``; rather than carrying the
+    algebra, we integrate the density ``p(x) = b - 2(b-1)x`` of the
+    continuous rank fraction ``x = r/n`` over each rank's interval.
+    """
+    if not 1.0 <= bias <= 2.0:
+        raise ValueError(f"bias must be in [1, 2], got {bias}")
+    edges = np.linspace(0.0, 1.0, n + 1)
+    # CDF of the continuous rank fraction: F(x) = b·x - (b-1)·x².
+    cdf = bias * edges - (bias - 1.0) * edges**2
+    return np.diff(cdf)

@@ -1,0 +1,139 @@
+"""Alternative permutation crossover operators (ablation substrate).
+
+The paper uses a bespoke *positional top-part* crossover
+(:func:`repro.genitor.crossover.positional_crossover`) and argues its
+top-part choice matters under partial allocation.  To test that design
+choice, this module implements the two standard permutation crossovers
+from the GA literature the paper's operator competes with:
+
+* **Order crossover (OX)** — copy a random slice from parent 1, fill
+  the remaining positions with parent 2's genes in their parent-2 order
+  (Davis, 1985).
+* **Partially mapped crossover (PMX)** — copy a random slice from
+  parent 1 and resolve the induced conflicts through the slice's
+  position mapping (Goldberg & Lingle, 1985).
+
+Both are closed over permutations (property-tested) and plug into the
+engine through :data:`CROSSOVER_OPERATORS`; the operator ablation
+benchmark compares all three under the PSG projection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .crossover import positional_crossover
+
+__all__ = [
+    "order_crossover",
+    "pmx_crossover",
+    "CROSSOVER_OPERATORS",
+    "get_crossover",
+]
+
+Chromosome = tuple[int, ...]
+CrossoverFn = Callable[
+    [Chromosome, Chromosome, np.random.Generator],
+    tuple[Chromosome, Chromosome],
+]
+
+
+def _random_slice(n: int, rng: np.random.Generator) -> tuple[int, int]:
+    """A non-empty slice [lo, hi) with hi > lo, uniform over pairs."""
+    if n < 2:
+        return 0, n
+    lo, hi = sorted(rng.choice(n + 1, size=2, replace=False))
+    if lo == hi:  # pragma: no cover - excluded by replace=False
+        hi += 1
+    return int(lo), int(hi)
+
+
+def _ox_child(
+    keeper: Chromosome, filler: Chromosome, lo: int, hi: int
+) -> Chromosome:
+    """One OX offspring: keeper's slice + filler's order elsewhere."""
+    n = len(keeper)
+    kept = set(keeper[lo:hi])
+    fill = [g for g in filler if g not in kept]
+    child = list(keeper)
+    positions = [i for i in range(n) if not lo <= i < hi]
+    for pos, gene in zip(positions, fill):
+        child[pos] = gene
+    return tuple(child)
+
+
+def order_crossover(
+    parent1: Chromosome,
+    parent2: Chromosome,
+    rng: np.random.Generator,
+    slice_: tuple[int, int] | None = None,
+) -> tuple[Chromosome, Chromosome]:
+    """Davis order crossover (OX) producing two offspring.
+
+    Each offspring inherits one parent's slice verbatim and the other
+    parent's *relative order* outside it.
+    """
+    if len(parent1) != len(parent2):
+        raise ValueError("parents must have equal length")
+    lo, hi = slice_ if slice_ is not None else _random_slice(len(parent1), rng)
+    return (
+        _ox_child(parent1, parent2, lo, hi),
+        _ox_child(parent2, parent1, lo, hi),
+    )
+
+
+def _pmx_child(
+    keeper: Chromosome, other: Chromosome, lo: int, hi: int
+) -> Chromosome:
+    """One PMX offspring: keeper's slice, other's genes elsewhere with
+    conflicts resolved through the slice mapping."""
+    n = len(keeper)
+    child: list[int | None] = [None] * n
+    child[lo:hi] = keeper[lo:hi]
+    in_slice = set(keeper[lo:hi])
+    # Conflict resolution follows keeper-slice gene -> other-slice gene
+    # at the same position; the chain always exits the keeper slice.
+    mapping = {keeper[i]: other[i] for i in range(lo, hi)}
+    for i in list(range(lo)) + list(range(hi, n)):
+        gene = other[i]
+        while gene in in_slice:
+            gene = mapping[gene]
+        child[i] = gene
+    return tuple(g for g in child)  # type: ignore[misc]
+
+
+def pmx_crossover(
+    parent1: Chromosome,
+    parent2: Chromosome,
+    rng: np.random.Generator,
+    slice_: tuple[int, int] | None = None,
+) -> tuple[Chromosome, Chromosome]:
+    """Partially mapped crossover (PMX) producing two offspring."""
+    if len(parent1) != len(parent2):
+        raise ValueError("parents must have equal length")
+    lo, hi = slice_ if slice_ is not None else _random_slice(len(parent1), rng)
+    return (
+        _pmx_child(parent1, parent2, lo, hi),
+        _pmx_child(parent2, parent1, lo, hi),
+    )
+
+
+#: Named operators for the engine and the ablation harness.
+CROSSOVER_OPERATORS: dict[str, CrossoverFn] = {
+    "positional": positional_crossover,
+    "ox": order_crossover,
+    "pmx": pmx_crossover,
+}
+
+
+def get_crossover(name: str) -> CrossoverFn:
+    """Look up a crossover operator by name."""
+    try:
+        return CROSSOVER_OPERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown crossover {name!r}; available: "
+            f"{sorted(CROSSOVER_OPERATORS)}"
+        ) from None

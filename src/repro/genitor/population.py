@@ -1,0 +1,99 @@
+"""Rank-sorted steady-state population for GENITOR.
+
+The population is kept sorted best-first by the two-component fitness.
+An offspring enters only when it beats the worst member, displacing it —
+GENITOR's replace-worst rule, which implicitly implements elitism (the
+best solution can never leave the population).
+
+Chromosomes are tuples of string ids (points in the permutation space).
+Duplicates are allowed, as in classic GENITOR; the "all chromosomes
+converged" stopping rule relies on duplicates eventually dominating.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator, Sequence
+
+from ..core.metrics import Fitness
+
+__all__ = ["Individual", "Population"]
+
+Chromosome = tuple[int, ...]
+
+
+class Individual:
+    """A chromosome together with its evaluated fitness."""
+
+    __slots__ = ("chromosome", "fitness")
+
+    def __init__(self, chromosome: Chromosome, fitness: Fitness):
+        self.chromosome = tuple(chromosome)
+        self.fitness = fitness
+
+    # Sorting: best first.  ``insort`` keeps ascending order, so compare
+    # by *negated* fitness tuples.
+    def _sort_key(self) -> tuple[float, float]:
+        return (-self.fitness.worth, -self.fitness.slackness)
+
+    def __lt__(self, other: "Individual") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:
+        return f"Individual(fitness={self.fitness})"
+
+
+class Population:
+    """Fixed-capacity, best-first sorted population."""
+
+    def __init__(self, individuals: Sequence[Individual]):
+        if not individuals:
+            raise ValueError("population must be non-empty")
+        self._members: list[Individual] = sorted(individuals)
+        self.capacity = len(self._members)
+
+    # -- views -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self._members)
+
+    def __getitem__(self, rank: int) -> Individual:
+        """Member at ``rank`` (0 = best)."""
+        return self._members[rank]
+
+    @property
+    def best(self) -> Individual:
+        return self._members[0]
+
+    @property
+    def worst(self) -> Individual:
+        return self._members[-1]
+
+    def converged(self) -> bool:
+        """True when every chromosome is identical (stopping rule 3)."""
+        first = self._members[0].chromosome
+        return all(ind.chromosome == first for ind in self._members[1:])
+
+    def fitness_spread(self) -> tuple[Fitness, Fitness]:
+        """(best, worst) fitness — diagnostic for progress reports."""
+        return (self.best.fitness, self.worst.fitness)
+
+    # -- steady-state update ------------------------------------------------------
+
+    def consider(self, offspring: Individual) -> bool:
+        """Replace-worst insertion.
+
+        The offspring enters iff its fitness is *strictly* higher than
+        the worst member's; it is placed in sorted order (after any
+        equally fit members, so the elite only changes on strict
+        improvement) and the worst member is removed.  Returns whether
+        the offspring was inserted.
+        """
+        if not offspring.fitness > self.worst.fitness:
+            return False
+        self._members.pop()
+        insort(self._members, offspring)
+        return True

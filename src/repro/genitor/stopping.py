@@ -1,0 +1,69 @@
+"""GENITOR stopping conditions (Section 5).
+
+The paper stops the PSG search when any of three rules fires:
+
+1. 5 000 iterations (one iteration = one crossover + one mutation);
+2. 300 iterations without a change in the elite (best) chromosome;
+3. every chromosome in the population has converged to the same solution.
+
+:class:`StoppingRules` holds the thresholds; :class:`StopTracker`
+evaluates them as the engine runs and records which rule fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .population import Population
+
+__all__ = ["StoppingRules", "StopTracker"]
+
+
+@dataclass(frozen=True)
+class StoppingRules:
+    """Thresholds for the three stopping rules.
+
+    The defaults are the paper's; experiments at reduced scale override
+    them (see EXPERIMENTS.md).  ``check_convergence_every`` bounds how
+    often the O(population) convergence scan runs.
+    """
+
+    max_iterations: int = 5_000
+    max_stale_iterations: int = 300
+    check_convergence_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.max_stale_iterations < 1:
+            raise ValueError("max_stale_iterations must be >= 1")
+        if self.check_convergence_every < 1:
+            raise ValueError("check_convergence_every must be >= 1")
+
+
+class StopTracker:
+    """Evaluates the stopping rules across engine iterations."""
+
+    def __init__(self, rules: StoppingRules):
+        self.rules = rules
+        self.iteration = 0
+        self.stale = 0
+        self.reason: str | None = None
+
+    def update(self, population: Population, elite_changed: bool) -> bool:
+        """Advance one iteration; return True when the search must stop."""
+        self.iteration += 1
+        self.stale = 0 if elite_changed else self.stale + 1
+        if self.iteration >= self.rules.max_iterations:
+            self.reason = "max-iterations"
+            return True
+        if self.stale >= self.rules.max_stale_iterations:
+            self.reason = "stale-elite"
+            return True
+        if (
+            self.iteration % self.rules.check_convergence_every == 0
+            and population.converged()
+        ):
+            self.reason = "converged"
+            return True
+        return False

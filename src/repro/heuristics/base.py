@@ -1,0 +1,78 @@
+"""Common types for allocation heuristics.
+
+Every heuristic takes a :class:`~repro.core.model.SystemModel` and
+returns a :class:`HeuristicResult`: the final allocation, its
+two-component fitness, the string order the heuristic used, and timing /
+search statistics.  Heuristics are exposed both as plain functions and
+through the :mod:`repro.heuristics.registry`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..core.allocation import Allocation
+from ..core.metrics import Fitness
+
+__all__ = ["HeuristicResult", "timed_section"]
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of one heuristic run.
+
+    Attributes
+    ----------
+    name:
+        Heuristic identifier (``"mwf"``, ``"tf"``, ``"psg"``, ...).
+    allocation:
+        The final feasible (possibly partial) mapping.
+    fitness:
+        Total worth and system slackness of ``allocation``.
+    order:
+        The permutation of string ids the heuristic fed to the sequential
+        allocator (for single-shot heuristics) or the best chromosome
+        (for the GA heuristics).
+    mapped_ids:
+        Ids of the strings that were actually allocated (a prefix of
+        ``order`` under the allocate-until-first-failure rule).
+    runtime_seconds:
+        Wall-clock time of the heuristic itself.
+    stats:
+        Free-form search statistics (GA iteration counts, stop reason,
+        evaluations, ...).
+    """
+
+    name: str
+    allocation: Allocation
+    fitness: Fitness
+    order: tuple[int, ...]
+    mapped_ids: tuple[int, ...]
+    runtime_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def n_mapped(self) -> int:
+        return len(self.mapped_ids)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: worth={self.fitness.worth:g} "
+            f"slack={self.fitness.slackness:.4f} "
+            f"mapped={self.n_mapped} in {self.runtime_seconds:.3f}s"
+        )
+
+
+@contextmanager
+def timed_section() -> Iterator[list[float]]:
+    """Measure wall-clock time of a block; the elapsed seconds land in
+    the yielded single-element list once the block exits."""
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

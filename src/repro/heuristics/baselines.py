@@ -1,0 +1,102 @@
+"""Baseline orderings for comparison and ablation.
+
+The paper compares only its four heuristics against the LP bound; for
+ablation studies this module adds natural reference points:
+
+* :func:`random_order_once` — a single uniformly random ordering fed to
+  the IMR projection: the "no intelligence in the permutation space"
+  floor, also the distribution PSG's initial population is drawn from.
+* :func:`best_random_order` — best of N random orderings: a
+  random-search control for PSG (same projection, no evolution).
+* :func:`least_worth_first` — worth ascending: the adversarial ordering,
+  bounding how much the permutation matters.
+* :func:`skip_ahead` — MWF ordering but *skipping* infeasible strings
+  instead of terminating: quantifies what the paper's stop-at-first-
+  failure rule costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import SystemModel
+from .base import HeuristicResult, timed_section
+from .mwf import mwf_order
+from .ordering import allocate_sequence
+
+__all__ = [
+    "random_order_once",
+    "best_random_order",
+    "least_worth_first",
+    "skip_ahead",
+]
+
+
+def _sequence_result(
+    name: str, model: SystemModel, order: tuple[int, ...],
+    stop_on_failure: bool = True,
+) -> HeuristicResult:
+    with timed_section() as elapsed:
+        outcome = allocate_sequence(model, order, stop_on_failure=stop_on_failure)
+    return HeuristicResult(
+        name=name,
+        allocation=outcome.state.as_allocation(),
+        fitness=outcome.fitness(),
+        order=order,
+        mapped_ids=outcome.mapped_ids,
+        runtime_seconds=elapsed[0],
+        stats={"failed_id": outcome.failed_id, "complete": outcome.complete},
+    )
+
+
+def random_order_once(
+    model: SystemModel, rng: np.random.Generator | int | None = None
+) -> HeuristicResult:
+    """IMR projection of one uniformly random string ordering."""
+    rng = np.random.default_rng(rng)
+    order = tuple(int(k) for k in rng.permutation(model.n_strings))
+    return _sequence_result("random-order", model, order)
+
+
+def best_random_order(
+    model: SystemModel,
+    n_orders: int = 100,
+    rng: np.random.Generator | int | None = None,
+) -> HeuristicResult:
+    """Best of ``n_orders`` random orderings (random-search control)."""
+    if n_orders < 1:
+        raise ValueError("n_orders must be >= 1")
+    rng = np.random.default_rng(rng)
+    with timed_section() as elapsed:
+        best: HeuristicResult | None = None
+        for _ in range(n_orders):
+            res = random_order_once(model, rng)
+            if best is None or res.fitness > best.fitness:
+                best = res
+    assert best is not None
+    best.stats["n_orders"] = n_orders
+    return HeuristicResult(
+        name="best-random",
+        allocation=best.allocation,
+        fitness=best.fitness,
+        order=best.order,
+        mapped_ids=best.mapped_ids,
+        runtime_seconds=elapsed[0],
+        stats=best.stats,
+    )
+
+
+def least_worth_first(model: SystemModel) -> HeuristicResult:
+    """Worth-ascending ordering — the adversarial counterpart of MWF."""
+    order = tuple(reversed(mwf_order(model)))
+    return _sequence_result("least-worth-first", model, order)
+
+
+def skip_ahead(model: SystemModel) -> HeuristicResult:
+    """MWF ordering, but skip infeasible strings instead of stopping.
+
+    Not one of the paper's heuristics: it isolates the cost of the
+    stop-at-first-failure rule that MWF/TF/PSG all share.
+    """
+    order = mwf_order(model)
+    return _sequence_result("skip-ahead", model, order, stop_on_failure=False)

@@ -1,0 +1,142 @@
+"""Incremental Mapping Routine (IMR) — Section 5.
+
+The IMR maps the applications of a *single* string onto machines, guided
+by the impact of each candidate assignment on resource utilization:
+
+1. Start from the most computationally intensive application
+   ``argmax_i t_av[i] · u_av[i] / P[k]`` and place it on the machine with
+   minimum resulting utilization (eq. 2 with the candidate included).
+2. Repeatedly pick the most intensive *unassigned* application and grow
+   the assigned (always contiguous) region toward it, one application at
+   a time.  Each intermediate application is placed on the machine
+   minimizing the **maximum** of (a) the machine utilization with the
+   application included and (b) the utilization of the route connecting
+   it to its already-placed neighbour with the new transfer included —
+   so network load is taken into account as the routine progresses.
+
+Ties are broken by lowest machine index by default ("arbitrarily" in the
+paper); pass a random generator for randomized tie-breaking.
+
+The routine *derives* an assignment; it does not itself commit the string
+to an :class:`~repro.core.state.AllocationState` or check feasibility —
+that is the sequential allocator's job (:mod:`repro.heuristics.ordering`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.state import AllocationState
+
+__all__ = ["imr_map_string"]
+
+
+def _argmin_tie(values: np.ndarray, rng: np.random.Generator | None) -> int:
+    """Index of the minimum; ties broken by lowest index or randomly."""
+    if rng is None:
+        return int(np.argmin(values))
+    m = values.min()
+    candidates = np.flatnonzero(values <= m + 1e-15)
+    return int(rng.choice(candidates))
+
+
+def imr_map_string(
+    state: AllocationState,
+    string_id: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Derive the IMR machine assignment for one string.
+
+    Parameters
+    ----------
+    state:
+        Current allocation state; its committed machine/route utilizations
+        guide the greedy choices.  ``state`` is *not* modified.
+    string_id:
+        The string to map.
+    rng:
+        Optional generator for random tie-breaking between machines with
+        equal utilization impact (default: lowest index wins).
+
+    Returns
+    -------
+    numpy.ndarray
+        Machine index per application (``m[i, k]``), dtype int64.
+    """
+    model = state.model
+    s = model.strings[string_id]
+    net = model.network
+    M = model.n_machines
+    n = s.n_apps
+
+    # Utilization impact of each app on each machine: work / period.
+    app_share = s.work / s.period  # (n, M)
+    # Route demand of each transfer on each route: O / (P * w).
+    # transfer_demand[i] is a scalar (bytes/sec); utilization on a route
+    # is demand * inv_bandwidth.
+    transfer_demand = (
+        s.output_sizes / s.period if n > 1 else np.empty(0)
+    )
+
+    # Partial (uncommitted) loads added by this routine so far.
+    part_machine = np.zeros(M)
+    part_route = np.zeros((M, M))
+    assignment = np.full(n, -1, dtype=np.int64)
+
+    intensity = s.computational_intensity()
+    # Step 1-2: place the most intensive application by machine
+    # utilization alone.
+    order_seed = int(np.argmax(intensity))
+    cand = state.machine_util + part_machine + app_share[order_seed]
+    j0 = _argmin_tie(cand, rng)
+    assignment[order_seed] = j0
+    part_machine[j0] += app_share[order_seed, j0]
+
+    left = right = order_seed
+    assigned = 1
+
+    def place(i: int, neighbour: int, incoming: bool) -> None:
+        """Assign app ``i``; its transfer connects to already-placed
+        ``neighbour``.  ``incoming=True`` means the route runs
+        neighbour -> i (rightward growth), else i -> neighbour."""
+        nonlocal assigned
+        m_util = state.machine_util + part_machine + app_share[i]
+        jn = int(assignment[neighbour])
+        if incoming:
+            demand = transfer_demand[i - 1]
+            r_util = (
+                state.route_util[jn, :]
+                + part_route[jn, :]
+                + demand * net.inv_bandwidth[jn, :]
+            )
+        else:
+            demand = transfer_demand[i]
+            r_util = (
+                state.route_util[:, jn]
+                + part_route[:, jn]
+                + demand * net.inv_bandwidth[:, jn]
+            )
+        score = np.maximum(m_util, r_util)
+        j = _argmin_tie(score, rng)
+        assignment[i] = j
+        part_machine[j] += app_share[i, j]
+        if incoming:
+            part_route[jn, j] += demand * net.inv_bandwidth[jn, j]
+        else:
+            part_route[j, jn] += demand * net.inv_bandwidth[j, jn]
+        assigned += 1
+
+    while assigned < n:
+        # Step 4b: next most intensive unassigned application.
+        masked = np.where(assignment < 0, intensity, -np.inf)
+        target = int(np.argmax(masked))
+        # Step 4c: grow rightward to reach the target.
+        while target > right:
+            right += 1
+            place(right, right - 1, incoming=True)
+        # Step 4d: grow leftward to reach the target.
+        while target < left:
+            left -= 1
+            place(left, left + 1, incoming=False)
+
+    return assignment

@@ -1,0 +1,52 @@
+"""Most Worth First (MWF) heuristic — Section 5.
+
+Ranks strings by worth factor (descending), then allocates them in that
+order with the IMR, validating each intermediate mapping with the
+two-stage feasibility analysis and stopping at the first failure.
+
+Worth ties (the common case — only three worth levels exist) are broken
+by string id, keeping the heuristic deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import SystemModel
+from .base import HeuristicResult, timed_section
+from .ordering import allocate_sequence
+
+__all__ = ["mwf_order", "most_worth_first"]
+
+
+def mwf_order(model: SystemModel) -> tuple[int, ...]:
+    """String ids sorted by worth, highest first (ties by lower id)."""
+    worths = np.array([s.worth for s in model.strings])
+    ids = np.arange(model.n_strings)
+    return tuple(int(k) for k in np.lexsort((ids, -worths)))
+
+
+def most_worth_first(
+    model: SystemModel, rng: np.random.Generator | None = None
+) -> HeuristicResult:
+    """Run the MWF heuristic on ``model``.
+
+    Parameters
+    ----------
+    model:
+        The problem instance.
+    rng:
+        Optional generator for IMR tie-breaking (default deterministic).
+    """
+    with timed_section() as elapsed:
+        order = mwf_order(model)
+        outcome = allocate_sequence(model, order, rng=rng)
+    return HeuristicResult(
+        name="mwf",
+        allocation=outcome.state.as_allocation(),
+        fitness=outcome.fitness(),
+        order=order,
+        mapped_ids=outcome.mapped_ids,
+        runtime_seconds=elapsed[0],
+        stats={"failed_id": outcome.failed_id, "complete": outcome.complete},
+    )

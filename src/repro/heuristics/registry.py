@@ -1,0 +1,61 @@
+"""Name-based heuristic registry.
+
+Maps stable names (used by the CLI, the experiment runner, and the
+benchmark harness) to heuristic callables with a uniform signature
+``heuristic(model, rng=...) -> HeuristicResult``.  GA heuristics accept
+an optional ``config`` keyword as well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.model import SystemModel
+from .base import HeuristicResult
+from .baselines import (
+    best_random_order,
+    least_worth_first,
+    random_order_once,
+    skip_ahead,
+)
+from .local_search import mwf_with_local_search
+from .mwf import most_worth_first
+from .priority_class import class_based
+from .psg import psg, seeded_psg
+from .tf import tightest_first
+
+__all__ = ["HEURISTICS", "PAPER_HEURISTICS", "get_heuristic", "available"]
+
+Heuristic = Callable[..., HeuristicResult]
+
+#: All heuristics addressable by name.
+HEURISTICS: dict[str, Heuristic] = {
+    "mwf": most_worth_first,
+    "tf": tightest_first,
+    "psg": psg,
+    "seeded-psg": seeded_psg,
+    "random-order": random_order_once,
+    "best-random": best_random_order,
+    "least-worth-first": least_worth_first,
+    "skip-ahead": skip_ahead,
+    "mwf+ls": mwf_with_local_search,
+    "class-tightness": class_based,
+}
+
+#: The four heuristics evaluated in the paper (Figures 3-5 order).
+PAPER_HEURISTICS: tuple[str, ...] = ("psg", "mwf", "tf", "seeded-psg")
+
+
+def get_heuristic(name: str) -> Heuristic:
+    """Look up a heuristic by registry name."""
+    try:
+        return HEURISTICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
+        ) from None
+
+
+def available() -> tuple[str, ...]:
+    """All registered heuristic names, sorted."""
+    return tuple(sorted(HEURISTICS))

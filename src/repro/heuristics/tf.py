@@ -1,0 +1,48 @@
+"""Tightest First (TF) heuristic — Section 5.
+
+Identical in structure to MWF but ranks strings by *relative tightness*.
+Because eq. (4) needs a concrete allocation, the ranking uses the
+allocation-free variant (Section 5): machine-specific nominal times are
+replaced by per-application averages (eqs. 8–9) and route bandwidths by
+the system-wide average inverse bandwidth.  Tightest (largest value)
+strings are allocated first — they are hardest to place, and placing
+them early gives them the high-priority positions the tightness-based
+local scheduler will grant them anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import SystemModel
+from ..core.tightness import average_tightness, tightness_rank_order
+from .base import HeuristicResult, timed_section
+from .ordering import allocate_sequence
+
+__all__ = ["tf_order", "tightest_first"]
+
+
+def tf_order(model: SystemModel) -> tuple[int, ...]:
+    """String ids sorted by average tightness, tightest first."""
+    values = [
+        average_tightness(s, model.network) for s in model.strings
+    ]
+    return tuple(int(k) for k in tightness_rank_order(values, descending=True))
+
+
+def tightest_first(
+    model: SystemModel, rng: np.random.Generator | None = None
+) -> HeuristicResult:
+    """Run the TF heuristic on ``model``."""
+    with timed_section() as elapsed:
+        order = tf_order(model)
+        outcome = allocate_sequence(model, order, rng=rng)
+    return HeuristicResult(
+        name="tf",
+        allocation=outcome.state.as_allocation(),
+        fitness=outcome.fitness(),
+        order=order,
+        mapped_ids=outcome.mapped_ids,
+        runtime_seconds=elapsed[0],
+        stats={"failed_id": outcome.failed_id, "complete": outcome.complete},
+    )

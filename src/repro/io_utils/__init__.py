@@ -1,0 +1,33 @@
+"""JSON persistence for models and allocations."""
+
+from .dag_serialize import (
+    dag_system_from_dict,
+    dag_system_to_dict,
+    load_dag_system,
+    save_dag_system,
+)
+from .serialize import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_allocation,
+    save_model,
+)
+
+__all__ = [
+    "allocation_from_dict",
+    "allocation_to_dict",
+    "dag_system_from_dict",
+    "dag_system_to_dict",
+    "load_dag_system",
+    "save_dag_system",
+    "load_allocation",
+    "load_model",
+    "model_from_dict",
+    "model_to_dict",
+    "save_allocation",
+    "save_model",
+]

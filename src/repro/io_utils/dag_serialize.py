@@ -1,0 +1,87 @@
+"""JSON serialization of DAG systems (parallel to the linear format)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..core.model import Network
+from ..dag.model import DagEdge, DagString, DagSystem
+from .serialize import _bandwidth_from_json, _bandwidth_to_json
+
+__all__ = [
+    "dag_system_to_dict",
+    "dag_system_from_dict",
+    "save_dag_system",
+    "load_dag_system",
+]
+
+_SCHEMA = "repro/v1"
+
+
+def dag_system_to_dict(system: DagSystem) -> dict[str, Any]:
+    """Encode a :class:`DagSystem` as JSON-compatible data."""
+    return {
+        "schema": _SCHEMA,
+        "kind": "dag-system",
+        "network": {
+            "bandwidth": _bandwidth_to_json(system.network.bandwidth)
+        },
+        "strings": [
+            {
+                "string_id": s.string_id,
+                "name": s.name,
+                "worth": s.worth,
+                "period": s.period,
+                "max_latency": s.max_latency,
+                "comp_times": s.comp_times.tolist(),
+                "cpu_utils": s.cpu_utils.tolist(),
+                "edges": [
+                    {"src": e.src, "dst": e.dst, "nbytes": e.nbytes}
+                    for e in s.edges
+                ],
+            }
+            for s in system.strings
+        ],
+    }
+
+
+def dag_system_from_dict(data: dict[str, Any]) -> DagSystem:
+    """Decode :func:`dag_system_to_dict` output."""
+    if data.get("schema") != _SCHEMA or data.get("kind") != "dag-system":
+        raise ModelError(
+            f"not a {_SCHEMA} dag-system document "
+            f"(schema={data.get('schema')!r}, kind={data.get('kind')!r})"
+        )
+    network = Network(_bandwidth_from_json(data["network"]["bandwidth"]))
+    strings = [
+        DagString(
+            string_id=s["string_id"],
+            worth=s["worth"],
+            period=s["period"],
+            max_latency=s["max_latency"],
+            comp_times=np.array(s["comp_times"], dtype=float),
+            cpu_utils=np.array(s["cpu_utils"], dtype=float),
+            edges=[
+                DagEdge(e["src"], e["dst"], e["nbytes"])
+                for e in s["edges"]
+            ],
+            name=s.get("name", ""),
+        )
+        for s in data["strings"]
+    ]
+    return DagSystem(network, strings)
+
+
+def save_dag_system(system: DagSystem, path: str | Path) -> None:
+    """Write a DAG system to a JSON file."""
+    Path(path).write_text(json.dumps(dag_system_to_dict(system)))
+
+
+def load_dag_system(path: str | Path) -> DagSystem:
+    """Read a DAG system from a JSON file."""
+    return dag_system_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,23 @@
+"""Machine pools (footnote-1 generalization): pool-level allocation
+with per-pool dispatch, collapsing to the paper's model on singleton
+pools."""
+
+from .dispatch import (
+    PooledOutcome,
+    allocate_pooled,
+    least_utilized_dispatch,
+    pool_utilization,
+    pooled_map_string,
+)
+from .model import Pool, PooledSystem, singleton_pools
+
+__all__ = [
+    "Pool",
+    "PooledOutcome",
+    "PooledSystem",
+    "allocate_pooled",
+    "least_utilized_dispatch",
+    "pool_utilization",
+    "pooled_map_string",
+    "singleton_pools",
+]

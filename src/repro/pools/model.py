@@ -1,0 +1,128 @@
+"""Machine pools — the paper's footnote-1 generalization.
+
+Footnote 1: "In the final ARMS system, computational resources will be
+divided into pools; in this paper, we assume each pool consists of one
+machine."  This subpackage implements the pooled system so the
+single-machine-pool assumption becomes a *special case* rather than a
+hard-coded restriction:
+
+* a :class:`Pool` is a named, disjoint set of machine indices;
+* allocation decisions target **pools**; a per-pool *dispatcher* then
+  chooses the concrete machine for every application;
+* once dispatched, the placement is an ordinary machine-level
+  assignment and the paper's two-stage feasibility analysis applies
+  unchanged.
+
+The test suite asserts that with singleton pools every quantity —
+dispatch, utilization, feasibility — reduces exactly to the paper's
+model, and that pooled allocation on multi-machine pools remains
+feasible under the standard analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..core.model import SystemModel
+
+__all__ = ["Pool", "PooledSystem", "singleton_pools"]
+
+
+class Pool:
+    """A disjoint group of machines administered as one resource."""
+
+    __slots__ = ("index", "machines", "name")
+
+    def __init__(self, index: int, machines: Iterable[int], name: str = ""):
+        machines = tuple(sorted(set(int(j) for j in machines)))
+        if index < 0:
+            raise ModelError(f"pool index must be >= 0, got {index}")
+        if not machines:
+            raise ModelError(f"pool {index} must contain at least one machine")
+        self.index = index
+        self.machines = machines
+        self.name = name or f"pool-{index}"
+
+    @property
+    def size(self) -> int:
+        return len(self.machines)
+
+    def __contains__(self, machine: int) -> bool:
+        return machine in self.machines
+
+    def __repr__(self) -> str:
+        return f"Pool({self.name!r}, machines={list(self.machines)})"
+
+
+def singleton_pools(n_machines: int) -> list[Pool]:
+    """One pool per machine — the paper's footnote-1 assumption."""
+    return [Pool(j, [j]) for j in range(n_machines)]
+
+
+class PooledSystem:
+    """A :class:`SystemModel` whose machines are partitioned into pools.
+
+    Parameters
+    ----------
+    model:
+        The underlying machine-level instance.
+    pools:
+        Disjoint pools covering every machine exactly once, with
+        ``pools[p].index == p``.
+    """
+
+    __slots__ = ("model", "pools", "_pool_of_machine")
+
+    def __init__(self, model: SystemModel, pools: Sequence[Pool]):
+        pools = list(pools)
+        seen: dict[int, int] = {}
+        for p, pool in enumerate(pools):
+            if pool.index != p:
+                raise ModelError(
+                    f"pool at position {p} has index {pool.index}"
+                )
+            for j in pool.machines:
+                if not 0 <= j < model.n_machines:
+                    raise ModelError(
+                        f"pool {p} references unknown machine {j}"
+                    )
+                if j in seen:
+                    raise ModelError(
+                        f"machine {j} belongs to pools {seen[j]} and {p}"
+                    )
+                seen[j] = p
+        if len(seen) != model.n_machines:
+            missing = sorted(set(range(model.n_machines)) - set(seen))
+            raise ModelError(f"machines {missing} belong to no pool")
+        self.model = model
+        self.pools = pools
+        lookup = np.empty(model.n_machines, dtype=np.int64)
+        for j, p in seen.items():
+            lookup[j] = p
+        lookup.setflags(write=False)
+        self._pool_of_machine = lookup
+
+    @property
+    def n_pools(self) -> int:
+        return len(self.pools)
+
+    @property
+    def n_machines(self) -> int:
+        return self.model.n_machines
+
+    def pool_of(self, machine: int) -> int:
+        """Index of the pool containing ``machine``."""
+        return int(self._pool_of_machine[machine])
+
+    def is_singleton(self) -> bool:
+        """True when every pool holds exactly one machine (the paper)."""
+        return all(p.size == 1 for p in self.pools)
+
+    def __repr__(self) -> str:
+        return (
+            f"PooledSystem(n_pools={self.n_pools}, "
+            f"n_machines={self.n_machines})"
+        )

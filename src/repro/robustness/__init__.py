@@ -1,0 +1,19 @@
+"""Workload-surge robustness analysis (the motivation for slackness)."""
+
+from .surge import (
+    SurgeProfile,
+    allocation_survives,
+    max_absorbable_surge,
+    stage1_surge_limit,
+    surge_model,
+    transfer_allocation,
+)
+
+__all__ = [
+    "SurgeProfile",
+    "allocation_survives",
+    "max_absorbable_surge",
+    "stage1_surge_limit",
+    "surge_model",
+    "transfer_allocation",
+]

@@ -1,0 +1,172 @@
+"""Workload-surge robustness analysis.
+
+The paper's motivation for maximizing system slackness Λ is that the
+input workload "is likely to change unpredictably" and a robust initial
+allocation should "absorb some level of unknown input workload increase
+without rescheduling" (Sections 1, 4).  This module makes that claim
+operational:
+
+* :func:`surge_model` scales every string's CPU demand and transfer
+  volume by a factor ``1 + δ`` (a uniform input-workload surge) while
+  keeping the QoS constraints fixed;
+* :func:`allocation_survives` re-runs the two-stage feasibility analysis
+  of an *unchanged* allocation under the surged workload;
+* :func:`max_absorbable_surge` binary-searches the largest δ the
+  allocation tolerates — the paper's "capacity to absorb unpredictable
+  increases in input workload", measured directly.
+
+Under a uniform surge, stage-1 utilizations scale linearly, so a
+stage-1-limited allocation with slackness Λ survives exactly up to
+``δ* = Λ / (1 − Λ)`` — :func:`stage1_surge_limit`.  Stage-2 (QoS)
+constraints bind earlier in tight scenarios, which is why slackness is a
+lower-bound-style proxy rather than the whole story; the surge
+experiment quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.feasibility import analyze
+from ..core.metrics import system_slackness
+from ..core.model import AppString, SystemModel
+from ..core.utilization import UtilizationSnapshot
+
+__all__ = [
+    "surge_model",
+    "transfer_allocation",
+    "allocation_survives",
+    "stage1_surge_limit",
+    "SurgeProfile",
+    "max_absorbable_surge",
+]
+
+
+def surge_model(model: SystemModel, delta: float) -> SystemModel:
+    """The same instance with all input workload scaled by ``1 + delta``.
+
+    Execution times and output sizes grow by the factor (more data per
+    data set to crunch and to ship); CPU utilizations, periods, latency
+    bounds, worth, and the hardware stay fixed.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    factor = 1.0 + delta
+    strings = [
+        AppString(
+            string_id=s.string_id,
+            worth=s.worth,
+            period=s.period,
+            max_latency=s.max_latency,
+            comp_times=s.comp_times * factor,
+            cpu_utils=s.cpu_utils,
+            output_sizes=s.output_sizes * factor,
+            name=s.name,
+        )
+        for s in model.strings
+    ]
+    return SystemModel(model.network, strings, model.machines)
+
+
+def transfer_allocation(
+    allocation: Allocation, target_model: SystemModel
+) -> Allocation:
+    """Re-anchor an allocation onto a structurally identical model."""
+    return Allocation(
+        target_model,
+        {k: allocation.machines_for(k) for k in allocation},
+    )
+
+
+def allocation_survives(
+    allocation: Allocation, delta: float
+) -> bool:
+    """Does the mapping stay feasible under a ``1 + delta`` surge?"""
+    surged = surge_model(allocation.model, delta)
+    return analyze(transfer_allocation(allocation, surged)).feasible
+
+
+def stage1_surge_limit(allocation: Allocation) -> float:
+    """Closed-form stage-1-only surge limit ``Λ / (1 − Λ)``.
+
+    With every utilization scaling linearly in the surge factor, the
+    most loaded resource (utilization ``1 − Λ``) hits capacity exactly
+    when ``(1 − Λ)(1 + δ) = 1``.  Infinite when the system is empty.
+    """
+    slack = system_slackness(UtilizationSnapshot.of(allocation))
+    if slack >= 1.0:
+        return np.inf
+    if slack <= 0.0:
+        return 0.0
+    return slack / (1.0 - slack)
+
+
+@dataclass(frozen=True)
+class SurgeProfile:
+    """Result of a surge search on one allocation."""
+
+    max_delta: float
+    stage1_limit: float
+    slackness: float
+    iterations: int
+
+    @property
+    def qos_bound(self) -> bool:
+        """True when QoS (stage 2) binds before raw capacity does."""
+        return self.max_delta < self.stage1_limit - 1e-9
+
+
+def max_absorbable_surge(
+    allocation: Allocation,
+    upper: float = 4.0,
+    tol: float = 1e-3,
+) -> SurgeProfile:
+    """Largest uniform surge δ the allocation absorbs without remapping.
+
+    Binary search over δ using the full two-stage analysis (feasibility
+    is monotone in a uniform surge: scaling all loads up can only add
+    violations).
+
+    Parameters
+    ----------
+    allocation:
+        A feasible mapping (δ = 0 must pass; raises otherwise).
+    upper:
+        Initial search ceiling; doubled until infeasible (capped at 2¹⁰).
+    tol:
+        Absolute tolerance on δ.
+    """
+    if not allocation_survives(allocation, 0.0):
+        raise ValueError("allocation is infeasible even without a surge")
+    iterations = 0
+    hi = upper
+    while allocation_survives(allocation, hi):
+        iterations += 1
+        hi *= 2.0
+        if hi > 1024.0:
+            # effectively unconstrained (e.g., near-empty allocation)
+            return SurgeProfile(
+                max_delta=np.inf,
+                stage1_limit=stage1_surge_limit(allocation),
+                slackness=system_slackness(
+                    UtilizationSnapshot.of(allocation)
+                ),
+                iterations=iterations,
+            )
+    lo = 0.0
+    while hi - lo > tol:
+        iterations += 1
+        mid = 0.5 * (lo + hi)
+        if allocation_survives(allocation, mid):
+            lo = mid
+        else:
+            hi = mid
+    return SurgeProfile(
+        max_delta=lo,
+        stage1_limit=stage1_surge_limit(allocation),
+        slackness=system_slackness(UtilizationSnapshot.of(allocation)),
+        iterations=iterations,
+    )

@@ -1,0 +1,42 @@
+"""Synthetic workload generation (paper Sections 6 and 8).
+
+Public surface: the three scenario definitions (:data:`SCENARIO_1`,
+:data:`SCENARIO_2`, :data:`SCENARIO_3` and :func:`get_scenario`) and the
+deterministic generator :func:`generate_model`.
+"""
+
+from .generator import generate_model, generate_network, generate_string
+from .heterogeneity import (
+    HETEROGENEITY_MODELS,
+    consistency_index,
+    generate_heterogeneous_model,
+    sample_comp_times,
+)
+from .parameters import (
+    KBYTE,
+    MB_PER_SEC,
+    SCENARIO_1,
+    SCENARIO_2,
+    SCENARIO_3,
+    SCENARIOS,
+    ScenarioParameters,
+    get_scenario,
+)
+
+__all__ = [
+    "HETEROGENEITY_MODELS",
+    "KBYTE",
+    "MB_PER_SEC",
+    "SCENARIO_1",
+    "SCENARIO_2",
+    "SCENARIO_3",
+    "SCENARIOS",
+    "ScenarioParameters",
+    "consistency_index",
+    "generate_heterogeneous_model",
+    "generate_model",
+    "generate_network",
+    "generate_string",
+    "get_scenario",
+    "sample_comp_times",
+]

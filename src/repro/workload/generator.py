@@ -1,0 +1,128 @@
+"""Synthetic workload generator (Section 6 + Section 8 formulas).
+
+Generates :class:`~repro.core.model.SystemModel` instances following the
+paper's simulation setup exactly:
+
+* a heterogeneous suite of ``M`` machines; each inter-machine route's
+  bandwidth sampled uniformly (1–10 Mb/sec by default), intra-machine
+  routes infinite;
+* strings of 1–10 applications; per (application, machine) nominal
+  execution times ``t^k[i,j] ~ U(1, 10)`` s and CPU utilizations
+  ``u^k[i,j] ~ U(0.1, 1)`` (independent per pair — inconsistent
+  heterogeneity);
+* output sizes ``O^k[i] ~ U(10, 100)`` Kbytes;
+* worth factors drawn uniformly from ``{1, 10, 100}``;
+* the end-to-end latency bound scaled from the *average-value* nominal
+  path time (Section 8):
+
+  .. math::
+
+     L_{max}[k] = \\mu_L \\Big( \\sum_{i<n_k}\\big(t_{av}^k[i]
+        + O^k[i]/w_{av}\\big) + t_{av}^k[n_k] \\Big)
+
+* the period scaled from the largest single-stage average time:
+
+  .. math::
+
+     P[k] = \\mu_P \\max\\big\\{ t_{av}^k[i],\\; O^k[z]/w_{av} \\big\\}
+
+with µ sampled per string from the scenario's Table-1 range.
+
+All randomness flows from a single :class:`numpy.random.Generator`, so a
+``(scenario, seed)`` pair identifies a workload instance exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import AppString, Network, SystemModel
+from .parameters import ScenarioParameters
+
+__all__ = ["generate_network", "generate_string", "generate_model"]
+
+
+def generate_network(
+    params: ScenarioParameters, rng: np.random.Generator
+) -> Network:
+    """Sample the communication fabric for a scenario.
+
+    Each ordered inter-machine pair gets an independent bandwidth from
+    ``params.bandwidth_range``; the diagonal is infinite.
+    """
+    M = params.n_machines
+    lo, hi = params.bandwidth_range
+    bw = rng.uniform(lo, hi, size=(M, M))
+    np.fill_diagonal(bw, np.inf)
+    return Network(bw)
+
+
+def generate_string(
+    string_id: int,
+    params: ScenarioParameters,
+    network: Network,
+    rng: np.random.Generator,
+) -> AppString:
+    """Sample one application string per Section 6 / Section 8.
+
+    The latency bound and period are derived from the string's *average*
+    nominal times and the network's average inverse bandwidth, scaled by
+    per-string µ values drawn from the scenario's Table-1 ranges —
+    exactly the Section-8 formulas.
+    """
+    M = params.n_machines
+    n_lo, n_hi = params.apps_per_string
+    n_apps = int(rng.integers(n_lo, n_hi + 1))
+    t_lo, t_hi = params.comp_time_range
+    u_lo, u_hi = params.cpu_util_range
+    o_lo, o_hi = params.output_size_range
+    comp_times = rng.uniform(t_lo, t_hi, size=(n_apps, M))
+    cpu_utils = rng.uniform(u_lo, u_hi, size=(n_apps, M))
+    output_sizes = rng.uniform(o_lo, o_hi, size=n_apps - 1)
+    worth = float(rng.choice(params.worth_choices))
+
+    t_av = comp_times.mean(axis=1)
+    inv_w_av = network.avg_inv_bandwidth  # this is 1 / w_av
+    transfer_av = output_sizes * inv_w_av
+
+    mu_latency = float(rng.uniform(*params.latency_mu))
+    mu_period = float(rng.uniform(*params.period_mu))
+
+    nominal_path_av = float(t_av.sum() + transfer_av.sum())
+    max_latency = mu_latency * nominal_path_av
+
+    stage_times = np.concatenate([t_av, transfer_av])
+    period = mu_period * float(stage_times.max())
+
+    return AppString(
+        string_id=string_id,
+        worth=worth,
+        period=period,
+        max_latency=max_latency,
+        comp_times=comp_times,
+        cpu_utils=cpu_utils,
+        output_sizes=output_sizes,
+    )
+
+
+def generate_model(
+    params: ScenarioParameters,
+    seed: int | np.random.Generator | None = None,
+) -> SystemModel:
+    """Sample a complete problem instance for a scenario.
+
+    Parameters
+    ----------
+    params:
+        The scenario definition (µ ranges, string count, hardware sizes).
+    seed:
+        Seed or ready-made generator.  Identical ``(params, seed)`` pairs
+        produce byte-identical models.
+    """
+    rng = np.random.default_rng(seed)
+    network = generate_network(params, rng)
+    strings = [
+        generate_string(k, params, network, rng)
+        for k in range(params.n_strings)
+    ]
+    return SystemModel(network, strings)

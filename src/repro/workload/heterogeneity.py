@@ -1,0 +1,161 @@
+"""Machine-heterogeneity models (consistent vs inconsistent).
+
+The paper samples nominal execution times independently per
+(application, machine) pair — *inconsistent* heterogeneity in the
+taxonomy of Ali et al. (the paper's reference [5]): a machine fast for
+one application may be slow for another.  The other canonical regimes:
+
+* **consistent** — machines have global speed ranks: ``t[i, j] =
+  base[i] · speed[j]``, so a machine faster for one application is
+  faster for all;
+* **semi-consistent** — a consistent core perturbed by bounded
+  multiplicative noise, interpolating between the two.
+
+Heterogeneity regime changes which allocation decisions matter: under
+consistent heterogeneity the "best" machines are globally contested and
+load balancing dominates, while inconsistent heterogeneity rewards
+matching applications to their individually-fast machines.  The
+regime ablation (see EXPERIMENTS.md) measures the heuristics under all
+three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..core.model import AppString, Network, SystemModel
+from .generator import generate_network, generate_string
+from .parameters import ScenarioParameters
+
+__all__ = [
+    "HETEROGENEITY_MODELS",
+    "sample_comp_times",
+    "generate_heterogeneous_model",
+    "consistency_index",
+]
+
+#: Supported regime names.
+HETEROGENEITY_MODELS: tuple[str, ...] = (
+    "inconsistent", "consistent", "semi",
+)
+
+
+def sample_comp_times(
+    n_apps: int,
+    n_machines: int,
+    time_range: tuple[float, float],
+    regime: str,
+    rng: np.random.Generator,
+    semi_noise: float = 0.25,
+) -> np.ndarray:
+    """Sample a nominal-execution-time matrix under a regime.
+
+    All regimes keep every entry inside ``time_range``.
+
+    * ``inconsistent`` — i.i.d. uniform per (app, machine) pair (the
+      paper's model);
+    * ``consistent`` — ``base[i] · speed[j]`` with base and speed chosen
+      so the product spans the requested range;
+    * ``semi`` — the consistent matrix perturbed by uniform
+      multiplicative noise of relative amplitude ``semi_noise``, clipped
+      back into range.
+    """
+    lo, hi = time_range
+    if regime == "inconsistent":
+        return rng.uniform(lo, hi, size=(n_apps, n_machines))
+    if regime not in HETEROGENEITY_MODELS:
+        raise ModelError(
+            f"unknown heterogeneity regime {regime!r}; choose from "
+            f"{HETEROGENEITY_MODELS}"
+        )
+    ratio = np.sqrt(hi / lo)
+    base = rng.uniform(lo * np.sqrt(1.0), lo * ratio, size=n_apps)
+    speed = rng.uniform(1.0, ratio, size=n_machines)
+    consistent = np.outer(base, speed)
+    if regime == "consistent":
+        return np.clip(consistent, lo, hi)
+    noise = rng.uniform(1.0 - semi_noise, 1.0 + semi_noise,
+                        size=(n_apps, n_machines))
+    return np.clip(consistent * noise, lo, hi)
+
+
+def generate_heterogeneous_model(
+    params: ScenarioParameters,
+    regime: str,
+    seed: int | np.random.Generator | None = None,
+    semi_noise: float = 0.25,
+) -> SystemModel:
+    """A Section-6 workload with the chosen heterogeneity regime.
+
+    Identical to :func:`~repro.workload.generate_model` except for the
+    execution-time sampling; with ``regime="inconsistent"`` the
+    distributions coincide (though not the exact draws — the RNG stream
+    is consumed differently).
+    """
+    rng = np.random.default_rng(seed)
+    network = generate_network(params, rng)
+    strings = []
+    for k in range(params.n_strings):
+        # Draw the baseline string for every non-time parameter, then
+        # replace its execution-time matrix under the chosen regime.
+        template = generate_string(k, params, network, rng)
+        if regime == "inconsistent":
+            strings.append(template)
+            continue
+        comp = sample_comp_times(
+            template.n_apps,
+            params.n_machines,
+            params.comp_time_range,
+            regime,
+            rng,
+            semi_noise=semi_noise,
+        )
+        # Periods/latency bounds follow the same µ-formulas, re-derived
+        # from the regime's average times so the load character matches.
+        t_av = comp.mean(axis=1)
+        inv_w_av = network.avg_inv_bandwidth
+        transfer_av = template.output_sizes * inv_w_av
+        old_t_av = template.avg_comp_times
+        old_nominal = float(old_t_av.sum() + transfer_av.sum())
+        mu_latency = template.max_latency / old_nominal
+        stage_old = np.concatenate([old_t_av, transfer_av])
+        mu_period = template.period / float(stage_old.max())
+        nominal = float(t_av.sum() + transfer_av.sum())
+        stages = np.concatenate([t_av, transfer_av])
+        strings.append(AppString(
+            string_id=k,
+            worth=template.worth,
+            period=mu_period * float(stages.max()),
+            max_latency=mu_latency * nominal,
+            comp_times=comp,
+            cpu_utils=template.cpu_utils,
+            output_sizes=template.output_sizes,
+        ))
+    return SystemModel(network, strings)
+
+
+def consistency_index(model: SystemModel) -> float:
+    """Mean pairwise machine-rank correlation of execution times.
+
+    1.0 for perfectly consistent instances (every pair of machines
+    orders all applications' times identically up to scale), near 0 for
+    inconsistent ones.  Computed as the average Spearman-style
+    correlation of machine columns over all strings' time matrices.
+    """
+    from scipy import stats
+
+    correlations = []
+    for s in model.strings:
+        if s.n_apps < 2:
+            continue
+        ct = s.comp_times
+        M = ct.shape[1]
+        for j1 in range(M):
+            for j2 in range(j1 + 1, M):
+                rho = stats.spearmanr(ct[:, j1], ct[:, j2]).statistic
+                if not np.isnan(rho):
+                    correlations.append(rho)
+    if not correlations:
+        return float("nan")
+    return float(np.mean(correlations))

@@ -1,0 +1,91 @@
+"""Shared fixtures and model builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, AppString, Network, SystemModel
+from repro.workload import SCENARIO_1, SCENARIO_3, generate_model
+
+
+def build_string(
+    string_id: int,
+    n_apps: int,
+    n_machines: int,
+    *,
+    period: float = 50.0,
+    latency: float = 500.0,
+    worth: float = 1.0,
+    t: float | np.ndarray = 2.0,
+    u: float | np.ndarray = 0.5,
+    out: float | np.ndarray = 1_000.0,
+    name: str = "",
+) -> AppString:
+    """Build a string with uniform (or explicit) parameters.
+
+    Scalar ``t``/``u`` are broadcast over all (app, machine) pairs;
+    scalar ``out`` over all transfers.
+    """
+    comp = np.broadcast_to(np.asarray(t, dtype=float), (n_apps, n_machines))
+    util = np.broadcast_to(np.asarray(u, dtype=float), (n_apps, n_machines))
+    sizes = np.broadcast_to(
+        np.asarray(out, dtype=float), (max(n_apps - 1, 0),)
+    )
+    return AppString(
+        string_id=string_id,
+        worth=worth,
+        period=period,
+        max_latency=latency,
+        comp_times=comp.copy(),
+        cpu_utils=util.copy(),
+        output_sizes=sizes.copy(),
+        name=name,
+    )
+
+
+def uniform_network(n_machines: int, bandwidth: float = 1e6) -> Network:
+    """All inter-machine routes share one bandwidth (bytes/sec)."""
+    bw = np.full((n_machines, n_machines), bandwidth)
+    np.fill_diagonal(bw, np.inf)
+    return Network(bw)
+
+
+@pytest.fixture
+def three_machine_network() -> Network:
+    return uniform_network(3)
+
+
+@pytest.fixture
+def small_model(three_machine_network: Network) -> SystemModel:
+    """Four modest strings on three machines — comfortably feasible."""
+    strings = [
+        build_string(0, 3, 3, period=40.0, latency=400.0, worth=100),
+        build_string(1, 2, 3, period=50.0, latency=300.0, worth=10),
+        build_string(2, 1, 3, period=30.0, latency=200.0, worth=1),
+        build_string(3, 4, 3, period=60.0, latency=600.0, worth=10),
+    ]
+    return SystemModel(three_machine_network, strings)
+
+
+@pytest.fixture
+def small_allocation(small_model: SystemModel) -> Allocation:
+    """A hand-placed feasible allocation of the small model."""
+    return Allocation(
+        small_model,
+        {0: [0, 1, 2], 1: [1, 1], 2: [2], 3: [0, 2, 1, 0]},
+    )
+
+
+@pytest.fixture
+def scenario3_small() -> SystemModel:
+    """A reduced scenario-3 instance (6 strings, 4 machines)."""
+    params = SCENARIO_3.scaled(n_strings=6, n_machines=4)
+    return generate_model(params, seed=123)
+
+
+@pytest.fixture
+def scenario1_small() -> SystemModel:
+    """A reduced scenario-1 instance (25 strings, 4 machines) — load-bound."""
+    params = SCENARIO_1.scaled(n_strings=25, n_machines=4)
+    return generate_model(params, seed=321)

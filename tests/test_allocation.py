@@ -1,0 +1,134 @@
+"""Unit tests for the Allocation container (repro.core.allocation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, AllocationError
+
+
+class TestConstruction:
+    def test_empty(self, small_model):
+        alloc = Allocation.empty(small_model)
+        assert len(alloc) == 0
+        assert alloc.total_worth() == 0.0
+
+    def test_basic(self, small_allocation):
+        assert small_allocation.n_strings == 4
+        assert small_allocation.string_ids == (0, 1, 2, 3)
+
+    def test_unknown_string_rejected(self, small_model):
+        with pytest.raises(AllocationError):
+            Allocation(small_model, {9: [0]})
+
+    def test_wrong_length_rejected(self, small_model):
+        with pytest.raises(AllocationError):
+            Allocation(small_model, {0: [0, 1]})  # string 0 has 3 apps
+
+    def test_machine_out_of_range_rejected(self, small_model):
+        with pytest.raises(AllocationError):
+            Allocation(small_model, {2: [3]})
+
+    def test_negative_machine_rejected(self, small_model):
+        with pytest.raises(AllocationError):
+            Allocation(small_model, {2: [-1]})
+
+    def test_assignment_copied_not_aliased(self, small_model):
+        machines = np.array([0, 1, 2])
+        alloc = Allocation(small_model, {0: machines})
+        machines[0] = 2
+        assert alloc.machine_of(0, 0) == 0
+
+
+class TestAccess:
+    def test_machines_for(self, small_allocation):
+        assert list(small_allocation.machines_for(0)) == [0, 1, 2]
+
+    def test_machines_for_unmapped(self, small_model):
+        alloc = Allocation(small_model, {0: [0, 0, 0]})
+        with pytest.raises(AllocationError):
+            alloc.machines_for(1)
+
+    def test_machine_of(self, small_allocation):
+        assert small_allocation.machine_of(3, 2) == 1
+
+    def test_contains(self, small_allocation, small_model):
+        assert 0 in small_allocation
+        partial = Allocation(small_model, {1: [0, 0]})
+        assert 0 not in partial
+
+    def test_iteration_sorted(self, small_model):
+        alloc = Allocation(small_model, {3: [0] * 4, 1: [1, 1]})
+        assert list(alloc) == [1, 3]
+
+    def test_machines_read_only(self, small_allocation):
+        with pytest.raises(ValueError):
+            small_allocation.machines_for(0)[0] = 1
+
+
+class TestDerived:
+    def test_total_worth(self, small_allocation):
+        assert small_allocation.total_worth() == 121.0
+
+    def test_partial_worth(self, small_model):
+        alloc = Allocation(small_model, {0: [0, 0, 0], 2: [1]})
+        assert alloc.total_worth() == 101.0
+
+    def test_apps_on_machine(self, small_allocation):
+        on0 = small_allocation.apps_on_machine(0)
+        assert set(on0) == {(0, 0), (3, 0), (3, 3)}
+
+    def test_transfers_on_route(self, small_allocation):
+        # string 0: 0->1->2; string 3: 0->2->1->0
+        assert small_allocation.transfers_on_route(0, 1) == [(0, 0)]
+        assert small_allocation.transfers_on_route(0, 2) == [(3, 0)]
+        assert small_allocation.transfers_on_route(2, 1) == [(3, 1)]
+
+    def test_transfers_intra_machine(self, small_model):
+        alloc = Allocation(small_model, {1: [2, 2]})
+        assert alloc.transfers_on_route(2, 2) == [(1, 0)]
+
+
+class TestFunctionalUpdates:
+    def test_with_string_adds(self, small_model):
+        a = Allocation(small_model, {2: [0]})
+        b = a.with_string(1, [1, 2])
+        assert 1 not in a
+        assert 1 in b
+
+    def test_with_string_replaces(self, small_model):
+        a = Allocation(small_model, {2: [0]})
+        b = a.with_string(2, [1])
+        assert a.machine_of(2, 0) == 0
+        assert b.machine_of(2, 0) == 1
+
+    def test_without_string(self, small_allocation):
+        b = small_allocation.without_string(0)
+        assert 0 not in b
+        assert small_allocation.n_strings == 4
+
+    def test_restricted_to(self, small_allocation):
+        b = small_allocation.restricted_to([1, 3])
+        assert b.string_ids == (1, 3)
+
+
+class TestEquality:
+    def test_equal(self, small_model):
+        a = Allocation(small_model, {0: [0, 1, 2]})
+        b = Allocation(small_model, {0: [0, 1, 2]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_assignment(self, small_model):
+        a = Allocation(small_model, {0: [0, 1, 2]})
+        b = Allocation(small_model, {0: [0, 1, 1]})
+        assert a != b
+
+    def test_unequal_string_set(self, small_model):
+        a = Allocation(small_model, {2: [0]})
+        b = Allocation(small_model, {2: [0], 1: [0, 0]})
+        assert a != b
+
+    def test_usable_in_sets(self, small_model):
+        a = Allocation(small_model, {2: [0]})
+        b = Allocation(small_model, {2: [0]})
+        assert len({a, b}) == 1

@@ -1,0 +1,102 @@
+"""Unit tests for baseline heuristics and the registry."""
+
+import pytest
+
+from repro.core import analyze
+from repro.heuristics import (
+    HEURISTICS,
+    PAPER_HEURISTICS,
+    available,
+    best_random_order,
+    get_heuristic,
+    least_worth_first,
+    most_worth_first,
+    mwf_order,
+    random_order_once,
+    skip_ahead,
+)
+
+
+class TestRandomOrder:
+    def test_valid_result(self, scenario1_small):
+        res = random_order_once(scenario1_small, rng=0)
+        assert sorted(res.order) == list(range(scenario1_small.n_strings))
+        assert analyze(res.allocation).feasible
+
+    def test_seeded_determinism(self, scenario1_small):
+        a = random_order_once(scenario1_small, rng=9)
+        b = random_order_once(scenario1_small, rng=9)
+        assert a.order == b.order
+
+    def test_best_random_improves_on_single(self, scenario1_small):
+        single = random_order_once(scenario1_small, rng=0)
+        best = best_random_order(scenario1_small, n_orders=10, rng=0)
+        assert best.fitness >= single.fitness
+        assert best.stats["n_orders"] == 10
+
+    def test_best_random_invalid_count(self, scenario1_small):
+        with pytest.raises(ValueError):
+            best_random_order(scenario1_small, n_orders=0)
+
+
+class TestLeastWorthFirst:
+    def test_reverse_of_mwf(self, scenario1_small):
+        assert least_worth_first(scenario1_small).order == tuple(
+            reversed(mwf_order(scenario1_small))
+        )
+
+    def test_never_better_than_mwf_on_worth_bound_systems(
+        self, scenario1_small
+    ):
+        """Adversarial ordering loses on the load-bound scenario."""
+        lwf = least_worth_first(scenario1_small)
+        mwf = most_worth_first(scenario1_small)
+        assert lwf.fitness.worth <= mwf.fitness.worth
+
+
+class TestSkipAhead:
+    def test_at_least_mwf(self, scenario1_small):
+        assert (
+            skip_ahead(scenario1_small).fitness.worth
+            >= most_worth_first(scenario1_small).fitness.worth
+        )
+
+    def test_feasible(self, scenario1_small):
+        assert analyze(skip_ahead(scenario1_small).allocation).feasible
+
+
+class TestRegistry:
+    def test_paper_heuristics_registered(self):
+        for name in PAPER_HEURISTICS:
+            assert name in HEURISTICS
+
+    def test_get_heuristic(self):
+        assert get_heuristic("mwf") is most_worth_first
+
+    def test_unknown_heuristic(self):
+        with pytest.raises(KeyError):
+            get_heuristic("nope")
+
+    def test_available_sorted(self):
+        names = available()
+        assert list(names) == sorted(names)
+        assert "psg" in names
+
+    def test_all_registered_run(self, scenario3_small):
+        """Every registry entry executes and returns a feasible result."""
+        from repro.genitor import GenitorConfig, StoppingRules
+
+        tiny = GenitorConfig(
+            population_size=6,
+            rules=StoppingRules(max_iterations=10, max_stale_iterations=5),
+        )
+        for name in available():
+            heuristic = get_heuristic(name)
+            if name in ("psg", "seeded-psg"):
+                res = heuristic(scenario3_small, config=tiny, rng=0)
+            elif name in ("random-order", "best-random"):
+                res = heuristic(scenario3_small, rng=0)
+            else:
+                res = heuristic(scenario3_small)
+            assert analyze(res.allocation).feasible, name
+            assert res.fitness.worth >= 0, name

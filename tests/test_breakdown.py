@@ -1,0 +1,108 @@
+"""Unit tests for allocation diagnostics (repro.analysis.breakdown)."""
+
+import pytest
+
+from repro.analysis import (
+    describe_allocation,
+    machine_breakdown,
+    route_breakdown,
+    string_qos_margins,
+)
+from repro.core import Allocation
+
+
+class TestMachineBreakdown:
+    def test_rows_per_machine(self, small_allocation):
+        rows = machine_breakdown(small_allocation)
+        assert len(rows) == 3
+        assert [r["machine"] for r in rows] == [0, 1, 2]
+
+    def test_utilization_matches_core(self, small_allocation):
+        from repro.core import machine_utilization
+
+        rows = machine_breakdown(small_allocation)
+        util = machine_utilization(small_allocation)
+        for r in rows:
+            assert r["utilization"] == pytest.approx(util[r["machine"]])
+
+    def test_app_counts(self, small_allocation):
+        rows = machine_breakdown(small_allocation)
+        total_apps = sum(r["n_apps"] for r in rows)
+        expected = sum(
+            small_allocation.model.strings[k].n_apps
+            for k in small_allocation
+        )
+        assert total_apps == expected
+
+    def test_top_strings_sorted(self, small_allocation):
+        for r in machine_breakdown(small_allocation):
+            shares = [share for _k, share in r["top_strings"]]
+            assert shares == sorted(shares, reverse=True)
+
+    def test_empty_allocation(self, small_model):
+        rows = machine_breakdown(Allocation.empty(small_model))
+        assert all(r["utilization"] == 0.0 for r in rows)
+        assert all(r["top_strings"] == [] for r in rows)
+
+
+class TestRouteBreakdown:
+    def test_sorted_descending(self, small_allocation):
+        rows = route_breakdown(small_allocation)
+        values = [r["utilization"] for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_limit(self, small_allocation):
+        rows = route_breakdown(small_allocation, top=2)
+        assert len(rows) <= 2
+
+    def test_transfers_listed(self, small_allocation):
+        for r in rows_with_transfers(small_allocation):
+            j1, j2 = r["route"]
+            assert r["transfers"] == small_allocation.transfers_on_route(
+                j1, j2
+            )
+
+    def test_no_routes_on_empty(self, small_model):
+        assert route_breakdown(Allocation.empty(small_model)) == []
+
+
+def rows_with_transfers(allocation):
+    return route_breakdown(allocation)
+
+
+class TestQosMargins:
+    def test_margins_positive_for_feasible(self, small_allocation):
+        for r in string_qos_margins(small_allocation):
+            assert r["latency_margin"] > 0
+            assert r["throughput_margin"] > 0
+
+    def test_sorted_tightest_first(self, small_allocation):
+        rows = string_qos_margins(small_allocation)
+        margins = [r["latency_margin"] for r in rows]
+        assert margins == sorted(margins)
+
+    def test_covers_every_mapped_string(self, small_allocation):
+        rows = string_qos_margins(small_allocation)
+        assert {r["string"] for r in rows} == set(small_allocation)
+
+    def test_latency_matches_analysis(self, small_allocation):
+        from repro.core import analyze
+
+        report = analyze(small_allocation)
+        for r in string_qos_margins(small_allocation):
+            assert r["latency"] == pytest.approx(
+                report.latencies[r["string"]]
+            )
+
+
+class TestDescribe:
+    def test_full_report_sections(self, small_allocation):
+        text = describe_allocation(small_allocation)
+        assert "feasible" in text
+        assert "slackness" in text
+        assert "machine loads:" in text
+        assert "tightest strings" in text
+
+    def test_empty_allocation(self, small_model):
+        text = describe_allocation(Allocation.empty(small_model))
+        assert "slackness Λ = 1.0000" in text

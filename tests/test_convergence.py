@@ -1,0 +1,64 @@
+"""Unit tests for the GA convergence-trace experiment
+(repro.experiments.convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, run_convergence
+from repro.workload import SCENARIO_1
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_runs=1,
+    size_factor=0.25,
+    population_size=8,
+    max_iterations=40,
+    max_stale_iterations=20,
+    n_trials=1,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_convergence(scale=TINY, seed=7_100)
+
+
+class TestTraces:
+    def test_all_checks_pass(self, outcome):
+        assert all(outcome["checks"].values()), outcome["checks"]
+
+    def test_trace_lengths_match_iterations(self, outcome):
+        # one entry per iteration plus the initial elite
+        assert len(outcome["psg"].worth) >= 2
+        assert len(outcome["seeded"].worth) >= 2
+
+    def test_monotone(self, outcome):
+        assert outcome["psg"].is_monotone()
+        assert outcome["seeded"].is_monotone()
+
+    def test_seeded_head_start(self, outcome):
+        start = outcome["seeded"].worth[0]
+        assert start >= max(outcome["mwf_worth"], outcome["tf_worth"]) - 1e-9
+
+    def test_final_at_least_start(self, outcome):
+        for key in ("psg", "seeded"):
+            trace = outcome[key]
+            assert trace.final() >= trace.worth[0] - 1e-9
+
+    def test_stop_reason_recorded(self, outcome):
+        assert outcome["psg"].stop_reason in (
+            "max-iterations", "stale-elite", "converged",
+        )
+
+    def test_stats_recorded(self, outcome):
+        assert outcome["psg"].stats["evaluations"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_traces(self):
+        a = run_convergence(scale=TINY, seed=7_200)
+        b = run_convergence(scale=TINY, seed=7_200)
+        np.testing.assert_array_equal(a["psg"].worth, b["psg"].worth)
+        np.testing.assert_array_equal(
+            a["seeded"].worth, b["seeded"].worth
+        )

@@ -1,0 +1,303 @@
+"""Unit + equivalence tests for the DAG generalization (repro.dag)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Allocation,
+    AppString,
+    ModelError,
+    Network,
+    SystemModel,
+    analyze,
+    relative_tightness,
+)
+from repro.dag import (
+    DagEdge,
+    DagString,
+    DagSystem,
+    allocate_dags,
+    analyze_dag,
+    chain_edges,
+    dag_tightness,
+    generate_dag_system,
+    map_dag_string,
+)
+from repro.workload import SCENARIO_1, SCENARIO_3
+
+from conftest import uniform_network
+
+
+def make_dag_string(string_id=0, n=4, M=3, edges=None, period=50.0,
+                    latency=500.0, worth=10.0, t=2.0, u=0.5):
+    comp = np.full((n, M), t)
+    util = np.full((n, M), u)
+    if edges is None:
+        edges = chain_edges([1_000.0] * (n - 1))
+    return DagString(string_id, worth, period, latency, comp, util, edges)
+
+
+class TestDagModel:
+    def test_basic(self):
+        s = make_dag_string()
+        assert s.n_apps == 4
+        assert len(s.edges) == 3
+        assert s.topo_order == (0, 1, 2, 3)
+
+    def test_diamond(self):
+        edges = [DagEdge(0, 1, 10.0), DagEdge(0, 2, 10.0),
+                 DagEdge(1, 3, 10.0), DagEdge(2, 3, 10.0)]
+        s = make_dag_string(edges=edges)
+        assert set(s.predecessors(3)) == {1, 2}
+        assert set(s.successors(0)) == {1, 2}
+
+    def test_cycle_rejected(self):
+        edges = [DagEdge(0, 1, 10.0), DagEdge(1, 2, 10.0),
+                 DagEdge(2, 0, 10.0)]
+        with pytest.raises(ModelError, match="cycle"):
+            make_dag_string(edges=edges)
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ModelError):
+            DagEdge(1, 1, 10.0)
+
+    def test_duplicate_edge_rejected(self):
+        edges = [DagEdge(0, 1, 10.0), DagEdge(0, 1, 20.0)]
+        with pytest.raises(ModelError, match="duplicate"):
+            make_dag_string(edges=edges)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ModelError):
+            make_dag_string(edges=[DagEdge(0, 9, 10.0)])
+
+    def test_disconnected_allowed(self):
+        s = make_dag_string(edges=[])
+        assert s.n_apps == 4
+        assert len(s.edges) == 0
+
+    def test_nonpositive_bytes_rejected(self):
+        with pytest.raises(ModelError):
+            DagEdge(0, 1, 0.0)
+
+
+class TestCriticalPath:
+    def test_chain_is_sum(self):
+        net = uniform_network(2, bandwidth=1_000.0)
+        s = make_dag_string(n=3, M=2,
+                            edges=chain_edges([500.0, 500.0]))
+        # comp 2*3 + 2 transfers of 0.5s
+        cp = s.critical_path_time([0, 1, 0], net)
+        assert cp == pytest.approx(7.0)
+
+    def test_diamond_takes_longest_branch(self):
+        net = uniform_network(2, bandwidth=1_000.0)
+        comp = np.array([[1.0, 1.0], [5.0, 5.0], [2.0, 2.0], [1.0, 1.0]])
+        util = np.full((4, 2), 0.5)
+        edges = [DagEdge(0, 1, 1_000.0), DagEdge(0, 2, 1_000.0),
+                 DagEdge(1, 3, 1_000.0), DagEdge(2, 3, 1_000.0)]
+        s = DagString(0, 1, 50.0, 500.0, comp, util, edges)
+        # all on machine 0: transfers free; cp = 1 + max(5, 2) + 1 = 7
+        assert s.critical_path_time([0, 0, 0, 0], net) == pytest.approx(7.0)
+        # branch 1 crosses machines: 1 + 1(tr) + 5 + 1(tr) + 1 = 9
+        assert s.critical_path_time([0, 1, 0, 0], net) == pytest.approx(9.0)
+
+    def test_parallel_components_take_max(self):
+        net = uniform_network(2)
+        comp = np.array([[3.0, 3.0], [8.0, 8.0]])
+        util = np.full((2, 2), 0.5)
+        s = DagString(0, 1, 50.0, 500.0, comp, util, [])
+        assert s.critical_path_time([0, 1], net) == pytest.approx(8.0)
+
+
+class TestChainEquivalence:
+    """On chain DAGs, every quantity must equal the linear model's."""
+
+    @pytest.fixture
+    def pair(self):
+        rng = np.random.default_rng(7)
+        M, n = 3, 5
+        bw = rng.uniform(1e3, 1e6, (M, M))
+        np.fill_diagonal(bw, np.inf)
+        net = Network(bw)
+        strings_lin, strings_dag = [], []
+        for k in range(3):
+            ct = rng.uniform(1, 10, (n, M))
+            cu = rng.uniform(0.1, 1, (n, M))
+            sizes = rng.uniform(1e3, 1e5, n - 1)
+            period = float(rng.uniform(20, 60))
+            latency = float(rng.uniform(100, 400))
+            strings_lin.append(
+                AppString(k, 10, period, latency, ct, cu, sizes)
+            )
+            strings_dag.append(
+                DagString(k, 10, period, latency, ct, cu,
+                          chain_edges(sizes))
+            )
+        return (
+            SystemModel(net, strings_lin),
+            DagSystem(net, strings_dag),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_analysis_equivalence(self, pair, seed):
+        lin_model, dag_sys = pair
+        rng = np.random.default_rng(seed)
+        assignments = {
+            k: rng.integers(0, 3, size=5) for k in range(3)
+        }
+        lin_rep = analyze(Allocation(lin_model, assignments))
+        dag_rep = analyze_dag(dag_sys, assignments)
+        assert lin_rep.feasible == dag_rep.feasible
+        np.testing.assert_allclose(
+            dag_rep.machine_util, lin_rep.utilization.machine
+        )
+        np.testing.assert_allclose(
+            dag_rep.route_util, lin_rep.utilization.route
+        )
+        for k in range(3):
+            assert dag_rep.latencies[k] == pytest.approx(
+                lin_rep.latencies[k]
+            )
+
+    def test_tightness_equivalence(self, pair):
+        lin_model, dag_sys = pair
+        assignment = [0, 1, 2, 1, 0]
+        for k in range(3):
+            t_lin = relative_tightness(
+                lin_model.strings[k], assignment, lin_model.network
+            )
+            t_dag = dag_tightness(dag_sys, k, assignment)
+            assert t_dag == pytest.approx(t_lin)
+
+
+class TestMapper:
+    def test_assignment_valid(self):
+        system = generate_dag_system(
+            SCENARIO_3.scaled(n_strings=5, n_machines=4), seed=1
+        )
+        M = system.n_machines
+        mu = np.zeros(M)
+        ru = np.zeros((M, M))
+        for s in system.strings:
+            a = map_dag_string(system, s.string_id, mu, ru)
+            assert a.shape == (s.n_apps,)
+            assert a.min() >= 0 and a.max() < M
+
+    def test_predecessors_placed_first(self):
+        """The mapper's visit order must respect the DAG (checked via a
+        diamond where the route cost only makes sense if predecessors
+        are placed before successors — no exception means it held)."""
+        net = uniform_network(3)
+        edges = [DagEdge(0, 1, 1e4), DagEdge(0, 2, 1e4),
+                 DagEdge(1, 3, 1e4), DagEdge(2, 3, 1e4)]
+        s = DagString(0, 1, 50.0, 500.0, np.full((4, 3), 2.0),
+                      np.full((4, 3), 0.5), edges)
+        system = DagSystem(net, [s])
+        a = map_dag_string(system, 0, np.zeros(3), np.zeros((3, 3)))
+        assert a.shape == (4,)
+
+    def test_colocation_under_expensive_transfers(self):
+        bw = np.full((2, 2), 100.0)
+        np.fill_diagonal(bw, np.inf)
+        net = Network(bw)
+        edges = chain_edges([50_000.0])
+        s = DagString(0, 1, 100.0, 1e6, np.full((2, 2), 2.0),
+                      np.full((2, 2), 0.2), edges)
+        system = DagSystem(net, [s])
+        a = map_dag_string(system, 0, np.zeros(2), np.zeros((2, 2)))
+        assert a[0] == a[1]
+
+
+class TestAllocateDags:
+    def test_scenario1_partial(self):
+        system = generate_dag_system(
+            SCENARIO_1.scaled(n_strings=25, n_machines=4), seed=2
+        )
+        out = allocate_dags(system)
+        assert not out.complete
+        assert out.report.feasible
+        assert out.total_worth() == sum(
+            system.strings[k].worth for k in out.mapped_ids
+        )
+
+    def test_scenario3_complete(self):
+        system = generate_dag_system(
+            SCENARIO_3.scaled(n_strings=6, n_machines=4), seed=3
+        )
+        out = allocate_dags(system)
+        assert out.complete
+        assert len(out.mapped_ids) == 6
+        assert 0.0 < out.fitness().slackness < 1.0
+
+    def test_worth_first_default_order(self):
+        system = generate_dag_system(
+            SCENARIO_1.scaled(n_strings=10, n_machines=3), seed=4
+        )
+        out = allocate_dags(system)
+        worths = [system.strings[k].worth for k in out.mapped_ids]
+        assert all(a >= b for a, b in zip(worths, worths[1:]))
+
+    def test_custom_order(self):
+        system = generate_dag_system(
+            SCENARIO_3.scaled(n_strings=4, n_machines=3), seed=5
+        )
+        out = allocate_dags(system, order=[3, 1])
+        assert set(out.mapped_ids) <= {3, 1}
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_dag_system(
+            SCENARIO_3.scaled(n_strings=4, n_machines=3), seed=9
+        )
+        b = generate_dag_system(
+            SCENARIO_3.scaled(n_strings=4, n_machines=3), seed=9
+        )
+        for sa, sb in zip(a.strings, b.strings):
+            np.testing.assert_array_equal(sa.comp_times, sb.comp_times)
+            assert sa.edges == sb.edges
+
+    def test_edges_acyclic_and_forward(self):
+        system = generate_dag_system(
+            SCENARIO_1.scaled(n_strings=20, n_machines=3), seed=10
+        )
+        for s in system.strings:
+            for e in s.edges:
+                assert e.src < e.dst  # layered construction is forward
+
+    def test_parameter_ranges(self):
+        system = generate_dag_system(
+            SCENARIO_1.scaled(n_strings=15, n_machines=3), seed=11
+        )
+        for s in system.strings:
+            assert 1 <= s.n_apps <= 10
+            assert np.all((s.comp_times >= 1.0) & (s.comp_times <= 10.0))
+            assert s.worth in (1, 10, 100)
+            for e in s.edges:
+                assert 10_000.0 <= e.nbytes <= 100_000.0
+
+
+class TestDagPersistence:
+    def test_file_round_trip(self, tmp_path):
+        from repro.io_utils import load_dag_system, save_dag_system
+
+        system = generate_dag_system(
+            SCENARIO_3.scaled(n_strings=3, n_machines=3), seed=12
+        )
+        path = tmp_path / "dag.json"
+        save_dag_system(system, path)
+        restored = load_dag_system(path)
+        assert restored.n_strings == 3
+        for a, b in zip(system.strings, restored.strings):
+            np.testing.assert_array_equal(a.comp_times, b.comp_times)
+            assert a.edges == b.edges
+
+    def test_wrong_kind_rejected(self):
+        from repro.io_utils import dag_system_from_dict, model_to_dict
+        from repro.workload import generate_model
+
+        lin = generate_model(
+            SCENARIO_3.scaled(n_strings=2, n_machines=2), seed=13
+        )
+        with pytest.raises(ModelError):
+            dag_system_from_dict(model_to_dict(lin))

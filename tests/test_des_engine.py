@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event simulator (repro.des.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, SimulationError, SystemModel
+from repro.des import StringSimulator, simulate_allocation
+from repro.experiments.fig2 import FIG2_CASES, build_case_model
+
+from conftest import build_string, uniform_network
+
+
+class TestSingleString:
+    def test_unshared_pipeline_latency(self):
+        """Alone in the system, every span equals its nominal value."""
+        net = uniform_network(2, bandwidth=1_000.0)
+        s = build_string(0, 2, 2, period=50.0, t=4.0, u=0.5, out=500.0,
+                         latency=1e6)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0, 1]})
+        trace = simulate_allocation(alloc, n_datasets=5)
+        comp = trace.mean_comp_times()
+        assert comp[(0, 0)] == pytest.approx(4.0)
+        assert comp[(0, 1)] == pytest.approx(4.0)
+        tran = trace.mean_tran_times()
+        assert tran[(0, 0)] == pytest.approx(0.5)
+        assert trace.mean_latency(0) == pytest.approx(8.5)
+
+    def test_intra_machine_transfer_instant(self):
+        net = uniform_network(2, bandwidth=10.0)
+        s = build_string(0, 2, 2, period=50.0, t=4.0, u=0.5, out=500.0,
+                         latency=1e6)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [1, 1]})
+        trace = simulate_allocation(alloc, n_datasets=3)
+        assert trace.mean_tran_times()[(0, 0)] == 0.0
+        assert trace.mean_latency(0) == pytest.approx(8.0)
+
+    def test_all_datasets_complete(self):
+        net = uniform_network(2)
+        s = build_string(0, 3, 2, period=30.0, t=2.0, u=0.5, latency=1e6)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0, 1, 0]})
+        trace = simulate_allocation(alloc, n_datasets=7)
+        assert trace.completed_datasets(0) == 7
+
+    def test_pipelining_multiple_datasets_in_flight(self):
+        """Period shorter than end-to-end latency: later data sets release
+        before earlier ones finish, and all still complete at nominal
+        spans (different stages, no contention)."""
+        net = uniform_network(3, bandwidth=1e9)
+        s = build_string(0, 3, 3, period=5.0, t=4.0, u=1.0, latency=1e6,
+                         out=10.0)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0, 1, 2]})
+        trace = simulate_allocation(alloc, n_datasets=6)
+        assert trace.completed_datasets(0) == 6
+        for (k, i), span in trace.mean_comp_times().items():
+            assert span == pytest.approx(4.0)
+
+
+class TestFigure2Exactness:
+    @pytest.mark.parametrize("case", FIG2_CASES, ids=lambda c: c.name)
+    def test_simulated_matches_closed_form(self, case):
+        _model, alloc = build_case_model(case)
+        trace = simulate_allocation(alloc, n_datasets=40)
+        measured = trace.mean_comp_times(skip_datasets=2)[(1, 0)]
+        assert measured == pytest.approx(case.expected_comp2, abs=1e-9)
+
+    @pytest.mark.parametrize("case", FIG2_CASES, ids=lambda c: c.name)
+    def test_high_priority_unaffected(self, case):
+        _model, alloc = build_case_model(case)
+        trace = simulate_allocation(alloc, n_datasets=40)
+        measured = trace.mean_comp_times(skip_datasets=2)[(0, 0)]
+        assert measured == pytest.approx(case.t1, abs=1e-9)
+
+
+class TestSharedRoute:
+    def test_transfer_queueing(self):
+        """Two strings share a route; the looser one's transfer waits."""
+        net = uniform_network(2, bandwidth=100.0)
+        tight = build_string(0, 2, 2, period=20.0, t=1.0, u=0.1,
+                             out=500.0, latency=10.0)
+        loose = build_string(1, 2, 2, period=20.0, t=1.0, u=0.1,
+                             out=500.0, latency=1e6)
+        model = SystemModel(net, [tight, loose])
+        alloc = Allocation(model, {0: [0, 1], 1: [0, 1]})
+        trace = simulate_allocation(alloc, n_datasets=10)
+        t_tight = trace.mean_tran_times(skip_datasets=1)[(0, 0)]
+        t_loose = trace.mean_tran_times(skip_datasets=1)[(1, 0)]
+        assert t_tight == pytest.approx(5.0)
+        # loose transfer waits for the tight one each period: 5 + 5
+        assert t_loose == pytest.approx(10.0)
+
+
+class TestGuards:
+    def test_invalid_datasets(self, small_allocation):
+        with pytest.raises(SimulationError):
+            StringSimulator(small_allocation, n_datasets=0)
+
+    def test_max_events_guard(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, period=1.0, t=50.0, u=1.0, latency=1e9)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0]})
+        # heavily over-committed: jobs pile up; small guard trips early
+        with pytest.raises(SimulationError, match="events"):
+            simulate_allocation(alloc, n_datasets=2_000, max_events=500)
+
+    def test_empty_allocation_no_events(self, small_model):
+        alloc = Allocation.empty(small_model)
+        trace = simulate_allocation(alloc, n_datasets=3)
+        assert trace.latencies == []
+
+
+class TestUtilizationMeasurement:
+    def test_machine_utilization_converges_to_stage1(self):
+        """Long-run measured CPU utilization approaches eq. (2)."""
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, period=10.0, t=4.0, u=0.5, latency=1e6)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0]})
+        sim = StringSimulator(alloc, n_datasets=50)
+        sim.run()
+        machine0 = sim._machines[0]
+        horizon = 50 * 10.0
+        # average utilization = work per period / period = 2/10 = 0.2
+        assert machine0.utilization(horizon) == pytest.approx(0.2, rel=0.05)

@@ -1,0 +1,143 @@
+"""Unit tests for the fluid resource model (repro.des.fluid)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.des import FluidResource, Job
+
+
+def job(work, cap=1.0, priority=(0.5,), label="j"):
+    return Job(work=work, cap=cap, priority=priority, label=label)
+
+
+class TestJob:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            job(-1.0)
+        with pytest.raises(SimulationError):
+            job(1.0, cap=0.0)
+
+    def test_completion_eps_relative(self):
+        big = job(1e6)
+        small = job(1.0)
+        assert big.completion_eps > small.completion_eps
+        assert small.completion_eps >= 1e-12
+
+
+class TestSingleJob:
+    def test_runs_at_cap(self):
+        r = FluidResource(1.0, "m")
+        j = job(2.0, cap=0.5)
+        r.add(j, 0.0)
+        assert j.rate == 0.5
+        assert r.next_completion() == pytest.approx(4.0)
+
+    def test_advance_drains_work(self):
+        r = FluidResource(1.0)
+        j = job(2.0, cap=1.0)
+        r.add(j, 0.0)
+        r.advance(1.5)
+        assert j.work_remaining == pytest.approx(0.5)
+
+    def test_pop_completed(self):
+        r = FluidResource(1.0)
+        j = job(2.0, cap=1.0)
+        r.add(j, 0.0)
+        done = r.pop_completed(2.0)
+        assert done == [j]
+        assert r.jobs == []
+
+    def test_time_backwards_rejected(self):
+        r = FluidResource(1.0)
+        r.advance(5.0)
+        with pytest.raises(SimulationError):
+            r.advance(4.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            FluidResource(0.0)
+
+
+class TestPrioritySharing:
+    def test_high_priority_takes_cap_first(self):
+        r = FluidResource(1.0)
+        high = job(5.0, cap=0.6, priority=(0.9,))
+        low = job(5.0, cap=1.0, priority=(0.1,))
+        r.add(high, 0.0)
+        r.add(low, 0.0)
+        assert high.rate == pytest.approx(0.6)
+        assert low.rate == pytest.approx(0.4)  # leftover capacity
+
+    def test_full_cap_starves_lower(self):
+        r = FluidResource(1.0)
+        high = job(5.0, cap=1.0, priority=(0.9,))
+        low = job(5.0, cap=1.0, priority=(0.1,))
+        r.add(high, 0.0)
+        r.add(low, 0.0)
+        assert high.rate == pytest.approx(1.0)
+        assert low.rate == 0.0
+
+    def test_rates_reallocated_on_completion(self):
+        r = FluidResource(1.0)
+        high = job(1.0, cap=1.0, priority=(0.9,))
+        low = job(1.0, cap=1.0, priority=(0.1,))
+        r.add(high, 0.0)
+        r.add(low, 0.0)
+        done = r.pop_completed(1.0)
+        assert done == [high]
+        assert low.rate == pytest.approx(1.0)
+
+    def test_three_way_cascade(self):
+        r = FluidResource(1.0)
+        a = job(9.0, cap=0.5, priority=(3,))
+        b = job(9.0, cap=0.3, priority=(2,))
+        c = job(9.0, cap=1.0, priority=(1,))
+        for j in (a, b, c):
+            r.add(j, 0.0)
+        assert (a.rate, b.rate, c.rate) == pytest.approx((0.5, 0.3, 0.2))
+
+    def test_route_strict_priority(self):
+        """Cap = capacity degenerates to strict priority service."""
+        r = FluidResource(100.0, "route")
+        first = job(200.0, cap=100.0, priority=(2,))
+        second = job(100.0, cap=100.0, priority=(1,))
+        r.add(first, 0.0)
+        r.add(second, 0.0)
+        assert first.rate == 100.0 and second.rate == 0.0
+        done = r.pop_completed(2.0)
+        assert done == [first]
+        assert second.rate == 100.0
+
+
+class TestAccounting:
+    def test_busy_integral_tracks_utilization(self):
+        r = FluidResource(1.0)
+        j = job(1.0, cap=0.5)
+        r.add(j, 0.0)
+        r.pop_completed(2.0)  # busy 0.5 for 2s
+        r.advance(4.0)
+        assert r.utilization(4.0) == pytest.approx(0.25)
+
+    def test_utilization_zero_horizon(self):
+        assert FluidResource(1.0).utilization(0.0) == 0.0
+
+    def test_next_completion_empty(self):
+        assert FluidResource(1.0).next_completion() == np.inf
+
+    def test_overdrain_guard(self):
+        """Advancing far past a completion without popping it is an
+        engine bug; the resource flags it instead of silently clamping."""
+        r = FluidResource(1.0)
+        j = job(1.0, cap=1.0)
+        r.add(j, 0.0)
+        with pytest.raises(SimulationError, match="overdrained"):
+            r.advance(10.0)
+
+    def test_subtick_residual_completes(self):
+        """Work needing less than one clock ULP of service finishes."""
+        r = FluidResource(1e9, "fast-route")
+        j = job(1e-7, cap=1e9)  # service time 1e-16 s
+        r.add(j, 4.0)
+        done = r.pop_completed(4.0)
+        assert done == [j]

@@ -1,0 +1,189 @@
+"""Integration tests for the experiment harness (repro.experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ExperimentConfig,
+    ExperimentScale,
+    render_table1,
+    run_experiment,
+    run_fig2,
+    run_figure,
+    run_runtime_table,
+    table1_rows,
+)
+from repro.workload import SCENARIO_1, SCENARIO_3
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_runs=2,
+    size_factor=0.25,
+    population_size=8,
+    max_iterations=20,
+    max_stale_iterations=10,
+    n_trials=1,
+)
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+
+    def test_paper_scale_matches_protocol(self):
+        paper = SCALES["paper"]
+        assert paper.n_runs == 100
+        assert paper.population_size == 250
+        assert paper.max_iterations == 5_000
+        assert paper.max_stale_iterations == 300
+        assert paper.n_trials == 4
+        assert paper.size_factor == 1.0
+
+    def test_apply_scales_proportionally(self):
+        scaled = SCALES["smoke"].apply(SCENARIO_1)
+        assert scaled.n_machines == 4
+        assert scaled.n_strings == 50
+
+    def test_apply_identity_at_full_size(self):
+        assert SCALES["paper"].apply(SCENARIO_1) is SCENARIO_1
+
+    def test_invalid_scale(self):
+        with pytest.raises(Exception):
+            ExperimentScale("x", 1, 1.5, 8, 10, 5, 1)
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        config = ExperimentConfig(
+            scenario=SCENARIO_1,
+            heuristics=("mwf", "tf"),
+            scale=TINY,
+            metric="worth",
+            compute_ub=True,
+            ub_objective="partial",
+            base_seed=500,
+        )
+        return run_experiment(config)
+
+    def test_record_count(self, outcome):
+        assert len(outcome.records) == 2
+
+    def test_seeds_sequential(self, outcome):
+        assert [r.seed for r in outcome.records] == [500, 501]
+
+    def test_all_heuristics_recorded(self, outcome):
+        for record in outcome.records:
+            assert set(record.results) == {"mwf", "tf"}
+
+    def test_ub_present_and_dominates(self, outcome):
+        assert outcome.ub_never_beaten()
+        for record in outcome.records:
+            assert record.ub_value is not None
+            assert record.ub_runtime > 0
+
+    def test_aggregate_keys(self, outcome):
+        agg = outcome.aggregate()
+        assert set(agg) == {"mwf", "tf", "ub"}
+        assert agg["mwf"].n == 2
+
+    def test_runtimes(self, outcome):
+        rts = outcome.runtimes()
+        assert set(rts) == {"mwf", "tf", "ub"}
+        assert all(ci.mean >= 0 for ci in rts.values())
+
+    def test_progress_callback(self):
+        config = ExperimentConfig(
+            scenario=SCENARIO_3,
+            heuristics=("mwf",),
+            scale=TINY,
+            metric="slackness",
+            compute_ub=False,
+            base_seed=1,
+        )
+        calls = []
+        run_experiment(config, progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_reproducible(self):
+        config = ExperimentConfig(
+            scenario=SCENARIO_3,
+            heuristics=("mwf",),
+            scale=TINY,
+            metric="slackness",
+            compute_ub=False,
+            base_seed=9,
+        )
+        a = run_experiment(config)
+        b = run_experiment(config)
+        np.testing.assert_array_equal(
+            a.metric_samples("mwf"), b.metric_samples("mwf")
+        )
+
+    def test_invalid_metric(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(
+                scenario=SCENARIO_1, heuristics=("mwf",), scale=TINY,
+                metric="speed",
+            )
+
+
+class TestFigures:
+    @pytest.mark.parametrize("figure,metric", [
+        ("fig3", "worth"), ("fig4", "worth"), ("fig5", "slackness"),
+    ])
+    def test_figure_runs_and_checks(self, figure, metric):
+        result = run_figure(figure, scale=TINY, compute_ub=True)
+        assert result.metric == metric
+        labels, means, errs = result.series()
+        assert labels[-1] == "UB"
+        assert len(labels) == 5
+        assert result.heuristics_below_ub()
+        chart = result.chart()
+        assert "psg" in chart
+        table = result.table()
+        assert "mean" in table
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            run_figure("fig9")
+
+    def test_no_ub_option(self):
+        result = run_figure("fig5", scale=TINY, compute_ub=False)
+        assert "ub" not in result.aggregates
+        assert result.heuristics_below_ub()  # vacuously true
+
+
+class TestFig2:
+    def test_all_cases_exact(self):
+        out = run_fig2(n_datasets=30)
+        for case_name, data in out.items():
+            if case_name == "table":
+                continue
+            assert data["exact"], case_name
+
+    def test_table_rendered(self):
+        out = run_fig2(n_datasets=10)
+        assert "closed form" in out["table"]
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        assert rows[0] == ("scenario1", "µ ∈ [4, 6]", "µ ∈ [3, 4.5]")
+        assert rows[1] == ("scenario2", "µ ∈ [1.25, 2.75]", "µ ∈ [1.5, 2.5]")
+        assert rows[2] == ("scenario3", "µ ∈ [4, 6]", "µ ∈ [3, 4.5]")
+
+    def test_render(self):
+        text = render_table1()
+        assert "scenario2" in text and "[1.25, 2.75]" in text
+
+
+class TestRuntimeTable:
+    def test_ordering_claim(self):
+        out = run_runtime_table(scale=TINY, seed=3)
+        assert out["ordering_ok"]
+        names = [r.name for r in out["rows"]]
+        assert names == ["psg", "mwf", "tf", "seeded-psg", "ub (LP)"]
+        assert all(r.seconds >= 0 for r in out["rows"])

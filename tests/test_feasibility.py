@@ -1,0 +1,171 @@
+"""Unit tests for the two-stage feasibility analysis
+(repro.core.feasibility, eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, SystemModel, analyze, is_feasible
+
+from conftest import build_string, uniform_network
+
+
+def single_string_model(n_machines=2, **kwargs):
+    net = uniform_network(n_machines, bandwidth=kwargs.pop("bandwidth", 1e6))
+    s = build_string(0, kwargs.pop("n_apps", 2), n_machines, **kwargs)
+    return SystemModel(net, [s])
+
+
+class TestStage1:
+    def test_feasible_small_load(self, small_allocation):
+        report = analyze(small_allocation)
+        assert report.stage1_ok
+        assert report.feasible
+        assert report.violations == []
+
+    def test_machine_capacity_violation(self):
+        # One app needing t*u/P = 20*1/10 = 2.0 > 1 on any machine.
+        model = single_string_model(n_apps=1, period=10.0, t=20.0, u=1.0,
+                                    latency=1e6)
+        alloc = Allocation(model, {0: [0]})
+        report = analyze(alloc)
+        assert not report.stage1_ok
+        kinds = {v.kind for v in report.violations}
+        assert "machine-capacity" in kinds
+
+    def test_route_capacity_violation(self):
+        # transfer demand O/P = 1000 B/s over a 500 B/s route -> U = 2.
+        model = single_string_model(
+            n_apps=2, period=10.0, t=1.0, u=0.1, out=10_000.0,
+            bandwidth=500.0, latency=1e9,
+        )
+        alloc = Allocation(model, {0: [0, 1]})
+        report = analyze(alloc)
+        assert not report.stage1_ok
+        assert any(v.kind == "route-capacity" for v in report.violations)
+
+    def test_multiple_strings_accumulate(self):
+        net = uniform_network(2)
+        strings = [
+            build_string(k, 1, 2, period=10.0, t=6.0, u=1.0, latency=1e6)
+            for k in range(2)
+        ]
+        model = SystemModel(net, strings)
+        one = Allocation(model, {0: [0]})
+        both = Allocation(model, {0: [0], 1: [0]})
+        assert analyze(one).stage1_ok  # 0.6
+        assert not analyze(both).stage1_ok  # 1.2
+
+
+class TestStage2Throughput:
+    def test_comp_time_exceeds_period(self):
+        # Nominal t=8 with period 10 alone is fine; with an equal tighter
+        # string sharing the machine the estimate becomes 8 + wait > 10.
+        net = uniform_network(2)
+        tight = build_string(0, 1, 2, period=40.0, t=8.0, u=0.5,
+                             latency=16.0)
+        loose = build_string(1, 1, 2, period=10.0, t=8.0, u=0.5,
+                             latency=1e6)
+        model = SystemModel(net, [tight, loose])
+        alloc = Allocation(model, {0: [0], 1: [0]})
+        report = analyze(alloc)
+        # loose string wait = P2 * (t*u/P1) = 10 * (8*0.5/40) = 1 -> 9 ok
+        assert report.feasible
+        # shrink the loose period so the bound bites: 8 + wait > P
+        loose2 = build_string(1, 1, 2, period=8.5, t=8.0, u=0.5,
+                              latency=1e6)
+        model2 = SystemModel(net, [tight, loose2])
+        alloc2 = Allocation(model2, {0: [0], 1: [0]})
+        report2 = analyze(alloc2)
+        assert not report2.stage2_ok
+        assert any(
+            v.kind == "throughput-comp" for v in report2.violations
+        )
+
+    def test_nominal_time_exceeding_period_caught(self):
+        model = single_string_model(
+            n_apps=1, period=5.0, t=6.0, u=0.1, latency=1e6
+        )
+        alloc = Allocation(model, {0: [0]})
+        report = analyze(alloc)
+        assert not report.stage2_ok
+
+    def test_transfer_time_exceeds_period(self):
+        # 10_000 bytes at 550 B/s takes ~18.2s > period 10, but stage-1
+        # utilization (O/P)/w = 1000/550 > 1 would also fail; use a big
+        # period with tight per-transfer time instead:
+        # O/w = 18.2 > P needs P < 18.2 while O/(P*w) <= 1 -> P >= 18.2.
+        # Those conflict for a single transfer, so stage-2 transfer
+        # violations surface via interference: two transfers sharing a
+        # route, each individually fine.
+        net = uniform_network(2, bandwidth=1_000.0)
+        tight = build_string(0, 2, 2, period=20.0, t=1.0, u=0.1,
+                             out=12_000.0, latency=15.0)
+        loose = build_string(1, 2, 2, period=20.0, t=1.0, u=0.1,
+                             out=12_000.0, latency=1e6)
+        model = SystemModel(net, [tight, loose])
+        alloc = Allocation(model, {0: [0, 1], 1: [0, 1]})
+        report = analyze(alloc)
+        # loose transfer estimate: 12 + 20 * (12/20) = 24 > 20
+        assert any(
+            v.kind == "throughput-tran" for v in report.violations
+        )
+
+
+class TestStage2Latency:
+    def test_latency_violation(self):
+        model = single_string_model(
+            n_apps=3, period=100.0, t=5.0, u=0.5, latency=14.0,
+        )
+        # path: 5*3 + transfers(~0) = 15 > 14
+        alloc = Allocation(model, {0: [0, 0, 0]})
+        report = analyze(alloc)
+        assert not report.stage2_ok
+        assert any(v.kind == "latency" for v in report.violations)
+        assert report.latencies[0] == pytest.approx(15.0, rel=1e-3)
+
+    def test_latency_includes_waiting(self):
+        net = uniform_network(2)
+        tight = build_string(0, 1, 2, period=10.0, t=4.0, u=1.0,
+                             latency=5.0)
+        # loose alone: latency 4+4=8 <= 8.9; with waiting 2*(P*load)=
+        # 2 * 20*(4/10) = 16 -> 24 > 8.9
+        loose = build_string(1, 2, 2, period=20.0, t=4.0, u=1.0,
+                             latency=8.9)
+        model = SystemModel(net, [tight, loose])
+        ok = Allocation(model, {1: [0, 0]})
+        assert analyze(ok).feasible
+        shared = Allocation(model, {0: [0], 1: [0, 0]})
+        report = analyze(shared)
+        assert any(v.kind == "latency" for v in report.violations)
+
+
+class TestReport:
+    def test_summary_feasible(self, small_allocation):
+        assert "feasible" in analyze(small_allocation).summary()
+
+    def test_summary_lists_violations(self):
+        model = single_string_model(
+            n_apps=1, period=5.0, t=6.0, u=1.0, latency=1.0
+        )
+        alloc = Allocation(model, {0: [0]})
+        report = analyze(alloc)
+        text = report.summary()
+        assert "infeasible" in text
+        assert "violations" in text
+
+    def test_empty_allocation_feasible(self, small_model):
+        assert is_feasible(Allocation.empty(small_model))
+
+    def test_latencies_reported_per_string(self, small_allocation):
+        report = analyze(small_allocation)
+        assert set(report.latencies) == {0, 1, 2, 3}
+
+    def test_tolerance_respected(self):
+        # Load exactly 1.0 must pass (boundary is feasible).
+        model = single_string_model(
+            n_apps=1, period=10.0, t=10.0, u=1.0, latency=1e6
+        )
+        alloc = Allocation(model, {0: [0]})
+        report = analyze(alloc)
+        assert report.stage1_ok
+        assert report.feasible

@@ -1,0 +1,153 @@
+"""Unit + property tests for the alternative crossover operators
+(repro.genitor.operators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genitor import (
+    CROSSOVER_OPERATORS,
+    GenitorConfig,
+    get_crossover,
+    order_crossover,
+    pmx_crossover,
+)
+
+
+@st.composite
+def parents_and_slice(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    p1 = tuple(int(x) for x in rng.permutation(n))
+    p2 = tuple(int(x) for x in rng.permutation(n))
+    lo = draw(st.integers(min_value=0, max_value=n - 1))
+    hi = draw(st.integers(min_value=lo + 1, max_value=n))
+    return p1, p2, (lo, hi)
+
+
+class TestOrderCrossover:
+    def test_textbook_example(self):
+        # classic OX example
+        p1 = (1, 2, 3, 4, 5, 6, 7, 8)
+        p2 = (8, 6, 4, 2, 7, 5, 3, 1)
+        rng = np.random.default_rng(0)
+        c1, c2 = order_crossover(p1, p2, rng, slice_=(2, 5))
+        # c1 keeps p1[2:5] = (3, 4, 5); rest from p2 in order: 8,6,2,7,1
+        assert c1 == (8, 6, 3, 4, 5, 2, 7, 1)
+        # c2 keeps p2[2:5] = (4, 2, 7); rest from p1 in order: 1,3,5,6,8
+        assert c2 == (1, 3, 4, 2, 7, 5, 6, 8)
+
+    @given(parents_and_slice())
+    @settings(max_examples=200, deadline=None)
+    def test_closure(self, case):
+        p1, p2, sl = case
+        rng = np.random.default_rng(0)
+        c1, c2 = order_crossover(p1, p2, rng, slice_=sl)
+        assert sorted(c1) == sorted(p1)
+        assert sorted(c2) == sorted(p2)
+
+    @given(parents_and_slice())
+    @settings(max_examples=100, deadline=None)
+    def test_slice_preserved(self, case):
+        p1, p2, (lo, hi) = case
+        rng = np.random.default_rng(0)
+        c1, c2 = order_crossover(p1, p2, rng, slice_=(lo, hi))
+        assert c1[lo:hi] == p1[lo:hi]
+        assert c2[lo:hi] == p2[lo:hi]
+
+    def test_identical_parents_fixed_point(self):
+        p = (3, 1, 0, 2)
+        rng = np.random.default_rng(0)
+        c1, c2 = order_crossover(p, p, rng)
+        assert c1 == p and c2 == p
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            order_crossover((0, 1), (0, 1, 2), np.random.default_rng(0))
+
+
+class TestPmxCrossover:
+    def test_textbook_example(self):
+        # Goldberg & Lingle's canonical example
+        p1 = (9, 8, 4, 5, 6, 7, 1, 3, 2, 10)
+        p2 = (8, 7, 1, 2, 3, 10, 9, 5, 4, 6)
+        rng = np.random.default_rng(0)
+        c1, _c2 = pmx_crossover(p1, p2, rng, slice_=(3, 6))
+        # c1 keeps p1[3:6] = (5, 6, 7); mapping 5<->2, 6<->3, 7<->10
+        assert c1 == (8, 10, 1, 5, 6, 7, 9, 2, 4, 3)
+
+    @given(parents_and_slice())
+    @settings(max_examples=200, deadline=None)
+    def test_closure(self, case):
+        p1, p2, sl = case
+        rng = np.random.default_rng(0)
+        c1, c2 = pmx_crossover(p1, p2, rng, slice_=sl)
+        assert sorted(c1) == sorted(p1)
+        assert sorted(c2) == sorted(p2)
+
+    @given(parents_and_slice())
+    @settings(max_examples=100, deadline=None)
+    def test_slice_preserved(self, case):
+        p1, p2, (lo, hi) = case
+        rng = np.random.default_rng(0)
+        c1, c2 = pmx_crossover(p1, p2, rng, slice_=(lo, hi))
+        assert c1[lo:hi] == p1[lo:hi]
+        assert c2[lo:hi] == p2[lo:hi]
+
+    @given(parents_and_slice())
+    @settings(max_examples=100, deadline=None)
+    def test_non_conflicting_positions_inherited(self, case):
+        """Outside the slice, positions whose other-parent gene is not in
+        the slice inherit it verbatim."""
+        p1, p2, (lo, hi) = case
+        rng = np.random.default_rng(0)
+        c1, _ = pmx_crossover(p1, p2, rng, slice_=(lo, hi))
+        kept = set(p1[lo:hi])
+        for i in list(range(lo)) + list(range(hi, len(p1))):
+            if p2[i] not in kept:
+                assert c1[i] == p2[i]
+
+    def test_identical_parents_fixed_point(self):
+        p = (3, 1, 0, 2)
+        rng = np.random.default_rng(0)
+        c1, c2 = pmx_crossover(p, p, rng)
+        assert c1 == p and c2 == p
+
+
+class TestRegistryAndEngine:
+    def test_registry_contents(self):
+        assert set(CROSSOVER_OPERATORS) == {"positional", "ox", "pmx"}
+
+    def test_get_crossover_unknown(self):
+        with pytest.raises(KeyError):
+            get_crossover("uniform")
+
+    def test_config_validates_name(self):
+        with pytest.raises(KeyError):
+            GenitorConfig(crossover="nope")
+
+    @pytest.mark.parametrize("name", ["positional", "ox", "pmx"])
+    def test_engine_runs_with_each_operator(self, name):
+        from repro.core import Fitness
+        from repro.genitor import GenitorEngine, StoppingRules
+
+        config = GenitorConfig(
+            population_size=8,
+            crossover=name,
+            rules=StoppingRules(max_iterations=40, max_stale_iterations=20),
+        )
+
+        def fitness(ch):
+            return Fitness(
+                worth=sum(1.0 for a, b in zip(ch, ch[1:]) if a < b),
+                slackness=0.0,
+            )
+
+        engine = GenitorEngine(
+            genes=range(6), fitness_fn=fitness, config=config,
+            rng=np.random.default_rng(0),
+        )
+        best = engine.run()
+        assert sorted(best.chromosome) == list(range(6))

@@ -1,0 +1,63 @@
+"""Unit tests for GENITOR bias selection (repro.genitor.bias)."""
+
+import numpy as np
+import pytest
+
+from repro.genitor import biased_rank, selection_probabilities
+
+
+class TestBiasedRank:
+    def test_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            assert 0 <= biased_rank(10, 1.6, rng) < 10
+
+    def test_bias_one_uniform(self):
+        rng = np.random.default_rng(1)
+        counts = np.bincount(
+            [biased_rank(4, 1.0, rng) for _ in range(20_000)], minlength=4
+        )
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 0.25, atol=0.02)
+
+    def test_empirical_matches_exact_distribution(self):
+        n, bias = 8, 1.6
+        rng = np.random.default_rng(2)
+        counts = np.bincount(
+            [biased_rank(n, bias, rng) for _ in range(40_000)], minlength=n
+        )
+        freq = counts / counts.sum()
+        expected = selection_probabilities(n, bias)
+        assert np.allclose(freq, expected, atol=0.01)
+
+    def test_top_vs_median_ratio_is_bias(self):
+        """The paper's definition: top rank is `bias`x more likely than
+        the median (continuous-density interpretation)."""
+        n, bias = 1_000, 1.5
+        p = selection_probabilities(n, bias)
+        assert p[0] / p[n // 2] == pytest.approx(bias, rel=0.01)
+
+    def test_monotone_decreasing(self):
+        p = selection_probabilities(20, 1.8)
+        assert np.all(np.diff(p) < 0)
+
+    def test_probabilities_sum_to_one(self):
+        for bias in (1.0, 1.3, 1.6, 2.0):
+            assert selection_probabilities(13, bias).sum() == pytest.approx(1.0)
+
+    def test_invalid_bias(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            biased_rank(5, 0.9, rng)
+        with pytest.raises(ValueError):
+            biased_rank(5, 2.1, rng)
+        with pytest.raises(ValueError):
+            selection_probabilities(5, 2.5)
+
+    def test_empty_population(self):
+        with pytest.raises(ValueError):
+            biased_rank(0, 1.5, np.random.default_rng(0))
+
+    def test_single_member(self):
+        rng = np.random.default_rng(3)
+        assert biased_rank(1, 1.6, rng) == 0

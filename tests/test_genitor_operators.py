@@ -1,0 +1,135 @@
+"""Unit + property tests for GENITOR permutation operators
+(repro.genitor.crossover)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genitor import positional_crossover, random_cut, swap_mutation
+
+
+@st.composite
+def permutation_pairs(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    p1 = tuple(int(x) for x in rng.permutation(n))
+    p2 = tuple(int(x) for x in rng.permutation(n))
+    cut = draw(st.integers(min_value=0, max_value=n))
+    return p1, p2, cut
+
+
+class TestCrossoverExamples:
+    def test_paper_semantics(self):
+        """Top part keeps membership, takes the other parent's relative
+        order; bottom part is untouched."""
+        p1 = (3, 1, 4, 0, 2)
+        p2 = (0, 1, 2, 3, 4)
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p1, p2, rng, cut=3)
+        # p1 top {3,1,4} ordered by p2 positions -> (1, 3, 4)
+        assert c1 == (1, 3, 4, 0, 2)
+        # p2 top {0,1,2} ordered by p1 positions -> (1, 0, 2)
+        assert c2 == (1, 0, 2, 3, 4)
+
+    def test_cut_zero_is_identity(self):
+        p1, p2 = (2, 0, 1), (0, 1, 2)
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p1, p2, rng, cut=0)
+        assert c1 == p1 and c2 == p2
+
+    def test_full_cut_reorders_whole_chromosome(self):
+        p1, p2 = (2, 0, 1), (0, 1, 2)
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p1, p2, rng, cut=3)
+        assert c1 == p2  # p1 fully reordered by p2
+        assert c2 == p1
+
+    def test_identical_parents_fixed_point(self):
+        p = (4, 2, 0, 1, 3)
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p, p, rng)
+        assert c1 == p and c2 == p
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            positional_crossover((0, 1), (0, 1, 2), np.random.default_rng(0))
+
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(ValueError):
+            positional_crossover(
+                (0, 1), (1, 0), np.random.default_rng(0), cut=5
+            )
+
+
+class TestCrossoverProperties:
+    @given(permutation_pairs())
+    @settings(max_examples=200, deadline=None)
+    def test_closure_over_permutations(self, case):
+        """Offspring are always permutations of the same gene set."""
+        p1, p2, cut = case
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p1, p2, rng, cut=cut)
+        assert sorted(c1) == sorted(p1)
+        assert sorted(c2) == sorted(p2)
+
+    @given(permutation_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_bottom_part_untouched(self, case):
+        p1, p2, cut = case
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p1, p2, rng, cut=cut)
+        assert c1[cut:] == p1[cut:]
+        assert c2[cut:] == p2[cut:]
+
+    @given(permutation_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_top_membership_preserved(self, case):
+        p1, p2, cut = case
+        rng = np.random.default_rng(0)
+        c1, c2 = positional_crossover(p1, p2, rng, cut=cut)
+        assert set(c1[:cut]) == set(p1[:cut])
+        assert set(c2[:cut]) == set(p2[:cut])
+
+
+class TestMutation:
+    @given(st.integers(min_value=2, max_value=40),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_swap_is_permutation_and_differs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        chromosome = tuple(int(x) for x in rng.permutation(n))
+        mutant = swap_mutation(chromosome, rng)
+        assert sorted(mutant) == sorted(chromosome)
+        assert mutant != chromosome  # distinct positions guaranteed
+
+    def test_exactly_two_positions_change(self):
+        rng = np.random.default_rng(7)
+        chromosome = tuple(range(10))
+        mutant = swap_mutation(chromosome, rng)
+        diffs = [i for i in range(10) if mutant[i] != chromosome[i]]
+        assert len(diffs) == 2
+        i, j = diffs
+        assert mutant[i] == chromosome[j] and mutant[j] == chromosome[i]
+
+    def test_single_gene_noop(self):
+        rng = np.random.default_rng(0)
+        assert swap_mutation((0,), rng) == (0,)
+
+    def test_empty_noop(self):
+        rng = np.random.default_rng(0)
+        assert swap_mutation((), rng) == ()
+
+
+class TestRandomCut:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        cuts = {random_cut(10, rng) for _ in range(500)}
+        assert cuts == set(range(1, 10))
+
+    def test_degenerate_sizes(self):
+        rng = np.random.default_rng(0)
+        assert random_cut(1, rng) == 1
+        assert random_cut(0, rng) == 0
+        assert random_cut(2, rng) == 1

@@ -1,0 +1,89 @@
+"""Unit tests for the GENITOR population (repro.genitor.population)."""
+
+import pytest
+
+from repro.core import Fitness
+from repro.genitor import Individual, Population
+
+
+def ind(worth, slack=0.0, chromosome=(0, 1, 2)):
+    return Individual(chromosome, Fitness(worth, slack))
+
+
+class TestSorting:
+    def test_sorted_best_first(self):
+        pop = Population([ind(1), ind(5), ind(3)])
+        assert [i.fitness.worth for i in pop] == [5, 3, 1]
+
+    def test_slackness_tie_break(self):
+        pop = Population([ind(5, 0.1), ind(5, 0.9)])
+        assert pop.best.fitness.slackness == 0.9
+
+    def test_best_worst(self):
+        pop = Population([ind(1), ind(9), ind(4)])
+        assert pop.best.fitness.worth == 9
+        assert pop.worst.fitness.worth == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Population([])
+
+
+class TestConsider:
+    def test_better_offspring_inserted(self):
+        pop = Population([ind(5), ind(3), ind(1)])
+        assert pop.consider(ind(4))
+        assert [i.fitness.worth for i in pop] == [5, 4, 3]
+        assert len(pop) == 3  # capacity preserved
+
+    def test_worse_offspring_discarded(self):
+        pop = Population([ind(5), ind(3)])
+        assert not pop.consider(ind(2))
+        assert [i.fitness.worth for i in pop] == [5, 3]
+
+    def test_equal_to_worst_discarded(self):
+        """GENITOR requires strictly better than the worst member."""
+        pop = Population([ind(5), ind(3)])
+        assert not pop.consider(ind(3))
+
+    def test_elitism_best_never_leaves(self):
+        pop = Population([ind(9), ind(1), ind(1)])
+        for _ in range(50):
+            pop.consider(ind(2))
+        assert pop.best.fitness.worth == 9
+
+    def test_equal_fitness_inserted_after_elite(self):
+        """An offspring tying the elite must not displace it."""
+        elite = ind(9, chromosome=(0, 1, 2))
+        pop = Population([elite, ind(1), ind(0)])
+        clone = ind(9, chromosome=(2, 1, 0))
+        assert pop.consider(clone)
+        assert pop.best is elite
+
+    def test_new_best_becomes_elite(self):
+        pop = Population([ind(5), ind(3)])
+        champion = ind(10)
+        pop.consider(champion)
+        assert pop.best is champion
+
+
+class TestConvergence:
+    def test_converged_when_identical(self):
+        pop = Population([ind(5, chromosome=(0, 1))] * 3)
+        assert pop.converged()
+
+    def test_not_converged(self):
+        pop = Population(
+            [ind(5, chromosome=(0, 1)), ind(5, chromosome=(1, 0))]
+        )
+        assert not pop.converged()
+
+    def test_fitness_spread(self):
+        pop = Population([ind(9, 0.2), ind(1, 0.8)])
+        best, worst = pop.fitness_spread()
+        assert best.worth == 9 and worst.worth == 1
+
+    def test_indexing_by_rank(self):
+        pop = Population([ind(1), ind(5), ind(3)])
+        assert pop[0].fitness.worth == 5
+        assert pop[2].fitness.worth == 1

@@ -1,0 +1,122 @@
+"""Unit tests for heterogeneity regimes (repro.workload.heterogeneity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelError
+from repro.workload import (
+    HETEROGENEITY_MODELS,
+    SCENARIO_1,
+    consistency_index,
+    generate_heterogeneous_model,
+    sample_comp_times,
+)
+
+
+class TestSampleCompTimes:
+    @pytest.mark.parametrize("regime", HETEROGENEITY_MODELS)
+    def test_within_range(self, regime):
+        rng = np.random.default_rng(0)
+        ct = sample_comp_times(8, 6, (1.0, 10.0), regime, rng)
+        assert ct.shape == (8, 6)
+        assert np.all(ct >= 1.0 - 1e-12)
+        assert np.all(ct <= 10.0 + 1e-12)
+
+    def test_consistent_rank_preserving(self):
+        rng = np.random.default_rng(1)
+        ct = sample_comp_times(10, 5, (1.0, 10.0), "consistent", rng)
+        # machine columns must order applications identically
+        ranks = np.argsort(ct, axis=0)
+        for j in range(1, 5):
+            np.testing.assert_array_equal(ranks[:, 0], ranks[:, j])
+
+    def test_inconsistent_not_rank_preserving(self):
+        rng = np.random.default_rng(2)
+        ct = sample_comp_times(10, 5, (1.0, 10.0), "inconsistent", rng)
+        ranks = np.argsort(ct, axis=0)
+        assert any(
+            not np.array_equal(ranks[:, 0], ranks[:, j])
+            for j in range(1, 5)
+        )
+
+    def test_unknown_regime(self):
+        with pytest.raises(ModelError):
+            sample_comp_times(
+                3, 3, (1.0, 10.0), "chaotic", np.random.default_rng(0)
+            )
+
+    def test_semi_noise_bounds(self):
+        rng = np.random.default_rng(3)
+        tight = sample_comp_times(
+            20, 4, (1.0, 10.0), "semi", rng, semi_noise=0.01
+        )
+        # with tiny noise the matrix is almost rank-consistent
+        from scipy import stats
+
+        rho = stats.spearmanr(tight[:, 0], tight[:, 1]).statistic
+        assert rho > 0.9
+
+
+class TestGenerateHeterogeneousModel:
+    @pytest.fixture
+    def params(self):
+        return SCENARIO_1.scaled(n_strings=12, n_machines=5)
+
+    def test_inconsistent_matches_plain_generator(self, params):
+        from repro.workload import generate_model
+
+        a = generate_heterogeneous_model(params, "inconsistent", seed=4)
+        b = generate_model(params, seed=4)
+        for sa, sb in zip(a.strings, b.strings):
+            np.testing.assert_array_equal(sa.comp_times, sb.comp_times)
+
+    @pytest.mark.parametrize("regime", HETEROGENEITY_MODELS)
+    def test_structurally_valid(self, params, regime):
+        model = generate_heterogeneous_model(params, regime, seed=5)
+        assert model.n_strings == 12
+        for s in model.strings:
+            assert np.all(s.comp_times >= 1.0 - 1e-12)
+            assert np.all(s.comp_times <= 10.0 + 1e-12)
+            assert s.period > 0 and s.max_latency > 0
+
+    def test_mu_ranges_preserved(self, params):
+        """Regime resampling must keep the Table-1 µ scaling."""
+        model = generate_heterogeneous_model(params, "consistent", seed=6)
+        for s in model.strings:
+            nominal = float(
+                s.avg_comp_times.sum()
+                + (s.output_sizes * model.network.avg_inv_bandwidth).sum()
+            )
+            mu = s.max_latency / nominal
+            assert 4.0 - 1e-9 <= mu <= 6.0 + 1e-9
+
+    def test_deterministic(self, params):
+        a = generate_heterogeneous_model(params, "semi", seed=7)
+        b = generate_heterogeneous_model(params, "semi", seed=7)
+        for sa, sb in zip(a.strings, b.strings):
+            np.testing.assert_array_equal(sa.comp_times, sb.comp_times)
+
+
+class TestConsistencyIndex:
+    def test_regime_ordering(self):
+        params = SCENARIO_1.scaled(n_strings=15, n_machines=5)
+        idx = {
+            regime: consistency_index(
+                generate_heterogeneous_model(params, regime, seed=8)
+            )
+            for regime in HETEROGENEITY_MODELS
+        }
+        assert idx["consistent"] == pytest.approx(1.0)
+        assert idx["inconsistent"] < 0.3
+        assert idx["inconsistent"] < idx["semi"] < idx["consistent"]
+
+
+class TestAblation:
+    def test_runs(self):
+        from repro.experiments import ExperimentScale, heterogeneity_ablation
+
+        tiny = ExperimentScale("t", 2, 0.25, 8, 10, 5, 1)
+        out = heterogeneity_ablation(scale=tiny)
+        assert set(out["results"]) == set(HETEROGENEITY_MODELS)
+        assert out["indices"]["consistent"] == pytest.approx(1.0)
+        assert "regime" in out["table"]

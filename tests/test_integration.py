@@ -1,0 +1,189 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a complete user workflow spanning several
+subpackages, the way the examples and the CLI do — catching interface
+drift that unit tests cannot see.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, analyze, evaluate
+from repro.des import compare_to_estimates, simulate_allocation
+from repro.dynamic import (
+    RepairPolicy,
+    ShedPolicy,
+    simulate_drift,
+    uniform_ramp,
+)
+from repro.genitor import GenitorConfig, StoppingRules
+from repro.heuristics import (
+    local_search,
+    most_worth_first,
+    seeded_psg,
+    tightest_first,
+)
+from repro.io_utils import (
+    load_allocation,
+    load_model,
+    save_allocation,
+    save_model,
+)
+from repro.lp import upper_bound
+from repro.robustness import max_absorbable_surge
+from repro.workload import SCENARIO_1, SCENARIO_3, generate_model
+
+GA = GenitorConfig(
+    population_size=10,
+    rules=StoppingRules(max_iterations=30, max_stale_iterations=15),
+)
+
+
+class TestPlanPersistEvaluate:
+    """generate → allocate → persist → reload → evaluate → bound."""
+
+    def test_full_cycle(self, tmp_path):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=15, n_machines=4), seed=50
+        )
+        result = most_worth_first(model)
+
+        model_path = tmp_path / "model.json"
+        alloc_path = tmp_path / "alloc.json"
+        save_model(model, model_path)
+        save_allocation(result.allocation, alloc_path)
+
+        reloaded_model = load_model(model_path)
+        reloaded_alloc = load_allocation(alloc_path, reloaded_model)
+
+        # metrics identical across the round trip
+        assert evaluate(reloaded_alloc).worth == result.fitness.worth
+        report = analyze(reloaded_alloc)
+        assert report.feasible
+
+        ub = upper_bound(reloaded_model, objective="partial")
+        assert result.fitness.worth <= ub.value + 1e-6
+
+
+class TestPlanSimulateValidate:
+    """allocate → discrete-event execution → QoS verified at runtime."""
+
+    def test_simulated_latencies_meet_bounds(self):
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=6, n_machines=4), seed=51
+        )
+        result = tightest_first(model)
+        assert result.stats["complete"]
+        comparison = compare_to_estimates(
+            result.allocation, n_datasets=40, skip_datasets=4
+        )
+        for k, (est, meas) in comparison.latency.items():
+            bound = model.strings[k].max_latency
+            # the analytic estimate respects the bound (feasibility) and
+            # the simulated mean respects the estimate (conservatism)
+            assert est <= bound * (1 + 1e-9)
+            assert meas <= est * 1.05
+
+    def test_all_datasets_complete_under_feasible_plan(self):
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=5, n_machines=4), seed=52
+        )
+        result = most_worth_first(model)
+        trace = simulate_allocation(result.allocation, n_datasets=10)
+        for k in result.allocation:
+            assert trace.completed_datasets(k) == 10
+
+
+class TestPlanImproveStress:
+    """allocate → local search → surge robustness → drift execution."""
+
+    def test_improvement_then_surge(self):
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=8, n_machines=4), seed=53
+        )
+        base = most_worth_first(model)
+        improved = local_search(model, base)
+        assert improved.fitness >= base.fitness
+
+        profile = max_absorbable_surge(improved.allocation)
+        assert profile.max_delta > 0
+        # the allocation survives exactly up to its measured limit
+        trajectory = uniform_ramp(
+            model.n_strings, 6, peak_delta=profile.max_delta * 0.95
+        )
+        run = simulate_drift(
+            model, improved, trajectory, ShedPolicy()
+        )
+        assert run.n_interventions == 0
+
+    def test_drift_beyond_limit_triggers_policy(self):
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=8, n_machines=4), seed=53
+        )
+        base = most_worth_first(model)
+        profile = max_absorbable_surge(base.allocation)
+        trajectory = uniform_ramp(
+            model.n_strings, 6, peak_delta=profile.max_delta * 2 + 0.5
+        )
+        run = simulate_drift(model, base, trajectory, RepairPolicy())
+        assert run.n_interventions > 0
+
+
+class TestGaAgainstBound:
+    """seeded GA → never above LP bound; improves on its seeds."""
+
+    def test_ga_cycle(self):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=15, n_machines=4), seed=54
+        )
+        mwf = most_worth_first(model)
+        ga = seeded_psg(model, config=GA, rng=0)
+        ub = upper_bound(model, objective="partial")
+        assert mwf.fitness <= ga.fitness
+        assert ga.fitness.worth <= ub.value + 1e-6
+        assert analyze(ga.allocation).feasible
+
+
+class TestCliJsonInterop:
+    """Objects written by the API load through the CLI and vice versa."""
+
+    def test_cli_reads_api_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=5, n_machines=3), seed=55
+        )
+        result = most_worth_first(model)
+        model_path = tmp_path / "m.json"
+        alloc_path = tmp_path / "a.json"
+        save_model(model, model_path)
+        save_allocation(result.allocation, alloc_path)
+
+        rc = main([
+            "evaluate", "--model", str(model_path),
+            "--allocation", str(alloc_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"total worth: {result.fitness.worth:g}" in out
+
+    def test_api_reads_cli_files(self, tmp_path):
+        from repro.cli import main
+
+        model_path = tmp_path / "m.json"
+        alloc_path = tmp_path / "a.json"
+        assert main([
+            "generate", "--scenario", "3", "--seed", "56",
+            "--strings", "5", "--machines", "3", "-o", str(model_path),
+        ]) == 0
+        assert main([
+            "allocate", "--model", str(model_path),
+            "--heuristic", "mwf", "-o", str(alloc_path),
+        ]) == 0
+        model = load_model(model_path)
+        alloc = load_allocation(alloc_path, model)
+        assert analyze(alloc).feasible
+        # CLI allocation equals a fresh API run (determinism)
+        assert alloc == most_worth_first(model).allocation

@@ -1,0 +1,106 @@
+"""Unit tests for the reinsertion local search
+(repro.heuristics.local_search)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, SystemModel, analyze
+from repro.heuristics import (
+    HeuristicResult,
+    local_search,
+    most_worth_first,
+    mwf_with_local_search,
+    tightest_first,
+)
+from repro.workload import SCENARIO_1, SCENARIO_3, generate_model
+
+from conftest import build_string, uniform_network
+
+
+class TestNeverDegrades:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_fitness_monotone_scenario1(self, seed):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=30, n_machines=4), seed=seed
+        )
+        initial = most_worth_first(model)
+        improved = local_search(model, initial)
+        assert improved.fitness >= initial.fitness
+        assert analyze(improved.allocation).feasible
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fitness_monotone_from_tf(self, seed):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=25, n_machines=4), seed=seed
+        )
+        initial = tightest_first(model)
+        improved = local_search(model, initial)
+        assert improved.fitness >= initial.fitness
+        assert improved.name == "tf+ls"
+
+
+class TestRepair:
+    def test_recovers_string_blocked_by_bad_placement(self):
+        """A deliberately bad initial placement wastes capacity; the
+        search reinserts and then repairs in the skipped string."""
+        net = uniform_network(2)
+        strings = [
+            build_string(k, 1, 2, period=10.0, t=4.0, u=1.0, worth=10,
+                         latency=1e6)
+            for k in range(4)
+        ]
+        model = SystemModel(net, strings)
+        # pack 0 and 1 on machine 0 (0.8), leaving machine 1 with 0.4
+        # headroom after string 2; string 3 then fails on both machines.
+        bad = Allocation(model, {0: [0], 1: [0], 2: [1]})
+        initial = HeuristicResult(
+            name="bad",
+            allocation=bad,
+            fitness=__import__("repro").core.evaluate(bad),
+            order=(0, 1, 2, 3),
+            mapped_ids=(0, 1, 2),
+        )
+        improved = local_search(model, initial)
+        # all four strings fit when spread 2+2
+        assert improved.fitness.worth == 40.0
+        assert improved.n_mapped == 4
+
+    def test_stats_recorded(self):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=20, n_machines=4), seed=9
+        )
+        res = mwf_with_local_search(model)
+        assert "moves" in res.stats and "rounds" in res.stats
+        assert res.stats["rounds"] >= 1
+        assert res.stats["initial_fitness"] is not None
+
+
+class TestTermination:
+    def test_max_rounds_respected(self):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=25, n_machines=4), seed=2
+        )
+        res = mwf_with_local_search(model, max_rounds=1)
+        assert res.stats["rounds"] == 1
+
+    def test_stops_when_no_improvement(self, scenario3_small):
+        res = mwf_with_local_search(scenario3_small, max_rounds=50)
+        # must converge long before 50 rounds on a tiny model
+        assert res.stats["rounds"] < 50
+
+    def test_complete_allocation_slackness_improves_or_ties(
+        self, scenario3_small
+    ):
+        initial = most_worth_first(scenario3_small)
+        improved = local_search(scenario3_small, initial)
+        assert improved.fitness.worth == initial.fitness.worth
+        assert improved.fitness.slackness >= initial.fitness.slackness
+
+
+class TestRegistry:
+    def test_registered(self, scenario3_small):
+        from repro.heuristics import get_heuristic
+
+        res = get_heuristic("mwf+ls")(scenario3_small)
+        assert res.name == "mwf+ls"
+        assert analyze(res.allocation).feasible

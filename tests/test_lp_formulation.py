@@ -1,0 +1,144 @@
+"""Unit tests for the LP formulation (repro.lp.formulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelError, SystemModel
+from repro.lp import build_upper_bound_lp
+from repro.lp.formulation import VariableIndex
+
+from conftest import build_string, uniform_network
+
+
+@pytest.fixture
+def tiny_model():
+    net = uniform_network(2, bandwidth=1_000.0)
+    strings = [
+        build_string(0, 2, 2, period=10.0, t=2.0, u=0.5, out=500.0,
+                     worth=10, latency=100.0),
+        build_string(1, 1, 2, period=10.0, t=4.0, u=1.0, worth=100,
+                     latency=100.0),
+    ]
+    return SystemModel(net, strings)
+
+
+class TestVariableIndex:
+    def test_counts(self, tiny_model):
+        idx = VariableIndex(tiny_model, with_slack_var=False)
+        # x: (2 + 1) apps * 2 machines = 6 ; y: 1 transfer * 4 routes = 4
+        assert idx.n_vars == 10
+        assert idx.lambda_index is None
+
+    def test_lambda_var(self, tiny_model):
+        idx = VariableIndex(tiny_model, with_slack_var=True)
+        assert idx.n_vars == 11
+        assert idx.lambda_index == 10
+
+    def test_distinct_columns(self, tiny_model):
+        idx = VariableIndex(tiny_model, with_slack_var=False)
+        cols = set()
+        for k, s in enumerate(tiny_model.strings):
+            for i in range(s.n_apps):
+                for j in range(2):
+                    cols.add(idx.x(i, k, j))
+            for i in range(s.n_apps - 1):
+                for j1 in range(2):
+                    for j2 in range(2):
+                        cols.add(idx.y(i, k, j1, j2))
+        assert cols == set(range(10))
+
+    def test_blocks_consistent(self, tiny_model):
+        idx = VariableIndex(tiny_model, with_slack_var=False)
+        block = idx.x_block(1, 0)
+        assert block == slice(idx.x(1, 0, 0), idx.x(1, 0, 1) + 1)
+        yblock = idx.y_block(0, 0)
+        assert yblock.stop - yblock.start == 4
+
+
+class TestBuildPartial:
+    def test_dimensions(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="partial")
+        assert lp.A_eq.shape[1] == lp.n_vars
+        # eq rows: (b) 1 + (d) 2 + (e) 2 = 5
+        assert lp.A_eq.shape[0] == 5
+        # ub rows: (a) 2 + (f) 2 + (g) 2 = 6
+        assert lp.A_ub.shape[0] == 6
+
+    def test_objective_worth_on_first_app_only(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="partial")
+        idx = lp.index
+        assert lp.c[idx.x(0, 0, 0)] == 10
+        assert lp.c[idx.x(1, 0, 0)] == 0  # not length-weighted
+        assert lp.c[idx.x(0, 1, 1)] == 100
+
+    def test_weight_by_length(self, tiny_model):
+        lp = build_upper_bound_lp(
+            tiny_model, objective="partial", weight_by_length=True
+        )
+        idx = lp.index
+        assert lp.c[idx.x(0, 0, 0)] == 10
+        assert lp.c[idx.x(1, 0, 0)] == 10
+
+    def test_bounds_unit_box(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="partial")
+        assert all(b == (0.0, 1.0) for b in lp.bounds)
+
+    def test_machine_capacity_coefficients(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="partial")
+        idx = lp.index
+        A = lp.A_ub.toarray()
+        # (a) rows come first (2 of them), then (f) rows per machine.
+        f_row_0 = A[2]
+        # string 0 app 0 on machine 0: t*u/P = 2*0.5/10 = 0.1
+        assert f_row_0[idx.x(0, 0, 0)] == pytest.approx(0.1)
+        # string 1 app 0 on machine 0: 4*1/10 = 0.4
+        assert f_row_0[idx.x(0, 1, 0)] == pytest.approx(0.4)
+
+    def test_route_capacity_coefficients(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="partial")
+        idx = lp.index
+        A = lp.A_ub.toarray()
+        # (g) rows: last 2 (routes 0->1, 1->0)
+        g_row = A[4]
+        # transfer: O/(P*w) = 500/(10*1000) = 0.05
+        assert g_row[idx.y(0, 0, 0, 1)] == pytest.approx(0.05)
+        # intra-machine y columns never appear in capacity rows
+        assert A[:, idx.y(0, 0, 0, 0)].sum() != pytest.approx(0.05)
+
+
+class TestBuildComplete:
+    def test_lambda_in_capacity_rows(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="complete")
+        idx = lp.index
+        A = lp.A_ub.toarray()
+        lam = idx.lambda_index
+        # every capacity row carries +1 lambda; (a) rows are equalities now
+        assert np.all(A[:, lam] == 1.0)
+        assert lp.c[lam] == 1.0
+
+    def test_strings_fully_mapped(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="complete")
+        # (a)-equality rows add 2 to the eq system: 5 + 2 = 7
+        assert lp.A_eq.shape[0] == 7
+        assert lp.A_ub.shape[0] == 4  # only (f) + (g)
+
+    def test_lambda_bounds(self, tiny_model):
+        lp = build_upper_bound_lp(tiny_model, objective="complete")
+        assert lp.bounds[-1] == (None, 1.0)
+
+
+class TestValidation:
+    def test_unknown_objective(self, tiny_model):
+        with pytest.raises(ModelError):
+            build_upper_bound_lp(tiny_model, objective="both")
+
+    def test_flow_conservation_rows(self, tiny_model):
+        """(d): x[i,k,j1] = sum_j2 y[i,k,j1,j2]."""
+        lp = build_upper_bound_lp(tiny_model, objective="partial")
+        idx = lp.index
+        A = lp.A_eq.toarray()
+        # find the (d) row for i=0, k=0, j1=0: row 1 (after the single (b) row)
+        row = A[1]
+        assert row[idx.x(0, 0, 0)] == -1.0
+        assert row[idx.y(0, 0, 0, 0)] == 1.0
+        assert row[idx.y(0, 0, 0, 1)] == 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for the performance goal (repro.core.metrics, eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Allocation,
+    Fitness,
+    UtilizationSnapshot,
+    evaluate,
+    system_slackness,
+)
+
+
+class TestSlackness:
+    def test_empty_system(self):
+        snap = UtilizationSnapshot(
+            machine=np.zeros(3), route=np.zeros((3, 3))
+        )
+        assert system_slackness(snap) == 1.0
+
+    def test_machine_binds(self):
+        snap = UtilizationSnapshot(
+            machine=np.array([0.2, 0.7]), route=np.zeros((2, 2))
+        )
+        assert system_slackness(snap) == pytest.approx(0.3)
+
+    def test_route_binds(self):
+        route = np.zeros((2, 2))
+        route[1, 0] = 0.9
+        snap = UtilizationSnapshot(
+            machine=np.array([0.2, 0.1]), route=route
+        )
+        assert system_slackness(snap) == pytest.approx(0.1)
+
+    def test_intra_machine_routes_ignored(self):
+        route = np.zeros((2, 2))
+        np.fill_diagonal(route, 5.0)  # nonsense values on the diagonal
+        snap = UtilizationSnapshot(
+            machine=np.array([0.5, 0.5]), route=route
+        )
+        assert system_slackness(snap) == pytest.approx(0.5)
+
+    def test_negative_when_overloaded(self):
+        snap = UtilizationSnapshot(
+            machine=np.array([1.4]), route=np.zeros((1, 1))
+        )
+        assert system_slackness(snap) == pytest.approx(-0.4)
+
+    def test_on_real_allocation(self, small_allocation):
+        slack = system_slackness(UtilizationSnapshot.of(small_allocation))
+        assert 0.0 < slack < 1.0
+
+
+class TestFitness:
+    def test_worth_dominates(self):
+        assert Fitness(10, 0.0) > Fitness(9, 0.99)
+
+    def test_slackness_breaks_ties(self):
+        assert Fitness(10, 0.5) > Fitness(10, 0.4)
+
+    def test_equality(self):
+        assert Fitness(10, 0.5) == Fitness(10, 0.5)
+
+    def test_total_ordering(self):
+        values = [
+            Fitness(1, 0.9), Fitness(5, 0.1), Fitness(5, 0.2), Fitness(0, 1.0)
+        ]
+        ordered = sorted(values)
+        assert ordered == [
+            Fitness(0, 1.0), Fitness(1, 0.9), Fitness(5, 0.1), Fitness(5, 0.2)
+        ]
+
+    def test_as_tuple(self):
+        assert Fitness(3, 0.25).as_tuple() == (3, 0.25)
+
+    def test_str(self):
+        assert "worth=3" in str(Fitness(3, 0.25))
+
+
+class TestEvaluate:
+    def test_matches_components(self, small_allocation):
+        fit = evaluate(small_allocation)
+        assert fit.worth == small_allocation.total_worth()
+        snap = UtilizationSnapshot.of(small_allocation)
+        assert fit.slackness == pytest.approx(system_slackness(snap))
+
+    def test_empty_allocation(self, small_model):
+        fit = evaluate(Allocation.empty(small_model))
+        assert fit == Fitness(0.0, 1.0)

@@ -1,0 +1,243 @@
+"""Unit tests for the system model (repro.core.model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppString, Machine, ModelError, Network, SystemModel
+
+from conftest import build_string, uniform_network
+
+
+class TestMachine:
+    def test_default_name(self):
+        assert Machine(3).name == "machine-3"
+
+    def test_explicit_name(self):
+        assert Machine(0, name="sonar-node").name == "sonar-node"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            Machine(-1)
+
+
+class TestNetwork:
+    def test_diagonal_forced_infinite(self):
+        bw = np.full((3, 3), 5.0)
+        net = Network(bw)
+        assert np.all(np.isinf(np.diag(net.bandwidth)))
+
+    def test_off_diagonal_preserved(self):
+        bw = np.array([[np.inf, 2.0], [4.0, np.inf]])
+        net = Network(bw)
+        assert net.bandwidth[0, 1] == 2.0
+        assert net.bandwidth[1, 0] == 4.0
+
+    def test_inv_bandwidth_zero_on_diagonal(self):
+        net = uniform_network(3, bandwidth=2.0)
+        assert np.all(np.diag(net.inv_bandwidth) == 0.0)
+        assert net.inv_bandwidth[0, 1] == pytest.approx(0.5)
+
+    def test_avg_inv_bandwidth_includes_zero_diagonal(self):
+        # M=2, both off-diagonal at w=2: sum(1/w) = 1.0 over 4 pairs.
+        net = uniform_network(2, bandwidth=2.0)
+        assert net.avg_inv_bandwidth == pytest.approx(1.0 / 4.0)
+
+    def test_transfer_time(self):
+        net = uniform_network(2, bandwidth=100.0)
+        assert net.transfer_time(500.0, 0, 1) == pytest.approx(5.0)
+        assert net.transfer_time(500.0, 1, 1) == 0.0  # intra-machine
+
+    def test_routes_excludes_intra_by_default(self):
+        net = uniform_network(3)
+        routes = list(net.routes())
+        assert len(routes) == 6
+        assert all(j1 != j2 for j1, j2 in routes)
+
+    def test_routes_with_intra(self):
+        net = uniform_network(3)
+        assert len(list(net.routes(include_intra=True))) == 9
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ModelError):
+            Network(np.ones((2, 3)))
+
+    def test_rejects_zero_bandwidth(self):
+        bw = np.array([[np.inf, 0.0], [1.0, np.inf]])
+        with pytest.raises(ModelError):
+            Network(bw)
+
+    def test_rejects_negative_bandwidth(self):
+        bw = np.array([[np.inf, -1.0], [1.0, np.inf]])
+        with pytest.raises(ModelError):
+            Network(bw)
+
+    def test_rejects_nan(self):
+        bw = np.array([[np.inf, np.nan], [1.0, np.inf]])
+        with pytest.raises(ModelError):
+            Network(bw)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Network(np.zeros((0, 0)))
+
+    def test_bandwidth_read_only(self):
+        net = uniform_network(2)
+        with pytest.raises(ValueError):
+            net.bandwidth[0, 1] = 3.0
+
+    def test_equality(self):
+        a = uniform_network(2, bandwidth=5.0)
+        b = uniform_network(2, bandwidth=5.0)
+        c = uniform_network(2, bandwidth=6.0)
+        assert a == b
+        assert a != c
+
+    def test_input_not_aliased(self):
+        bw = np.full((2, 2), 7.0)
+        net = Network(bw)
+        bw[0, 1] = 99.0
+        assert net.bandwidth[0, 1] == 7.0
+
+
+class TestAppString:
+    def test_basic_properties(self):
+        s = build_string(0, 3, 2, period=10.0, latency=100.0, worth=10)
+        assert s.n_apps == 3
+        assert s.n_machines == 2
+        assert s.worth == 10
+        assert s.output_sizes.shape == (2,)
+
+    def test_averages(self):
+        comp = np.array([[1.0, 3.0], [2.0, 4.0]])
+        util = np.array([[0.2, 0.4], [0.6, 0.8]])
+        s = AppString(0, 1, 10.0, 100.0, comp, util, np.array([5.0]))
+        assert s.avg_comp_times == pytest.approx([2.0, 3.0])
+        assert s.avg_cpu_utils == pytest.approx([0.3, 0.7])
+
+    def test_work_matrix(self):
+        s = build_string(0, 2, 2, t=4.0, u=0.5)
+        assert np.all(s.work == 2.0)
+
+    def test_computational_intensity(self):
+        s = build_string(0, 2, 2, period=10.0, t=4.0, u=0.5)
+        assert s.computational_intensity() == pytest.approx([0.2, 0.2])
+
+    def test_nominal_path_time(self):
+        net = uniform_network(2, bandwidth=100.0)
+        s = build_string(0, 3, 2, t=2.0, out=50.0)
+        # apps on 0,1,1: comp 3*2 + transfer 0->1 (0.5s) + intra (0)
+        assert s.nominal_path_time([0, 1, 1], net) == pytest.approx(6.5)
+
+    def test_nominal_path_single_app(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, t=3.0)
+        assert s.nominal_path_time([1], net) == pytest.approx(3.0)
+
+    def test_nominal_path_wrong_length(self):
+        net = uniform_network(2)
+        s = build_string(0, 2, 2)
+        with pytest.raises(ModelError):
+            s.nominal_path_time([0], net)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(period=0.0),
+            dict(period=-1.0),
+            dict(latency=0.0),
+            dict(worth=0),
+            dict(worth=-5),
+            dict(t=0.0),
+            dict(t=-2.0),
+            dict(u=0.0),
+            dict(u=1.5),
+            dict(out=0.0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            build_string(0, 3, 2, **kwargs)
+
+    def test_output_sizes_length_mismatch(self):
+        with pytest.raises(ModelError):
+            AppString(
+                0, 1, 10.0, 100.0,
+                np.ones((2, 2)), np.full((2, 2), 0.5), np.array([1.0, 2.0]),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            AppString(
+                0, 1, 10.0, 100.0,
+                np.ones((2, 2)), np.full((3, 2), 0.5), np.array([1.0]),
+            )
+
+    def test_single_app_string_allows_empty_outputs(self):
+        s = build_string(0, 1, 2)
+        assert s.output_sizes.shape == (0,)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ModelError):
+            build_string(-1, 1, 2)
+
+    def test_arrays_read_only(self):
+        s = build_string(0, 2, 2)
+        with pytest.raises(ValueError):
+            s.comp_times[0, 0] = 9.0
+
+    def test_equality(self):
+        a = build_string(0, 2, 2, t=3.0)
+        b = build_string(0, 2, 2, t=3.0)
+        c = build_string(0, 2, 2, t=4.0)
+        assert a == b
+        assert a != c
+
+    def test_default_name(self):
+        assert build_string(7, 1, 2).name == "string-7"
+
+
+class TestSystemModel:
+    def test_construction(self, small_model):
+        assert small_model.n_machines == 3
+        assert small_model.n_strings == 4
+
+    def test_default_machines_generated(self):
+        net = uniform_network(2)
+        model = SystemModel(net, [build_string(0, 1, 2)])
+        assert [m.index for m in model.machines] == [0, 1]
+
+    def test_total_worth_available(self, small_model):
+        assert small_model.total_worth_available == 121.0
+
+    def test_string_ids_must_be_consecutive(self):
+        net = uniform_network(2)
+        with pytest.raises(ModelError):
+            SystemModel(net, [build_string(1, 1, 2)])
+
+    def test_machine_count_mismatch(self):
+        net = uniform_network(2)
+        with pytest.raises(ModelError):
+            SystemModel(net, [build_string(0, 1, 3)])
+
+    def test_explicit_machines_validated(self):
+        net = uniform_network(2)
+        with pytest.raises(ModelError):
+            SystemModel(net, [build_string(0, 1, 2)], [Machine(0)])
+
+    def test_machine_index_order_enforced(self):
+        net = uniform_network(2)
+        with pytest.raises(ModelError):
+            SystemModel(
+                net, [build_string(0, 1, 2)], [Machine(1), Machine(0)]
+            )
+
+    def test_subset_renumbers(self, small_model):
+        sub = small_model.subset([2, 0])
+        assert sub.n_strings == 2
+        assert sub.strings[0].string_id == 0
+        assert sub.strings[0].worth == 1  # was string 2
+        assert sub.strings[1].worth == 100  # was string 0
+
+    def test_subset_preserves_network(self, small_model):
+        sub = small_model.subset([0])
+        assert sub.network is small_model.network

@@ -1,0 +1,114 @@
+"""Unit tests for the MWF and TF heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemModel, analyze, average_tightness
+from repro.heuristics import (
+    most_worth_first,
+    mwf_order,
+    tf_order,
+    tightest_first,
+)
+
+from conftest import build_string, uniform_network
+
+
+class TestMwfOrder:
+    def test_sorts_by_worth_descending(self):
+        net = uniform_network(2)
+        worths = [10, 100, 1, 100, 10]
+        strings = [
+            build_string(k, 1, 2, worth=w) for k, w in enumerate(worths)
+        ]
+        model = SystemModel(net, strings)
+        order = mwf_order(model)
+        assert [model.strings[k].worth for k in order] == [100, 100, 10, 10, 1]
+
+    def test_ties_broken_by_id(self):
+        net = uniform_network(2)
+        strings = [build_string(k, 1, 2, worth=10) for k in range(4)]
+        model = SystemModel(net, strings)
+        assert mwf_order(model) == (0, 1, 2, 3)
+
+    def test_is_permutation(self, scenario1_small):
+        order = mwf_order(scenario1_small)
+        assert sorted(order) == list(range(scenario1_small.n_strings))
+
+
+class TestTfOrder:
+    def test_sorts_by_average_tightness(self, scenario1_small):
+        model = scenario1_small
+        order = tf_order(model)
+        values = [
+            average_tightness(model.strings[k], model.network) for k in order
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_is_permutation(self, scenario1_small):
+        order = tf_order(scenario1_small)
+        assert sorted(order) == list(range(scenario1_small.n_strings))
+
+    def test_tight_string_first(self):
+        net = uniform_network(2)
+        loose = build_string(0, 1, 2, t=2.0, latency=100.0)
+        tight = build_string(1, 1, 2, t=2.0, latency=3.0)
+        model = SystemModel(net, [loose, tight])
+        assert tf_order(model) == (1, 0)
+
+
+class TestHeuristicResults:
+    def test_mwf_result_fields(self, scenario1_small):
+        res = most_worth_first(scenario1_small)
+        assert res.name == "mwf"
+        assert res.fitness.worth == res.allocation.total_worth()
+        assert res.mapped_ids == tuple(
+            k for k in res.order if k in res.allocation
+        )
+        assert res.runtime_seconds >= 0.0
+        assert analyze(res.allocation).feasible
+
+    def test_tf_result_fields(self, scenario1_small):
+        res = tightest_first(scenario1_small)
+        assert res.name == "tf"
+        assert analyze(res.allocation).feasible
+
+    def test_mapped_ids_are_order_prefix(self, scenario1_small):
+        res = most_worth_first(scenario1_small)
+        n = len(res.mapped_ids)
+        assert res.mapped_ids == res.order[:n]
+
+    def test_mwf_prefers_high_worth(self):
+        """When capacity admits only some strings, MWF keeps the valuable
+        ones."""
+        net = uniform_network(2)
+        strings = [
+            build_string(0, 1, 2, period=10.0, t=8.0, u=1.0, worth=1,
+                         latency=1e6),
+            build_string(1, 1, 2, period=10.0, t=8.0, u=1.0, worth=100,
+                         latency=1e6),
+            build_string(2, 1, 2, period=10.0, t=8.0, u=1.0, worth=10,
+                         latency=1e6),
+        ]
+        # each string needs 0.8 of a machine; 2 machines -> 2 strings fit
+        model = SystemModel(net, strings)
+        res = most_worth_first(model)
+        assert res.fitness.worth == 110.0
+        assert set(res.mapped_ids) == {1, 2}
+
+    def test_complete_on_light_load(self, scenario3_small):
+        res = most_worth_first(scenario3_small)
+        assert res.stats["complete"]
+        assert res.n_mapped == scenario3_small.n_strings
+
+    def test_deterministic(self, scenario1_small):
+        a = most_worth_first(scenario1_small)
+        b = most_worth_first(scenario1_small)
+        assert a.allocation == b.allocation
+        assert tightest_first(scenario1_small).allocation == (
+            tightest_first(scenario1_small).allocation
+        )
+
+    def test_summary_text(self, scenario3_small):
+        text = most_worth_first(scenario3_small).summary()
+        assert "mwf" in text and "worth=" in text

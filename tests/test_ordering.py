@@ -1,0 +1,99 @@
+"""Unit tests for the sequential allocator (repro.heuristics.ordering)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemModel, analyze
+from repro.heuristics import allocate_sequence
+
+from conftest import build_string, uniform_network
+
+
+def saturating_model(n_strings=6):
+    """Each string loads one machine by 0.4; each machine fits two
+    strings (a third would reach 1.2), so the system holds four."""
+    net = uniform_network(2)
+    strings = [
+        build_string(k, 1, 2, period=10.0, t=4.0, u=1.0, latency=1e6,
+                     worth=10 ** (k % 3))
+        for k in range(n_strings)
+    ]
+    return SystemModel(net, strings)
+
+
+class TestStopOnFailure:
+    def test_complete_when_capacity_allows(self):
+        model = saturating_model(n_strings=4)
+        outcome = allocate_sequence(model, range(4))
+        assert outcome.complete
+        assert outcome.failed_id is None
+        assert outcome.mapped_ids == (0, 1, 2, 3)
+
+    def test_stops_at_first_failure(self):
+        model = saturating_model(n_strings=8)
+        outcome = allocate_sequence(model, range(8))
+        assert not outcome.complete
+        assert outcome.mapped_ids == (0, 1, 2, 3)
+        assert outcome.failed_id == 4
+        # strings after the failure are NOT attempted
+        assert 5 not in outcome.state and 6 not in outcome.state
+
+    def test_mapped_prefix_matches_order(self):
+        model = saturating_model(n_strings=8)
+        order = [7, 6, 5, 4, 3, 2, 1, 0]
+        outcome = allocate_sequence(model, order)
+        assert outcome.mapped_ids == (7, 6, 5, 4)
+        assert outcome.failed_id == 3
+
+    def test_result_is_feasible(self, scenario1_small):
+        outcome = allocate_sequence(
+            scenario1_small, range(scenario1_small.n_strings)
+        )
+        assert analyze(outcome.state.as_allocation()).feasible
+
+
+class TestSkipAhead:
+    def test_skips_and_continues(self):
+        net = uniform_network(2)
+        strings = [
+            build_string(0, 1, 2, period=10.0, t=4.0, u=1.0, latency=1e6),
+            # infeasible anywhere: t*u/P = 2.0
+            build_string(1, 1, 2, period=10.0, t=20.0, u=1.0, latency=1e6),
+            build_string(2, 1, 2, period=10.0, t=4.0, u=1.0, latency=1e6),
+        ]
+        model = SystemModel(net, strings)
+        stop = allocate_sequence(model, range(3), stop_on_failure=True)
+        skip = allocate_sequence(model, range(3), stop_on_failure=False)
+        assert stop.mapped_ids == (0,)
+        assert skip.mapped_ids == (0, 2)
+        assert skip.failed_id == 1  # records the (last) failure
+
+    def test_skip_never_worse(self, scenario1_small):
+        model = scenario1_small
+        order = list(range(model.n_strings))
+        stop = allocate_sequence(model, order, stop_on_failure=True)
+        skip = allocate_sequence(model, order, stop_on_failure=False)
+        assert skip.state.total_worth >= stop.state.total_worth
+
+
+class TestFitness:
+    def test_outcome_fitness_matches_state(self):
+        model = saturating_model(4)
+        outcome = allocate_sequence(model, range(4))
+        fit = outcome.fitness()
+        assert fit.worth == outcome.state.total_worth
+        assert fit.slackness == pytest.approx(outcome.state.slackness())
+
+    def test_subset_order_allowed(self):
+        model = saturating_model(6)
+        outcome = allocate_sequence(model, [2, 4])
+        assert outcome.mapped_ids == (2, 4)
+        assert outcome.state.total_worth == model.strings[2].worth + (
+            model.strings[4].worth
+        )
+
+    def test_empty_order(self, small_model):
+        outcome = allocate_sequence(small_model, [])
+        assert outcome.complete
+        assert outcome.mapped_ids == ()
+        assert outcome.fitness().worth == 0.0

@@ -1,0 +1,192 @@
+"""Unit tests for the machine-pool generalization (repro.pools)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AllocationState, ModelError, analyze
+from repro.heuristics import imr_map_string, most_worth_first
+from repro.pools import (
+    Pool,
+    PooledSystem,
+    allocate_pooled,
+    least_utilized_dispatch,
+    pool_utilization,
+    pooled_map_string,
+    singleton_pools,
+)
+from repro.workload import SCENARIO_1, SCENARIO_3, generate_model
+
+from conftest import build_string, uniform_network
+
+
+class TestPool:
+    def test_basic(self):
+        p = Pool(0, [2, 0, 2], name="fwd")
+        assert p.machines == (0, 2)
+        assert p.size == 2
+        assert 2 in p and 1 not in p
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Pool(0, [])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            Pool(-1, [0])
+
+    def test_default_name(self):
+        assert Pool(3, [1]).name == "pool-3"
+
+
+class TestPooledSystem:
+    def test_singleton_helper(self, small_model):
+        system = PooledSystem(small_model, singleton_pools(3))
+        assert system.n_pools == 3
+        assert system.is_singleton()
+        assert system.pool_of(2) == 2
+
+    def test_partition_enforced_overlap(self, small_model):
+        with pytest.raises(ModelError, match="belongs to pools"):
+            PooledSystem(
+                small_model, [Pool(0, [0, 1]), Pool(1, [1, 2])]
+            )
+
+    def test_partition_enforced_coverage(self, small_model):
+        with pytest.raises(ModelError, match="belong to no pool"):
+            PooledSystem(small_model, [Pool(0, [0, 1])])
+
+    def test_unknown_machine(self, small_model):
+        with pytest.raises(ModelError):
+            PooledSystem(
+                small_model, [Pool(0, [0, 1, 2]), Pool(1, [5])]
+            )
+
+    def test_index_positions(self, small_model):
+        with pytest.raises(ModelError):
+            PooledSystem(
+                small_model, [Pool(1, [0, 1, 2])]
+            )
+
+    def test_pool_of(self, small_model):
+        system = PooledSystem(
+            small_model, [Pool(0, [0, 2]), Pool(1, [1])]
+        )
+        assert system.pool_of(0) == 0
+        assert system.pool_of(1) == 1
+        assert system.pool_of(2) == 0
+        assert not system.is_singleton()
+
+
+class TestPoolUtilization:
+    def test_aggregates_members(self, small_model):
+        system = PooledSystem(
+            small_model, [Pool(0, [0, 1]), Pool(1, [2])]
+        )
+        machine_util = np.array([0.4, 0.2, 0.9])
+        util = pool_utilization(system, machine_util)
+        assert util[0] == pytest.approx(0.3)  # (0.4+0.2)/2
+        assert util[1] == pytest.approx(0.9)
+
+
+class TestDispatch:
+    def test_picks_cheapest_member(self):
+        net = uniform_network(3)
+        # machine 1 is much cheaper for the app
+        import numpy as np
+        from repro.core import AppString, SystemModel
+
+        comp = np.array([[8.0, 2.0, 8.0]])
+        util = np.array([[1.0, 1.0, 1.0]])
+        s = AppString(0, 1, 10.0, 100.0, comp, util, np.empty(0))
+        model = SystemModel(net, [s])
+        system = PooledSystem(model, [Pool(0, [0, 1, 2])])
+        state = AllocationState(model)
+        j = least_utilized_dispatch(
+            system, state, np.zeros(3), 0, 0, 0
+        )
+        assert j == 1
+
+    def test_accounts_for_committed_load(self, small_model):
+        system = PooledSystem(small_model, [Pool(0, [0, 1, 2])])
+        state = AllocationState(small_model)
+        state.try_add(2, [0])  # load machine 0
+        j = least_utilized_dispatch(
+            system, state, np.zeros(3), 0, 1, 0
+        )
+        assert j in (1, 2)
+
+
+class TestSingletonEquivalence:
+    """With one machine per pool, the pooled mapper IS the paper's IMR."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pooled_imr_matches_plain_imr(self, seed):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=15, n_machines=5), seed=seed
+        )
+        system = PooledSystem(model, singleton_pools(5))
+        flat = AllocationState(model)
+        pooled = AllocationState(model)
+        for k in range(model.n_strings):
+            a_flat = imr_map_string(flat, k)
+            a_pool = pooled_map_string(system, pooled, k)
+            np.testing.assert_array_equal(a_flat, a_pool)
+            ok_flat = flat.try_add(k, a_flat)
+            ok_pool = pooled.try_add(k, a_pool)
+            assert ok_flat == ok_pool
+
+    def test_pooled_mwf_matches_flat_mwf(self, scenario1_small):
+        model = scenario1_small
+        system = PooledSystem(
+            model, singleton_pools(model.n_machines)
+        )
+        flat = most_worth_first(model)
+        pooled = allocate_pooled(system)
+        assert pooled.state.total_worth == flat.fitness.worth
+        assert tuple(pooled.mapped_ids) == flat.mapped_ids
+
+
+class TestPooledAllocation:
+    def test_multi_machine_pools_feasible(self):
+        model = generate_model(
+            SCENARIO_1.scaled(n_strings=20, n_machines=6), seed=7
+        )
+        system = PooledSystem(
+            model, [Pool(0, [0, 1, 2]), Pool(1, [3, 4, 5])]
+        )
+        out = allocate_pooled(system)
+        assert analyze(out.state.as_allocation()).feasible
+        assert out.state.total_worth > 0
+
+    def test_complete_on_light_load(self):
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=6, n_machines=4), seed=8
+        )
+        system = PooledSystem(
+            model, [Pool(0, [0, 1]), Pool(1, [2, 3])]
+        )
+        out = allocate_pooled(system)
+        assert out.complete
+        assert len(out.mapped_ids) == 6
+
+    def test_custom_order(self, small_model):
+        system = PooledSystem(small_model, singleton_pools(3))
+        out = allocate_pooled(system, order=[2, 0])
+        assert set(out.mapped_ids) == {2, 0}
+
+    def test_dispatcher_exploits_intra_pool_heterogeneity(self):
+        """Global mapper sees pool aggregates, but the dispatcher must
+        still land the app on the cheap machine inside the pool."""
+        net = uniform_network(4)
+        import numpy as np
+        from repro.core import AppString, SystemModel
+
+        comp = np.array([[9.0, 1.0, 9.0, 9.0]])
+        util = np.array([[1.0, 1.0, 1.0, 1.0]])
+        s = AppString(0, 1, 10.0, 100.0, comp, util, np.empty(0))
+        model = SystemModel(net, [s])
+        system = PooledSystem(
+            model, [Pool(0, [0, 1]), Pool(1, [2, 3])]
+        )
+        out = allocate_pooled(system)
+        assert out.state.machines_for(0)[0] == 1

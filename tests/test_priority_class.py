@@ -1,0 +1,89 @@
+"""Unit tests for the class-based allocation scheme
+(repro.heuristics.priority_class)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemModel, analyze, average_tightness
+from repro.heuristics import class_based, class_order, most_worth_first
+
+from conftest import build_string, uniform_network
+
+
+class TestClassOrder:
+    def test_classes_strictly_precede(self, scenario1_small):
+        model = scenario1_small
+        order = class_order(model)
+        worths = [model.strings[k].worth for k in order]
+        # worth levels must be non-increasing along the order
+        assert all(a >= b for a, b in zip(worths, worths[1:]))
+
+    def test_within_class_tightness_descending(self, scenario1_small):
+        model = scenario1_small
+        order = class_order(model, within="tightness")
+        tight = {
+            k: average_tightness(model.strings[k], model.network)
+            for k in order
+        }
+        worths = [model.strings[k].worth for k in order]
+        for (k1, w1), (k2, w2) in zip(
+            zip(order, worths), zip(order[1:], worths[1:])
+        ):
+            if w1 == w2:
+                assert tight[k1] >= tight[k2] - 1e-12
+
+    def test_within_id(self):
+        net = uniform_network(2)
+        strings = [
+            build_string(0, 1, 2, worth=10, latency=100.0),
+            build_string(1, 1, 2, worth=100, latency=5.0),
+            build_string(2, 1, 2, worth=10, latency=3.0),
+        ]
+        model = SystemModel(net, strings)
+        assert class_order(model, within="id") == (1, 0, 2)
+        # tightness puts 2 (tighter) before 0 within the worth-10 class
+        assert class_order(model, within="tightness") == (1, 2, 0)
+
+    def test_is_permutation(self, scenario1_small):
+        order = class_order(scenario1_small)
+        assert sorted(order) == list(range(scenario1_small.n_strings))
+
+    def test_unknown_criterion(self, scenario1_small):
+        with pytest.raises(ValueError):
+            class_order(scenario1_small, within="random")
+
+
+class TestClassBased:
+    def test_result_feasible(self, scenario1_small):
+        res = class_based(scenario1_small)
+        assert analyze(res.allocation).feasible
+        assert res.name == "class-tightness"
+
+    def test_high_class_never_sacrificed(self):
+        """Where additive MWF might trade a 100-worth string for many
+        10s, the class scheme cannot: it attempts every 100 first."""
+        net = uniform_network(2)
+        strings = [
+            build_string(0, 1, 2, period=10.0, t=8.0, u=1.0, worth=100,
+                         latency=1e6),
+            build_string(1, 1, 2, period=10.0, t=8.0, u=1.0, worth=100,
+                         latency=1e6),
+            build_string(2, 1, 2, period=10.0, t=8.0, u=1.0, worth=10,
+                         latency=1e6),
+        ]
+        model = SystemModel(net, strings)
+        res = class_based(model)
+        assert set(res.mapped_ids) == {0, 1}
+
+    def test_matches_mwf_when_classes_distinct(self, scenario1_small):
+        """With within='id', the class ordering equals the MWF ordering
+        (worth desc, id tiebreak), so results coincide."""
+        res_class = class_based(scenario1_small, within="id")
+        res_mwf = most_worth_first(scenario1_small)
+        assert res_class.order == res_mwf.order
+        assert res_class.fitness == res_mwf.fitness
+
+    def test_stats(self, scenario3_small):
+        res = class_based(scenario3_small)
+        assert res.stats["within"] == "tightness"
+        assert res.stats["complete"] in (True, False)

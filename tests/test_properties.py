@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on cross-module invariants.
+
+These are the contracts the reproduction rests on:
+
+* the incremental allocation state is exactly equivalent to the
+  from-scratch two-stage analysis, on arbitrary models and assignments;
+* utilization accounting is additive and order-independent;
+* every heuristic produces a feasible allocation whose worth equals the
+  sum of its mapped strings' worths, never exceeding the LP bound;
+* the GENITOR operators are closed over permutations (covered in
+  test_genitor_operators; here we add the engine-level invariant);
+* serialization round-trips arbitrary generated models exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Allocation,
+    AllocationState,
+    AppString,
+    Network,
+    SystemModel,
+    analyze,
+    machine_utilization,
+    route_utilization,
+)
+from repro.heuristics import allocate_sequence, most_worth_first
+from repro.io_utils import model_from_dict, model_to_dict
+from repro.lp import upper_bound
+from repro.robustness import allocation_survives
+
+
+# --------------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------------
+
+@st.composite
+def models(draw, max_machines=4, max_strings=6, max_apps=4):
+    """Arbitrary small, structurally valid system models."""
+    rng = np.random.default_rng(
+        draw(st.integers(min_value=0, max_value=2**31 - 1))
+    )
+    M = draw(st.integers(min_value=2, max_value=max_machines))
+    n_strings = draw(st.integers(min_value=1, max_value=max_strings))
+    bw = rng.uniform(1e3, 1e6, size=(M, M))
+    np.fill_diagonal(bw, np.inf)
+    network = Network(bw)
+    strings = []
+    for k in range(n_strings):
+        n_apps = draw(st.integers(min_value=1, max_value=max_apps))
+        comp = rng.uniform(0.5, 10.0, size=(n_apps, M))
+        util = rng.uniform(0.1, 1.0, size=(n_apps, M))
+        out = rng.uniform(100.0, 10_000.0, size=n_apps - 1)
+        period = float(rng.uniform(5.0, 100.0))
+        latency = float(rng.uniform(5.0, 500.0))
+        worth = float(rng.choice([1, 10, 100]))
+        strings.append(
+            AppString(k, worth, period, latency, comp, util, out)
+        )
+    return SystemModel(network, strings)
+
+
+@st.composite
+def models_with_assignments(draw):
+    model = draw(models())
+    rng = np.random.default_rng(
+        draw(st.integers(min_value=0, max_value=2**31 - 1))
+    )
+    assignments = {
+        s.string_id: rng.integers(0, model.n_machines, size=s.n_apps)
+        for s in model.strings
+    }
+    return model, assignments
+
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------
+# incremental state == full analysis
+# --------------------------------------------------------------------------
+
+class TestIncrementalEquivalence:
+    @given(models_with_assignments())
+    @COMMON
+    def test_accept_reject_matches_full_analysis(self, case):
+        model, assignments = case
+        state = AllocationState(model)
+        current: dict[int, np.ndarray] = {}
+        for k, machines in assignments.items():
+            candidate = Allocation(model, {**current, k: machines})
+            full = analyze(candidate).feasible
+            incremental = state.try_add(k, machines)
+            assert incremental == full
+            if incremental:
+                current[k] = machines
+
+    @given(models_with_assignments())
+    @COMMON
+    def test_state_accumulators_match_allocation(self, case):
+        model, assignments = case
+        state = AllocationState(model)
+        for k, machines in assignments.items():
+            state.try_add(k, machines)
+        alloc = state.as_allocation()
+        np.testing.assert_allclose(
+            state.machine_util, machine_utilization(alloc), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            state.route_util, route_utilization(alloc), atol=1e-10
+        )
+
+    @given(models_with_assignments())
+    @COMMON
+    def test_remove_restores_previous_state(self, case):
+        model, assignments = case
+        items = list(assignments.items())
+        if len(items) < 2:
+            return
+        state = AllocationState(model)
+        (k0, m0), (k1, m1) = items[0], items[1]
+        if not state.try_add(k0, m0):
+            return
+        snapshot_m = state.machine_util.copy()
+        snapshot_r = state.route_util.copy()
+        lat0 = state.estimated_latency(k0)
+        if state.try_add(k1, m1):
+            state.remove(k1)
+        np.testing.assert_allclose(state.machine_util, snapshot_m, atol=1e-12)
+        np.testing.assert_allclose(state.route_util, snapshot_r, atol=1e-12)
+        assert state.estimated_latency(k0) == pytest.approx(lat0)
+
+
+# --------------------------------------------------------------------------
+# utilization algebra
+# --------------------------------------------------------------------------
+
+class TestUtilizationAlgebra:
+    @given(models_with_assignments())
+    @COMMON
+    def test_additivity_over_strings(self, case):
+        """U(all strings) = sum of U(each string alone)."""
+        model, assignments = case
+        total_m = np.zeros(model.n_machines)
+        total_r = np.zeros((model.n_machines, model.n_machines))
+        for k, machines in assignments.items():
+            solo = Allocation(model, {k: machines})
+            total_m += machine_utilization(solo)
+            total_r += route_utilization(solo)
+        combined = Allocation(model, assignments)
+        np.testing.assert_allclose(
+            machine_utilization(combined), total_m, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            route_utilization(combined), total_r, atol=1e-10
+        )
+
+    @given(models_with_assignments())
+    @COMMON
+    def test_nonnegative(self, case):
+        model, assignments = case
+        alloc = Allocation(model, assignments)
+        assert np.all(machine_utilization(alloc) >= 0)
+        assert np.all(route_utilization(alloc) >= 0)
+
+
+# --------------------------------------------------------------------------
+# heuristic-level invariants
+# --------------------------------------------------------------------------
+
+class TestHeuristicInvariants:
+    @given(models())
+    @COMMON
+    def test_sequential_allocation_always_feasible(self, model):
+        outcome = allocate_sequence(model, range(model.n_strings))
+        report = analyze(outcome.state.as_allocation())
+        assert report.feasible
+
+    @given(models())
+    @COMMON
+    def test_worth_equals_sum_of_mapped(self, model):
+        res = most_worth_first(model)
+        expected = sum(
+            model.strings[k].worth for k in res.mapped_ids
+        )
+        assert res.fitness.worth == pytest.approx(expected)
+
+    @given(models(max_strings=4, max_apps=3))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_heuristic_never_beats_lp_bound(self, model):
+        res = most_worth_first(model)
+        ub = upper_bound(model, objective="partial")
+        assert res.fitness.worth <= ub.value + 1e-6
+
+    @given(models())
+    @COMMON
+    def test_slackness_at_most_one(self, model):
+        res = most_worth_first(model)
+        assert res.fitness.slackness <= 1.0 + 1e-12
+
+
+# --------------------------------------------------------------------------
+# robustness monotonicity
+# --------------------------------------------------------------------------
+
+class TestSurgeMonotonicity:
+    @given(models(), st.floats(min_value=0.0, max_value=3.0),
+           st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_survival_monotone(self, model, d1, d2):
+        res = most_worth_first(model)
+        if res.n_mapped == 0:
+            return
+        lo, hi = sorted((d1, d2))
+        if allocation_survives(res.allocation, hi):
+            assert allocation_survives(res.allocation, lo)
+
+
+# --------------------------------------------------------------------------
+# serialization
+# --------------------------------------------------------------------------
+
+class TestSerializationRoundTrip:
+    @given(models())
+    @COMMON
+    def test_exact_round_trip(self, model):
+        restored = model_from_dict(model_to_dict(model))
+        assert restored.network == model.network
+        assert restored.strings == model.strings

@@ -1,0 +1,79 @@
+"""Integration tests for the one-shot reproduction report
+(repro.experiments.report)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ReportSection,
+    full_report,
+)
+
+# One-third size keeps every scenario's load character (matching the
+# validated smoke preset); 0.25 breaks scenario 3's "lightly loaded"
+# guarantee at n=6 strings.
+TINY = ExperimentScale(
+    name="tiny",
+    n_runs=2,
+    size_factor=1 / 3,
+    population_size=10,
+    max_iterations=40,
+    max_stale_iterations=20,
+    n_trials=1,
+)
+
+
+class TestReportSection:
+    def test_markdown_structure(self):
+        section = ReportSection(
+            artifact="Table X",
+            paper_finding="something holds",
+            measured="a  b\n1  2",
+            checks={"it holds": True, "it also holds": False},
+            seconds=1.25,
+        )
+        md = section.to_markdown()
+        assert md.startswith("### Table X")
+        assert "- [x] it holds" in md
+        assert "- [ ] it also holds" in md
+        assert "1.2s" in md
+        assert not section.passed
+
+    def test_passed_when_all_checks_true(self):
+        section = ReportSection("a", "b", "c", checks={"ok": True})
+        assert section.passed
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return full_report(scale=TINY)
+
+    def test_covers_every_artifact(self, report):
+        artifacts = [s.artifact for s in report.sections]
+        assert any("Table 1" in a for a in artifacts)
+        assert any("Figure 2" in a for a in artifacts)
+        assert any("Figure 3" in a for a in artifacts)
+        assert any("Figure 4" in a for a in artifacts)
+        assert any("Figure 5" in a for a in artifacts)
+        assert any("Runtime" in a for a in artifacts)
+        assert len(report.sections) == 6
+
+    def test_all_checks_pass_at_tiny_scale(self, report):
+        failing = [
+            (s.artifact, name)
+            for s in report.sections
+            for name, ok in s.checks.items()
+            if not ok
+        ]
+        assert not failing, failing
+        assert report.all_passed
+
+    def test_markdown_render(self, report):
+        md = report.to_markdown()
+        assert md.startswith("## Reproduction report")
+        assert "tiny" in md
+        assert md.count("###") == len(report.sections)
+
+    def test_sections_record_runtime(self, report):
+        assert all(s.seconds >= 0 for s in report.sections)

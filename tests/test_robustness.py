@@ -1,0 +1,136 @@
+"""Unit tests for the workload-surge analysis (repro.robustness.surge)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, SystemModel, analyze
+from repro.heuristics import most_worth_first
+from repro.robustness import (
+    allocation_survives,
+    max_absorbable_surge,
+    stage1_surge_limit,
+    surge_model,
+    transfer_allocation,
+)
+from repro.workload import SCENARIO_3, generate_model
+
+from conftest import build_string, uniform_network
+
+
+class TestSurgeModel:
+    def test_scales_times_and_outputs(self, small_model):
+        surged = surge_model(small_model, 0.5)
+        s0, s0s = small_model.strings[0], surged.strings[0]
+        np.testing.assert_allclose(s0s.comp_times, s0.comp_times * 1.5)
+        np.testing.assert_allclose(s0s.cpu_utils, s0.cpu_utils)
+        assert s0s.period == s0.period
+        assert s0s.max_latency == s0.max_latency
+
+    def test_scales_output_sizes(self, small_model):
+        surged = surge_model(small_model, 1.0)
+        np.testing.assert_allclose(
+            surged.strings[0].output_sizes,
+            small_model.strings[0].output_sizes * 2.0,
+        )
+
+    def test_zero_surge_identity(self, small_model):
+        surged = surge_model(small_model, 0.0)
+        assert surged.strings[0] == small_model.strings[0]
+
+    def test_negative_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            surge_model(small_model, -0.1)
+
+
+class TestSurvival:
+    def test_survives_zero(self, small_allocation):
+        assert allocation_survives(small_allocation, 0.0)
+
+    def test_monotone_in_delta(self, small_allocation):
+        """If the allocation fails at δ it must fail at every larger δ."""
+        deltas = np.linspace(0.0, 12.0, 15)
+        flags = [allocation_survives(small_allocation, d) for d in deltas]
+        # once False, never True again
+        seen_false = False
+        for f in flags:
+            if not f:
+                seen_false = True
+            if seen_false:
+                assert not f
+
+    def test_transfer_allocation_preserves_assignments(self, small_allocation):
+        surged = surge_model(small_allocation.model, 0.3)
+        moved = transfer_allocation(small_allocation, surged)
+        for k in small_allocation:
+            np.testing.assert_array_equal(
+                moved.machines_for(k), small_allocation.machines_for(k)
+            )
+
+
+class TestStage1Limit:
+    def test_closed_form(self):
+        """Stage-1-only system: δ* = Λ/(1-Λ) exactly."""
+        net = uniform_network(2)
+        # single app, util 0.4 on machine 0, loose QoS everywhere
+        s = build_string(0, 1, 2, period=10.0, t=4.0, u=1.0, latency=1e9)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0]})
+        limit = stage1_surge_limit(alloc)
+        # slack = 0.6 -> limit = 1.5
+        assert limit == pytest.approx(1.5)
+        profile = max_absorbable_surge(alloc, tol=1e-4)
+        assert profile.max_delta == pytest.approx(1.5, abs=1e-3)
+        assert not profile.qos_bound
+
+    def test_empty_allocation_infinite(self, small_model):
+        alloc = Allocation.empty(small_model)
+        assert stage1_surge_limit(alloc) == np.inf
+        profile = max_absorbable_surge(alloc)
+        assert profile.max_delta == np.inf
+
+
+class TestMaxAbsorbableSurge:
+    def test_qos_binds_before_capacity(self):
+        """Tight latency makes δ* < Λ/(1-Λ)."""
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, period=10.0, t=4.0, u=1.0, latency=5.0)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0]})
+        profile = max_absorbable_surge(alloc, tol=1e-4)
+        # latency 5 with t=4: fails when 4(1+δ) > 5 -> δ* = 0.25
+        assert profile.max_delta == pytest.approx(0.25, abs=1e-3)
+        assert profile.qos_bound
+        assert profile.stage1_limit == pytest.approx(1.5)
+
+    def test_infeasible_start_rejected(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, period=10.0, t=20.0, u=1.0, latency=1e9)
+        model = SystemModel(net, [s])
+        alloc = Allocation(model, {0: [0]})
+        with pytest.raises(ValueError):
+            max_absorbable_surge(alloc)
+
+    def test_survives_at_found_delta(self):
+        model = generate_model(
+            SCENARIO_3.scaled(n_strings=5, n_machines=4), seed=3
+        )
+        res = most_worth_first(model)
+        profile = max_absorbable_surge(res.allocation, tol=1e-3)
+        assert allocation_survives(res.allocation, profile.max_delta)
+        assert not allocation_survives(
+            res.allocation, profile.max_delta + 0.01
+        )
+
+    def test_higher_slack_absorbs_more_on_stage1_systems(self):
+        """Two stage-1-bound allocations: more slack -> more surge."""
+        net = uniform_network(2)
+        strings = [
+            build_string(0, 1, 2, period=10.0, t=4.0, u=1.0, latency=1e9),
+            build_string(1, 1, 2, period=10.0, t=2.0, u=1.0, latency=1e9),
+        ]
+        model = SystemModel(net, strings)
+        packed = Allocation(model, {0: [0], 1: [0]})  # slack 0.4
+        spread = Allocation(model, {0: [0], 1: [1]})  # slack 0.6
+        p1 = max_absorbable_surge(packed, tol=1e-4)
+        p2 = max_absorbable_surge(spread, tol=1e-4)
+        assert p2.max_delta > p1.max_delta

@@ -1,0 +1,122 @@
+"""Unit tests for the in-house simplex solver (repro.lp.simplex)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.core import SolverError
+from repro.lp.simplex import SIZE_GUARD, simplex_min, solve_dense_lp
+from repro.lp import build_upper_bound_lp
+from repro.workload import SCENARIO_1, generate_model
+
+
+class TestSimplexMin:
+    def test_textbook_problem(self):
+        # min -3x - 5y ; x + s1 = 4 ; 2y + s2 = 12 ; 3x + 2y + s3 = 18
+        A = np.array([
+            [1.0, 0.0, 1.0, 0.0, 0.0],
+            [0.0, 2.0, 0.0, 1.0, 0.0],
+            [3.0, 2.0, 0.0, 0.0, 1.0],
+        ])
+        b = np.array([4.0, 12.0, 18.0])
+        c = np.array([-3.0, -5.0, 0.0, 0.0, 0.0])
+        res = simplex_min(A, b, c)
+        assert res.objective == pytest.approx(-36.0)
+        assert res.x[:2] == pytest.approx([2.0, 6.0])
+
+    def test_equality_only(self):
+        # min x + y s.t. x + y = 5 -> objective 5
+        A = np.array([[1.0, 1.0]])
+        b = np.array([5.0])
+        c = np.array([1.0, 1.0])
+        res = simplex_min(A, b, c)
+        assert res.objective == pytest.approx(5.0)
+
+    def test_negative_rhs_normalized(self):
+        # -x = -3  ->  x = 3
+        A = np.array([[-1.0]])
+        b = np.array([-3.0])
+        c = np.array([1.0])
+        res = simplex_min(A, b, c)
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_infeasible_detected(self):
+        # x = 1 and x = 2 simultaneously
+        A = np.array([[1.0], [1.0]])
+        b = np.array([1.0, 2.0])
+        c = np.array([0.0])
+        with pytest.raises(SolverError, match="infeasible"):
+            simplex_min(A, b, c)
+
+    def test_unbounded_detected(self):
+        # min -x s.t. x - s = 0 (x can grow forever)
+        A = np.array([[1.0, -1.0]])
+        b = np.array([0.0])
+        c = np.array([-1.0, 0.0])
+        with pytest.raises(SolverError, match="unbounded"):
+            simplex_min(A, b, c)
+
+    def test_degenerate_redundant_rows(self):
+        # duplicated constraint row: still solvable
+        A = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        c = np.array([1.0, 0.0])
+        res = simplex_min(A, b, c)
+        assert res.objective == pytest.approx(0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(SolverError):
+            simplex_min(np.ones((2, 3)), np.ones(2), np.ones(2))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_problems_match_highs(self, seed):
+        """Random bounded LPs: our simplex ≡ HiGHS."""
+        rng = np.random.default_rng(seed)
+        m, n = 4, 7
+        A_ub = rng.uniform(0.1, 1.0, size=(m, n))
+        b_ub = rng.uniform(1.0, 3.0, size=m)
+        c = rng.uniform(0.1, 1.0, size=n)  # minimize c·x... make it max
+        ref = linprog(-c, A_ub=A_ub, b_ub=b_ub, bounds=[(0, 1)] * n,
+                      method="highs")
+        assert ref.success
+        # standard form: x + s_box = 1 per var, A_ub x + s = b
+        A = np.zeros((m + n, n + n + m))
+        A[:m, :n] = A_ub
+        A[:m, n + n:] = np.eye(m)
+        A[m:, :n] = np.eye(n)
+        A[m:, n:n + n] = np.eye(n)
+        b = np.concatenate([b_ub, np.ones(n)])
+        cc = np.concatenate([-c, np.zeros(n + m)])
+        res = simplex_min(A, b, cc)
+        assert res.objective == pytest.approx(ref.fun, abs=1e-8)
+
+
+class TestSolveDenseLp:
+    def test_matches_highs_on_model(self):
+        params = SCENARIO_1.scaled(n_strings=3, n_machines=3)
+        model = generate_model(params, seed=0)
+        problem = build_upper_bound_lp(model, objective="partial")
+        x = solve_dense_lp(problem)
+        ref = linprog(
+            -problem.c, A_ub=problem.A_ub, b_ub=problem.b_ub,
+            A_eq=problem.A_eq, b_eq=problem.b_eq, bounds=problem.bounds,
+            method="highs",
+        )
+        assert problem.c @ x == pytest.approx(-ref.fun, rel=1e-7)
+
+    def test_size_guard(self):
+        params = SCENARIO_1.scaled(n_strings=40, n_machines=12)
+        model = generate_model(params, seed=1)
+        problem = build_upper_bound_lp(model, objective="partial")
+        assert problem.n_vars > SIZE_GUARD
+        with pytest.raises(SolverError, match="guard"):
+            solve_dense_lp(problem)
+
+    def test_free_variable_handling(self):
+        """The complete objective has the free-above... λ ≤ 1 variable."""
+        params = SCENARIO_1.scaled(n_strings=2, n_machines=2)
+        model = generate_model(params, seed=2)
+        problem = build_upper_bound_lp(model, objective="complete")
+        x = solve_dense_lp(problem)
+        lam = x[problem.index.lambda_index]
+        assert -1e-9 <= lam <= 1.0 + 1e-9

@@ -1,0 +1,219 @@
+"""Unit and property tests for the incremental AllocationState
+(repro.core.state) — incremental analysis must match the from-scratch one."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Allocation,
+    AllocationError,
+    AllocationState,
+    SystemModel,
+    analyze,
+)
+from repro.core.timing import TimingEstimator
+from repro.workload import SCENARIO_1, SCENARIO_2, generate_model
+
+from conftest import build_string, uniform_network
+
+
+def random_assignment(model, string, rng):
+    return rng.integers(0, model.n_machines, size=string.n_apps)
+
+
+class TestBasics:
+    def test_empty_state(self, small_model):
+        state = AllocationState(small_model)
+        assert state.n_strings == 0
+        assert state.total_worth == 0.0
+        assert state.slackness() == 1.0
+
+    def test_add_and_query(self, small_model):
+        state = AllocationState(small_model)
+        assert state.try_add(0, [0, 1, 2])
+        assert 0 in state
+        assert state.total_worth == 100.0
+        assert list(state.machines_for(0)) == [0, 1, 2]
+
+    def test_double_add_rejected(self, small_model):
+        state = AllocationState(small_model)
+        state.try_add(0, [0, 1, 2])
+        with pytest.raises(AllocationError):
+            state.try_add(0, [0, 0, 0])
+
+    def test_bad_assignment_rejected(self, small_model):
+        state = AllocationState(small_model)
+        with pytest.raises(AllocationError):
+            state.try_add(0, [0, 1])  # wrong length
+        with pytest.raises(AllocationError):
+            state.try_add(2, [5])  # machine out of range
+
+    def test_as_allocation_round_trip(self, small_model):
+        state = AllocationState(small_model)
+        state.try_add(0, [0, 1, 2])
+        state.try_add(2, [1])
+        alloc = state.as_allocation()
+        assert alloc == Allocation(small_model, {0: [0, 1, 2], 2: [1]})
+
+    def test_fitness_matches_metrics(self, small_model):
+        from repro.core.metrics import evaluate
+
+        state = AllocationState(small_model)
+        state.try_add(0, [0, 1, 2])
+        state.try_add(3, [2, 0, 1, 2])
+        fit_inc = state.fitness()
+        fit_full = evaluate(state.as_allocation())
+        assert fit_inc.worth == fit_full.worth
+        assert fit_inc.slackness == pytest.approx(fit_full.slackness)
+
+
+class TestRejection:
+    def test_stage1_rejection_reported(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, period=10.0, t=20.0, u=1.0, latency=1e9)
+        model = SystemModel(net, [s])
+        state = AllocationState(model)
+        assert not state.try_add(0, [0])
+        assert state.last_rejection is not None
+        assert state.last_rejection.stage == 1
+        assert state.n_strings == 0
+
+    def test_stage2_new_string_rejection(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, period=5.0, t=6.0, u=0.1, latency=1e9)
+        model = SystemModel(net, [s])
+        state = AllocationState(model)
+        assert not state.try_add(0, [0])
+        assert state.last_rejection.stage == 2
+        assert state.last_rejection.kind == "throughput-comp"
+
+    def test_stage2_existing_string_rejection(self):
+        """Adding a tighter string can break an already-mapped one."""
+        net = uniform_network(2)
+        loose = build_string(0, 1, 2, period=8.5, t=8.0, u=0.5, latency=1e6)
+        tight = build_string(1, 1, 2, period=40.0, t=8.0, u=0.5,
+                             latency=16.0)
+        model = SystemModel(net, [loose, tight])
+        state = AllocationState(model)
+        assert state.try_add(0, [0])  # loose alone is fine (8 <= 8.5)
+        assert not state.try_add(1, [0])  # would push loose to 9 > 8.5
+        assert state.last_rejection.kind == "throughput-comp"
+        assert "string 0" in state.last_rejection.where
+        # state untouched
+        assert state.n_strings == 1
+        assert analyze(state.as_allocation()).feasible
+
+    def test_latency_rejection_of_existing(self):
+        net = uniform_network(2)
+        loose = build_string(0, 2, 2, period=20.0, t=4.0, u=1.0,
+                             latency=8.9)
+        tight = build_string(1, 1, 2, period=10.0, t=4.0, u=1.0,
+                             latency=5.0)
+        model = SystemModel(net, [loose, tight])
+        state = AllocationState(model)
+        assert state.try_add(0, [0, 0])
+        assert not state.try_add(1, [0])
+        assert state.last_rejection.kind in ("latency", "throughput-comp")
+
+
+class TestRemove:
+    def test_remove_restores_empty(self, small_model):
+        state = AllocationState(small_model)
+        state.try_add(0, [0, 1, 2])
+        state.remove(0)
+        assert state.n_strings == 0
+        assert state.machine_util.sum() == pytest.approx(0.0, abs=1e-12)
+        assert state.route_util.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_remove_unknown_raises(self, small_model):
+        state = AllocationState(small_model)
+        with pytest.raises(AllocationError):
+            state.remove(0)
+
+    def test_remove_is_inverse_of_add(self, scenario1_small):
+        """add A, add B, remove B leaves state equivalent to just A."""
+        model = scenario1_small
+        rng = np.random.default_rng(5)
+        state = AllocationState(model)
+        a_assign = random_assignment(model, model.strings[0], rng)
+        b_assign = random_assignment(model, model.strings[1], rng)
+        assert state.try_add(0, a_assign)
+        lat_before = state.estimated_latency(0)
+        if state.try_add(1, b_assign):
+            state.remove(1)
+        assert state.estimated_latency(0) == pytest.approx(lat_before)
+        # utilizations match a fresh single-string state
+        fresh = AllocationState(model)
+        fresh.try_add(0, a_assign)
+        np.testing.assert_allclose(state.machine_util, fresh.machine_util)
+        np.testing.assert_allclose(state.route_util, fresh.route_util)
+
+
+class TestIncrementalMatchesFull:
+    """The central property: the incremental accept/reject decision and
+    the cached latencies agree with the from-scratch analysis."""
+
+    @pytest.mark.parametrize("scenario,seed", [
+        (SCENARIO_1, 0), (SCENARIO_1, 1), (SCENARIO_2, 2), (SCENARIO_2, 3),
+    ])
+    def test_greedy_random_allocation(self, scenario, seed):
+        params = scenario.scaled(n_strings=30, n_machines=4)
+        model = generate_model(params, seed=seed)
+        rng = np.random.default_rng(seed + 100)
+        state = AllocationState(model)
+        accepted = []
+        for s in model.strings:
+            assign = random_assignment(model, s, rng)
+            before = state.as_allocation()
+            ok = state.try_add(s.string_id, assign)
+            candidate = before.with_string(s.string_id, assign)
+            full = analyze(candidate).feasible
+            assert ok == full, (
+                f"string {s.string_id}: incremental={ok} full={full}"
+            )
+            if ok:
+                accepted.append(s.string_id)
+        # final state consistent with full analysis
+        final = state.as_allocation()
+        report = analyze(final)
+        assert report.feasible
+        est = TimingEstimator(final).all_timings()
+        for k in accepted:
+            assert state.estimated_latency(k) == pytest.approx(
+                est[k].end_to_end_latency(), rel=1e-9
+            )
+
+    def test_utilization_accumulators_match(self, scenario1_small):
+        from repro.core import machine_utilization, route_utilization
+
+        model = scenario1_small
+        rng = np.random.default_rng(77)
+        state = AllocationState(model)
+        for s in model.strings:
+            state.try_add(s.string_id, random_assignment(model, s, rng))
+        alloc = state.as_allocation()
+        np.testing.assert_allclose(
+            state.machine_util, machine_utilization(alloc), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            state.route_util, route_utilization(alloc), atol=1e-12
+        )
+
+
+class TestUtilizationQueries:
+    def test_machine_util_if(self, small_model):
+        state = AllocationState(small_model)
+        state.try_add(2, [0])  # load 2*0.5/30 on machine 0
+        base = 1.0 / 30.0
+        # string 1 app 0: 2*0.5/50 = 0.02
+        assert state.machine_util_if(0, 1, 0) == pytest.approx(base + 0.02)
+        assert state.machine_util_if(1, 1, 0) == pytest.approx(0.02)
+        assert state.machine_util_if(
+            1, 1, 0, extra=0.1
+        ) == pytest.approx(0.12)
+
+    def test_route_util_if(self, small_model):
+        state = AllocationState(small_model)
+        # string 1 transfer 0: 1000/50 B/s over 1e6 -> 2e-5
+        assert state.route_util_if(0, 1, 1, 0) == pytest.approx(2e-5)
+        assert state.route_util_if(0, 0, 1, 0) == 0.0  # intra-machine

@@ -1,0 +1,82 @@
+"""Unit tests for statistics helpers (repro.analysis.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ConfidenceInterval, mean_ci, paired_difference_ci
+
+
+class TestMeanCi:
+    def test_known_values(self):
+        # n=4, mean 2.5, sd 1.2909..., t(0.975, 3) = 3.1824
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.mean == pytest.approx(2.5)
+        sem = np.std([1, 2, 3, 4], ddof=1) / 2.0
+        assert ci.half_width == pytest.approx(3.1824 * sem, rel=1e-3)
+        assert ci.n == 4
+
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([7.0])
+        assert ci.mean == 7.0
+        assert ci.half_width == 0.0
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_ci([3.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], level=1.5)
+
+    def test_wider_level_wider_interval(self):
+        samples = [1.0, 4.0, 2.0, 8.0, 3.0]
+        assert (
+            mean_ci(samples, level=0.99).half_width
+            > mean_ci(samples, level=0.90).half_width
+        )
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should contain the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=15)
+            if mean_ci(sample).contains(10.0):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=5.0, half_width=1.5, level=0.95, n=9)
+        assert ci.low == 3.5
+        assert ci.high == 6.5
+        assert ci.contains(4.0)
+        assert not ci.contains(7.0)
+
+    def test_str(self):
+        assert "±" in str(mean_ci([1.0, 2.0]))
+
+
+class TestPairedDifference:
+    def test_constant_shift(self):
+        a = [5.0, 7.0, 6.0, 8.0]
+        b = [4.0, 6.0, 5.0, 7.0]
+        ci = paired_difference_ci(a, b)
+        assert ci.mean == pytest.approx(1.0)
+        assert ci.half_width == 0.0  # perfectly paired
+
+    def test_tighter_than_unpaired(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(100.0, 30.0, size=20)
+        a = base + rng.normal(1.0, 0.1, size=20)
+        b = base
+        paired = paired_difference_ci(a, b)
+        assert paired.half_width < mean_ci(a).half_width
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_difference_ci([1.0], [1.0, 2.0])

@@ -1,0 +1,73 @@
+"""Unit tests for the surge-curve experiment
+(repro.experiments.surge_curve)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, run_surge_curves
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_runs=2,
+    size_factor=1 / 3,
+    population_size=8,
+    max_iterations=20,
+    max_stale_iterations=10,
+    n_trials=1,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_surge_curves(
+        scale=TINY,
+        heuristics=("mwf", "tf"),
+        deltas=(0.0, 0.5, 1.0, 2.0),
+        base_seed=8_100,
+    )
+
+
+class TestCurves:
+    def test_heuristics_covered(self, outcome):
+        assert set(outcome["curves"]) == {"mwf", "tf"}
+
+    def test_retention_at_zero_is_one(self, outcome):
+        for curve in outcome["curves"].values():
+            assert curve.retention[0.0].mean == pytest.approx(1.0)
+
+    def test_nonincreasing(self, outcome):
+        """Uniform surges only remove capacity; retention cannot rise."""
+        for curve in outcome["curves"].values():
+            assert curve.is_nonincreasing()
+
+    def test_retention_bounded(self, outcome):
+        for curve in outcome["curves"].values():
+            for ci in curve.retention.values():
+                assert -1e-9 <= ci.mean <= 1.0 + 1e-9
+
+    def test_knee_definition(self, outcome):
+        for curve in outcome["curves"].values():
+            knee = curve.knee()
+            assert knee in (0.0, 0.5, 1.0, 2.0)
+            assert curve.retention[knee].mean >= 0.999
+
+    def test_table_rendered(self, outcome):
+        assert "δ=0.5" in outcome["table"]
+        assert "mwf" in outcome["table"]
+
+    def test_means_shape(self, outcome):
+        curve = outcome["curves"]["mwf"]
+        assert curve.means().shape == (4,)
+
+
+class TestReproducibility:
+    def test_same_seed_same_curves(self):
+        kwargs = dict(
+            scale=TINY, heuristics=("mwf",), deltas=(0.0, 1.0),
+            base_seed=8_200,
+        )
+        a = run_surge_curves(**kwargs)
+        b = run_surge_curves(**kwargs)
+        np.testing.assert_allclose(
+            a["curves"]["mwf"].means(), b["curves"]["mwf"].means()
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for report rendering (repro.analysis.tables / charts)."""
+
+import pytest
+
+from repro.analysis import bar_chart, format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [("alpha", 1.5), ("b", 20.0)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "alpha" in lines[2]
+        assert lines[1].startswith("-")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.123456789,)])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_first_column_left_aligned(self):
+        text = format_table(
+            ["name", "v"], [("x", 1), ("longname", 2)]
+        )
+        row = text.splitlines()[2]
+        assert row.startswith("x ")
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["h1", "h2"], [("a", 1)])
+        lines = text.splitlines()
+        assert lines[0] == "| h1 | h2 |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| a | 1 |"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [("x", "y")])
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_rendered(self):
+        text = bar_chart(["a"], [1.0], title="My chart")
+        assert text.splitlines()[0] == "My chart"
+
+    def test_errors_printed(self):
+        text = bar_chart(["a"], [1.0], errors=[0.25])
+        assert "± 0.25" in text
+
+    def test_zero_values_ok(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in text
+
+    def test_negative_clamped_to_empty_bar(self):
+        text = bar_chart(["a", "b"], [-1.0, 2.0], width=8)
+        assert text.splitlines()[0].count("█") == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], errors=[0.1, 0.2])
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)

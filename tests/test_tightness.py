@@ -1,0 +1,105 @@
+"""Unit tests for relative tightness (repro.core.tightness, eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    average_tightness,
+    priority_key,
+    relative_tightness,
+    tightness_rank_order,
+)
+
+from conftest import build_string, uniform_network
+
+
+class TestRelativeTightness:
+    def test_single_app(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2, t=5.0, latency=50.0)
+        assert relative_tightness(s, [0], net) == pytest.approx(0.1)
+
+    def test_includes_transfer_time(self):
+        net = uniform_network(2, bandwidth=100.0)
+        s = build_string(0, 2, 2, t=2.0, out=300.0, latency=10.0)
+        # comp 2+2, transfer 300/100 = 3 -> total 7
+        assert relative_tightness(s, [0, 1], net) == pytest.approx(0.7)
+
+    def test_intra_machine_transfer_free(self):
+        net = uniform_network(2, bandwidth=100.0)
+        s = build_string(0, 2, 2, t=2.0, out=300.0, latency=10.0)
+        assert relative_tightness(s, [0, 0], net) == pytest.approx(0.4)
+
+    def test_machine_dependence(self):
+        net = uniform_network(2)
+        comp = np.array([[1.0, 9.0]])
+        s = build_string(0, 1, 2, latency=10.0)
+        s = type(s)(
+            0, 1, s.period, 10.0, comp, np.full((1, 2), 0.5), np.empty(0)
+        )
+        assert relative_tightness(s, [0], net) == pytest.approx(0.1)
+        assert relative_tightness(s, [1], net) == pytest.approx(0.9)
+
+
+class TestAverageTightness:
+    def test_uses_average_times_and_bandwidth(self):
+        net = uniform_network(2, bandwidth=100.0)
+        comp = np.array([[2.0, 4.0], [6.0, 2.0]])  # avgs 3, 4
+        s = build_string(0, 2, 2, latency=20.0)
+        s = type(s)(
+            0, 1, s.period, 20.0, comp, np.full((2, 2), 0.5),
+            np.array([200.0]),
+        )
+        # avg inverse bandwidth: 2 routes at 1/100 over 4 pairs = 0.005
+        expected = (3.0 + 4.0 + 200.0 * 0.005) / 20.0
+        assert average_tightness(s, net) == pytest.approx(expected)
+
+    def test_single_app_no_transfers(self):
+        net = uniform_network(3)
+        s = build_string(0, 1, 3, t=4.0, latency=8.0)
+        assert average_tightness(s, net) == pytest.approx(0.5)
+
+    def test_matches_relative_on_homogeneous_single_machine_system(self):
+        # With one "effective" machine value everywhere and free routes,
+        # the averaged and exact forms coincide for intra-machine chains.
+        net = uniform_network(1, bandwidth=1.0)
+        s = build_string(0, 3, 1, t=2.0, latency=60.0)
+        assert average_tightness(s, net) == pytest.approx(
+            relative_tightness(s, [0, 0, 0], net)
+        )
+
+
+class TestPriorityKey:
+    def test_orders_by_tightness(self):
+        assert priority_key(0.9, 5) > priority_key(0.5, 0)
+
+    def test_tie_break_prefers_lower_id(self):
+        assert priority_key(0.5, 1) > priority_key(0.5, 2)
+
+    def test_strict_total_order(self):
+        keys = [priority_key(0.5, i) for i in range(10)]
+        assert len(set(keys)) == 10
+
+
+class TestRankOrder:
+    def test_descending_default(self):
+        order = tightness_rank_order([0.2, 0.9, 0.5])
+        assert list(order) == [1, 2, 0]
+
+    def test_ascending(self):
+        order = tightness_rank_order([0.2, 0.9, 0.5], descending=False)
+        assert list(order) == [0, 2, 1]
+
+    def test_ties_broken_by_lower_index(self):
+        order = tightness_rank_order([0.5, 0.5, 0.1])
+        assert list(order) == [0, 1, 2]
+
+    def test_empty(self):
+        assert list(tightness_rank_order([])) == []
+
+    def test_permutation_property(self):
+        rng = np.random.default_rng(0)
+        vals = rng.random(50)
+        order = tightness_rank_order(vals)
+        assert sorted(order) == list(range(50))
+        assert np.all(np.diff(vals[order]) <= 0)

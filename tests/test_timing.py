@@ -1,0 +1,154 @@
+"""Unit tests for stage-2 timing estimates (repro.core.timing, eqs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, AppString, Network, TimingEstimator
+from repro.core.timing import (
+    estimated_comp_times_literal,
+    estimated_tran_times_literal,
+)
+
+from conftest import build_string, uniform_network
+
+
+def two_string_shared_machine(
+    P1=20.0, P2=10.0, u1=1.0, u2=1.0, t1=2.0, t2=3.0
+):
+    """Two single-app strings on machine 0; string 0 is tighter."""
+    net = uniform_network(2, bandwidth=1e6)
+    s0 = AppString(
+        0, 1, P1, t1 * 2, np.full((1, 2), t1), np.full((1, 2), u1),
+        np.empty(0),
+    )
+    s1 = AppString(
+        1, 1, P2, t2 * 100, np.full((1, 2), t2), np.full((1, 2), u2),
+        np.empty(0),
+    )
+    model = __import__("repro").core.SystemModel(net, [s0, s1])
+    alloc = Allocation(model, {0: [0], 1: [0]})
+    return alloc
+
+
+class TestFigure2ClosedForms:
+    """Eq. (5) must reproduce the paper's three worked overlap cases."""
+
+    def test_case1_equal_periods_full_util(self):
+        alloc = two_string_shared_machine(P1=10.0, P2=10.0, u1=1.0)
+        timing = TimingEstimator(alloc).string_timing(1)
+        assert timing.comp_times[0] == pytest.approx(3.0 + 2.0)
+
+    def test_case2_double_period(self):
+        alloc = two_string_shared_machine(P1=20.0, P2=10.0, u1=1.0)
+        timing = TimingEstimator(alloc).string_timing(1)
+        assert timing.comp_times[0] == pytest.approx(3.0 + 0.5 * 2.0)
+
+    def test_case3_half_utilization(self):
+        alloc = two_string_shared_machine(P1=20.0, P2=10.0, u1=0.5)
+        timing = TimingEstimator(alloc).string_timing(1)
+        assert timing.comp_times[0] == pytest.approx(3.0 + 0.5 * 0.5 * 2.0)
+
+    def test_high_priority_unaffected(self):
+        alloc = two_string_shared_machine()
+        timing = TimingEstimator(alloc).string_timing(0)
+        assert timing.comp_times[0] == pytest.approx(2.0)
+
+
+class TestTransferEstimates:
+    def test_unshared_transfer_is_nominal(self, small_model):
+        alloc = Allocation(small_model, {1: [0, 1]})
+        timing = TimingEstimator(alloc).string_timing(1)
+        # 1000 bytes over 1e6 B/s
+        assert timing.tran_times[0] == pytest.approx(1e-3)
+
+    def test_intra_machine_transfer_zero(self, small_model):
+        alloc = Allocation(small_model, {1: [1, 1]})
+        timing = TimingEstimator(alloc).string_timing(1)
+        assert timing.tran_times[0] == 0.0
+
+    def test_shared_route_adds_waiting(self):
+        net = uniform_network(2, bandwidth=100.0)
+        # two 2-app strings both sending 0 -> 1
+        s0 = build_string(0, 2, 2, period=10.0, latency=20.0, out=200.0)
+        s1 = build_string(1, 2, 2, period=10.0, latency=2_000.0, out=300.0)
+        model = __import__("repro").core.SystemModel(net, [s0, s1])
+        alloc = Allocation(model, {0: [0, 1], 1: [0, 1]})
+        est = TimingEstimator(alloc)
+        # string 0 tighter (latency 20 vs 2000): no waiting
+        assert est.string_timing(0).tran_times[0] == pytest.approx(2.0)
+        # string 1 waits P1 * (higher-priority route load)
+        # route load of s0: (200/10)/100 = 0.2 -> wait = 10*0.2 = 2
+        assert est.string_timing(1).tran_times[0] == pytest.approx(3.0 + 2.0)
+
+
+class TestAggregationIdentity:
+    """The vectorized estimator equals the literal eqs. (5)-(6)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_allocations(self, scenario1_small, seed):
+        model = scenario1_small
+        rng = np.random.default_rng(seed)
+        assignments = {}
+        for s in model.strings[:12]:
+            assignments[s.string_id] = rng.integers(
+                0, model.n_machines, size=s.n_apps
+            )
+        alloc = Allocation(model, assignments)
+        est = TimingEstimator(alloc)
+        all_t = est.all_timings()
+        tight = est.tightness
+        for k in alloc:
+            lit_c = estimated_comp_times_literal(alloc, k, tight)
+            lit_t = estimated_tran_times_literal(alloc, k, tight)
+            np.testing.assert_allclose(all_t[k].comp_times, lit_c)
+            np.testing.assert_allclose(all_t[k].tran_times, lit_t)
+
+    def test_single_query_matches_sweep(self, small_allocation):
+        est = TimingEstimator(small_allocation)
+        sweep = est.all_timings()
+        for k in small_allocation:
+            single = est.string_timing(k)
+            np.testing.assert_allclose(
+                single.comp_times, sweep[k].comp_times
+            )
+            np.testing.assert_allclose(
+                single.tran_times, sweep[k].tran_times
+            )
+
+
+class TestEndToEndLatency:
+    def test_latency_is_sum_of_spans(self, small_allocation):
+        est = TimingEstimator(small_allocation)
+        for k, timing in est.all_timings().items():
+            expected = timing.comp_times.sum() + timing.tran_times.sum()
+            assert timing.end_to_end_latency() == pytest.approx(expected)
+
+    def test_single_app_latency(self, small_model):
+        alloc = Allocation(small_model, {2: [0]})
+        timing = TimingEstimator(alloc).string_timing(2)
+        assert timing.end_to_end_latency() == pytest.approx(
+            timing.comp_times[0]
+        )
+
+
+class TestPriorityDirection:
+    def test_only_tighter_strings_interfere(self):
+        """Adding a looser string must not change a tighter string's times."""
+        alloc1 = two_string_shared_machine()
+        est1 = TimingEstimator(alloc1)
+        t_high_with = est1.string_timing(0).comp_times[0]
+        alloc2 = alloc1.without_string(1)
+        est2 = TimingEstimator(alloc2)
+        t_high_without = est2.string_timing(0).comp_times[0]
+        assert t_high_with == pytest.approx(t_high_without)
+
+    def test_interference_scales_with_period_ratio(self):
+        base = two_string_shared_machine(P1=20.0, P2=10.0)
+        wait_base = (
+            TimingEstimator(base).string_timing(1).comp_times[0] - 3.0
+        )
+        halved = two_string_shared_machine(P1=40.0, P2=10.0)
+        wait_halved = (
+            TimingEstimator(halved).string_timing(1).comp_times[0] - 3.0
+        )
+        assert wait_halved == pytest.approx(wait_base / 2.0)

@@ -1,0 +1,112 @@
+"""Unit tests for stage-1 utilization (repro.core.utilization, eqs. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Allocation,
+    UtilizationSnapshot,
+    machine_utilization,
+    route_utilization,
+    string_machine_load,
+    string_route_load,
+)
+
+from conftest import build_string, uniform_network
+
+
+class TestStringMachineLoad:
+    def test_single_app(self):
+        s = build_string(0, 1, 2, period=10.0, t=4.0, u=0.5)
+        load = string_machine_load(s, [1])
+        # t*u/P = 4*0.5/10 = 0.2 on machine 1 only
+        assert load == pytest.approx([0.0, 0.2])
+
+    def test_multiple_apps_same_machine_sum(self):
+        s = build_string(0, 3, 2, period=10.0, t=4.0, u=0.5)
+        load = string_machine_load(s, [0, 0, 0])
+        assert load == pytest.approx([0.6, 0.0])
+
+    def test_uses_assigned_machine_entries(self):
+        comp = np.array([[2.0, 8.0]])
+        util = np.array([[0.5, 1.0]])
+        s = build_string(0, 1, 2, period=10.0)
+        s = type(s)(0, 1, 10.0, s.max_latency, comp, util, np.empty(0))
+        assert string_machine_load(s, [0])[0] == pytest.approx(0.1)
+        assert string_machine_load(s, [1])[1] == pytest.approx(0.8)
+
+
+class TestStringRouteLoad:
+    def test_single_transfer(self):
+        net = uniform_network(2, bandwidth=100.0)
+        s = build_string(0, 2, 2, period=10.0, out=300.0)
+        load = string_route_load(s, [0, 1], net)
+        # (O/P)/w = 30/100 = 0.3
+        assert load[0, 1] == pytest.approx(0.3)
+        assert load.sum() == pytest.approx(0.3)
+
+    def test_intra_machine_transfer_zero(self):
+        net = uniform_network(2, bandwidth=100.0)
+        s = build_string(0, 2, 2, period=10.0, out=300.0)
+        load = string_route_load(s, [1, 1], net)
+        assert load.sum() == 0.0
+
+    def test_repeated_route_accumulates(self):
+        net = uniform_network(2, bandwidth=100.0)
+        s = build_string(0, 3, 2, period=10.0, out=100.0)
+        # 0 -> 1 -> 0 uses routes (0,1) and (1,0)
+        load = string_route_load(s, [0, 1, 0], net)
+        assert load[0, 1] == pytest.approx(0.1)
+        assert load[1, 0] == pytest.approx(0.1)
+
+    def test_single_app_no_routes(self):
+        net = uniform_network(2)
+        s = build_string(0, 1, 2)
+        assert string_route_load(s, [0], net).sum() == 0.0
+
+
+class TestAggregates:
+    def test_machine_utilization_sums_strings(self, small_model):
+        alloc = Allocation(small_model, {1: [0, 0], 2: [0]})
+        u = machine_utilization(alloc)
+        # string 1: 2 apps * 2*0.5/50 = 0.04 ; string 2: 2*0.5/30
+        assert u[0] == pytest.approx(0.04 + 1.0 / 30.0)
+        assert u[1] == 0.0
+
+    def test_route_utilization_diagonal_zero(self, small_allocation):
+        r = route_utilization(small_allocation)
+        assert np.all(np.diag(r) == 0.0)
+
+    def test_empty_allocation(self, small_model):
+        alloc = Allocation.empty(small_model)
+        assert machine_utilization(alloc).sum() == 0.0
+        assert route_utilization(alloc).sum() == 0.0
+
+
+class TestSnapshot:
+    def test_within_capacity(self, small_allocation):
+        snap = UtilizationSnapshot.of(small_allocation)
+        assert snap.within_capacity()
+        assert 0.0 < snap.max_utilization() < 1.0
+
+    def test_overload_detected(self, small_model):
+        # Period 50, t=2, u=0.5 -> each app contributes 0.02; build an
+        # artificial snapshot instead of hunting for a overloaded model.
+        snap = UtilizationSnapshot(
+            machine=np.array([0.5, 1.2, 0.1]), route=np.zeros((3, 3))
+        )
+        assert not snap.within_capacity()
+        assert snap.max_utilization() == pytest.approx(1.2)
+
+    def test_route_can_dominate(self):
+        route = np.zeros((2, 2))
+        route[0, 1] = 0.9
+        snap = UtilizationSnapshot(machine=np.array([0.3, 0.3]), route=route)
+        assert snap.max_utilization() == pytest.approx(0.9)
+        assert "route 0->1" in snap.binding_resource()
+
+    def test_binding_resource_machine(self):
+        snap = UtilizationSnapshot(
+            machine=np.array([0.3, 0.8]), route=np.zeros((2, 2))
+        )
+        assert "machine 1" in snap.binding_resource()
