@@ -14,10 +14,7 @@ from ..core.allocation import Allocation
 from ..core.feasibility import analyze
 from ..core.metrics import system_slackness
 from ..core.timing import TimingEstimator
-from ..core.utilization import (
-    UtilizationSnapshot,
-    string_machine_load,
-)
+from ..core.utilization import string_machine_load
 from .tables import format_table
 
 __all__ = [

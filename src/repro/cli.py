@@ -17,11 +17,8 @@ given ``--seed``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Sequence
-
-import numpy as np
 
 from . import __version__
 from .analysis.tables import format_table
@@ -49,6 +46,7 @@ from .io_utils import (
     save_model,
 )
 from .lp import upper_bound
+from .quality.cli import add_lint_arguments, run_lint
 from .robustness import max_absorbable_surge
 from .workload import generate_model, get_scenario
 
@@ -157,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allocation", required=True)
     p.add_argument("--datasets", type=int, default=30)
     p.add_argument("--skip", type=int, default=3)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the domain-aware static analyzer (rules RPR001-RPR006)",
+    )
+    add_lint_arguments(p)
 
     return parser
 
@@ -313,6 +317,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "lint":
+        return run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,6 +24,7 @@ from .feasibility import (
 )
 from .metrics import Fitness, evaluate, system_slackness
 from .model import WORTH_FACTORS, AppString, Machine, Network, SystemModel
+from .numeric import ABS_TOL, REL_TOL, is_zero, isclose
 from .state import AllocationState, RejectionReason
 from .tightness import (
     average_tightness,
@@ -41,6 +42,7 @@ from .utilization import (
 )
 
 __all__ = [
+    "ABS_TOL",
     "Allocation",
     "AllocationError",
     "AllocationState",
@@ -52,6 +54,7 @@ __all__ = [
     "Machine",
     "ModelError",
     "Network",
+    "REL_TOL",
     "RejectionReason",
     "ReproError",
     "SimulationError",
@@ -66,6 +69,8 @@ __all__ = [
     "average_tightness",
     "evaluate",
     "is_feasible",
+    "is_zero",
+    "isclose",
     "machine_utilization",
     "priority_key",
     "relative_tightness",

@@ -9,12 +9,13 @@ string in the model.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
 from .exceptions import AllocationError
 from .model import SystemModel
+from .types import IntArray, IntVectorLike
 
 __all__ = ["Allocation"]
 
@@ -40,9 +41,9 @@ class Allocation:
     __slots__ = ("model", "_assignments", "_key")
 
     def __init__(
-        self, model: SystemModel, assignments: Mapping[int, Sequence[int]]
-    ):
-        clean: dict[int, np.ndarray] = {}
+        self, model: SystemModel, assignments: Mapping[int, IntVectorLike]
+    ) -> None:
+        clean: dict[int, IntArray] = {}
         for k, machines in assignments.items():
             if not 0 <= k < model.n_strings:
                 raise AllocationError(
@@ -88,7 +89,7 @@ class Allocation:
     def __len__(self) -> int:
         return len(self._assignments)
 
-    def machines_for(self, string_id: int) -> np.ndarray:
+    def machines_for(self, string_id: int) -> IntArray:
         """Machine index per application of ``string_id`` (read-only)."""
         try:
             return self._assignments[string_id]
@@ -111,7 +112,7 @@ class Allocation:
 
     def apps_on_machine(self, j: int) -> list[tuple[int, int]]:
         """All ``(string_id, app_index)`` pairs assigned to machine ``j``."""
-        out = []
+        out: list[tuple[int, int]] = []
         for k, arr in self._assignments.items():
             for i in np.flatnonzero(arr == j):
                 out.append((k, int(i)))
@@ -123,7 +124,7 @@ class Allocation:
         ``app_index`` identifies the *sending* application; the transfer
         carries ``output_sizes[app_index]`` bytes.
         """
-        out = []
+        out: list[tuple[int, int]] = []
         for k, arr in self._assignments.items():
             if arr.size < 2:
                 continue
@@ -135,10 +136,10 @@ class Allocation:
     # -- functional updates ---------------------------------------------------
 
     def with_string(
-        self, string_id: int, machines: Sequence[int]
+        self, string_id: int, machines: IntVectorLike
     ) -> "Allocation":
         """A new allocation with ``string_id`` (re)mapped to ``machines``."""
-        assignments = dict(self._assignments)
+        assignments: dict[int, IntVectorLike] = dict(self._assignments)
         assignments[string_id] = machines
         return Allocation(self.model, assignments)
 

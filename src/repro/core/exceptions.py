@@ -9,6 +9,11 @@ allocation heuristics distinguish between *model* errors (malformed input),
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .feasibility import Violation
+
 __all__ = [
     "ReproError",
     "ModelError",
@@ -48,10 +53,12 @@ class InfeasibleError(ReproError):
     failed; see :class:`repro.core.feasibility.FeasibilityReport`.
     """
 
-    def __init__(self, message: str, violations: list | None = None):
+    def __init__(
+        self, message: str, violations: Sequence["Violation"] | None = None
+    ) -> None:
         super().__init__(message)
         #: Structured description of the constraint failures, if available.
-        self.violations = violations or []
+        self.violations: list["Violation"] = list(violations or [])
 
 
 class SolverError(ReproError):

@@ -31,13 +31,13 @@ between heuristics, feasibility analyses, and worker processes.
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from .exceptions import ModelError
+from .types import FloatArray, FloatArrayLike, IntVectorLike
 
 __all__ = [
     "WORTH_FACTORS",
@@ -92,7 +92,7 @@ class Network:
 
     __slots__ = ("bandwidth", "n_machines", "_inv_bandwidth", "_avg_inv_bandwidth")
 
-    def __init__(self, bandwidth: np.ndarray):
+    def __init__(self, bandwidth: FloatArrayLike) -> None:
         bw = np.asarray(bandwidth, dtype=float).copy()
         if bw.ndim != 2 or bw.shape[0] != bw.shape[1]:
             raise ModelError(f"bandwidth must be a square matrix, got shape {bw.shape}")
@@ -120,7 +120,7 @@ class Network:
         self._avg_inv_bandwidth = float(inv.sum() / (self.n_machines**2))
 
     @property
-    def inv_bandwidth(self) -> np.ndarray:
+    def inv_bandwidth(self) -> FloatArray:
         """``1 / w`` matrix; zero where bandwidth is infinite."""
         return self._inv_bandwidth
 
@@ -208,11 +208,11 @@ class AppString:
         worth: float,
         period: float,
         max_latency: float,
-        comp_times: np.ndarray,
-        cpu_utils: np.ndarray,
-        output_sizes: np.ndarray,
+        comp_times: FloatArrayLike,
+        cpu_utils: FloatArrayLike,
+        output_sizes: FloatArrayLike,
         name: str = "",
-    ):
+    ) -> None:
         ct = np.asarray(comp_times, dtype=float).copy()
         cu = np.asarray(cpu_utils, dtype=float).copy()
         os_ = np.asarray(output_sizes, dtype=float).copy()
@@ -274,21 +274,21 @@ class AppString:
         return self.comp_times.shape[1]
 
     @property
-    def avg_comp_times(self) -> np.ndarray:
+    def avg_comp_times(self) -> FloatArray:
         """``t_av^k[i]`` (eq. 8): per-application mean over machines."""
         return self._avg_comp_times
 
     @property
-    def avg_cpu_utils(self) -> np.ndarray:
+    def avg_cpu_utils(self) -> FloatArray:
         """``u_av^k[i]`` (eq. 9): per-application mean over machines."""
         return self._avg_cpu_utils
 
     @property
-    def work(self) -> np.ndarray:
+    def work(self) -> FloatArray:
         """CPU work ``t^k[i, j] * u^k[i, j]`` per data set (``(n, M)``)."""
         return self._work
 
-    def computational_intensity(self) -> np.ndarray:
+    def computational_intensity(self) -> FloatArray:
         """``t_av[i] * u_av[i] / P[k]`` for each application.
 
         This is the quantity the IMR uses (step 1 / step 4b) to pick the
@@ -297,7 +297,7 @@ class AppString:
         return self._avg_comp_times * self._avg_cpu_utils / self.period
 
     def nominal_path_time(
-        self, machines: Sequence[int], network: Network
+        self, machines: IntVectorLike, network: Network
     ) -> float:
         """Unshared end-to-end time of the string under ``machines``.
 
@@ -357,7 +357,7 @@ class SystemModel:
         network: Network,
         strings: Sequence[AppString],
         machines: Sequence[Machine] | None = None,
-    ):
+    ) -> None:
         if machines is None:
             machines = [Machine(j) for j in range(network.n_machines)]
         machines = list(machines)
@@ -406,7 +406,7 @@ class SystemModel:
         The strings are *re-identified* consecutively, so allocations do
         not transfer between the parent and subset models.
         """
-        new_strings = []
+        new_strings: list[AppString] = []
         for new_id, k in enumerate(string_ids):
             s = self.strings[k]
             new_strings.append(

@@ -1,0 +1,48 @@
+"""Epsilon-safe floating-point comparison helpers.
+
+Every feasibility quantity in the paper is an accumulated float — machine
+utilization (eq. 2) sums per-application loads, route utilization (eq. 3)
+sums transfer fractions, and the latency bound (eq. 4) chains eq. (5)/(6)
+estimates — so its bit pattern depends on summation order.  Raw ``==`` /
+``!=`` against such quantities is therefore representation-dependent, and
+rule RPR001 of :mod:`repro.quality` bans it across the codebase.  These
+helpers are the sanctioned replacement; they share their default
+tolerances with :data:`repro.core.feasibility.DEFAULT_TOL` so "equal for
+comparison purposes" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ABS_TOL", "REL_TOL", "isclose", "is_zero"]
+
+#: Default relative tolerance, matching the feasibility analysis
+#: (:data:`repro.core.feasibility.DEFAULT_TOL`).
+REL_TOL = 1e-9
+
+#: Default absolute tolerance; needed for comparisons against zero, where
+#: a relative tolerance alone never matches.
+ABS_TOL = 1e-12
+
+
+def isclose(
+    a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL
+) -> bool:
+    """Whether ``a`` and ``b`` are equal up to accumulation noise.
+
+    Thin wrapper over :func:`math.isclose` with the project-wide default
+    tolerances.  Symmetric in its arguments and safe near zero (the
+    absolute tolerance handles the ``b == 0`` case that defeats purely
+    relative comparison).
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(x: float, *, abs_tol: float = ABS_TOL) -> bool:
+    """Whether ``x`` is zero up to accumulation noise.
+
+    Comparison against zero uses an absolute tolerance only — a relative
+    tolerance is meaningless when the reference value is 0.0.
+    """
+    return abs(x) <= abs_tol

@@ -32,7 +32,6 @@ from-scratch analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 
@@ -41,7 +40,8 @@ from .exceptions import AllocationError
 from .feasibility import DEFAULT_TOL
 from .metrics import Fitness
 from .model import SystemModel
-from .tightness import priority_key, relative_tightness
+from .tightness import priority_key
+from .types import IntArray, IntVectorLike
 
 __all__ = ["AllocationState", "RejectionReason"]
 
@@ -69,7 +69,7 @@ class RejectionReason:
 class _StringRecord:
     """Cached per-string quantities for a mapped string."""
 
-    machines: np.ndarray
+    machines: IntArray
     key: tuple[float, int]
     period: float
     max_latency: float
@@ -98,7 +98,7 @@ class AllocationState:
         in :mod:`repro.core.feasibility`).
     """
 
-    def __init__(self, model: SystemModel, tol: float = DEFAULT_TOL):
+    def __init__(self, model: SystemModel, tol: float = DEFAULT_TOL) -> None:
         self.model = model
         self.tol = tol
         M = model.n_machines
@@ -128,7 +128,7 @@ class AllocationState:
     def total_worth(self) -> float:
         return self._worth
 
-    def machines_for(self, string_id: int) -> np.ndarray:
+    def machines_for(self, string_id: int) -> IntArray:
         return self._records[string_id].machines
 
     def __contains__(self, string_id: int) -> bool:
@@ -159,7 +159,9 @@ class AllocationState:
 
     # -- string profiling -------------------------------------------------------
 
-    def _profile(self, string_id: int, machines: Sequence[int]) -> _StringRecord:
+    def _profile(
+        self, string_id: int, machines: IntVectorLike
+    ) -> _StringRecord:
         """Compute all per-resource quantities of a candidate assignment."""
         s = self.model.strings[string_id]
         net = self.model.network
@@ -220,7 +222,7 @@ class AllocationState:
 
     # -- the core operation -----------------------------------------------------
 
-    def try_add(self, string_id: int, machines: Sequence[int]) -> bool:
+    def try_add(self, string_id: int, machines: IntVectorLike) -> bool:
         """Add a string if the resulting mapping stays feasible.
 
         Runs the two-stage feasibility analysis incrementally.  On

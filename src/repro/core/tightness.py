@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from .model import AppString, Network
+from .types import IntArray, IntVectorLike
 
 __all__ = [
     "relative_tightness",
@@ -39,7 +40,7 @@ __all__ = [
 
 
 def relative_tightness(
-    string: AppString, machines: Sequence[int], network: Network
+    string: AppString, machines: IntVectorLike, network: Network
 ) -> float:
     """Eq. (4): nominal end-to-end time over ``Lmax`` for an assignment.
 
@@ -81,7 +82,7 @@ def priority_key(tightness: float, string_id: int) -> tuple[float, int]:
 
 def tightness_rank_order(
     tightness_values: Sequence[float], descending: bool = True
-) -> np.ndarray:
+) -> IntArray:
     """Indices that sort strings by tightness (ties by lower index first).
 
     With ``descending=True`` (the default) the tightest string comes

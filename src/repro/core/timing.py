@@ -36,13 +36,11 @@ they agree to machine precision.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from .allocation import Allocation
-from .model import Network, SystemModel
 from .tightness import priority_key, relative_tightness
+from .types import FloatArray
 from .utilization import string_machine_load, string_route_load
 
 __all__ = [
@@ -68,8 +66,8 @@ class StringTiming:
     __slots__ = ("string_id", "comp_times", "tran_times")
 
     def __init__(
-        self, string_id: int, comp_times: np.ndarray, tran_times: np.ndarray
-    ):
+        self, string_id: int, comp_times: FloatArray, tran_times: FloatArray
+    ) -> None:
         self.string_id = string_id
         self.comp_times = comp_times
         self.tran_times = tran_times
@@ -103,7 +101,7 @@ def estimated_comp_times_literal(
     allocation: Allocation,
     string_id: int,
     tightness: dict[int, float] | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Eq. (5) exactly as printed (O(A * n) per application).
 
     Reference implementation used for testing the aggregated estimator;
@@ -137,7 +135,7 @@ def estimated_tran_times_literal(
     allocation: Allocation,
     string_id: int,
     tightness: dict[int, float] | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Eq. (6) exactly as printed (reference implementation)."""
     model = allocation.model
     net = model.network
@@ -179,22 +177,22 @@ class TimingEstimator:
         at construction time.
     """
 
-    def __init__(self, allocation: Allocation):
+    def __init__(self, allocation: Allocation) -> None:
         model = allocation.model
         self.allocation = allocation
         self.model = model
         self.tightness = _tightness_map(allocation)
         # Per-string per-machine CPU-share loads (eq. 2 contributions)
         # and per-route loads (eq. 3 contributions).
-        self._machine_load: dict[int, np.ndarray] = {}
-        self._route_load: dict[int, np.ndarray] = {}
+        self._machine_load: dict[int, FloatArray] = {}
+        self._route_load: dict[int, FloatArray] = {}
         for k in allocation:
             s = model.strings[k]
             m = allocation.machines_for(k)
             self._machine_load[k] = string_machine_load(s, m)
             self._route_load[k] = string_route_load(s, m, model.network)
 
-    def _interference(self, string_id: int) -> tuple[np.ndarray, np.ndarray]:
+    def _interference(self, string_id: int) -> tuple[FloatArray, FloatArray]:
         """Summed loads of all strictly-higher-priority strings.
 
         Returns ``(H_machine, H_route)``: a length-``M`` vector and an

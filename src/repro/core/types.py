@@ -1,0 +1,29 @@
+"""Shared static-typing aliases for the core math.
+
+The feasibility equations move three kinds of values around: float
+vectors/matrices (times, utilizations, bandwidths), integer assignment
+vectors (machine index per application), and caller-supplied array-likes
+that get coerced through :func:`numpy.asarray`.  Naming them once keeps
+the ``mypy --strict`` annotations on the math readable and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["FloatArray", "FloatArrayLike", "IntArray", "IntVectorLike"]
+
+#: A float-valued ndarray of any shape (times, utilizations, loads).
+FloatArray = npt.NDArray[np.floating[Any]]
+
+#: An integer-valued ndarray (machine assignments, sort orders).
+IntArray = npt.NDArray[np.integer[Any]]
+
+#: Anything :func:`numpy.asarray` turns into a float array.
+FloatArrayLike = npt.ArrayLike
+
+#: A machine-assignment vector: one machine index per application.
+IntVectorLike = Union[Sequence[int], IntArray]

@@ -24,12 +24,11 @@ used by the incremental allocation state.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from .allocation import Allocation
-from .model import AppString, Network, SystemModel
+from .model import AppString, Network
+from .types import FloatArray, IntVectorLike
 
 __all__ = [
     "string_machine_load",
@@ -41,8 +40,8 @@ __all__ = [
 
 
 def string_machine_load(
-    string: AppString, machines: Sequence[int]
-) -> np.ndarray:
+    string: AppString, machines: IntVectorLike
+) -> FloatArray:
     """Per-machine average CPU share demanded by one string.
 
     Returns a length-``M`` vector whose ``j``-th entry is
@@ -63,8 +62,8 @@ def string_machine_load(
 
 
 def string_route_load(
-    string: AppString, machines: Sequence[int], network: Network
-) -> np.ndarray:
+    string: AppString, machines: IntVectorLike, network: Network
+) -> FloatArray:
     """Per-route utilization contributed by one string (eq. 3 numerator).
 
     Returns an ``(M, M)`` matrix whose ``(j1, j2)`` entry is
@@ -84,7 +83,7 @@ def string_route_load(
     return load
 
 
-def machine_utilization(allocation: Allocation) -> np.ndarray:
+def machine_utilization(allocation: Allocation) -> FloatArray:
     """Eq. (2) for every machine: length-``M`` vector ``U_machine``."""
     model = allocation.model
     total = np.zeros(model.n_machines)
@@ -95,7 +94,7 @@ def machine_utilization(allocation: Allocation) -> np.ndarray:
     return total
 
 
-def route_utilization(allocation: Allocation) -> np.ndarray:
+def route_utilization(allocation: Allocation) -> FloatArray:
     """Eq. (3) for every route: ``(M, M)`` matrix ``U_route``.
 
     The diagonal (intra-machine) is identically zero.
@@ -118,7 +117,7 @@ class UtilizationSnapshot:
 
     __slots__ = ("machine", "route")
 
-    def __init__(self, machine: np.ndarray, route: np.ndarray):
+    def __init__(self, machine: FloatArray, route: FloatArray) -> None:
         self.machine = machine
         self.route = route
 

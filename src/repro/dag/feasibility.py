@@ -26,7 +26,7 @@ import numpy as np
 from ..core.exceptions import AllocationError
 from ..core.feasibility import DEFAULT_TOL, Violation
 from ..core.tightness import priority_key
-from .model import DagString, DagSystem
+from .model import DagSystem
 
 __all__ = ["DagFeasibilityReport", "dag_tightness", "analyze_dag"]
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Sequence
 
 import numpy as np
 

@@ -16,7 +16,6 @@ sweep so the reproduction can confirm (or bound) them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..analysis.stats import ConfidenceInterval, mean_ci
 from ..core.exceptions import ModelError
+from ..core.numeric import isclose
 from ..genitor import GenitorConfig, StoppingRules
 from ..heuristics import best_of_trials, get_heuristic
 from ..lp import upper_bound
@@ -73,7 +74,7 @@ class ExperimentScale:
 
     def apply(self, scenario: ScenarioParameters) -> ScenarioParameters:
         """Scenario with machines and strings scaled by ``size_factor``."""
-        if self.size_factor == 1.0:
+        if isclose(self.size_factor, 1.0):
             return scenario
         n_machines = max(2, round(scenario.n_machines * self.size_factor))
         n_strings = max(2, round(scenario.n_strings * self.size_factor))

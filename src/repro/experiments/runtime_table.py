@@ -19,7 +19,6 @@ import time
 from dataclasses import dataclass
 
 from ..analysis.tables import format_table
-from ..genitor import GenitorConfig
 from ..heuristics import get_heuristic
 from ..lp import upper_bound
 from ..workload import SCENARIO_1, ScenarioParameters, generate_model

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.numeric import isclose
+
 __all__ = ["biased_rank", "selection_probabilities"]
 
 
@@ -43,7 +45,7 @@ def biased_rank(
     if not 1.0 <= bias <= 2.0:
         raise ValueError(f"bias must be in [1, 2], got {bias}")
     u = rng.random()
-    if bias == 1.0:
+    if isclose(bias, 1.0):
         idx = int(n * u)
     else:
         idx = int(

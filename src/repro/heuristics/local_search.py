@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.metrics import Fitness
 from ..core.model import SystemModel
 from ..core.state import AllocationState
 from .base import HeuristicResult, timed_section

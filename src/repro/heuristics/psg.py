@@ -16,6 +16,8 @@ knobs are exposed here (``config`` and :func:`best_of_trials`).
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 import numpy as np
 
 from ..core.metrics import Fitness
@@ -120,11 +122,11 @@ def seeded_psg(
 
 
 def best_of_trials(
-    heuristic,
+    heuristic: Callable[..., HeuristicResult],
     model: SystemModel,
     n_trials: int,
     rng: np.random.Generator | int | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> HeuristicResult:
     """Best result over independent trials (the paper uses four).
 

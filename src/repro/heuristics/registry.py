@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..core.model import SystemModel
 from .base import HeuristicResult
 from .baselines import (
     best_random_order,

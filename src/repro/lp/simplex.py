@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from ..core.exceptions import SolverError
+from ..core.numeric import is_zero
 from .formulation import LPProblem
 
 __all__ = ["simplex_min", "solve_dense_lp", "SimplexResult", "SIZE_GUARD"]
@@ -195,7 +196,7 @@ def _standardize(
     for v in range(n):
         lo, hi = problem.bounds[v]
         terms: list[tuple[int, float]] = []
-        if lo is not None and lo == 0.0:
+        if lo is not None and is_zero(lo):
             terms.append((col_count, 1.0))
             col_count += 1
             if hi is not None:

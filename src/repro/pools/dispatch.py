@@ -24,7 +24,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.exceptions import AllocationError
 from ..core.state import AllocationState
 from .model import PooledSystem
 

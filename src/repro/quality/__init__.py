@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the reproduction codebase.
+
+This subpackage is tooling *about* the library rather than part of the
+paper's math: an AST-based lint engine whose rules (RPR001-RPR006)
+enforce the invariants the feasibility analysis and the DES validation
+depend on — epsilon-safe float comparison, injected seeded randomness,
+frozen model objects, fully-typed public math APIs, loud failures, and
+audited package surfaces.  See ``docs/quality.md`` for the rule catalog
+and rationale.
+
+Use it from the command line (``repro lint src/repro``) or as a library::
+
+    from repro.quality import lint_paths
+    report = lint_paths(["src/repro"])
+    assert report.ok, [f.render() for f in report.findings]
+"""
+
+from .baseline import Baseline, BaselineError
+from .engine import (
+    LintEngine,
+    LintReport,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+from .findings import Finding, Severity
+from .rules import ALL_RULE_IDS, RULES, Rule, RuleContext, register
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "register",
+]

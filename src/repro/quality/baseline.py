@@ -1,0 +1,93 @@
+"""Baseline (grandfather) support for incremental lint adoption.
+
+A baseline is a committed JSON file of findings that existed when a rule
+was introduced.  ``repro lint --baseline FILE`` subtracts them from the
+report so new code is held to the rules immediately while legacy debt is
+burned down separately.  Entries match on ``(path, rule, message)`` —
+deliberately *not* on line numbers, so unrelated edits above a
+grandfathered finding do not resurrect it.  Matching is count-aware: two
+identical legacy findings consume two baseline entries.
+
+The shipped repository carries **no baseline entries** — the codebase is
+clean under every rule — but the mechanism is part of the engine's
+contract for downstream forks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed or has an unsupported version."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted ``(path, rule, message)`` triples."""
+
+    entries: Counter[tuple[str, str, str]] = field(default_factory=Counter)
+
+    @staticmethod
+    def _key(finding: Finding) -> tuple[str, str, str]:
+        return (finding.path, finding.rule_id, finding.message)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=Counter(cls._key(f) for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"unsupported baseline format in {path}; expected version "
+                f"{_FORMAT_VERSION}"
+            )
+        entries: Counter[tuple[str, str, str]] = Counter()
+        for row in data.get("entries", []):
+            try:
+                key = (str(row["path"]), str(row["rule"]), str(row["message"]))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(f"malformed baseline entry: {row!r}") from exc
+            entries[key] += int(row.get("count", 1))
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        rows = [
+            {"path": p, "rule": r, "message": m, "count": n}
+            for (p, r, m), n in sorted(self.entries.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": rows}
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int]:
+        """Split findings into (new, n_baselined) consuming entries."""
+        remaining = Counter(self.entries)
+        kept: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = self._key(finding)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        return kept, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,216 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is importable (``LintEngine``/:func:`lint_paths` /
+:func:`lint_source`) and drives the ``repro lint`` CLI subcommand.  It
+parses each file once, runs every enabled rule over the shared AST, then
+filters findings through two suppression layers:
+
+* inline ``# repro: noqa`` / ``# repro: noqa[RPR001,RPR004]`` comments on
+  the offending line, and
+* an optional committed baseline (see :mod:`repro.quality.baseline`) for
+  grandfathering findings during incremental adoption.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .baseline import Baseline
+from .findings import Finding
+from .rules import RULES, Rule, RuleContext
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hypothesis",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".mypy_cache",
+        "build",
+        "dist",
+    }
+)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, walking up through ``__init__.py``s.
+
+    Falls back to the bare stem for a file outside any package — rules
+    scoped by package (RPR004, RPR006) then simply do not apply.
+    """
+    parts: list[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules)."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                token.strip().upper()
+                for token in rules.split(",")
+                if token.strip()
+            )
+    return suppressions
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: tuple[Finding, ...]
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Mapping[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+
+@dataclass
+class LintEngine:
+    """Run a set of rules over files or in-memory source.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; defaults to the full registry.
+    baseline:
+        Previously-accepted findings to filter out (incremental adoption).
+    """
+
+    rules: Sequence[Rule] = field(
+        default_factory=lambda: tuple(RULES[rid] for rid in sorted(RULES))
+    )
+    baseline: Baseline | None = None
+
+    def lint_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        module: str | None = None,
+    ) -> list[Finding]:
+        """Lint a source string; ``module`` controls package-scoped rules."""
+        if module is None:
+            module = module_name_for(Path(path)) if path != "<string>" else ""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule_id="RPR000",
+                    message=f"syntax error: {exc.msg}",
+                    hint="file could not be parsed; no rules were run",
+                )
+            ]
+        ctx = RuleContext(path=path, module=module, tree=tree, source=source)
+        raw = [f for rule in self.rules for f in rule.check(ctx)]
+        suppressions = _noqa_map(source)
+        kept: list[Finding] = []
+        for finding in raw:
+            allowed = suppressions.get(finding.line, frozenset())
+            if allowed is None or (allowed and finding.rule_id in allowed):
+                continue
+            kept.append(finding)
+        return sorted(kept)
+
+    def lint_file(self, path: str | Path) -> list[Finding]:
+        file_path = Path(path)
+        source = file_path.read_text(encoding="utf-8")
+        return self.lint_source(source, path=str(file_path))
+
+    def run(self, paths: Iterable[str | Path]) -> LintReport:
+        """Lint every python file under ``paths`` and apply the baseline."""
+        findings: list[Finding] = []
+        suppressed = 0
+        files = 0
+        for file_path in iter_python_files(paths):
+            files += 1
+            source = file_path.read_text(encoding="utf-8")
+            raw = self.lint_source(source, path=str(file_path))
+            findings.extend(raw)
+        baselined = 0
+        if self.baseline is not None:
+            findings, baselined = self.baseline.filter(findings)
+        return LintReport(
+            findings=tuple(sorted(findings)),
+            suppressed=suppressed,
+            baselined=baselined,
+            files_checked=files,
+        )
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Functional entry point: lint ``paths`` with ``rules`` (default all)."""
+    engine = LintEngine(baseline=baseline)
+    if rules is not None:
+        engine = LintEngine(rules=tuple(rules), baseline=baseline)
+    return engine.run(paths)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Functional entry point: lint one source string."""
+    engine = LintEngine() if rules is None else LintEngine(rules=tuple(rules))
+    return engine.lint_source(source, path=path, module=module)

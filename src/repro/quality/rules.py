@@ -1,0 +1,644 @@
+"""Domain-specific static-analysis rules for the reproduction codebase.
+
+Each rule encodes an invariant that the feasibility math (eqs. 1-7 of the
+paper) and the deterministic-replay property of the DES validator depend
+on.  Rules are AST visitors registered in :data:`RULES`; the engine runs
+every enabled rule over every file and collects :class:`~repro.quality.findings.Finding`s.
+
+The six shipped rules:
+
+``RPR001``
+    No ``==`` / ``!=`` on computed floating-point quantities — feasibility
+    thresholds (eq. 4), slackness (eq. 7) and LP pivots must use the
+    epsilon helpers in :mod:`repro.core.numeric`.
+``RPR002``
+    No unseeded module-level randomness (``random.*``,
+    ``np.random.<sampler>``) — all randomness flows through an injected
+    :class:`numpy.random.Generator` so runs replay bit-identically.
+``RPR003``
+    No mutable default arguments, and no ``object.__setattr__`` escape
+    hatch on frozen model objects outside ``__post_init__``.
+``RPR004``
+    Public functions in ``core``/``heuristics``/``genitor``/``des`` must
+    carry complete type annotations (every parameter and the return).
+``RPR005``
+    No bare ``except:`` and no silently-swallowed exceptions.
+``RPR006``
+    Every ``repro.*`` package ``__init__`` must declare ``__all__`` and
+    keep it consistent with the names it actually binds.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "RULES",
+    "FloatEqualityRule",
+    "FrozenModelRule",
+    "MissingAnnotationsRule",
+    "PublicApiRule",
+    "Rule",
+    "RuleContext",
+    "SilentExceptionRule",
+    "UnseededRandomnessRule",
+    "register",
+]
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str = ""
+
+    def in_packages(self, packages: tuple[str, ...]) -> bool:
+        """Whether this module lives under any of the dotted ``packages``."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+
+class Rule:
+    """Base class for a lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one parsed module.  Rules must be stateless
+    across files — the engine reuses a single instance.
+    """
+
+    rule_id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: RuleContext, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+            hint=hint,
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by id) to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls()
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — float equality
+# ---------------------------------------------------------------------------
+
+_FLOAT_MATH_CALLS = frozenset(
+    {"sqrt", "exp", "log", "log2", "log10", "mean", "std", "var", "dot", "sum"}
+)
+
+
+def _is_float_valued(node: ast.expr) -> bool:
+    """Conservatively: does ``node`` evaluate to a computed float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        return _is_float_valued(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_float_valued(node.left) or _is_float_valued(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _FLOAT_MATH_CALLS:
+            return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """``==`` / ``!=`` against computed floats breaks feasibility math.
+
+    Eq. (4)'s latency bound and eq. (7)'s slackness are accumulated in
+    floating point; exact comparison against them (or against float
+    literals such as ``x == 1.0``) is representation-dependent.  Use
+    :func:`repro.core.numeric.isclose` / ``is_zero`` instead.
+    """
+
+    rule_id = "RPR001"
+    summary = "no float == / != on computed quantities"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_float_valued(left) or _is_float_valued(right):
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"floating-point `{sym}` comparison on a computed "
+                        "quantity",
+                        hint="use repro.core.numeric.isclose / is_zero",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve which local names refer to `random` / `numpy` / `numpy.random`."""
+
+    def __init__(self) -> None:
+        self.stdlib_random: set[str] = set()
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.banned_direct: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.stdlib_random.add(bound)
+            elif alias.name == "numpy.random" and alias.asname:
+                self.numpy_random.add(bound)
+            elif alias.name.split(".")[0] == "numpy":
+                self.numpy.add(bound)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_ALLOWED:
+                    self.banned_direct.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                self.banned_direct.add(alias.asname or alias.name)
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    """Module-level RNG calls bypass the injected ``Generator``.
+
+    The DES validation (Section 7) and the GENITOR convergence results
+    are only reproducible because every stochastic choice flows through a
+    seeded :class:`numpy.random.Generator` handed down the call stack.
+    ``random.random()`` or ``np.random.rand()`` consult hidden global
+    state and silently break deterministic replay.
+    """
+
+    rule_id = "RPR002"
+    summary = "no unseeded module-level randomness"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        tracker = _ImportTracker()
+        tracker.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in tracker.banned_direct:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to module-level RNG `{func.id}`",
+                        hint="inject a numpy.random.Generator instead",
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # random.<fn>(...)
+            if (
+                isinstance(base, ast.Name)
+                and base.id in tracker.stdlib_random
+                and func.attr not in {"Random", "SystemRandom"}
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to stdlib `random.{func.attr}` (hidden global "
+                    "state)",
+                    hint="inject a numpy.random.Generator instead",
+                )
+                continue
+            # np.random.<fn>(...) or <numpy_random_alias>.<fn>(...)
+            is_np_random = (
+                isinstance(base, ast.Name) and base.id in tracker.numpy_random
+            ) or (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in tracker.numpy
+            )
+            if is_np_random and func.attr not in _NP_RANDOM_ALLOWED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to legacy `numpy.random.{func.attr}` global RNG",
+                    hint="inject a numpy.random.Generator instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — frozen-model discipline
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+)
+_SETATTR_OK_SCOPES = frozenset({"__post_init__", "__init__", "__setstate__"})
+
+
+def _is_mutable_default(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class FrozenModelRule(Rule):
+    """Aliased mutable state corrupts the frozen system model.
+
+    :class:`repro.core.model.SystemModel` and friends are frozen so that
+    an :class:`~repro.core.allocation.Allocation` can be shared between
+    heuristics, the GENITOR population and the DES without defensive
+    copies.  Mutable default arguments alias state across calls, and
+    ``object.__setattr__`` outside ``__post_init__`` defeats the freeze.
+    """
+
+    rule_id = "RPR003"
+    summary = "no mutable defaults / no frozen-object mutation"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.func_stack: list[str] = []
+
+            def _check_defaults(
+                self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+            ) -> None:
+                defaults = [*node.args.defaults, *node.args.kw_defaults]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        assert default is not None
+                        findings.append(
+                            rule.finding(
+                                ctx,
+                                default,
+                                "mutable default argument aliases state "
+                                "across calls",
+                                hint="default to None and construct inside",
+                            )
+                        )
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._check_defaults(node)
+                self.func_stack.append(node.name)
+                self.generic_visit(node)
+                self.func_stack.pop()
+
+            def visit_AsyncFunctionDef(
+                self, node: ast.AsyncFunctionDef
+            ) -> None:
+                self._check_defaults(node)
+                self.func_stack.append(node.name)
+                self.generic_visit(node)
+                self.func_stack.pop()
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                self._check_defaults(node)
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "object"
+                    and not (
+                        self.func_stack
+                        and self.func_stack[-1] in _SETATTR_OK_SCOPES
+                    )
+                ):
+                    findings.append(
+                        rule.finding(
+                            ctx,
+                            node,
+                            "object.__setattr__ mutates a frozen model "
+                            "object outside __post_init__",
+                            hint="use dataclasses.replace to derive a new "
+                            "instance",
+                        )
+                    )
+                self.generic_visit(node)
+
+        Visitor().visit(ctx.tree)
+        yield from findings
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — complete annotations on the math-bearing packages
+# ---------------------------------------------------------------------------
+
+
+@register
+class MissingAnnotationsRule(Rule):
+    """Public functions in the math-bearing packages must be fully typed.
+
+    ``core`` implements eqs. 1-7, and ``heuristics``/``genitor``/``des``
+    consume them; an untyped boundary is where a period (seconds) gets
+    passed where a utilization (fraction) is expected.  Every public
+    function in those packages must annotate every parameter and its
+    return type so ``mypy --strict`` can police the units end to end.
+    """
+
+    rule_id = "RPR004"
+    summary = "public functions in core/heuristics/genitor/des fully typed"
+    packages: ClassVar[tuple[str, ...]] = (
+        "repro.core",
+        "repro.heuristics",
+        "repro.genitor",
+        "repro.des",
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages(self.packages):
+            return
+        yield from self._scan(ctx, ctx.tree.body, class_private=False)
+
+    def _scan(
+        self,
+        ctx: RuleContext,
+        body: list[ast.stmt],
+        class_private: bool,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                private = class_private or stmt.name.startswith("_")
+                yield from self._scan(ctx, stmt.body, class_private=private)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if class_private or stmt.name.startswith("_"):
+                    continue
+                yield from self._check_signature(ctx, stmt)
+
+    def _check_signature(
+        self, ctx: RuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        missing: list[str] = []
+        for i, arg in enumerate(positional):
+            if i == 0 and arg.arg in {"self", "cls"}:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                missing.append(f"*{star.arg}")
+        if missing:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function `{node.name}` missing parameter "
+                f"annotations: {', '.join(missing)}",
+                hint="annotate every parameter",
+            )
+        if node.returns is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"public function `{node.name}` missing return annotation",
+                hint="annotate the return type (-> None if procedural)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — no silent exception swallowing
+# ---------------------------------------------------------------------------
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: list[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in names:
+        name = expr.id if isinstance(expr, ast.Name) else (
+            expr.attr if isinstance(expr, ast.Attribute) else ""
+        )
+        if name in {"Exception", "BaseException"}:
+            return True
+    return False
+
+
+@register
+class SilentExceptionRule(Rule):
+    """Swallowed exceptions turn infeasible allocations into wrong answers.
+
+    The feasibility pipeline (eq. 4 latency check, eq. 6 utilization
+    check) signals violated constraints by raising; a bare ``except:`` or
+    a broad handler whose body is ``pass`` converts "this allocation is
+    invalid" into "this allocation is fine".  Handlers must name the
+    exception type and either act on it or re-raise.
+    """
+
+    rule_id = "RPR005"
+    summary = "no bare except / silent exception swallowing"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` catches SystemExit and hides real "
+                    "failures",
+                    hint="catch a specific exception type",
+                )
+                continue
+            body_is_silent = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+            if body_is_silent and _catches_broadly(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "broad exception handler silently swallows the error",
+                    hint="handle, log, or re-raise",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — __all__ hygiene in packages
+# ---------------------------------------------------------------------------
+
+
+@register
+class PublicApiRule(Rule):
+    """``__all__`` must exist and match the names a package binds.
+
+    The public surface of each ``repro.*`` package is its contract with
+    the experiment drivers and the CLI; a re-export that drifts out of
+    ``__all__`` (or a stale entry pointing at nothing) is an API change
+    nobody reviewed.  Underscore-prefixed bindings stay private.
+    """
+
+    rule_id = "RPR006"
+    summary = "__all__ present and consistent in every repro package"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.path.replace("\\", "/").endswith("__init__.py"):
+            return
+        if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
+            return
+        declared: set[str] | None = None
+        declared_node: ast.stmt | None = None
+        bound: dict[str, ast.stmt] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                if "__all__" in targets:
+                    declared_node = stmt
+                    declared = self._string_elements(stmt.value)
+                    continue
+                for name in targets:
+                    bound[name] = stmt
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    if stmt.target.id == "__all__":
+                        declared_node = stmt
+                        declared = (
+                            self._string_elements(stmt.value)
+                            if stmt.value is not None
+                            else set()
+                        )
+                        continue
+                    bound[stmt.target.id] = stmt
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound[stmt.name] = stmt
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    bound[alias.asname or alias.name] = stmt
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound[alias.asname or alias.name.split(".")[0]] = stmt
+        if declared is None:
+            yield self.finding(
+                ctx,
+                declared_node or ctx.tree,
+                "package __init__ does not declare __all__",
+                hint="add __all__ listing the public API",
+            )
+            return
+        public = {name for name in bound if not name.startswith("_")}
+        for name in sorted(declared - set(bound)):
+            yield self.finding(
+                ctx,
+                declared_node or ctx.tree,
+                f"__all__ lists `{name}` but the package never binds it",
+                hint="remove the stale entry or import the name",
+            )
+        for name in sorted(public - declared):
+            yield self.finding(
+                ctx,
+                bound[name],
+                f"public name `{name}` is bound but missing from __all__",
+                hint="add it to __all__ or rename with a leading underscore",
+            )
+
+    @staticmethod
+    def _string_elements(node: ast.expr) -> set[str]:
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return {
+                elt.value
+                for elt in node.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+        return set()
+
+
+# Keep a stable, importable view of the registry for the CLI/docs.
+ALL_RULE_IDS: tuple[str, ...] = tuple(sorted(RULES))

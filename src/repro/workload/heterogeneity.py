@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.exceptions import ModelError
-from ..core.model import AppString, Network, SystemModel
+from ..core.model import AppString, SystemModel
 from .generator import generate_network, generate_string
 from .parameters import ScenarioParameters
 

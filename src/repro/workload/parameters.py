@@ -16,7 +16,7 @@ matches 2005-era networking usage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..core.exceptions import ModelError
 

@@ -1,0 +1,78 @@
+"""Boundary behavior of the shared tolerance helpers (repro.core.numeric).
+
+These back the RPR001 fix sites: bias == 1.0 (genitor/bias.py),
+size_factor == 1.0 (experiments/runner.py), and lower-bound == 0
+(lp/simplex.py)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.numeric import ABS_TOL, REL_TOL, is_zero, isclose
+
+
+def test_exact_equality_is_close():
+    assert isclose(1.0, 1.0)
+    assert isclose(0.0, 0.0)
+
+
+def test_accumulated_rounding_is_close():
+    # 0.1 * 3 != 0.3 exactly — the motivating case for RPR001
+    assert 0.1 * 3 != 0.3
+    assert isclose(0.1 * 3, 0.3)
+
+
+def test_one_ulp_apart_is_close():
+    x = 1.0
+    assert isclose(x, math.nextafter(x, 2.0))
+
+
+def test_clearly_different_values_are_not_close():
+    assert not isclose(1.0, 1.0 + 1e-6)
+    assert not isclose(0.0, 1e-9)
+
+
+def test_relative_tolerance_scales_with_magnitude():
+    big = 1e12
+    assert isclose(big, big * (1 + REL_TOL / 2))
+    assert not isclose(big, big * (1 + 10 * REL_TOL))
+
+
+def test_abs_tol_covers_near_zero():
+    # relative tolerance alone would reject anything vs exactly 0.0
+    assert isclose(0.0, ABS_TOL / 2)
+    assert not isclose(0.0, ABS_TOL * 10)
+
+
+def test_custom_tolerances_are_honored():
+    assert isclose(1.0, 1.01, rel_tol=0.1)
+    assert not isclose(1.0, 1.01, rel_tol=1e-3)
+    assert isclose(0.0, 0.5, abs_tol=1.0)
+
+
+def test_is_zero_boundaries():
+    assert is_zero(0.0)
+    assert is_zero(ABS_TOL)  # inclusive boundary
+    assert is_zero(-ABS_TOL)
+    assert not is_zero(ABS_TOL * 2)
+    assert not is_zero(1e-6)
+
+
+def test_is_zero_custom_tolerance():
+    assert is_zero(0.5, abs_tol=1.0)
+    assert not is_zero(0.5, abs_tol=0.1)
+
+
+def test_bias_boundary_replay():
+    # the exact comparison RPR001 replaced at genitor/bias.py:46
+    bias = 0.8 + 0.2  # accumulates rounding error
+    assert isclose(bias, 1.0)
+
+
+def test_simplex_zero_lower_bound_replay():
+    # the exact comparison RPR001 replaced at lp/simplex.py:198
+    lo = 1.0 - 1.0
+    assert is_zero(lo)
+    lo_noisy = 0.1 + 0.2 - 0.3  # ~5.5e-17, still "zero" for bounds
+    assert lo_noisy != 0.0
+    assert is_zero(lo_noisy)

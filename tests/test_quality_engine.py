@@ -1,0 +1,284 @@
+"""Engine-level behavior: discovery, baselines, CLI, and — most
+importantly — the guarantee that the live codebase is clean under every
+rule with zero baseline entries."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.quality import (
+    ALL_RULE_IDS,
+    RULES,
+    Baseline,
+    BaselineError,
+    Finding,
+    LintEngine,
+    Severity,
+    lint_paths,
+    lint_source,
+)
+from repro.quality.engine import iter_python_files, module_name_for
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+# ---------------------------------------------------------------------------
+# the headline guarantee
+# ---------------------------------------------------------------------------
+
+
+def test_live_codebase_is_clean_under_all_rules():
+    """The shipped source passes every RPR rule with no baseline."""
+    report = lint_paths([SRC_REPRO])
+    assert report.files_checked > 50
+    assert report.baselined == 0
+    assert report.findings == (), "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.ok
+
+
+def test_registry_exposes_exactly_the_six_documented_rules():
+    assert sorted(RULES) == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+    ]
+    assert ALL_RULE_IDS == tuple(sorted(RULES))
+    for rule_id, rule in RULES.items():
+        assert rule.rule_id == rule_id
+        assert rule.summary
+
+
+# ---------------------------------------------------------------------------
+# discovery and module resolution
+# ---------------------------------------------------------------------------
+
+
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.py").write_text("")
+    (tmp_path / "notes.txt").write_text("not python")
+    found = list(iter_python_files([tmp_path]))
+    assert [p.name for p in found] == ["mod.py"]
+
+
+def test_iter_python_files_accepts_single_files(tmp_path):
+    target = tmp_path / "one.py"
+    target.write_text("x = 1\n")
+    assert list(iter_python_files([target])) == [target]
+
+
+def test_module_name_for_walks_packages(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "timing.py").write_text("")
+    assert module_name_for(pkg / "timing.py") == "repro.core.timing"
+    assert module_name_for(pkg / "__init__.py") == "repro.core"
+
+
+def test_module_name_for_bare_file(tmp_path):
+    script = tmp_path / "script.py"
+    script.write_text("")
+    assert module_name_for(script) == "script"
+
+
+# ---------------------------------------------------------------------------
+# engine behavior
+# ---------------------------------------------------------------------------
+
+
+def test_syntax_error_becomes_rpr000_finding():
+    found = lint_source("def broken(:\n")
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR000"
+    assert "syntax error" in found[0].message
+
+
+def test_findings_are_sorted_by_position():
+    src = (
+        "import random\n"
+        "def f(x: float, acc=[]) -> bool:\n"
+        "    random.seed(0)\n"
+        "    return x == 1.0\n"
+    )
+    found = lint_source(src)
+    assert found == sorted(found)
+    assert [f.rule_id for f in found] == ["RPR003", "RPR002", "RPR001"]
+
+
+def test_finding_render_and_to_dict_round_trip():
+    finding = Finding(
+        path="a.py", line=3, col=7, rule_id="RPR001",
+        message="float equality", hint="use isclose",
+    )
+    text = finding.render()
+    assert "a.py:3:7" in text and "RPR001" in text and "isclose" in text
+    data = finding.to_dict()
+    assert data["rule"] == "RPR001"
+    assert data["severity"] == Severity.ERROR.value
+    json.dumps(data)  # must be JSON-serializable as-is
+
+
+def test_engine_run_counts_files(tmp_path):
+    (tmp_path / "good.py").write_text("x = 1\n")
+    (tmp_path / "bad.py").write_text("y = 1.0\nz = y == 2.0\n")
+    report = LintEngine().run([tmp_path])
+    assert report.files_checked == 2
+    assert len(report.findings) == 1
+    assert report.by_rule() == {"RPR001": 1}
+    assert not report.ok
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def _finding(message: str = "m", path: str = "a.py", line: int = 1) -> Finding:
+    return Finding(
+        path=path, line=line, col=1, rule_id="RPR001", message=message
+    )
+
+
+def test_baseline_round_trip(tmp_path):
+    baseline = Baseline.from_findings([_finding(), _finding(), _finding("n")])
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    assert len(loaded) == 3
+
+
+def test_baseline_filter_is_count_aware():
+    baseline = Baseline.from_findings([_finding()])
+    kept, n = baseline.filter([_finding(line=1), _finding(line=9)])
+    # one entry absorbs one of the two identical findings; line is ignored
+    assert n == 1
+    assert len(kept) == 1
+
+
+def test_baseline_does_not_match_different_rule_or_message():
+    baseline = Baseline.from_findings([_finding("other message")])
+    kept, n = baseline.filter([_finding()])
+    assert n == 0 and len(kept) == 1
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(BaselineError):
+        Baseline.load(target)
+
+
+def test_engine_applies_baseline(tmp_path):
+    bad = tmp_path / "legacy.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    first = LintEngine().run([tmp_path])
+    baseline = Baseline.from_findings(first.findings)
+    second = LintEngine(baseline=baseline).run([tmp_path])
+    assert second.ok
+    assert second.baselined == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(*argv: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_clean_tree_exits_zero():
+    proc = _run_cli(str(SRC_REPRO))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_findings_exit_one(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    proc = _run_cli(str(bad))
+    assert proc.returncode == 1
+    assert "RPR001" in proc.stdout
+
+
+def test_cli_json_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    proc = _run_cli(str(bad), "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "RPR001"
+
+
+def test_cli_select_limits_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    proc = _run_cli(str(bad), "--select", "RPR005")
+    assert proc.returncode == 0
+
+
+def test_cli_unknown_rule_is_usage_error(tmp_path):
+    proc = _run_cli(str(tmp_path), "--select", "RPR999")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_cli_empty_select_is_usage_error(tmp_path):
+    # an empty selection must not silently lint with zero rules
+    proc = _run_cli(str(tmp_path), "--select", "")
+    assert proc.returncode == 2
+    assert "at least one rule" in proc.stderr
+
+
+def test_cli_missing_path_is_usage_error(tmp_path):
+    proc = _run_cli(str(tmp_path / "nope"))
+    assert proc.returncode == 2
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in proc.stdout
+
+
+def test_cli_write_and_consume_baseline(tmp_path):
+    bad = tmp_path / "legacy.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    baseline_file = tmp_path / "baseline.json"
+    wrote = _run_cli(
+        str(bad), "--baseline", str(baseline_file), "--write-baseline"
+    )
+    assert wrote.returncode == 0
+    assert baseline_file.exists()
+    replay = _run_cli(str(bad), "--baseline", str(baseline_file))
+    assert replay.returncode == 0
+    assert "1 baselined" in replay.stdout
+
+
+def test_module_entry_point_matches_subcommand():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.quality", str(SRC_REPRO)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout

@@ -1,0 +1,417 @@
+"""Each RPR rule fires on a minimal bad fixture and stays quiet on the
+equivalent clean code.
+
+Every positive fixture is engineered to trigger its rule *exactly once*
+so a regression that doubles (or silences) a rule is caught precisely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quality import RULES, lint_source
+
+#: module name that puts fixtures inside the packages RPR004 polices.
+CORE_MOD = "repro.core.fixture"
+#: module name outside any policed package.
+OUTSIDE_MOD = "somepkg.fixture"
+
+
+def findings_for(source: str, rule_id: str, module: str = CORE_MOD):
+    """Run one rule over a fixture and return its findings."""
+    return lint_source(source, module=module, rules=[RULES[rule_id]])
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — float equality
+# ---------------------------------------------------------------------------
+
+RPR001_BAD = """\
+def f(x: float) -> bool:
+    return x == 1.0
+"""
+
+RPR001_CLEAN = """\
+from repro.core.numeric import isclose
+
+def f(x: float) -> bool:
+    return isclose(x, 1.0)
+"""
+
+
+def test_rpr001_fires_once_on_float_literal_eq():
+    found = findings_for(RPR001_BAD, "RPR001")
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR001"
+    assert found[0].line == 2
+    assert "isclose" in found[0].hint
+
+
+def test_rpr001_clean_fixture_passes():
+    assert findings_for(RPR001_CLEAN, "RPR001") == []
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        "a / b == c",  # division result compared exactly
+        "x != 0.5",  # != against a float literal
+        "float(s) == t",  # float() call
+        "np.sqrt(x) == y",  # math call heuristic
+        "-1.0 == x",  # unary minus over a float literal
+    ],
+)
+def test_rpr001_flags_computed_float_comparisons(expr):
+    src = f"def f(a, b, c, x, y, s, t, np):\n    return {expr}\n"
+    assert len(findings_for(src, "RPR001")) == 1
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        "n == 3",  # int comparison is exact and fine
+        "name == 'x'",  # strings unaffected
+        "a <= 1.0",  # ordering comparisons are fine
+        "a is None",  # identity untouched
+    ],
+)
+def test_rpr001_ignores_exact_comparisons(expr):
+    src = f"def f(n, name, a):\n    return {expr}\n"
+    assert findings_for(src, "RPR001") == []
+
+
+def test_rpr001_chained_comparison_flags_each_float_link():
+    src = "def f(a, b):\n    return a == b == 1.0\n"
+    # a == b is unknown-type (not flagged); b == 1.0 is flagged.
+    assert len(findings_for(src, "RPR001")) == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+RPR002_BAD = """\
+import numpy as np
+
+def sample() -> float:
+    return np.random.rand()
+"""
+
+RPR002_CLEAN = """\
+import numpy as np
+
+def sample(rng: np.random.Generator) -> float:
+    return rng.random()
+"""
+
+
+def test_rpr002_fires_once_on_np_random_rand():
+    found = findings_for(RPR002_BAD, "RPR002")
+    assert len(found) == 1
+    assert "Generator" in found[0].hint
+
+
+def test_rpr002_clean_fixture_passes():
+    assert findings_for(RPR002_CLEAN, "RPR002") == []
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        "import random\nx = random.random()\n",
+        "import random as rnd\nx = rnd.randint(0, 5)\n",
+        "import numpy as np\nx = np.random.shuffle([1])\n",
+        "from numpy.random import rand\nx = rand()\n",
+        "from numpy import random as npr\nx = npr.uniform()\n",
+        "import numpy.random as nr\nx = nr.choice([1])\n",
+    ],
+)
+def test_rpr002_flags_module_level_rng(src):
+    assert len(findings_for(src, "RPR002")) == 1
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        # the sanctioned construction path
+        "import numpy as np\nrng = np.random.default_rng(3)\n",
+        # annotations / instance methods on an injected generator
+        "import numpy as np\ndef f(rng: np.random.Generator) -> float:\n"
+        "    return rng.random()\n",
+        # explicit seeding machinery
+        "import numpy as np\nss = np.random.SeedSequence(7)\n",
+        # a local variable that merely shares the name
+        "def f(random):\n    return random.choice([1])\n",
+    ],
+)
+def test_rpr002_allows_injected_generators(src):
+    assert findings_for(src, "RPR002") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — frozen-model discipline
+# ---------------------------------------------------------------------------
+
+RPR003_BAD = """\
+def extend(items, acc=[]):
+    acc.extend(items)
+    return acc
+"""
+
+RPR003_CLEAN = """\
+def extend(items, acc=None):
+    acc = list(acc or ())
+    acc.extend(items)
+    return acc
+"""
+
+
+def test_rpr003_fires_once_on_mutable_default():
+    found = findings_for(RPR003_BAD, "RPR003")
+    assert len(found) == 1
+    assert "mutable default" in found[0].message
+
+
+def test_rpr003_clean_fixture_passes():
+    assert findings_for(RPR003_CLEAN, "RPR003") == []
+
+
+@pytest.mark.parametrize(
+    "sig",
+    ["a={}", "a=set()", "a=list()", "a=dict()", "*, a=[]"],
+)
+def test_rpr003_flags_all_mutable_default_shapes(sig):
+    src = f"def f({sig}):\n    return a\n"
+    assert len(findings_for(src, "RPR003")) == 1
+
+
+def test_rpr003_flags_setattr_outside_post_init():
+    src = (
+        "class C:\n"
+        "    def poke(self, v):\n"
+        "        object.__setattr__(self, 'x', v)\n"
+    )
+    found = findings_for(src, "RPR003")
+    assert len(found) == 1
+    assert "__setattr__" in found[0].message
+
+
+def test_rpr003_allows_setattr_in_post_init():
+    src = (
+        "class C:\n"
+        "    def __post_init__(self):\n"
+        "        object.__setattr__(self, 'x', 1)\n"
+    )
+    assert findings_for(src, "RPR003") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — annotations in the math-bearing packages
+# ---------------------------------------------------------------------------
+
+RPR004_BAD = """\
+def estimate(period, count: int) -> float:
+    return period * count
+"""
+
+RPR004_CLEAN = """\
+def estimate(period: float, count: int) -> float:
+    return period * count
+"""
+
+
+def test_rpr004_fires_once_on_missing_param_annotation():
+    found = findings_for(RPR004_BAD, "RPR004")
+    assert len(found) == 1
+    assert "period" in found[0].message
+
+
+def test_rpr004_clean_fixture_passes():
+    assert findings_for(RPR004_CLEAN, "RPR004") == []
+
+
+def test_rpr004_missing_return_annotation_is_flagged():
+    src = "def f(x: int):\n    return x\n"
+    found = findings_for(src, "RPR004")
+    assert len(found) == 1
+    assert "return annotation" in found[0].message
+
+
+def test_rpr004_only_applies_to_math_packages():
+    assert findings_for(RPR004_BAD, "RPR004", module=OUTSIDE_MOD) == []
+
+
+def test_rpr004_skips_private_and_nested_functions():
+    src = (
+        "def _helper(x):\n"
+        "    def inner(y):\n"
+        "        return y\n"
+        "    return inner(x)\n"
+        "class _Private:\n"
+        "    def method(self, z):\n"
+        "        return z\n"
+    )
+    assert findings_for(src, "RPR004") == []
+
+
+def test_rpr004_checks_public_methods_of_public_classes():
+    src = (
+        "class Estimator:\n"
+        "    def predict(self, x):\n"
+        "        return x\n"
+    )
+    # one finding for params, one for the missing return annotation
+    assert len(findings_for(src, "RPR004")) == 2
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — silent exception swallowing
+# ---------------------------------------------------------------------------
+
+RPR005_BAD = """\
+def run(job):
+    try:
+        job()
+    except:
+        pass
+"""
+
+RPR005_CLEAN = """\
+def run(job):
+    try:
+        job()
+    except ValueError as exc:
+        raise RuntimeError("job failed") from exc
+"""
+
+
+def test_rpr005_fires_once_on_bare_except():
+    found = findings_for(RPR005_BAD, "RPR005")
+    assert len(found) == 1
+    assert "bare" in found[0].message
+
+
+def test_rpr005_clean_fixture_passes():
+    assert findings_for(RPR005_CLEAN, "RPR005") == []
+
+
+def test_rpr005_flags_broad_silent_handler():
+    src = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+    assert len(findings_for(src, "RPR005")) == 1
+
+
+def test_rpr005_allows_narrow_or_acting_handlers():
+    src = (
+        "import logging\n"
+        "try:\n"
+        "    x = 1\n"
+        "except KeyError:\n"
+        "    pass\n"  # narrow type: allowed even if silent
+        "try:\n"
+        "    y = 2\n"
+        "except Exception:\n"
+        "    logging.exception('boom')\n"  # broad but acts: allowed
+    )
+    assert findings_for(src, "RPR005") == []
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — __all__ hygiene
+# ---------------------------------------------------------------------------
+
+RPR006_BAD = """\
+from .engine import run
+
+__all__ = []
+"""
+
+RPR006_CLEAN = """\
+from .engine import run
+
+__all__ = ["run"]
+"""
+
+
+def rpr006(source: str, module: str = "repro.fixturepkg"):
+    return lint_source(
+        source,
+        path="src/repro/fixturepkg/__init__.py",
+        module=module,
+        rules=[RULES["RPR006"]],
+    )
+
+
+def test_rpr006_fires_once_on_unexported_public_name():
+    found = rpr006(RPR006_BAD)
+    assert len(found) == 1
+    assert "run" in found[0].message
+
+
+def test_rpr006_clean_fixture_passes():
+    assert rpr006(RPR006_CLEAN) == []
+
+
+def test_rpr006_missing_dunder_all_is_flagged():
+    assert len(rpr006("from .engine import run\n")) == 1
+
+
+def test_rpr006_stale_entry_is_flagged():
+    found = rpr006('__all__ = ["ghost"]\n')
+    assert len(found) == 1
+    assert "ghost" in found[0].message
+
+
+def test_rpr006_underscore_names_stay_private():
+    src = 'from .engine import run as _run\n\n__all__: list[str] = []\n'
+    assert rpr006(src) == []
+
+
+def test_rpr006_ignores_non_init_modules():
+    found = lint_source(
+        RPR006_BAD,
+        path="src/repro/fixturepkg/engine.py",
+        module="repro.fixturepkg.engine",
+        rules=[RULES["RPR006"]],
+    )
+    assert found == []
+
+
+def test_rpr006_ignores_packages_outside_repro():
+    found = lint_source(
+        RPR006_BAD,
+        path="src/other/__init__.py",
+        module="other",
+        rules=[RULES["RPR006"]],
+    )
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# noqa suppression
+# ---------------------------------------------------------------------------
+
+
+def test_noqa_with_rule_id_suppresses_only_that_rule():
+    src = "def f(x: float) -> bool:\n    return x == 1.0  # repro: noqa[RPR001]\n"
+    assert lint_source(src, module=CORE_MOD) == []
+
+
+def test_noqa_bare_suppresses_every_rule_on_the_line():
+    src = "def f(x, acc=[]):  # repro: noqa\n    return acc\n"
+    assert lint_source(src, module=OUTSIDE_MOD) == []
+
+
+def test_noqa_other_rule_id_does_not_suppress():
+    src = "def f(x: float) -> bool:\n    return x == 1.0  # repro: noqa[RPR005]\n"
+    found = lint_source(src, module=CORE_MOD, rules=[RULES["RPR001"]])
+    assert len(found) == 1
+
+
+def test_noqa_on_other_line_does_not_suppress():
+    src = (
+        "# repro: noqa[RPR001]\n"
+        "def f(x: float) -> bool:\n"
+        "    return x == 1.0\n"
+    )
+    found = lint_source(src, module=CORE_MOD, rules=[RULES["RPR001"]])
+    assert len(found) == 1
