@@ -6,9 +6,11 @@ Subcommands cover the full paper workflow:
 * ``repro table1`` / ``fig2`` / ``fig3`` / ``fig4`` / ``fig5`` /
   ``runtime`` — regenerate each evaluation artifact at a chosen scale;
 * ``repro ablate {bias,seeding,stop-rule}`` — the Section-5 ablations;
+* ``repro survivability`` — worth retained after random resource
+  faults, per heuristic and recovery policy;
 * ``repro generate`` / ``allocate`` / ``evaluate`` / ``ub`` /
-  ``surge`` / ``simulate`` — the single-instance workflow on JSON
-  model/allocation files.
+  ``surge`` / ``inject`` / ``simulate`` — the single-instance workflow
+  on JSON model/allocation files.
 
 Every command prints plain text to stdout and is deterministic for a
 given ``--seed``.
@@ -35,9 +37,11 @@ from .experiments import (
     run_fig2,
     run_figure,
     run_runtime_table,
+    run_survivability,
     seeding_ablation,
     stop_rule_ablation,
 )
+from .faults import available_policies, parse_fault, recover_from_events
 from .heuristics import available, get_heuristic
 from .io_utils import (
     load_allocation,
@@ -87,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-ub", action="store_true",
                        help="skip the LP upper bound")
         p.add_argument("--workers", type=int, default=1)
+        p.add_argument("--run-timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds")
+        p.add_argument("--checkpoint", default=None,
+                       help="JSON checkpoint path (resume after a kill)")
 
     p = sub.add_parser("runtime", help="heuristic runtime comparison")
     _add_scale(p)
@@ -105,6 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worth retained vs uniform workload surge, per heuristic",
     )
     _add_scale(p)
+
+    p = sub.add_parser(
+        "survivability",
+        help=(
+            "worth retained after k random resource faults, per "
+            "heuristic and recovery policy"
+        ),
+    )
+    _add_scale(p)
+    p.add_argument("--scenario", default="1", help="1 | 2 | 3")
+    p.add_argument("--heuristics", default="mwf,tf",
+                   help=f"comma-separated; any of: {', '.join(available())}")
+    p.add_argument(
+        "--policies", default="shed,repair,remap-mwf",
+        help=f"comma-separated; any of: {', '.join(available_policies())}",
+    )
+    p.add_argument("--faults", type=int, default=3,
+                   help="faults sampled per run (kind-diverse)")
+    p.add_argument("--seed", type=int, default=9_000)
 
     p = sub.add_parser(
         "report", help="regenerate every paper artifact into one document"
@@ -150,6 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True)
     p.add_argument("--allocation", required=True)
 
+    p = sub.add_parser(
+        "inject",
+        help="apply fault events to an allocation and recover",
+    )
+    p.add_argument("--model", required=True)
+    p.add_argument("--allocation", required=True)
+    p.add_argument(
+        "--fault", action="append", required=True, dest="fault_specs",
+        help=(
+            "repeatable; machine:J | route:A-B | degrade-machine:J:F | "
+            "degrade-route:A-B:F | zone:J[:A-B,...]"
+        ),
+    )
+    p.add_argument(
+        "--policy", default="repair",
+        help=f"one of: {', '.join(available_policies())}",
+    )
+    p.add_argument("-o", "--output", default=None,
+                   help="write the recovered allocation JSON here")
+
     p = sub.add_parser("simulate", help="discrete-event validation run")
     p.add_argument("--model", required=True)
     p.add_argument("--allocation", required=True)
@@ -172,6 +219,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         compute_ub=not args.no_ub,
         n_workers=args.workers,
+        run_timeout=args.run_timeout,
+        checkpoint=args.checkpoint,
     )
     print(result.chart())
     print()
@@ -179,6 +228,46 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     print()
     print(f"heuristics below UB: {result.heuristics_below_ub()}")
     print(f"evolutionary dominates: {result.evolutionary_dominates()}")
+    for failure in result.outcome.failures:
+        print(
+            f"run {failure.run_index} (seed {failure.seed}) failed: "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+    return 0 if result.outcome.complete else 1
+
+
+def _cmd_survivability(args: argparse.Namespace) -> int:
+    out = run_survivability(
+        scenario=get_scenario(args.scenario),
+        scale=args.scale,
+        heuristics=tuple(args.heuristics.split(",")),
+        policies=tuple(args.policies.split(",")),
+        n_faults=args.faults,
+        base_seed=args.seed,
+    )
+    print("Sampled fault scenarios (one per run):")
+    for i, description in enumerate(out["faults"]):
+        print(f"  run {i}: {description.splitlines()[-1]}")
+    print()
+    print(out["table"])
+    print()
+    print("Critical machines (worth lost when each fails alone, shed):")
+    print(out["criticality_table"])
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    allocation = load_allocation(args.allocation, model)
+    events = [parse_fault(spec) for spec in args.fault_specs]
+    outcome = recover_from_events(allocation, events, args.policy)
+    print(outcome.injection.describe())
+    print()
+    print(outcome.summary())
+    if args.output:
+        save_allocation(outcome.allocation, args.output)
+        print(f"recovered allocation written to {args.output}")
     return 0
 
 
@@ -258,6 +347,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         out = run_surge_curves(scale=args.scale)
         print(out["table"])
         return 0
+    if args.command == "survivability":
+        return _cmd_survivability(args)
+    if args.command == "inject":
+        return _cmd_inject(args)
     if args.command == "report":
         report = full_report(scale=args.scale)
         text = report.to_markdown()

@@ -15,23 +15,28 @@ from .ablations import (
 )
 from .convergence import ConvergenceTrace, run_convergence
 from .fig2 import FIG2_CASES, Fig2Case, build_case_model, run_fig2
+from .checkpoint import ExperimentCheckpoint
 from .figures import FIGURES, FigureResult, fig3, fig4, fig5, run_figure
 from .runner import (
     SCALES,
     ExperimentConfig,
     ExperimentOutcome,
     ExperimentScale,
+    RunFailure,
     RunRecord,
+    RunTimeoutError,
     run_experiment,
 )
 from .report import ReportSection, ReproductionReport, full_report
 from .runtime_table import RuntimeRow, run_runtime_table
 from .surge_curve import SurgeCurve, run_surge_curves
+from .survivability import SurvivabilityCell, run_survivability
 from .table1 import render_table1, table1_rows
 
 __all__ = [
     "FIG2_CASES",
     "FIGURES",
+    "ExperimentCheckpoint",
     "ExperimentConfig",
     "ExperimentOutcome",
     "ConvergenceTrace",
@@ -40,9 +45,12 @@ __all__ = [
     "FigureResult",
     "ReportSection",
     "ReproductionReport",
+    "RunFailure",
     "RunRecord",
+    "RunTimeoutError",
     "RuntimeRow",
     "SurgeCurve",
+    "SurvivabilityCell",
     "SCALES",
     "bias_sweep",
     "build_case_model",
@@ -59,6 +67,7 @@ __all__ = [
     "run_figure",
     "run_runtime_table",
     "run_surge_curves",
+    "run_survivability",
     "seeding_ablation",
     "stop_rule_ablation",
     "table1_rows",

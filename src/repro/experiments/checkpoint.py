@@ -1,0 +1,173 @@
+"""JSON checkpointing for multi-run experiments.
+
+A ``paper``-scale experiment takes hours in pure Python; a killed
+process should not forfeit the finished runs.  The runner appends each
+completed :class:`~repro.experiments.runner.RunRecord` to a JSON
+checkpoint (atomic replace, so a kill mid-write cannot corrupt it) and,
+on restart with the same config, resumes from the completed set.
+
+The checkpoint stores a SHA-256 fingerprint of the experiment
+configuration (scenario, heuristics, scale, metric, seeds).  Resuming
+against a checkpoint written by a *different* configuration raises
+:class:`~repro.core.exceptions.ModelError` — silently mixing records
+from two protocols would poison the statistics.
+
+Failed runs are intentionally **not** persisted: on resume they are
+retried, which is exactly what you want after fixing whatever crashed
+or hung them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..core.exceptions import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import ExperimentConfig, RunRecord
+
+__all__ = [
+    "ExperimentCheckpoint",
+    "config_fingerprint",
+    "record_from_dict",
+    "record_to_dict",
+]
+
+_SCHEMA = "repro/experiment-checkpoint-v1"
+
+
+def config_fingerprint(config: "ExperimentConfig") -> str:
+    """Stable hash of everything that defines the run protocol."""
+    payload = {
+        "scenario": dataclasses.asdict(config.scenario),
+        "heuristics": list(config.heuristics),
+        "scale": dataclasses.asdict(config.scale),
+        "metric": config.metric,
+        "compute_ub": config.compute_ub,
+        "ub_objective": config.ub_objective,
+        "base_seed": config.base_seed,
+        "bias": config.bias,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def record_to_dict(record: "RunRecord") -> dict[str, Any]:
+    """Encode one run record as JSON-compatible data."""
+    return {
+        "run_index": record.run_index,
+        "seed": record.seed,
+        "results": {
+            name: list(values) for name, values in record.results.items()
+        },
+        "ub_value": record.ub_value,
+        "ub_runtime": record.ub_runtime,
+    }
+
+
+def record_from_dict(data: dict[str, Any]) -> "RunRecord":
+    """Decode :func:`record_to_dict` output."""
+    from .runner import RunRecord
+
+    return RunRecord(
+        run_index=int(data["run_index"]),
+        seed=int(data["seed"]),
+        results={
+            name: (
+                float(v[0]), float(v[1]), float(v[2]), int(v[3])
+            )
+            for name, v in data["results"].items()
+        },
+        ub_value=(
+            None if data.get("ub_value") is None else float(data["ub_value"])
+        ),
+        ub_runtime=(
+            None
+            if data.get("ub_runtime") is None
+            else float(data["ub_runtime"])
+        ),
+    )
+
+
+class ExperimentCheckpoint:
+    """Append-style checkpoint bound to one experiment configuration.
+
+    Use :meth:`open` to create-or-resume; every :meth:`add` rewrites
+    the file atomically (records per experiment number in the hundreds,
+    so a full rewrite per run is cheap next to the run itself).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: str,
+        records: list["RunRecord"] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.records: list[RunRecord] = list(records or [])
+
+    @classmethod
+    def open(
+        cls, path: str | Path, config: "ExperimentConfig"
+    ) -> "ExperimentCheckpoint":
+        """Load an existing checkpoint, or start a fresh (empty) one.
+
+        Raises :class:`ModelError` when the file exists but was written
+        by a different configuration or is not a checkpoint document.
+        """
+        path = Path(path)
+        fingerprint = config_fingerprint(config)
+        if not path.exists():
+            return cls(path, fingerprint)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ModelError(
+                f"cannot read experiment checkpoint {path}: {exc}"
+            ) from exc
+        if data.get("schema") != _SCHEMA:
+            raise ModelError(
+                f"{path} is not a {_SCHEMA} document "
+                f"(schema={data.get('schema')!r})"
+            )
+        if data.get("fingerprint") != fingerprint:
+            raise ModelError(
+                f"checkpoint {path} was written by a different experiment "
+                "configuration; delete it (or point --checkpoint elsewhere) "
+                "to start over"
+            )
+        n_runs = config.scale.n_runs
+        records = [
+            record_from_dict(r)
+            for r in data.get("records", [])
+            if int(r["run_index"]) < n_runs
+        ]
+        return cls(path, fingerprint, records)
+
+    @property
+    def completed_indices(self) -> frozenset[int]:
+        return frozenset(r.run_index for r in self.records)
+
+    def add(self, record: "RunRecord") -> None:
+        """Record one completed run and flush to disk atomically."""
+        self.records.append(record)
+        self.flush()
+
+    def flush(self) -> None:
+        payload = {
+            "schema": _SCHEMA,
+            "fingerprint": self.fingerprint,
+            "records": [
+                record_to_dict(r)
+                for r in sorted(self.records, key=lambda r: r.run_index)
+            ],
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path)

@@ -126,6 +126,8 @@ def run_figure(
     base_seed: int = 1_000,
     compute_ub: bool = True,
     n_workers: int = 1,
+    run_timeout: float | None = None,
+    checkpoint: str | None = None,
 ) -> FigureResult:
     """Regenerate one of Figures 3–5.
 
@@ -142,6 +144,10 @@ def run_figure(
     compute_ub:
         Skip the LP bound when False (it dominates smoke-scale runtime
         for scenario 1–2 sizes).
+    run_timeout, checkpoint:
+        Crash-safety knobs, forwarded to
+        :func:`~repro.experiments.runner.run_experiment` — per-run
+        wall-clock budget and JSON checkpoint path for kill/resume.
     """
     try:
         spec = _SPECS[figure]
@@ -160,7 +166,12 @@ def run_figure(
         ub_objective=spec["ub_objective"],
         base_seed=base_seed,
     )
-    outcome = run_experiment(config, n_workers=n_workers)
+    outcome = run_experiment(
+        config,
+        n_workers=n_workers,
+        run_timeout=run_timeout,
+        checkpoint=checkpoint,
+    )
     result = FigureResult(
         figure=figure,
         title=spec["title"],

@@ -1,6 +1,7 @@
 """One-shot reproduction report: every paper artifact, one document.
 
-:func:`full_report` regenerates Table 1, Figure 2, Figures 3–5, and the
+:func:`full_report` regenerates Table 1, Figure 2, Figures 3–5, the
+fault-survivability table, and the
 runtime comparison at a chosen scale and renders a single markdown
 document recording reproduced-vs-paper outcomes — the machinery behind
 EXPERIMENTS.md.  Each section states the paper's finding, the measured
@@ -16,6 +17,7 @@ from .figures import FIGURES, FigureResult, run_figure
 from .fig2 import run_fig2
 from .runner import SCALES, ExperimentScale
 from .runtime_table import run_runtime_table
+from .survivability import run_survivability
 from .table1 import render_table1
 
 __all__ = ["ReportSection", "ReproductionReport", "full_report"]
@@ -163,6 +165,34 @@ def full_report(
 
     for figure in FIGURES:
         report.sections.append(_figure_section(figure, scale, base_seed))
+
+    # Survivability under resource faults (the paper's shipboard
+    # motivation, made quantitative by repro.faults).
+    t0 = time.perf_counter()
+    surv = run_survivability(scale=scale, base_seed=base_seed + 8_000)
+    cells = surv["cells"]
+    heuristic_names = {h for h, _p in cells}
+    repair_beats_shed = all(
+        cells[(h, "repair")].retained.mean
+        >= cells[(h, "shed")].retained.mean - 1e-9
+        for h in heuristic_names
+        if (h, "repair") in cells and (h, "shed") in cells
+    )
+    report.sections.append(ReportSection(
+        artifact="Survivability under resource faults",
+        paper_finding=(
+            "The shipboard environment motivates allocations that keep "
+            "delivering worth when machines and routes are lost or "
+            "degraded (Sections 1, 4)."
+        ),
+        measured=surv["table"] + "\n\n" + surv["criticality_table"],
+        checks={
+            "repair retains at least as much worth as shed": (
+                repair_beats_shed
+            ),
+        },
+        seconds=time.perf_counter() - t0,
+    ))
 
     # Runtime comparison.
     t0 = time.perf_counter()

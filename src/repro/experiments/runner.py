@@ -14,14 +14,31 @@ suite), ``default`` (minutes), and ``paper`` (the full protocol).  Every
 random quantity derives from ``base_seed + run_index``, so any scale is
 exactly reproducible and heuristics are compared *paired* on identical
 workload instances.
+
+The engine is crash-safe for multi-hour runs:
+
+* parallel collection iterates ``as_completed`` (progress reports runs
+  as they actually finish, not in submission order) and wraps every
+  ``result()`` call — one crashed or killed worker becomes a
+  :class:`RunFailure` record instead of discarding the finished runs;
+* an optional per-run timeout (POSIX ``SIGALRM``) turns a hung run
+  into a recorded failure;
+* an optional JSON checkpoint (:mod:`repro.experiments.checkpoint`)
+  persists every completed run, so a killed experiment resumes from
+  its last completed record instead of starting over.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -32,12 +49,15 @@ from ..genitor import GenitorConfig, StoppingRules
 from ..heuristics import best_of_trials, get_heuristic
 from ..lp import upper_bound
 from ..workload import ScenarioParameters, generate_model
+from .checkpoint import ExperimentCheckpoint
 
 __all__ = [
     "ExperimentScale",
     "SCALES",
     "ExperimentConfig",
     "RunRecord",
+    "RunFailure",
+    "RunTimeoutError",
     "ExperimentOutcome",
     "run_experiment",
 ]
@@ -161,12 +181,65 @@ class RunRecord:
         return worth if metric == "worth" else slack
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """One run that crashed, hung past its timeout, or was lost with a
+    broken worker pool.  Failed runs are retried on a checkpoint resume."""
+
+    run_index: int
+    seed: int
+    error: str
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded the per-run wall-clock budget."""
+
+
+@contextmanager
+def _run_deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`RunTimeoutError` if the body runs past ``seconds``.
+
+    Implemented with ``SIGALRM``, so it interrupts hung pure-Python
+    loops (a long-running C call is only interrupted on return).  A
+    no-op when ``seconds`` is None, off the main thread, or on
+    platforms without ``SIGALRM`` (Windows).
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    if seconds <= 0:
+        raise ModelError(f"run timeout must be positive, got {seconds}")
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise RunTimeoutError(
+            f"run exceeded the {seconds:g}s per-run timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 @dataclass
 class ExperimentOutcome:
     """All runs of one experiment, with aggregation helpers."""
 
     config: ExperimentConfig
     records: list[RunRecord] = field(default_factory=list)
+    failures: list[RunFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Did every scheduled run produce a record?"""
+        return len(self.records) == self.config.scale.n_runs
 
     def metric_samples(self, name: str) -> np.ndarray:
         return np.array(
@@ -213,9 +286,16 @@ class ExperimentOutcome:
 
 
 def _run_one(
-    config: ExperimentConfig, run_index: int
+    config: ExperimentConfig,
+    run_index: int,
+    run_timeout: float | None = None,
 ) -> RunRecord:
     """Execute all heuristics (and the UB) on one sampled workload."""
+    with _run_deadline(run_timeout):
+        return _run_one_inner(config, run_index)
+
+
+def _run_one_inner(config: ExperimentConfig, run_index: int) -> RunRecord:
     seed = config.base_seed + run_index
     model = generate_model(config.effective_scenario(), seed=seed)
     ga_config = config.scale.genitor_config(bias=config.bias)
@@ -254,10 +334,20 @@ def _run_one(
     )
 
 
+def _failure_of(config: ExperimentConfig, run_index: int, exc: BaseException) -> RunFailure:
+    return RunFailure(
+        run_index=run_index,
+        seed=config.base_seed + run_index,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
 def run_experiment(
     config: ExperimentConfig,
     n_workers: int = 1,
     progress: Callable[[int, int], None] | None = None,
+    run_timeout: float | None = None,
+    checkpoint: str | Path | None = None,
 ) -> ExperimentOutcome:
     """Run the full multi-run protocol.
 
@@ -270,21 +360,82 @@ def run_experiment(
         1 keeps everything in-process, which is the right default on a
         single-core box and under pytest).
     progress:
-        Optional ``callback(done, total)`` fired after each run.
+        Optional ``callback(done, total)`` fired after each run is
+        attempted (completed or failed), counting completed-so-far +
+        failed-so-far as ``done``.
+    run_timeout:
+        Optional per-run wall-clock budget in seconds.  A run that
+        exceeds it becomes a :class:`RunFailure` instead of hanging the
+        whole experiment (POSIX main-thread only; see
+        :func:`_run_deadline`).
+    checkpoint:
+        Optional JSON checkpoint path.  Completed runs are persisted as
+        they finish; re-invoking with the same config and path resumes,
+        recomputing only missing or failed runs.
+
+    A crashed worker or a hung run produces a :class:`RunFailure` in
+    ``outcome.failures`` — already-finished records are never lost.
+    Inspect ``outcome.complete`` before trusting aggregates from a
+    partially failed experiment.
     """
     outcome = ExperimentOutcome(config=config)
     n = config.scale.n_runs
+    ckpt: ExperimentCheckpoint | None = None
+    if checkpoint is not None:
+        ckpt = ExperimentCheckpoint.open(checkpoint, config)
+        outcome.records.extend(ckpt.records)
+    done_indices = {r.run_index for r in outcome.records}
+    remaining = [r for r in range(n) if r not in done_indices]
+    done = len(done_indices)
+
+    def _attempted(record: RunRecord | None, failure: RunFailure | None) -> None:
+        nonlocal done
+        done += 1
+        if record is not None:
+            outcome.records.append(record)
+            if ckpt is not None:
+                ckpt.add(record)
+        if failure is not None:
+            outcome.failures.append(failure)
+        if progress is not None:
+            progress(done, n)
+
     if n_workers <= 1:
-        for r in range(n):
-            outcome.records.append(_run_one(config, r))
-            if progress is not None:
-                progress(r + 1, n)
+        for r in remaining:
+            try:
+                record = _run_one(config, r, run_timeout)
+            except Exception as exc:
+                _attempted(None, _failure_of(config, r, exc))
+            else:
+                _attempted(record, None)
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(_run_one, config, r) for r in range(n)]
-            for done, fut in enumerate(futures, start=1):
-                outcome.records.append(fut.result())
-                if progress is not None:
-                    progress(done, n)
-    outcome.records.sort(key=lambda r: r.run_index)
+            futures = {
+                pool.submit(_run_one, config, r, run_timeout): r
+                for r in remaining
+            }
+            for fut in as_completed(futures):
+                r = futures[fut]
+                try:
+                    record = fut.result()
+                except BrokenProcessPool as exc:
+                    # The pool died (worker killed / OOM): every pending
+                    # future resolves here, each becoming a failure.
+                    _attempted(
+                        None,
+                        _failure_of(
+                            config,
+                            r,
+                            RuntimeError(
+                                f"worker pool broke before run {r} "
+                                f"finished ({exc})"
+                            ),
+                        ),
+                    )
+                except Exception as exc:
+                    _attempted(None, _failure_of(config, r, exc))
+                else:
+                    _attempted(record, None)
+    outcome.records.sort(key=lambda rec: rec.run_index)
+    outcome.failures.sort(key=lambda f: f.run_index)
     return outcome

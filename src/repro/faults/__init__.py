@@ -1,0 +1,79 @@
+"""Fault injection and degraded-mode recovery.
+
+The paper's case for maximizing system slackness is a shipboard
+environment where resources — not just workloads — change without
+warning (Sections 1, 4).  This package models the resource side:
+
+* :mod:`repro.faults.events` — typed fault events (machine/route
+  failures, partial degradations, correlated damage zones) and their
+  normalized union;
+* :mod:`repro.faults.injector` — apply events to a
+  :class:`~repro.core.model.SystemModel`, producing an index-stable
+  masked model and the evicted strings;
+* :mod:`repro.faults.recovery` — respond with the drift-remapping
+  policies (shed / repair / full remap) and report worth retained,
+  strings moved, and residual slackness;
+* :mod:`repro.faults.scenarios` — random fault sampling with
+  guaranteed kind diversity;
+* :mod:`repro.faults.criticality` — per-machine worth-at-risk ranking.
+
+The multi-run survivability experiment lives in
+:mod:`repro.experiments.survivability`; the CLI surface is
+``repro survivability`` and ``repro inject``.
+"""
+
+from .criticality import MachineCriticality, critical_machines
+from .events import (
+    DamageZone,
+    FaultEvent,
+    FaultSet,
+    MachineDegradation,
+    MachineFailure,
+    Route,
+    RouteDegradation,
+    RouteFailure,
+    normalize_faults,
+    parse_fault,
+)
+from .injector import (
+    FaultInjection,
+    blocking_bandwidth,
+    inject,
+    touches_failed_resource,
+)
+from .recovery import (
+    RECOVERY_POLICIES,
+    RecoveryOutcome,
+    available_policies,
+    get_recovery_policy,
+    recover,
+    recover_from_events,
+)
+from .scenarios import FAULT_KINDS, sample_faults
+
+__all__ = [
+    "FAULT_KINDS",
+    "RECOVERY_POLICIES",
+    "DamageZone",
+    "FaultEvent",
+    "FaultInjection",
+    "FaultSet",
+    "MachineCriticality",
+    "MachineDegradation",
+    "MachineFailure",
+    "RecoveryOutcome",
+    "Route",
+    "RouteDegradation",
+    "RouteFailure",
+    "available_policies",
+    "blocking_bandwidth",
+    "critical_machines",
+    "get_recovery_policy",
+    "inject",
+    "normalize_faults",
+    "parse_fault",
+    "recover",
+    "recover_from_events",
+    "sample_faults",
+    "touches_failed_resource",
+]

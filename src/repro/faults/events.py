@@ -1,0 +1,378 @@
+"""Typed fault events for the shipboard fault-injection subsystem.
+
+The paper's motivation (Sections 1, 4) is an environment where "machines
+may fail" and resources can be lost without warning — a ship takes
+damage, a compartment floods, a switch burns out — yet a static
+allocation must retain as much mission worth as possible.  This module
+defines the vocabulary of such events:
+
+* :class:`MachineFailure` — a machine is lost outright; nothing can
+  execute on it.
+* :class:`RouteFailure` — one virtual point-to-point route is lost;
+  no transfer can use it.
+* :class:`MachineDegradation` — a machine survives at a fraction of its
+  nominal speed (e.g. thermal throttling, partial hardware loss).
+* :class:`RouteDegradation` — a route survives at a fraction of its
+  nominal bandwidth.
+* :class:`DamageZone` — the correlated case: physical damage takes out
+  a machine *and* every route incident to it, plus optional collateral
+  routes between other machines whose physical links ran through the
+  damaged zone.
+
+Events are pure declarations; :func:`normalize_faults` folds any
+sequence of them into a :class:`FaultSet` (failures dominate
+degradations, repeated degradations compound multiplicatively) which
+:mod:`repro.faults.injector` then applies to a
+:class:`~repro.core.model.SystemModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Mapping, Sequence
+
+from ..core.exceptions import ModelError
+from ..core.numeric import is_zero
+
+__all__ = [
+    "Route",
+    "FaultEvent",
+    "MachineFailure",
+    "RouteFailure",
+    "MachineDegradation",
+    "RouteDegradation",
+    "DamageZone",
+    "FaultSet",
+    "normalize_faults",
+    "parse_fault",
+]
+
+Route = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class for all fault events (never instantiated directly)."""
+
+    kind: ClassVar[str] = "abstract"
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.kind
+
+
+def _check_route(route: Route) -> None:
+    j1, j2 = route
+    if j1 < 0 or j2 < 0:
+        raise ModelError(f"route indices must be >= 0, got {route}")
+    if j1 == j2:
+        raise ModelError(
+            f"route {route} is intra-machine; intra-machine routes have "
+            "infinite bandwidth and cannot fail"
+        )
+
+
+def _check_capacity(capacity: float, what: str) -> None:
+    if not 0.0 < capacity <= 1.0:
+        raise ModelError(
+            f"{what} capacity must lie in (0, 1], got {capacity}"
+        )
+
+
+@dataclass(frozen=True)
+class MachineFailure(FaultEvent):
+    """Machine ``machine`` is lost outright."""
+
+    machine: int
+    kind: ClassVar[str] = "machine-failure"
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ModelError(
+                f"machine index must be >= 0, got {self.machine}"
+            )
+
+    def describe(self) -> str:
+        return f"machine {self.machine} failed"
+
+
+@dataclass(frozen=True)
+class RouteFailure(FaultEvent):
+    """The virtual route ``route[0] -> route[1]`` is lost."""
+
+    route: Route
+    kind: ClassVar[str] = "route-failure"
+
+    def __post_init__(self) -> None:
+        _check_route(self.route)
+
+    def describe(self) -> str:
+        return f"route {self.route[0]}->{self.route[1]} failed"
+
+
+@dataclass(frozen=True)
+class MachineDegradation(FaultEvent):
+    """Machine ``machine`` runs at ``capacity`` of its nominal speed.
+
+    Nominal execution times on the machine grow by ``1 / capacity``;
+    CPU utilizations, and therefore the *shape* of the sharing model,
+    stay fixed.
+    """
+
+    machine: int
+    capacity: float
+    kind: ClassVar[str] = "machine-degradation"
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ModelError(
+                f"machine index must be >= 0, got {self.machine}"
+            )
+        _check_capacity(self.capacity, "machine")
+
+    def describe(self) -> str:
+        return (
+            f"machine {self.machine} degraded to "
+            f"{self.capacity:.0%} capacity"
+        )
+
+
+@dataclass(frozen=True)
+class RouteDegradation(FaultEvent):
+    """Route ``route`` retains ``capacity`` of its nominal bandwidth."""
+
+    route: Route
+    capacity: float
+    kind: ClassVar[str] = "route-degradation"
+
+    def __post_init__(self) -> None:
+        _check_route(self.route)
+        _check_capacity(self.capacity, "route")
+
+    def describe(self) -> str:
+        return (
+            f"route {self.route[0]}->{self.route[1]} degraded to "
+            f"{self.capacity:.0%} bandwidth"
+        )
+
+
+@dataclass(frozen=True)
+class DamageZone(FaultEvent):
+    """Correlated damage: a machine, its routes, and collateral links.
+
+    The machine fails, every route incident to it fails with it, and
+    each ``collateral_routes`` entry (a route between *other* machines
+    whose physical link ran through the damaged zone) fails when
+    ``collateral_capacity`` is 0 or degrades to that capacity otherwise.
+    """
+
+    machine: int
+    collateral_routes: tuple[Route, ...] = field(default=())
+    collateral_capacity: float = 0.0
+    kind: ClassVar[str] = "damage-zone"
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ModelError(
+                f"machine index must be >= 0, got {self.machine}"
+            )
+        if not 0.0 <= self.collateral_capacity <= 1.0:
+            raise ModelError(
+                "collateral capacity must lie in [0, 1], got "
+                f"{self.collateral_capacity}"
+            )
+        for route in self.collateral_routes:
+            _check_route(route)
+
+    def describe(self) -> str:
+        extra = ""
+        if self.collateral_routes:
+            routes = ", ".join(
+                f"{a}->{b}" for a, b in self.collateral_routes
+            )
+            fate = (
+                "failed"
+                if is_zero(self.collateral_capacity)
+                else f"degraded to {self.collateral_capacity:.0%}"
+            )
+            extra = f"; collateral routes {routes} {fate}"
+        return f"damage zone around machine {self.machine}{extra}"
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Normalized union of a sequence of fault events.
+
+    ``machine_capacity`` / ``route_capacity`` carry the *surviving*
+    capacity fraction of degraded-but-alive resources; failed resources
+    never appear in them (failure dominates degradation).
+    """
+
+    failed_machines: frozenset[int]
+    failed_routes: frozenset[Route]
+    machine_capacity: Mapping[int, float]
+    route_capacity: Mapping[Route, float]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.failed_machines
+            or self.failed_routes
+            or self.machine_capacity
+            or self.route_capacity
+        )
+
+    def describe(self) -> str:
+        parts: list[str] = []
+        if self.failed_machines:
+            parts.append(
+                "failed machines: "
+                + ", ".join(str(j) for j in sorted(self.failed_machines))
+            )
+        if self.failed_routes:
+            parts.append(
+                "failed routes: "
+                + ", ".join(
+                    f"{a}->{b}" for a, b in sorted(self.failed_routes)
+                )
+            )
+        for j, cap in sorted(self.machine_capacity.items()):
+            parts.append(f"machine {j} at {cap:.0%}")
+        for (a, b), cap in sorted(self.route_capacity.items()):
+            parts.append(f"route {a}->{b} at {cap:.0%}")
+        return "; ".join(parts) if parts else "no faults"
+
+
+def normalize_faults(
+    events: Sequence[FaultEvent], n_machines: int
+) -> FaultSet:
+    """Fold fault events into a validated :class:`FaultSet`.
+
+    Rules: failure dominates degradation on the same resource; repeated
+    degradations compound multiplicatively; a :class:`DamageZone`
+    expands to its machine failure plus the incident and collateral
+    route faults.  Raises :class:`~repro.core.exceptions.ModelError`
+    when a resource index is out of range or every machine would be
+    lost (an empty platform has no recovery story).
+    """
+    failed_machines: set[int] = set()
+    failed_routes: set[Route] = set()
+    machine_capacity: dict[int, float] = {}
+    route_capacity: dict[Route, float] = {}
+
+    def check_machine(j: int) -> None:
+        if not 0 <= j < n_machines:
+            raise ModelError(
+                f"machine index {j} out of range [0, {n_machines})"
+            )
+
+    def check_route(route: Route) -> None:
+        for j in route:
+            if not 0 <= j < n_machines:
+                raise ModelError(
+                    f"route {route} out of range [0, {n_machines})"
+                )
+
+    def fail_route(route: Route) -> None:
+        check_route(route)
+        failed_routes.add(route)
+
+    for event in events:
+        if isinstance(event, MachineFailure):
+            check_machine(event.machine)
+            failed_machines.add(event.machine)
+        elif isinstance(event, RouteFailure):
+            fail_route(event.route)
+        elif isinstance(event, MachineDegradation):
+            check_machine(event.machine)
+            machine_capacity[event.machine] = (
+                machine_capacity.get(event.machine, 1.0) * event.capacity
+            )
+        elif isinstance(event, RouteDegradation):
+            check_route(event.route)
+            route_capacity[event.route] = (
+                route_capacity.get(event.route, 1.0) * event.capacity
+            )
+        elif isinstance(event, DamageZone):
+            check_machine(event.machine)
+            failed_machines.add(event.machine)
+            for other in range(n_machines):
+                if other != event.machine:
+                    failed_routes.add((event.machine, other))
+                    failed_routes.add((other, event.machine))
+            for route in event.collateral_routes:
+                if is_zero(event.collateral_capacity):
+                    fail_route(route)
+                else:
+                    check_route(route)
+                    route_capacity[route] = (
+                        route_capacity.get(route, 1.0)
+                        * event.collateral_capacity
+                    )
+        else:
+            raise ModelError(f"unknown fault event {event!r}")
+
+    if len(failed_machines) >= n_machines:
+        raise ModelError(
+            "fault set fails every machine; at least one must survive"
+        )
+    # failure dominates degradation
+    for j in failed_machines:
+        machine_capacity.pop(j, None)
+    for route in failed_routes:
+        route_capacity.pop(route, None)
+    return FaultSet(
+        failed_machines=frozenset(failed_machines),
+        failed_routes=frozenset(failed_routes),
+        machine_capacity=machine_capacity,
+        route_capacity=route_capacity,
+    )
+
+
+def _parse_route(text: str) -> Route:
+    try:
+        a, b = text.split("-")
+        return (int(a), int(b))
+    except ValueError:
+        raise ModelError(
+            f"cannot parse route {text!r}; expected 'J1-J2'"
+        ) from None
+
+
+def parse_fault(spec: str) -> FaultEvent:
+    """Parse a CLI fault spec into an event.
+
+    Accepted forms::
+
+        machine:J                    machine J fails
+        route:J1-J2                  route J1->J2 fails
+        degrade-machine:J:F          machine J keeps fraction F of speed
+        degrade-route:J1-J2:F        route keeps fraction F of bandwidth
+        zone:J[:J1-J2,J3-J4,...]     damage zone around J (+ collateral)
+    """
+    head, _, rest = spec.partition(":")
+    try:
+        if head == "machine":
+            return MachineFailure(int(rest))
+        if head == "route":
+            return RouteFailure(_parse_route(rest))
+        if head == "degrade-machine":
+            j, _, cap = rest.partition(":")
+            return MachineDegradation(int(j), float(cap))
+        if head == "degrade-route":
+            route, _, cap = rest.partition(":")
+            return RouteDegradation(_parse_route(route), float(cap))
+        if head == "zone":
+            j, _, collateral = rest.partition(":")
+            routes = tuple(
+                _parse_route(r) for r in collateral.split(",") if r
+            )
+            return DamageZone(int(j), collateral_routes=routes)
+    except ModelError:
+        raise
+    except ValueError:
+        raise ModelError(f"cannot parse fault spec {spec!r}") from None
+    raise ModelError(
+        f"unknown fault kind {head!r}; expected machine | route | "
+        "degrade-machine | degrade-route | zone"
+    )

@@ -1,0 +1,184 @@
+"""Apply fault events to a system model: masked models and evictions.
+
+The injector keeps machine indices **stable**: a failed machine is not
+removed from the model but *masked* — its nominal execution times are
+rewritten so that any single application would over-subscribe it
+(stage-1 load 1.25 > 1), and a failed route's bandwidth is reduced
+below the level at which any transfer in the workload could fit its
+capacity constraint.  Index stability is what lets an existing
+:class:`~repro.core.allocation.Allocation` carry forward unchanged:
+the standard two-stage feasibility analysis — and therefore all of
+:mod:`repro.dynamic.policies` — rejects every placement that touches a
+dead resource, with no special cases anywhere downstream.
+
+Known (documented) distortion: masked execution times still enter the
+per-application *averages* the IMR and TF heuristics use for ordering,
+so a remap-from-scratch heuristic on a masked model sees mildly skewed
+intensities.  Placements remain correct regardless — nothing feasible
+can ever land on a masked resource.
+
+:func:`inject` returns a :class:`FaultInjection` bundling the masked
+model with the normalized :class:`~repro.faults.events.FaultSet`;
+:meth:`FaultInjection.evict` splits an allocation into the survivors
+(re-anchored on the masked model) and the evicted string ids — the set
+whose placements touched a failed machine or route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.model import AppString, Network, SystemModel
+from ..robustness.surge import transfer_allocation
+from .events import FaultEvent, FaultSet, normalize_faults
+
+__all__ = [
+    "FaultInjection",
+    "inject",
+    "blocking_bandwidth",
+    "touches_failed_resource",
+]
+
+#: Stage-1 load any application would place on a masked (failed) machine.
+_MASKED_LOAD = 1.25
+
+
+def blocking_bandwidth(model: SystemModel) -> float:
+    """A bandwidth low enough that no transfer in ``model`` can fit.
+
+    A transfer of ``O`` bytes on a period-``P`` string loads a route of
+    bandwidth ``w`` by ``O / (P w)`` (eq. 3); any ``w`` below
+    ``min O / P`` over the workload forces that load above 1 for every
+    transfer, so stage 1 rejects all of them.
+    """
+    ratios = [
+        float(s.output_sizes.min()) / s.period
+        for s in model.strings
+        if s.n_apps > 1
+    ]
+    if not ratios:
+        return 1e-12  # no transfers exist; any positive value blocks
+    return 0.5 * min(ratios)
+
+
+def touches_failed_resource(
+    machines: np.ndarray, fault_set: FaultSet
+) -> bool:
+    """Does an assignment use a failed machine or failed route?"""
+    arr = np.asarray(machines, dtype=int)
+    if any(int(j) in fault_set.failed_machines for j in arr):
+        return True
+    if arr.size > 1 and fault_set.failed_routes:
+        for j1, j2 in zip(arr[:-1], arr[1:]):
+            if j1 != j2 and (int(j1), int(j2)) in fault_set.failed_routes:
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A masked model plus everything needed to reason about the faults."""
+
+    original: SystemModel
+    faulted: SystemModel
+    events: tuple[FaultEvent, ...]
+    fault_set: FaultSet
+
+    @property
+    def n_surviving_machines(self) -> int:
+        return (
+            self.original.n_machines - len(self.fault_set.failed_machines)
+        )
+
+    def evict(
+        self, allocation: Allocation
+    ) -> tuple[Allocation, tuple[int, ...]]:
+        """Split ``allocation`` into (survivors, evicted ids).
+
+        A string is evicted iff its placement touches a failed machine
+        or a failed route.  Survivors are re-anchored onto the masked
+        model (their placements may still fail feasibility there — e.g.
+        on a *degraded* machine — which is the recovery policy's call,
+        not the injector's).
+        """
+        evicted = tuple(
+            k
+            for k in allocation
+            if touches_failed_resource(
+                allocation.machines_for(k), self.fault_set
+            )
+        )
+        survivors = allocation.restricted_to(
+            k for k in allocation if k not in set(evicted)
+        )
+        return transfer_allocation(survivors, self.faulted), evicted
+
+    def describe(self) -> str:
+        lines = [event.describe() for event in self.events]
+        lines.append(f"net effect: {self.fault_set.describe()}")
+        return "\n".join(lines)
+
+
+def _mask_network(network: Network, fault_set: FaultSet, w_block: float) -> Network:
+    bw = np.array(network.bandwidth)
+    for j1, j2 in fault_set.failed_routes:
+        bw[j1, j2] = w_block
+    for (j1, j2), capacity in fault_set.route_capacity.items():
+        bw[j1, j2] *= capacity
+    return Network(bw)
+
+
+def _mask_string(s: AppString, fault_set: FaultSet) -> AppString:
+    ct = np.array(s.comp_times)
+    cu = np.array(s.cpu_utils)
+    for j in fault_set.failed_machines:
+        # any single app would load the machine by _MASKED_LOAD > 1
+        ct[:, j] = _MASKED_LOAD * s.period
+        cu[:, j] = 1.0
+    for j, capacity in fault_set.machine_capacity.items():
+        ct[:, j] /= capacity
+    return AppString(
+        string_id=s.string_id,
+        worth=s.worth,
+        period=s.period,
+        max_latency=s.max_latency,
+        comp_times=ct,
+        cpu_utils=cu,
+        output_sizes=s.output_sizes,
+        name=s.name,
+    )
+
+
+def inject(
+    model: SystemModel, events: Sequence[FaultEvent]
+) -> FaultInjection:
+    """Apply ``events`` to ``model``, producing the masked instance.
+
+    The returned injection's ``faulted`` model has the same machine
+    count, string ids, and application counts as ``model`` — only the
+    numeric surfaces (execution times, bandwidths) change — so
+    allocations transfer between the two without re-indexing.
+    """
+    fault_set = normalize_faults(events, model.n_machines)
+    if fault_set.is_empty:
+        return FaultInjection(
+            original=model,
+            faulted=model,
+            events=tuple(events),
+            fault_set=fault_set,
+        )
+    network = _mask_network(
+        model.network, fault_set, blocking_bandwidth(model)
+    )
+    strings = [_mask_string(s, fault_set) for s in model.strings]
+    faulted = SystemModel(network, strings, model.machines)
+    return FaultInjection(
+        original=model,
+        faulted=faulted,
+        events=tuple(events),
+        fault_set=fault_set,
+    )

@@ -1,0 +1,167 @@
+"""Degraded-mode recovery: respond to a fault with a remapping policy.
+
+Recovery composes the injector with the drift-remapping machinery of
+:mod:`repro.dynamic.policies`: evict the strings whose placements
+touched failed resources, then hand the surviving mapping and the
+masked model to a policy —
+
+* ``shed``  — :class:`~repro.dynamic.policies.ShedPolicy`: keep every
+  surviving placement that still passes the two-stage analysis on the
+  degraded hardware, drop the rest (no application moves);
+* ``repair`` — :class:`~repro.dynamic.policies.RepairPolicy`: shed as
+  above, then run the reinsertion local search, which both revisits
+  surviving placements and *retries the evicted strings* on the
+  machines that remain;
+* ``remap-<h>`` — :class:`~repro.dynamic.policies.RemapPolicy`:
+  discard the mapping and re-run heuristic ``<h>`` from scratch on the
+  masked model (maximum disruption, maximum recovered worth).
+
+Because ``repair`` starts from exactly the ``shed`` state and the local
+search never degrades fitness, ``repair`` retains at least as much
+worth as ``shed`` on every instance — an invariant the survivability
+experiment asserts run by run.
+
+The result is a :class:`RecoveryOutcome` reporting worth retained,
+strings moved (the migration-cost proxy), and residual slackness on
+the degraded platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.allocation import Allocation
+from ..core.metrics import evaluate
+from ..dynamic.policies import Policy, RemapPolicy, RepairPolicy, ShedPolicy
+from .events import FaultEvent
+from .injector import FaultInjection, inject
+
+__all__ = [
+    "RECOVERY_POLICIES",
+    "RecoveryOutcome",
+    "available_policies",
+    "get_recovery_policy",
+    "recover",
+    "recover_from_events",
+]
+
+#: Named recovery-policy factories (CLI / experiment addressable).
+RECOVERY_POLICIES: dict[str, Callable[[], Policy]] = {
+    "shed": ShedPolicy,
+    "repair": RepairPolicy,
+    "remap-mwf": lambda: RemapPolicy("mwf"),
+    "remap-tf": lambda: RemapPolicy("tf"),
+    "remap-mwf+ls": lambda: RemapPolicy("mwf+ls"),
+}
+
+
+def get_recovery_policy(name: str) -> Policy:
+    """Instantiate a recovery policy by registry name."""
+    try:
+        factory = RECOVERY_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown recovery policy {name!r}; available: "
+            f"{sorted(RECOVERY_POLICIES)}"
+        ) from None
+    return factory()
+
+
+def available_policies() -> tuple[str, ...]:
+    """All registered recovery-policy names, sorted."""
+    return tuple(sorted(RECOVERY_POLICIES))
+
+
+@dataclass
+class RecoveryOutcome:
+    """What one recovery policy achieved after a fault."""
+
+    policy: str
+    injection: FaultInjection
+    #: The recovered mapping, anchored on the masked (degraded) model.
+    allocation: Allocation
+    #: ids evicted by the fault itself (placement touched a dead resource).
+    evicted: tuple[int, ...]
+    #: evicted ids the policy managed to re-place on surviving hardware.
+    reinserted: tuple[int, ...]
+    #: surviving ids the policy nevertheless dropped (degradation pressure).
+    shed: tuple[int, ...]
+    #: ids whose applications changed machines (migration cost proxy).
+    moved: tuple[int, ...]
+    worth_before: float
+    worth_after: float
+    slackness_after: float
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def worth_retained(self) -> float:
+        """Recovered worth as a fraction of the pre-fault worth."""
+        if self.worth_before == 0:
+            return 1.0
+        return self.worth_after / self.worth_before
+
+    @property
+    def n_moved(self) -> int:
+        return len(self.moved)
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy}: retained {self.worth_retained:.1%} worth "
+            f"({self.worth_after:g}/{self.worth_before:g}), "
+            f"evicted {len(self.evicted)} "
+            f"(reinserted {len(self.reinserted)}), "
+            f"shed {len(self.shed)}, moved {self.n_moved}, "
+            f"residual slack {self.slackness_after:.4f}"
+        )
+
+
+def recover(
+    injection: FaultInjection,
+    allocation: Allocation,
+    policy: Policy | str,
+) -> RecoveryOutcome:
+    """Run one recovery policy against an injected fault.
+
+    Parameters
+    ----------
+    injection:
+        The fault to recover from (see :func:`repro.faults.inject`).
+    allocation:
+        The pre-fault mapping, anchored on ``injection.original`` (or a
+        structurally identical model).
+    policy:
+        A :class:`~repro.dynamic.policies.Policy` instance or a name
+        from :data:`RECOVERY_POLICIES`.
+    """
+    if isinstance(policy, str):
+        policy = get_recovery_policy(policy)
+    worth_before = allocation.total_worth()
+    survivors, evicted = injection.evict(allocation)
+    response = policy.respond(injection.faulted, survivors)
+    recovered = response.allocation
+    reinserted = tuple(k for k in evicted if k in recovered)
+    fitness = evaluate(recovered)
+    return RecoveryOutcome(
+        policy=policy.name,
+        injection=injection,
+        allocation=recovered,
+        evicted=evicted,
+        reinserted=reinserted,
+        shed=response.shed,
+        moved=response.moved,
+        worth_before=worth_before,
+        worth_after=fitness.worth,
+        slackness_after=fitness.slackness,
+        stats=dict(response.stats),
+    )
+
+
+def recover_from_events(
+    allocation: Allocation,
+    events: Sequence[FaultEvent],
+    policy: Policy | str = "repair",
+) -> RecoveryOutcome:
+    """Convenience wrapper: inject ``events`` into the allocation's own
+    model, then :func:`recover` with ``policy``."""
+    return recover(inject(allocation.model, events), allocation, policy)

@@ -1,0 +1,158 @@
+"""Random fault scenarios for survivability experiments.
+
+:func:`sample_faults` draws ``k`` fault events against a model.  Kind
+diversity is guaranteed by cycling through a shuffled permutation of
+the requested kinds — with ``k >= len(kinds)`` every kind appears at
+least once, and with ``k >= 3`` at least three distinct kinds are
+injected (the survivability experiment's contract).
+
+Two safety rails keep sampled scenarios meaningful:
+
+* at most ``n_machines - 1`` machines ever fail (a dead platform has no
+  recovery story; :func:`~repro.faults.events.normalize_faults` would
+  reject it) — a machine-failure draw that would cross the limit is
+  downgraded to a degradation;
+* failed machines are excluded from subsequent machine draws, and
+  route draws prefer routes between surviving machines (a route to a
+  dead machine is already unusable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..core.model import SystemModel
+from .events import (
+    DamageZone,
+    FaultEvent,
+    MachineDegradation,
+    MachineFailure,
+    Route,
+    RouteDegradation,
+    RouteFailure,
+)
+
+__all__ = ["FAULT_KINDS", "sample_faults"]
+
+#: All samplable fault kinds, in a stable order.
+FAULT_KINDS: tuple[str, ...] = (
+    "machine-failure",
+    "route-failure",
+    "machine-degradation",
+    "route-degradation",
+    "damage-zone",
+)
+
+
+def _pick_machine(
+    rng: np.random.Generator, n_machines: int, failed: set[int]
+) -> int:
+    alive = [j for j in range(n_machines) if j not in failed]
+    return int(rng.choice(alive))
+
+
+def _pick_route(
+    rng: np.random.Generator, n_machines: int, failed: set[int]
+) -> Route:
+    alive = [j for j in range(n_machines) if j not in failed]
+    pool = alive if len(alive) >= 2 else list(range(n_machines))
+    j1, j2 = rng.choice(pool, size=2, replace=False)
+    return (int(j1), int(j2))
+
+
+def sample_faults(
+    model: SystemModel,
+    n_faults: int,
+    rng: np.random.Generator | int | None = None,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    capacity_range: tuple[float, float] = (0.25, 0.75),
+    zone_collateral: int = 1,
+    max_failed_machines: int | None = None,
+) -> tuple[FaultEvent, ...]:
+    """Draw ``n_faults`` random fault events against ``model``.
+
+    Parameters
+    ----------
+    model:
+        The instance the faults target (bounds resource indices).
+    n_faults:
+        Number of events to draw (>= 1).
+    rng:
+        Seed or generator; the draw is deterministic for a given seed.
+    kinds:
+        Fault kinds to cycle through (subset of :data:`FAULT_KINDS`).
+    capacity_range:
+        Surviving-capacity fraction range for degradation events.
+    zone_collateral:
+        Collateral routes (between surviving machines) per damage zone.
+    max_failed_machines:
+        Cap on outright machine losses; defaults to ``n_machines - 1``.
+    """
+    if n_faults < 1:
+        raise ModelError(f"n_faults must be >= 1, got {n_faults}")
+    unknown = set(kinds) - set(FAULT_KINDS)
+    if not kinds or unknown:
+        raise ModelError(
+            f"unknown fault kinds {sorted(unknown)}; "
+            f"choose from {FAULT_KINDS}"
+        )
+    lo, hi = capacity_range
+    if not 0.0 < lo <= hi < 1.0:
+        raise ModelError(
+            f"capacity_range must satisfy 0 < lo <= hi < 1, got "
+            f"{capacity_range}"
+        )
+    n_machines = model.n_machines
+    if n_machines < 2:
+        raise ModelError(
+            "fault sampling needs at least 2 machines (one must survive)"
+        )
+    if max_failed_machines is None:
+        max_failed_machines = n_machines - 1
+    max_failed_machines = min(max_failed_machines, n_machines - 1)
+
+    rng = np.random.default_rng(rng)
+    cycle = list(kinds)
+    rng.shuffle(cycle)
+    failed: set[int] = set()
+    events: list[FaultEvent] = []
+    for i in range(n_faults):
+        kind = cycle[i % len(cycle)]
+        if (
+            kind in ("machine-failure", "damage-zone")
+            and len(failed) >= max_failed_machines
+        ):
+            kind = "machine-degradation"  # keep the platform alive
+        capacity = float(rng.uniform(lo, hi))
+        if kind == "machine-failure":
+            j = _pick_machine(rng, n_machines, failed)
+            failed.add(j)
+            events.append(MachineFailure(j))
+        elif kind == "route-failure":
+            events.append(RouteFailure(_pick_route(rng, n_machines, failed)))
+        elif kind == "machine-degradation":
+            j = _pick_machine(rng, n_machines, failed)
+            events.append(MachineDegradation(j, capacity))
+        elif kind == "route-degradation":
+            events.append(
+                RouteDegradation(_pick_route(rng, n_machines, failed), capacity)
+            )
+        else:  # damage-zone
+            j = _pick_machine(rng, n_machines, failed)
+            failed.add(j)
+            others = failed | {j}
+            collateral: list[Route] = []
+            if n_machines - len(others) >= 2:
+                for _ in range(zone_collateral):
+                    collateral.append(
+                        _pick_route(rng, n_machines, others)
+                    )
+            events.append(
+                DamageZone(
+                    j,
+                    collateral_routes=tuple(collateral),
+                    collateral_capacity=0.0,
+                )
+            )
+    return tuple(events)

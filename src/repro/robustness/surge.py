@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.allocation import Allocation
+from ..core.exceptions import ModelError
 from ..core.feasibility import analyze
 from ..core.metrics import system_slackness
 from ..core.model import AppString, SystemModel
@@ -74,7 +75,37 @@ def surge_model(model: SystemModel, delta: float) -> SystemModel:
 def transfer_allocation(
     allocation: Allocation, target_model: SystemModel
 ) -> Allocation:
-    """Re-anchor an allocation onto a structurally identical model."""
+    """Re-anchor an allocation onto a structurally identical model.
+
+    "Structurally identical" means the same machine count and, for
+    every mapped string id, a string with the same application count —
+    what :func:`surge_model`, the drift models, and the fault injector
+    all guarantee.  A structurally different target raises
+    :class:`~repro.core.exceptions.ModelError` up front, rather than
+    leaking an index error (or, worse, silently re-anchoring onto an
+    unrelated instance).
+    """
+    source = allocation.model
+    if target_model.n_machines != source.n_machines:
+        raise ModelError(
+            "cannot transfer allocation: target model has "
+            f"{target_model.n_machines} machines, source has "
+            f"{source.n_machines}"
+        )
+    for k in allocation:
+        if k >= target_model.n_strings:
+            raise ModelError(
+                f"cannot transfer allocation: string {k} does not exist "
+                f"in the target model (n_strings={target_model.n_strings})"
+            )
+        target_apps = target_model.strings[k].n_apps
+        source_apps = source.strings[k].n_apps
+        if target_apps != source_apps:
+            raise ModelError(
+                f"cannot transfer allocation: string {k} has "
+                f"{target_apps} applications in the target model, "
+                f"{source_apps} in the source"
+            )
     return Allocation(
         target_model,
         {k: allocation.machines_for(k) for k in allocation},
@@ -136,9 +167,16 @@ def max_absorbable_surge(
         A feasible mapping (δ = 0 must pass; raises otherwise).
     upper:
         Initial search ceiling; doubled until infeasible (capped at 2¹⁰).
+        Must be positive — an ``upper`` of 0 would silently report
+        δ* = 0 for every allocation.
     tol:
-        Absolute tolerance on δ.
+        Absolute tolerance on δ.  Must be positive — the bisection
+        loop never terminates for ``tol <= 0``.
     """
+    if upper <= 0:
+        raise ValueError(f"upper must be positive, got {upper}")
+    if tol <= 0:
+        raise ValueError(f"tol must be positive, got {tol}")
     if not allocation_survives(allocation, 0.0):
         raise ValueError("allocation is infeasible even without a surge")
     iterations = 0

@@ -1,0 +1,242 @@
+"""Unit tests for fault events and the injector (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, analyze
+from repro.core.exceptions import ModelError
+from repro.faults import (
+    DamageZone,
+    MachineDegradation,
+    MachineFailure,
+    RouteDegradation,
+    RouteFailure,
+    blocking_bandwidth,
+    inject,
+    normalize_faults,
+    parse_fault,
+    touches_failed_resource,
+)
+
+from conftest import build_string, uniform_network
+
+
+class TestEventValidation:
+    def test_negative_machine_rejected(self):
+        with pytest.raises(ModelError):
+            MachineFailure(-1)
+
+    def test_intra_machine_route_rejected(self):
+        with pytest.raises(ModelError):
+            RouteFailure((2, 2))
+
+    @pytest.mark.parametrize("capacity", [0.0, -0.5, 1.5])
+    def test_degradation_capacity_bounds(self, capacity):
+        with pytest.raises(ModelError):
+            MachineDegradation(0, capacity)
+        with pytest.raises(ModelError):
+            RouteDegradation((0, 1), capacity)
+
+    def test_full_capacity_allowed(self):
+        assert MachineDegradation(0, 1.0).capacity == 1.0
+
+    def test_zone_collateral_capacity_bounds(self):
+        with pytest.raises(ModelError):
+            DamageZone(0, collateral_routes=((1, 2),),
+                       collateral_capacity=2.0)
+
+    def test_describe_mentions_resource(self):
+        assert "machine 3" in MachineFailure(3).describe()
+        assert "1->2" in RouteFailure((1, 2)).describe()
+        assert "50%" in MachineDegradation(0, 0.5).describe()
+
+
+class TestParseFault:
+    def test_all_forms(self):
+        assert parse_fault("machine:3") == MachineFailure(3)
+        assert parse_fault("route:0-2") == RouteFailure((0, 2))
+        assert parse_fault("degrade-machine:1:0.5") == (
+            MachineDegradation(1, 0.5)
+        )
+        assert parse_fault("degrade-route:0-2:0.25") == (
+            RouteDegradation((0, 2), 0.25)
+        )
+        zone = parse_fault("zone:2:0-1,3-1")
+        assert zone == DamageZone(2, collateral_routes=((0, 1), (3, 1)))
+
+    def test_zone_without_collateral(self):
+        assert parse_fault("zone:2") == DamageZone(2)
+
+    @pytest.mark.parametrize("spec", [
+        "machine:x", "route:0", "degrade-machine:1", "warp:3", "machine:",
+    ])
+    def test_malformed_specs(self, spec):
+        with pytest.raises(ModelError):
+            parse_fault(spec)
+
+
+class TestNormalize:
+    def test_failure_dominates_degradation(self):
+        fs = normalize_faults(
+            [MachineDegradation(0, 0.5), MachineFailure(0)], n_machines=3
+        )
+        assert fs.failed_machines == {0}
+        assert 0 not in fs.machine_capacity
+
+    def test_degradations_compound(self):
+        fs = normalize_faults(
+            [MachineDegradation(1, 0.5), MachineDegradation(1, 0.5)],
+            n_machines=3,
+        )
+        assert fs.machine_capacity[1] == pytest.approx(0.25)
+
+    def test_route_degradations_compound(self):
+        fs = normalize_faults(
+            [RouteDegradation((0, 1), 0.5), RouteDegradation((0, 1), 0.8)],
+            n_machines=3,
+        )
+        assert fs.route_capacity[(0, 1)] == pytest.approx(0.4)
+
+    def test_all_machines_failing_rejected(self):
+        with pytest.raises(ModelError, match="at least one must survive"):
+            normalize_faults(
+                [MachineFailure(0), MachineFailure(1)], n_machines=2
+            )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError, match="out of range"):
+            normalize_faults([MachineFailure(5)], n_machines=3)
+        with pytest.raises(ModelError, match="out of range"):
+            normalize_faults([RouteFailure((0, 5))], n_machines=3)
+
+    def test_zone_expands_incident_routes(self):
+        fs = normalize_faults([DamageZone(1)], n_machines=3)
+        assert fs.failed_machines == {1}
+        assert fs.failed_routes == {(1, 0), (1, 2), (0, 1), (2, 1)}
+
+    def test_zone_collateral_failure_and_degradation(self):
+        failed = normalize_faults(
+            [DamageZone(0, collateral_routes=((1, 2),))], n_machines=3
+        )
+        assert (1, 2) in failed.failed_routes
+        degraded = normalize_faults(
+            [DamageZone(0, collateral_routes=((1, 2),),
+                        collateral_capacity=0.5)],
+            n_machines=3,
+        )
+        assert degraded.route_capacity[(1, 2)] == pytest.approx(0.5)
+
+    def test_empty_set(self):
+        fs = normalize_faults([], n_machines=3)
+        assert fs.is_empty
+        assert fs.describe() == "no faults"
+
+
+class TestInjector:
+    def test_empty_events_return_model_unchanged(self, small_model):
+        injection = inject(small_model, [])
+        assert injection.faulted is small_model
+
+    def test_index_stability(self, small_model):
+        injection = inject(small_model, [MachineFailure(1)])
+        faulted = injection.faulted
+        assert faulted.n_machines == small_model.n_machines
+        assert faulted.n_strings == small_model.n_strings
+        for s, fs in zip(small_model.strings, faulted.strings):
+            assert s.string_id == fs.string_id
+            assert s.n_apps == fs.n_apps
+            assert s.worth == fs.worth
+
+    def test_failed_machine_rejects_any_placement(self, small_model):
+        injection = inject(small_model, [MachineFailure(1)])
+        # string 2 has a single app; placing it alone on machine 1 must
+        # fail stage 1 on the masked model, and must succeed elsewhere.
+        dead = Allocation(injection.faulted, {2: [1]})
+        assert not analyze(dead).feasible
+        alive = Allocation(injection.faulted, {2: [0]})
+        assert analyze(alive).feasible
+
+    def test_failed_route_blocks_transfers(self, small_model):
+        injection = inject(small_model, [RouteFailure((0, 1))])
+        uses_route = Allocation(injection.faulted, {1: [0, 1]})
+        assert not analyze(uses_route).feasible
+        reverse_route = Allocation(injection.faulted, {1: [1, 0]})
+        assert analyze(reverse_route).feasible
+
+    def test_degraded_machine_scales_comp_times(self, small_model):
+        injection = inject(small_model, [MachineDegradation(2, 0.5)])
+        orig = small_model.strings[0].comp_times
+        masked = injection.faulted.strings[0].comp_times
+        np.testing.assert_allclose(masked[:, 2], orig[:, 2] * 2.0)
+        np.testing.assert_allclose(masked[:, 0], orig[:, 0])
+
+    def test_degraded_route_scales_bandwidth(self, small_model):
+        injection = inject(small_model, [RouteDegradation((0, 1), 0.25)])
+        orig = small_model.network.bandwidth
+        masked = injection.faulted.network.bandwidth
+        assert masked[0, 1] == pytest.approx(orig[0, 1] * 0.25)
+        assert masked[1, 0] == pytest.approx(orig[1, 0])
+
+    def test_evict_splits_by_failed_resources(self, small_allocation):
+        # placements: 0 -> [0,1,2], 1 -> [1,1], 2 -> [2], 3 -> [0,2,1,0]
+        injection = inject(small_allocation.model, [MachineFailure(0)])
+        survivors, evicted = injection.evict(small_allocation)
+        assert set(evicted) == {0, 3}
+        assert set(survivors) == {1, 2}
+        assert survivors.model is injection.faulted
+
+    def test_evict_on_route_failure(self, small_allocation):
+        # only string 0 ([0,1,2]) transfers over route 1->2
+        injection = inject(
+            small_allocation.model, [RouteFailure((1, 2))]
+        )
+        _, evicted = injection.evict(small_allocation)
+        assert set(evicted) == {0}
+
+    def test_surviving_machine_count(self, small_model):
+        injection = inject(
+            small_model, [MachineFailure(0), MachineFailure(2)]
+        )
+        assert injection.n_surviving_machines == 1
+
+    def test_describe_lists_events_and_net_effect(self, small_model):
+        injection = inject(
+            small_model, [MachineFailure(0), RouteDegradation((1, 2), 0.5)]
+        )
+        text = injection.describe()
+        assert "machine 0 failed" in text
+        assert "net effect" in text
+
+
+class TestTouchesFailedResource:
+    def test_machine_hit(self):
+        fs = normalize_faults([MachineFailure(1)], n_machines=3)
+        assert touches_failed_resource(np.array([0, 1]), fs)
+        assert not touches_failed_resource(np.array([0, 2]), fs)
+
+    def test_route_is_directional(self):
+        fs = normalize_faults([RouteFailure((0, 1))], n_machines=3)
+        assert touches_failed_resource(np.array([0, 1]), fs)
+        assert not touches_failed_resource(np.array([1, 0]), fs)
+
+    def test_colocated_apps_use_no_route(self):
+        fs = normalize_faults([RouteFailure((0, 1))], n_machines=3)
+        assert not touches_failed_resource(np.array([0, 0]), fs)
+
+
+class TestBlockingBandwidth:
+    def test_blocks_every_transfer(self, small_model):
+        w = blocking_bandwidth(small_model)
+        for s in small_model.strings:
+            if s.n_apps > 1:
+                # route load O/(P w) > 1 for the smallest transfer
+                assert float(s.output_sizes.min()) / (s.period * w) > 1.0
+
+    def test_transfer_free_model_gets_positive_value(self):
+        from repro.core import SystemModel
+
+        model = SystemModel(
+            uniform_network(2),
+            [build_string(0, 1, 2), build_string(1, 1, 2)],
+        )
+        assert blocking_bandwidth(model) > 0.0

@@ -1,0 +1,185 @@
+"""Tests for recovery policies, fault sampling, and criticality."""
+
+import pytest
+
+from repro.core import analyze
+from repro.core.exceptions import ModelError
+from repro.faults import (
+    FAULT_KINDS,
+    MachineFailure,
+    RouteFailure,
+    available_policies,
+    critical_machines,
+    get_recovery_policy,
+    inject,
+    recover,
+    recover_from_events,
+    sample_faults,
+    touches_failed_resource,
+)
+from repro.heuristics import most_worth_first
+from repro.workload import SCENARIO_1, SCENARIO_3, generate_model
+
+
+def _allocated(params, seed):
+    model = generate_model(params, seed=seed)
+    return most_worth_first(model).allocation
+
+
+@pytest.fixture
+def scen3_alloc():
+    return _allocated(SCENARIO_3.scaled(n_strings=8, n_machines=4), 11)
+
+
+class TestPolicyRegistry:
+    def test_available_policies(self):
+        names = available_policies()
+        assert "shed" in names and "repair" in names
+        assert any(n.startswith("remap-") for n in names)
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown recovery policy"):
+            get_recovery_policy("pray")
+
+    def test_factories_produce_fresh_instances(self):
+        assert get_recovery_policy("shed") is not get_recovery_policy("shed")
+
+
+class TestRecover:
+    def test_shed_keeps_only_feasible_survivors(self, scen3_alloc):
+        injection = inject(scen3_alloc.model, [MachineFailure(0)])
+        outcome = recover(injection, scen3_alloc, "shed")
+        assert analyze(outcome.allocation).feasible
+        # nothing may remain on the failed machine
+        for k in outcome.allocation:
+            assert not touches_failed_resource(
+                outcome.allocation.machines_for(k), injection.fault_set
+            )
+        # shed never moves applications
+        assert outcome.moved == ()
+        assert outcome.worth_after <= outcome.worth_before + 1e-9
+
+    def test_repair_at_least_as_good_as_shed(self, scen3_alloc):
+        injection = inject(scen3_alloc.model, [MachineFailure(0)])
+        shed = recover(injection, scen3_alloc, "shed")
+        repair = recover(injection, scen3_alloc, "repair")
+        assert repair.worth_after >= shed.worth_after - 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_repair_invariant_under_random_faults(self, seed):
+        alloc = _allocated(
+            SCENARIO_1.scaled(n_strings=20, n_machines=4), 50 + seed
+        )
+        events = sample_faults(alloc.model, 3, rng=seed)
+        injection = inject(alloc.model, events)
+        shed = recover(injection, alloc, "shed")
+        repair = recover(injection, alloc, "repair")
+        assert repair.worth_after >= shed.worth_after - 1e-9
+        assert analyze(repair.allocation).feasible
+
+    def test_remap_feasible_and_avoids_dead_resources(self, scen3_alloc):
+        injection = inject(
+            scen3_alloc.model, [MachineFailure(1), RouteFailure((0, 2))]
+        )
+        outcome = recover(injection, scen3_alloc, "remap-mwf")
+        assert analyze(outcome.allocation).feasible
+        for k in outcome.allocation:
+            assert not touches_failed_resource(
+                outcome.allocation.machines_for(k), injection.fault_set
+            )
+
+    def test_reinserted_subset_of_evicted(self, scen3_alloc):
+        injection = inject(scen3_alloc.model, [MachineFailure(0)])
+        outcome = recover(injection, scen3_alloc, "repair")
+        assert set(outcome.reinserted) <= set(outcome.evicted)
+
+    def test_worth_retained_empty_baseline(self, scen3_alloc):
+        empty = scen3_alloc.restricted_to([])
+        injection = inject(scen3_alloc.model, [MachineFailure(0)])
+        outcome = recover(injection, empty, "shed")
+        assert outcome.worth_retained == 1.0
+
+    def test_summary_mentions_policy_and_worth(self, scen3_alloc):
+        outcome = recover_from_events(
+            scen3_alloc, [MachineFailure(0)], "shed"
+        )
+        assert "shed" in outcome.summary()
+        assert "worth" in outcome.summary()
+
+    def test_recover_from_events_matches_explicit(self, scen3_alloc):
+        events = [MachineFailure(0)]
+        direct = recover(
+            inject(scen3_alloc.model, events), scen3_alloc, "shed"
+        )
+        convenience = recover_from_events(scen3_alloc, events, "shed")
+        assert convenience.worth_after == direct.worth_after
+        assert convenience.evicted == direct.evicted
+
+
+class TestSampleFaults:
+    def test_deterministic(self, scen3_alloc):
+        a = sample_faults(scen3_alloc.model, 5, rng=7)
+        b = sample_faults(scen3_alloc.model, 5, rng=7)
+        assert a == b
+
+    def test_kind_diversity(self, scen3_alloc):
+        for seed in range(5):
+            events = sample_faults(scen3_alloc.model, 3, rng=seed)
+            kinds = {e.kind for e in events}
+            assert len(kinds) >= 3
+
+    def test_every_kind_with_enough_draws(self, scen3_alloc):
+        events = sample_faults(
+            scen3_alloc.model, len(FAULT_KINDS), rng=0
+        )
+        # downgrades may replace failures with degradations, but the
+        # distinct-kind count stays >= len(kinds) - 1 on 4 machines
+        assert len({e.kind for e in events}) >= len(FAULT_KINDS) - 1
+
+    def test_platform_always_survives(self, scen3_alloc):
+        model = scen3_alloc.model
+        for seed in range(10):
+            events = sample_faults(model, 12, rng=seed)
+            injection = inject(model, events)  # must not raise
+            assert injection.n_surviving_machines >= 1
+
+    def test_validation(self, scen3_alloc):
+        model = scen3_alloc.model
+        with pytest.raises(ModelError):
+            sample_faults(model, 0)
+        with pytest.raises(ModelError):
+            sample_faults(model, 2, kinds=("meteor-strike",))
+        with pytest.raises(ModelError):
+            sample_faults(model, 2, capacity_range=(0.0, 0.5))
+
+
+class TestCriticality:
+    def test_one_entry_per_machine_sorted(self, scen3_alloc):
+        ranking = critical_machines(scen3_alloc)
+        assert len(ranking) == scen3_alloc.model.n_machines
+        assert {c.machine for c in ranking} == set(
+            range(scen3_alloc.model.n_machines)
+        )
+        losses = [c.worth_lost for c in ranking]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_worth_lost_nonnegative_under_shed(self, scen3_alloc):
+        for c in critical_machines(scen3_alloc, "shed"):
+            assert c.worth_lost >= -1e-9
+            assert 0.0 <= c.retained_fraction <= 1.0 + 1e-9
+
+    def test_repair_reduces_or_preserves_loss(self, scen3_alloc):
+        shed = {c.machine: c.worth_lost
+                for c in critical_machines(scen3_alloc, "shed")}
+        repair = {c.machine: c.worth_lost
+                  for c in critical_machines(scen3_alloc, "repair")}
+        for j in shed:
+            assert repair[j] <= shed[j] + 1e-9
+
+    def test_needs_two_machines(self):
+        from conftest import build_string, uniform_network
+        from repro.core import Allocation, SystemModel
+
+        tiny = SystemModel(uniform_network(1), [build_string(0, 1, 1)])
+        with pytest.raises(ModelError, match="at least 2 machines"):
+            critical_machines(Allocation(tiny, {0: [0]}))

@@ -56,8 +56,9 @@ class TestFullReport:
         assert any("Figure 3" in a for a in artifacts)
         assert any("Figure 4" in a for a in artifacts)
         assert any("Figure 5" in a for a in artifacts)
+        assert any("Survivability" in a for a in artifacts)
         assert any("Runtime" in a for a in artifacts)
-        assert len(report.sections) == 6
+        assert len(report.sections) == 7
 
     def test_all_checks_pass_at_tiny_scale(self, report):
         failing = [

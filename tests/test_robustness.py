@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import Allocation, SystemModel, analyze
+from repro.core.exceptions import ModelError
 from repro.heuristics import most_worth_first
 from repro.robustness import (
     allocation_survives,
@@ -65,6 +66,62 @@ class TestSurvival:
             np.testing.assert_array_equal(
                 moved.machines_for(k), small_allocation.machines_for(k)
             )
+
+
+class TestTransferContract:
+    """Structurally different targets must raise a clear ModelError —
+    the fault injector's evict/transfer path depends on this."""
+
+    def test_wrong_machine_count(self, small_allocation):
+        strings = [
+            build_string(k, s.n_apps, 4)
+            for k, s in enumerate(small_allocation.model.strings)
+        ]
+        four_machines = SystemModel(uniform_network(4), strings)
+        with pytest.raises(ModelError, match="cannot transfer"):
+            transfer_allocation(small_allocation, four_machines)
+
+    def test_missing_string_id(self, small_allocation):
+        fewer = SystemModel(
+            uniform_network(3),
+            [build_string(0, 3, 3), build_string(1, 2, 3)],
+        )
+        with pytest.raises(ModelError, match="does not exist"):
+            transfer_allocation(small_allocation, fewer)
+
+    def test_mismatched_app_count(self, small_allocation):
+        strings = [
+            build_string(k, s.n_apps + 1, 3)  # one extra app everywhere
+            for k, s in enumerate(small_allocation.model.strings)
+        ]
+        longer = SystemModel(uniform_network(3), strings)
+        with pytest.raises(ModelError, match="applications"):
+            transfer_allocation(small_allocation, longer)
+
+    def test_unmapped_strings_do_not_matter(self, small_allocation):
+        """Only *mapped* ids must exist: dropping an unmapped string is
+        fine, which is what restricted allocations rely on."""
+        partial = small_allocation.restricted_to([0, 1])
+        fewer = SystemModel(
+            uniform_network(3),
+            [build_string(0, 3, 3), build_string(1, 2, 3)],
+        )
+        moved = transfer_allocation(partial, fewer)
+        assert set(moved) == {0, 1}
+
+
+class TestSurgeValidation:
+    def test_nonpositive_upper_rejected(self, small_allocation):
+        with pytest.raises(ValueError, match="upper"):
+            max_absorbable_surge(small_allocation, upper=0.0)
+        with pytest.raises(ValueError, match="upper"):
+            max_absorbable_surge(small_allocation, upper=-1.0)
+
+    def test_nonpositive_tol_rejected(self, small_allocation):
+        with pytest.raises(ValueError, match="tol"):
+            max_absorbable_surge(small_allocation, tol=0.0)
+        with pytest.raises(ValueError, match="tol"):
+            max_absorbable_surge(small_allocation, tol=-1e-6)
 
 
 class TestStage1Limit:

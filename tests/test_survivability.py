@@ -1,0 +1,138 @@
+"""Tests for the survivability experiment and its CLI surface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import run_survivability
+from repro.experiments.runner import ExperimentScale
+from repro.workload import SCENARIO_3
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_runs=2,
+    size_factor=1.0,
+    population_size=8,
+    max_iterations=20,
+    max_stale_iterations=10,
+    n_trials=1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_survivability(
+        scenario=SCENARIO_3.scaled(n_strings=8, n_machines=4),
+        scale=TINY,
+        heuristics=("mwf", "tf"),
+        policies=("shed", "repair"),
+        n_faults=3,
+        base_seed=77,
+    )
+
+
+class TestRunSurvivability:
+    def test_one_cell_per_heuristic_policy_pair(self, tiny_result):
+        cells = tiny_result["cells"]
+        assert set(cells) == {
+            ("mwf", "shed"), ("mwf", "repair"),
+            ("tf", "shed"), ("tf", "repair"),
+        }
+
+    def test_cis_cover_all_runs(self, tiny_result):
+        for cell in tiny_result["cells"].values():
+            assert cell.retained.n == TINY.n_runs
+            assert cell.retained.level == pytest.approx(0.95)
+            assert cell.retained.half_width >= 0.0
+
+    def test_repair_mean_at_least_shed_mean(self, tiny_result):
+        cells = tiny_result["cells"]
+        for h in ("mwf", "tf"):
+            assert (
+                cells[(h, "repair")].retained.mean
+                >= cells[(h, "shed")].retained.mean - 1e-9
+            )
+
+    def test_shed_never_moves_strings(self, tiny_result):
+        for (_h, policy), cell in tiny_result["cells"].items():
+            if policy == "shed":
+                assert cell.moved.mean == pytest.approx(0.0)
+
+    def test_fault_scenarios_are_kind_diverse(self, tiny_result):
+        # with n_faults=3 the sampler guarantees >= 3 distinct kinds,
+        # so each run's description lists three different event lines
+        assert len(tiny_result["faults"]) == TINY.n_runs
+        for description in tiny_result["faults"]:
+            assert "net effect" in description
+
+    def test_criticality_ranked_and_complete(self, tiny_result):
+        ranking = tiny_result["criticality"]
+        assert len(ranking) == 4  # one per machine
+        means = [ci.mean for _j, ci in ranking]
+        assert means == sorted(means, reverse=True)
+
+    def test_tables_render(self, tiny_result):
+        assert "worth retained" in tiny_result["table"]
+        assert "machine" in tiny_result["criticality_table"]
+
+    def test_criticality_can_be_disabled(self):
+        out = run_survivability(
+            scenario=SCENARIO_3.scaled(n_strings=6, n_machines=3),
+            scale=TINY,
+            heuristics=("mwf",),
+            policies=("shed",),
+            n_faults=2,
+            base_seed=5,
+            rank_criticality=False,
+        )
+        assert out["criticality"] == []
+        assert "disabled" in out["criticality_table"]
+
+
+class TestCli:
+    def test_survivability_smoke(self, capsys):
+        rc = main([
+            "survivability", "--scale", "smoke", "--scenario", "3",
+            "--heuristics", "mwf,tf", "--policies", "shed,repair",
+            "--faults", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worth retained" in out
+        assert "Critical machines" in out
+        assert "shed" in out and "repair" in out
+
+    def test_inject_roundtrip(self, tmp_path, capsys):
+        model = tmp_path / "model.json"
+        alloc = tmp_path / "alloc.json"
+        recovered = tmp_path / "recovered.json"
+        assert main([
+            "generate", "--scenario", "3", "--seed", "7",
+            "--strings", "6", "--machines", "3", "-o", str(model),
+        ]) == 0
+        assert main([
+            "allocate", "--model", str(model),
+            "--heuristic", "mwf", "-o", str(alloc),
+        ]) == 0
+        rc = main([
+            "inject", "--model", str(model), "--allocation", str(alloc),
+            "--fault", "machine:0", "--fault", "degrade-route:1-2:0.5",
+            "--policy", "repair", "-o", str(recovered),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "machine 0 failed" in out
+        assert "retained" in out
+        assert recovered.exists()
+
+    def test_figure_accepts_checkpoint_and_timeout(self, tmp_path, capsys):
+        ckpt = tmp_path / "fig.ck.json"
+        args = [
+            "fig5", "--scale", "smoke", "--no-ub",
+            "--checkpoint", str(ckpt), "--run-timeout", "300",
+        ]
+        assert main(args) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        # second invocation resumes from the checkpoint
+        assert main(args) == 0
+        assert "slackness" in capsys.readouterr().out
