@@ -34,6 +34,7 @@ from . import (
     lp,
     pools,
     robustness,
+    service,
     workload,
 )
 from ._version import __version__
@@ -70,5 +71,6 @@ __all__ = [
     "lp",
     "pools",
     "robustness",
+    "service",
     "workload",
 ]

@@ -204,8 +204,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip", type=int, default=3)
 
     p = sub.add_parser(
+        "soak",
+        help=(
+            "long-horizon service soak: fault + drift + churn events "
+            "through the online mission controller"
+        ),
+    )
+    p.add_argument("--scenario", default="1", help="1 | 2 | 3")
+    p.add_argument("--services", type=int, default=10,
+                   help="mission catalog size")
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--events", type=int, default=40,
+                   help="mission events to replay")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--budget", type=float, default=0.25,
+                   help="per-request wall-clock budget (seconds)")
+    p.add_argument("--initial-active", type=int, default=None,
+                   help="services active at start (default: half)")
+    p.add_argument("--baseline", action="store_true",
+                   help="run the shed-only baseline instead of the service")
+    p.add_argument("--checkpoint", default=None,
+                   help="JSON checkpoint path (resume after a kill)")
+
+    p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (rules RPR001-RPR006)",
+        help="run the domain-aware static analyzer (rules RPR001-RPR007)",
     )
     add_lint_arguments(p)
 
@@ -315,6 +338,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .service import SoakConfig, run_soak
+
+    scenario = args.scenario
+    if not scenario.startswith("scenario"):
+        scenario = f"scenario{scenario}"
+    initial = (
+        args.services // 2
+        if args.initial_active is None
+        else args.initial_active
+    )
+    config = SoakConfig(
+        scenario=scenario,
+        n_services=args.services,
+        n_machines=args.machines,
+        n_events=args.events,
+        seed=args.seed,
+        budget=args.budget,
+        initial_active=initial,
+        mode="shed-baseline" if args.baseline else "service",
+    )
+    report = run_soak(config, checkpoint_path=args.checkpoint)
+    print(report.summary())
+    hit = report.deadline_hit_rate
+    overrun = report.max_elapsed - (config.budget + config.grace)
+    if overrun > 0:
+        print(
+            f"WARNING: worst request exceeded budget + grace by "
+            f"{overrun:.3f}s",
+            file=sys.stderr,
+        )
+    return 0 if hit >= 0.99 and overrun <= 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -410,6 +467,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "lint":
         return run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.model import AppString, SystemModel
+from ..core.types import FloatArray, FloatArrayLike
 
 __all__ = [
     "scale_workload",
@@ -36,7 +37,9 @@ __all__ = [
 ]
 
 
-def scale_workload(model: SystemModel, factors: np.ndarray) -> SystemModel:
+def scale_workload(
+    model: SystemModel, factors: FloatArrayLike
+) -> SystemModel:
     """A model with string ``k``'s input workload scaled by ``factors[k]``.
 
     Execution times and output sizes scale; CPU utilizations, periods,
@@ -69,7 +72,7 @@ def scale_workload(model: SystemModel, factors: np.ndarray) -> SystemModel:
 
 def uniform_ramp(
     n_strings: int, n_steps: int, peak_delta: float
-) -> np.ndarray:
+) -> FloatArray:
     """All strings ramp linearly from 1.0 to ``1 + peak_delta``."""
     if n_steps < 1:
         raise ValueError("n_steps must be >= 1")
@@ -85,7 +88,7 @@ def hotspot_surge(
     hot_ids: np.ndarray | list[int],
     peak_delta: float,
     onset: int | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Selected strings jump to ``1 + peak_delta`` at step ``onset``.
 
     Models a localized operational event — one sensor chain saturating —
@@ -109,7 +112,7 @@ def random_walk(
     sigma: float,
     rng: np.random.Generator | int | None = None,
     drift: float = 0.0,
-) -> np.ndarray:
+) -> FloatArray:
     """Independent geometric random walks: ``f_{t+1} = f_t·e^(drift+σξ)``.
 
     ``drift > 0`` biases the workload upward — the paper's "likely to

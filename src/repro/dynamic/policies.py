@@ -23,13 +23,13 @@ consistent with the paper's primary metric.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 import numpy as np
 
 from ..core.allocation import Allocation
-from ..core.state import AllocationState
 from ..core.model import SystemModel
+from ..core.state import AllocationState
 from ..heuristics.base import HeuristicResult
 from ..heuristics.local_search import local_search
 from ..heuristics.registry import get_heuristic
@@ -54,7 +54,8 @@ class PolicyResponse:
     shed: tuple[int, ...]
     #: ids whose applications changed machines (migration cost proxy)
     moved: tuple[int, ...]
-    stats: dict = field(default_factory=dict)
+    #: numeric policy-internal measurements (counts, search effort)
+    stats: dict[str, float] = field(default_factory=dict)
 
 
 def carry_forward(
@@ -148,15 +149,17 @@ class RepairPolicy:
             ),
             shed=still_shed,
             moved=moved,
-            stats={"ls_moves": improved.stats.get("moves", 0),
-                   "initially_shed": tuple(shed)},
+            stats={
+                "ls_moves": float(improved.stats.get("moves", 0)),
+                "n_initially_shed": float(len(shed)),
+            },
         )
 
 
 class RemapPolicy:
     """Re-run a full heuristic from scratch on the drifted model."""
 
-    def __init__(self, heuristic: str = "mwf", **kwargs):
+    def __init__(self, heuristic: str = "mwf", **kwargs: Any) -> None:
         self.heuristic_name = heuristic
         self.kwargs = kwargs
         self.name = f"remap-{heuristic}"
@@ -165,8 +168,8 @@ class RemapPolicy:
         self, model: SystemModel, previous: Allocation
     ) -> PolicyResponse:
         result = get_heuristic(self.heuristic_name)(model, **self.kwargs)
-        moved = []
-        kept = []
+        moved: list[int] = []
+        kept: list[int] = []
         for k in result.allocation:
             if k in previous:
                 if np.array_equal(
@@ -182,5 +185,5 @@ class RemapPolicy:
             kept=tuple(kept),
             shed=shed,
             moved=tuple(moved),
-            stats={"heuristic": self.heuristic_name},
+            stats={"n_remapped": float(result.n_mapped)},
         )

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.allocation import Allocation
 from ..core.model import SystemModel
+from ..core.types import FloatArrayLike
 from ..heuristics.base import HeuristicResult
 from .perturbation import scale_workload
 from .policies import Policy, PolicyResponse, carry_forward
@@ -94,7 +95,7 @@ class DriftRun:
 def simulate_drift(
     model: SystemModel,
     initial: HeuristicResult | Allocation,
-    trajectory: np.ndarray,
+    trajectory: FloatArrayLike,
     policy: Policy,
 ) -> DriftRun:
     """Run ``policy`` along ``trajectory`` starting from ``initial``.

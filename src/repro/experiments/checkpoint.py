@@ -1,16 +1,22 @@
-"""JSON checkpointing for multi-run experiments.
+"""JSON checkpointing for long-running computations.
 
-A ``paper``-scale experiment takes hours in pure Python; a killed
-process should not forfeit the finished runs.  The runner appends each
-completed :class:`~repro.experiments.runner.RunRecord` to a JSON
-checkpoint (atomic replace, so a kill mid-write cannot corrupt it) and,
-on restart with the same config, resumes from the completed set.
+A ``paper``-scale experiment (or a long service soak) takes hours in
+pure Python; a killed process should not forfeit the finished work.
+This module provides two layers:
 
-The checkpoint stores a SHA-256 fingerprint of the experiment
-configuration (scenario, heuristics, scale, metric, seeds).  Resuming
-against a checkpoint written by a *different* configuration raises
-:class:`~repro.core.exceptions.ModelError` — silently mixing records
-from two protocols would poison the statistics.
+* :class:`JsonCheckpoint` — a generic, fingerprint-guarded JSON record
+  log.  Every flush is an atomic replace (write to a sibling temp file,
+  then ``os.replace``), so a ``kill -9`` mid-write cannot corrupt the
+  document.  The checkpoint stores a SHA-256 fingerprint of the
+  producing configuration; resuming against a checkpoint written by a
+  *different* configuration raises
+  :class:`~repro.core.exceptions.ModelError` — silently mixing records
+  from two protocols would poison the results.
+* :class:`ExperimentCheckpoint` — the multi-run experiment
+  specialization used by :func:`repro.experiments.runner.run_experiment`
+  (records are :class:`~repro.experiments.runner.RunRecord`s, keyed by
+  run index).  The soak runner (:mod:`repro.service.soak`) builds its
+  own specialization on the same generic layer.
 
 Failed runs are intentionally **not** persisted: on resume they are
 retried, which is exactly what you want after fixing whatever crashed
@@ -33,12 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "ExperimentCheckpoint",
+    "JsonCheckpoint",
     "config_fingerprint",
+    "fingerprint_payload",
     "record_from_dict",
     "record_to_dict",
 ]
 
 _SCHEMA = "repro/experiment-checkpoint-v1"
+
+
+def fingerprint_payload(payload: Any) -> str:
+    """SHA-256 of a JSON-serializable payload (key-order independent)."""
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
 
 
 def config_fingerprint(config: "ExperimentConfig") -> str:
@@ -53,8 +67,83 @@ def config_fingerprint(config: "ExperimentConfig") -> str:
         "base_seed": config.base_seed,
         "bias": config.bias,
     }
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()
+    return fingerprint_payload(payload)
+
+
+class JsonCheckpoint:
+    """Generic fingerprint-guarded JSON record log with atomic flushes.
+
+    Records are plain JSON-compatible dicts; specializations convert to
+    and from their typed record classes at the edges.  Use :meth:`load`
+    to resume (it validates schema and fingerprint), construct directly
+    to start fresh, and :meth:`add` to append-and-flush.  A full rewrite
+    per record is cheap next to the work each record represents.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: str,
+        schema: str,
+        records: list[dict[str, Any]] | None = None,
+        what: str = "checkpoint",
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.schema = schema
+        self.what = what
+        self.records: list[dict[str, Any]] = list(records or [])
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        fingerprint: str,
+        schema: str,
+        what: str = "checkpoint",
+    ) -> "JsonCheckpoint":
+        """Load an existing checkpoint, or start a fresh (empty) one.
+
+        Raises :class:`ModelError` when the file exists but was written
+        by a different configuration or is not a ``schema`` document.
+        """
+        path = Path(path)
+        if not path.exists():
+            return cls(path, fingerprint, schema, what=what)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ModelError(
+                f"cannot read {what} {path}: {exc}"
+            ) from exc
+        if data.get("schema") != schema:
+            raise ModelError(
+                f"{path} is not a {schema} document "
+                f"(schema={data.get('schema')!r})"
+            )
+        if data.get("fingerprint") != fingerprint:
+            raise ModelError(
+                f"checkpoint {path} was written by a different {what} "
+                "configuration; delete it (or point --checkpoint "
+                "elsewhere) to start over"
+            )
+        records = list(data.get("records", []))
+        return cls(path, fingerprint, schema, records, what=what)
+
+    def add(self, record: dict[str, Any]) -> None:
+        """Record one completed unit of work and flush atomically."""
+        self.records.append(record)
+        self.flush()
+
+    def flush(self) -> None:
+        payload = {
+            "schema": self.schema,
+            "fingerprint": self.fingerprint,
+            "records": self.records,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self.path)
 
 
 def record_to_dict(record: "RunRecord") -> dict[str, Any]:
@@ -95,11 +184,11 @@ def record_from_dict(data: dict[str, Any]) -> "RunRecord":
 
 
 class ExperimentCheckpoint:
-    """Append-style checkpoint bound to one experiment configuration.
+    """Multi-run experiment checkpoint bound to one configuration.
 
-    Use :meth:`open` to create-or-resume; every :meth:`add` rewrites
-    the file atomically (records per experiment number in the hundreds,
-    so a full rewrite per run is cheap next to the run itself).
+    A thin typed facade over :class:`JsonCheckpoint`: records are
+    :class:`~repro.experiments.runner.RunRecord`s.  Use :meth:`open` to
+    create-or-resume; every :meth:`add` rewrites the file atomically.
     """
 
     def __init__(
@@ -120,32 +209,16 @@ class ExperimentCheckpoint:
 
         Raises :class:`ModelError` when the file exists but was written
         by a different configuration or is not a checkpoint document.
+        Records beyond the configured run count are dropped.
         """
-        path = Path(path)
         fingerprint = config_fingerprint(config)
-        if not path.exists():
-            return cls(path, fingerprint)
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ModelError(
-                f"cannot read experiment checkpoint {path}: {exc}"
-            ) from exc
-        if data.get("schema") != _SCHEMA:
-            raise ModelError(
-                f"{path} is not a {_SCHEMA} document "
-                f"(schema={data.get('schema')!r})"
-            )
-        if data.get("fingerprint") != fingerprint:
-            raise ModelError(
-                f"checkpoint {path} was written by a different experiment "
-                "configuration; delete it (or point --checkpoint elsewhere) "
-                "to start over"
-            )
+        store = JsonCheckpoint.load(
+            path, fingerprint, _SCHEMA, what="experiment checkpoint"
+        )
         n_runs = config.scale.n_runs
         records = [
             record_from_dict(r)
-            for r in data.get("records", [])
+            for r in store.records
             if int(r["run_index"]) < n_runs
         ]
         return cls(path, fingerprint, records)
@@ -160,14 +233,14 @@ class ExperimentCheckpoint:
         self.flush()
 
     def flush(self) -> None:
-        payload = {
-            "schema": _SCHEMA,
-            "fingerprint": self.fingerprint,
-            "records": [
+        store = JsonCheckpoint(
+            self.path,
+            self.fingerprint,
+            _SCHEMA,
+            [
                 record_to_dict(r)
                 for r in sorted(self.records, key=lambda r: r.run_index)
             ],
-        }
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, self.path)
+            what="experiment checkpoint",
+        )
+        store.flush()

@@ -33,6 +33,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -46,7 +47,7 @@ from ..analysis.stats import ConfidenceInterval, mean_ci
 from ..core.exceptions import ModelError
 from ..core.numeric import isclose
 from ..genitor import GenitorConfig, StoppingRules
-from ..heuristics import best_of_trials, get_heuristic
+from ..heuristics import GA_HEURISTICS, best_of_trials, get_heuristic
 from ..lp import upper_bound
 from ..workload import ScenarioParameters, generate_model
 from .checkpoint import ExperimentCheckpoint
@@ -62,7 +63,6 @@ __all__ = [
     "run_experiment",
 ]
 
-_GA_HEURISTICS = frozenset({"psg", "seeded-psg"})
 
 
 @dataclass(frozen=True)
@@ -201,25 +201,45 @@ def _run_deadline(seconds: float | None) -> Iterator[None]:
 
     Implemented with ``SIGALRM``, so it interrupts hung pure-Python
     loops (a long-running C call is only interrupted on return).  A
-    no-op when ``seconds`` is None, off the main thread, or on
-    platforms without ``SIGALRM`` (Windows).
+    no-op when ``seconds`` is None or on platforms without ``SIGALRM``
+    (Windows).  Signal handlers can only be installed from the main
+    thread — ``signal.signal`` raises ``ValueError`` anywhere else — so
+    off the main thread the body runs *without* a timeout and a
+    :class:`RuntimeWarning` is emitted instead of crashing the run.
     """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds is None or not hasattr(signal, "SIGALRM"):
         yield
         return
     if seconds <= 0:
         raise ModelError(f"run timeout must be positive, got {seconds}")
+    if threading.current_thread() is not threading.main_thread():
+        warnings.warn(
+            "per-run timeout requires the main thread (signal.signal "
+            "raises ValueError elsewhere); running without a timeout",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
 
     def _on_alarm(signum: int, frame: object) -> None:
         raise RunTimeoutError(
             f"run exceeded the {seconds:g}s per-run timeout"
         )
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:
+        # Belt and braces: some embeddings report a "main thread" that
+        # still cannot install handlers (e.g. non-main interpreters).
+        warnings.warn(
+            "signal.signal rejected the SIGALRM handler; running "
+            "without a per-run timeout",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        yield
+        return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         yield
@@ -302,7 +322,7 @@ def _run_one_inner(config: ExperimentConfig, run_index: int) -> RunRecord:
     results: dict[str, tuple[float, float, float, int]] = {}
     for name in config.heuristics:
         heuristic = get_heuristic(name)
-        if name in _GA_HEURISTICS:
+        if name in GA_HEURISTICS:
             res = best_of_trials(
                 heuristic,
                 model,
@@ -417,7 +437,9 @@ def run_experiment(
             for fut in as_completed(futures):
                 r = futures[fut]
                 try:
-                    record = fut.result()
+                    # as_completed only yields finished futures, so a
+                    # zero timeout can never block (RPR007).
+                    record = fut.result(timeout=0)
                 except BrokenProcessPool as exc:
                     # The pool died (worker killed / OOM): every pending
                     # future resolves here, each becoming a failure.

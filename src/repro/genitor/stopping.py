@@ -6,13 +6,22 @@ The paper stops the PSG search when any of three rules fires:
 2. 300 iterations without a change in the elite (best) chromosome;
 3. every chromosome in the population has converged to the same solution.
 
+A fourth, service-oriented rule extends the paper: an optional
+**wall-clock budget** (``max_wall_seconds``).  The online allocation
+service (:mod:`repro.service`) must answer within a per-request
+deadline, so it hands the GA a shrinking time budget and takes the best
+chromosome found when the budget runs out — turning PSG into an
+*anytime* heuristic without touching the engine loop.
+
 :class:`StoppingRules` holds the thresholds; :class:`StopTracker`
 evaluates them as the engine runs and records which rule fired.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Callable
 
 from .population import Population
 
@@ -21,16 +30,20 @@ __all__ = ["StoppingRules", "StopTracker"]
 
 @dataclass(frozen=True)
 class StoppingRules:
-    """Thresholds for the three stopping rules.
+    """Thresholds for the stopping rules.
 
     The defaults are the paper's; experiments at reduced scale override
     them (see EXPERIMENTS.md).  ``check_convergence_every`` bounds how
     often the O(population) convergence scan runs.
+    ``max_wall_seconds`` (``None`` = unbounded, the paper's behaviour)
+    stops the search once the tracker has been alive that long; the
+    engine still returns the best individual found so far.
     """
 
     max_iterations: int = 5_000
     max_stale_iterations: int = 300
     check_convergence_every: int = 25
+    max_wall_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -39,21 +52,48 @@ class StoppingRules:
             raise ValueError("max_stale_iterations must be >= 1")
         if self.check_convergence_every < 1:
             raise ValueError("check_convergence_every must be >= 1")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError(
+                f"max_wall_seconds must be positive or None, got "
+                f"{self.max_wall_seconds}"
+            )
 
 
 class StopTracker:
-    """Evaluates the stopping rules across engine iterations."""
+    """Evaluates the stopping rules across engine iterations.
 
-    def __init__(self, rules: StoppingRules):
+    The wall-clock budget is measured from tracker construction using
+    ``clock`` (injectable for deterministic tests; defaults to
+    :func:`time.perf_counter`).
+    """
+
+    def __init__(
+        self,
+        rules: StoppingRules,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
         self.rules = rules
         self.iteration = 0
         self.stale = 0
         self.reason: str | None = None
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the tracker was constructed."""
+        return self._clock() - self._start
 
     def update(self, population: Population, elite_changed: bool) -> bool:
         """Advance one iteration; return True when the search must stop."""
         self.iteration += 1
         self.stale = 0 if elite_changed else self.stale + 1
+        if (
+            self.rules.max_wall_seconds is not None
+            and self.elapsed_seconds >= self.rules.max_wall_seconds
+        ):
+            self.reason = "deadline"
+            return True
         if self.iteration >= self.rules.max_iterations:
             self.reason = "max-iterations"
             return True

@@ -21,10 +21,18 @@ from .mwf import most_worth_first, mwf_order
 from .ordering import SequenceOutcome, allocate_sequence
 from .priority_class import class_based, class_order
 from .psg import best_of_trials, psg, seeded_psg
-from .registry import HEURISTICS, PAPER_HEURISTICS, available, get_heuristic
+from .registry import (
+    GA_HEURISTICS,
+    HEURISTICS,
+    PAPER_HEURISTICS,
+    available,
+    get_heuristic,
+    is_interruptible,
+)
 from .tf import tf_order, tightest_first
 
 __all__ = [
+    "GA_HEURISTICS",
     "HEURISTICS",
     "HeuristicResult",
     "PAPER_HEURISTICS",
@@ -37,6 +45,7 @@ __all__ = [
     "class_order",
     "get_heuristic",
     "imr_map_string",
+    "is_interruptible",
     "least_worth_first",
     "local_search",
     "most_worth_first",

@@ -23,7 +23,14 @@ from .priority_class import class_based
 from .psg import psg, seeded_psg
 from .tf import tightest_first
 
-__all__ = ["HEURISTICS", "PAPER_HEURISTICS", "get_heuristic", "available"]
+__all__ = [
+    "GA_HEURISTICS",
+    "HEURISTICS",
+    "PAPER_HEURISTICS",
+    "get_heuristic",
+    "available",
+    "is_interruptible",
+]
 
 Heuristic = Callable[..., HeuristicResult]
 
@@ -43,6 +50,25 @@ HEURISTICS: dict[str, Heuristic] = {
 
 #: The four heuristics evaluated in the paper (Figures 3-5 order).
 PAPER_HEURISTICS: tuple[str, ...] = ("psg", "mwf", "tf", "seeded-psg")
+
+#: GENITOR-based heuristics: they accept a ``config`` keyword (a
+#: :class:`~repro.genitor.engine.GenitorConfig`) and, through its
+#: stopping rules, a wall-clock budget.  The experiment runner uses this
+#: set to decide which heuristics get the best-of-trials protocol, and
+#: the online service uses it to decide which cascade tiers can be
+#: preempted mid-search.
+GA_HEURISTICS: frozenset[str] = frozenset({"psg", "seeded-psg"})
+
+
+def is_interruptible(name: str) -> bool:
+    """Whether a heuristic honours a wall-clock budget mid-search.
+
+    GA heuristics stop at the next iteration boundary once
+    ``StoppingRules.max_wall_seconds`` elapses; single-shot heuristics
+    run to completion (they are fast enough that the service treats an
+    overrun as a breaker-visible timeout instead).
+    """
+    return name in GA_HEURISTICS
 
 
 def get_heuristic(name: str) -> Heuristic:

@@ -5,7 +5,7 @@ paper) and the deterministic-replay property of the DES validator depend
 on.  Rules are AST visitors registered in :data:`RULES`; the engine runs
 every enabled rule over every file and collects :class:`~repro.quality.findings.Finding`s.
 
-The six shipped rules:
+The seven shipped rules:
 
 ``RPR001``
     No ``==`` / ``!=`` on computed floating-point quantities — feasibility
@@ -26,6 +26,11 @@ The six shipped rules:
 ``RPR006``
     Every ``repro.*`` package ``__init__`` must declare ``__all__`` and
     keep it consistent with the names it actually binds.
+``RPR007``
+    No unbounded blocking waits (``.result()`` / ``.join()`` /
+    ``.get()`` without a ``timeout=``) in the deadline-bearing packages
+    (``repro.service``, ``repro.experiments``) — a service that promises
+    an answer within a budget must never park on an unbounded primitive.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ __all__ = [
     "Rule",
     "RuleContext",
     "SilentExceptionRule",
+    "UnboundedWaitRule",
     "UnseededRandomnessRule",
     "register",
 ]
@@ -638,6 +644,59 @@ class PublicApiRule(Rule):
                 if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
             }
         return set()
+
+
+# ---------------------------------------------------------------------------
+# RPR007 — no unbounded blocking waits in deadline-bearing packages
+# ---------------------------------------------------------------------------
+
+_BLOCKING_METHODS = frozenset({"result", "join", "get"})
+
+
+@register
+class UnboundedWaitRule(Rule):
+    """Deadline-bearing code must never park on an unbounded primitive.
+
+    :mod:`repro.service` promises an answer within a per-request budget
+    and :mod:`repro.experiments` enforces per-run timeouts; a
+    ``future.result()``, ``thread.join()`` or ``queue.get()`` with no
+    ``timeout=`` can block forever and silently void both contracts.
+    Only zero-positional-argument calls are flagged, so ``d.get(key)``
+    and ``", ".join(parts)`` — same attribute names, no blocking
+    semantics — never false-positive.
+    """
+
+    rule_id = "RPR007"
+    summary = "no unbounded .result()/.join()/.get() in service/experiments"
+    packages: ClassVar[tuple[str, ...]] = (
+        "repro.service",
+        "repro.experiments",
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages(self.packages):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in _BLOCKING_METHODS
+            ):
+                continue
+            if node.args:
+                # d.get(key), sep.join(parts): not blocking primitives
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"potentially unbounded blocking `.{func.attr}()` without "
+                "a timeout",
+                hint="pass timeout= (derive it from the request deadline)",
+            )
 
 
 # Keep a stable, importable view of the registry for the CLI/docs.

@@ -1,0 +1,114 @@
+"""Resilient online allocation service (the shipboard mission loop).
+
+The paper allocates once, offline.  A ship under way faces arrivals,
+departures, battle damage, and workload drift — and needs a feasible
+allocation *now*, not when the GA converges.  This package wraps the
+repository's heuristics in an event-driven mission controller that
+answers every request within a wall-clock deadline and degrades
+gracefully under pressure:
+
+* :mod:`repro.service.deadline` — per-request monotonic budgets;
+* :mod:`repro.service.cascade` — the anytime solver cascade
+  (psg → mwf+ls → mwf → tf) under a shrinking deadline, with the GA
+  tiers preempted via ``StoppingRules.max_wall_seconds``;
+* :mod:`repro.service.breaker` / :mod:`repro.service.retry` — per-tier
+  circuit breakers and jittered-backoff retries;
+* :mod:`repro.service.admission` — worth-priority admission queue and
+  slack-floor load shedding;
+* :mod:`repro.service.health` — the NORMAL → DEGRADED → CRITICAL state
+  machine throttling cascade tiers and admission;
+* :mod:`repro.service.controller` — the mission controller tying it
+  together;
+* :mod:`repro.service.events` — the mission event vocabulary and a
+  seeded scenario generator;
+* :mod:`repro.service.soak` — the checkpointable long-horizon soak
+  harness behind ``repro soak``.
+
+See ``docs/service.md`` for the architecture walk-through.
+"""
+
+from .admission import (
+    AdmissionDecision,
+    QueuedRequest,
+    RequestQueue,
+    plan_shedding,
+    shed_order,
+)
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .cascade import (
+    DEFAULT_TIERS,
+    AttemptRecord,
+    CascadeConfig,
+    CascadeResult,
+    SolverCascade,
+    TierSpec,
+)
+from .controller import (
+    MissionController,
+    RequestOutcome,
+    ServiceConfig,
+    build_working_model,
+)
+from .deadline import Deadline
+from .events import (
+    DriftStep,
+    FaultsCleared,
+    MissionEvent,
+    PlatformFault,
+    ScenarioConfig,
+    StringArrival,
+    StringDeparture,
+    generate_scenario,
+)
+from .health import (
+    DEFAULT_POLICIES,
+    HealthConfig,
+    HealthMonitor,
+    HealthState,
+    StatePolicy,
+)
+from .retry import RetryError, RetryPolicy, backoff_delays, retry_call
+from .soak import SoakConfig, SoakReport, SoakStepRecord, run_soak
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "DEFAULT_TIERS",
+    "AdmissionDecision",
+    "AttemptRecord",
+    "BreakerConfig",
+    "BreakerState",
+    "CascadeConfig",
+    "CascadeResult",
+    "CircuitBreaker",
+    "Deadline",
+    "DriftStep",
+    "FaultsCleared",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthState",
+    "MissionController",
+    "MissionEvent",
+    "PlatformFault",
+    "QueuedRequest",
+    "RequestOutcome",
+    "RequestQueue",
+    "RetryError",
+    "RetryPolicy",
+    "ScenarioConfig",
+    "ServiceConfig",
+    "SoakConfig",
+    "SoakReport",
+    "SoakStepRecord",
+    "SolverCascade",
+    "StatePolicy",
+    "StringArrival",
+    "StringDeparture",
+    "TierSpec",
+    "backoff_delays",
+    "build_working_model",
+    "generate_scenario",
+    "plan_shedding",
+    "retry_call",
+    "run_soak",
+    "shed_order",
+]

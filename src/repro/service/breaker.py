@@ -1,0 +1,152 @@
+"""Per-heuristic circuit breakers.
+
+A heuristic that keeps timing out (or raising) should stop being
+offered request time: every failed attempt burns budget the cheaper
+tiers could have used.  Each cascade tier therefore sits behind a
+classic three-state circuit breaker:
+
+* **CLOSED** — calls flow; ``failure_threshold`` *consecutive*
+  failures (timeouts or exceptions) trip the breaker;
+* **OPEN** — calls are refused outright for ``reset_timeout`` seconds
+  (the tier is skipped, no budget spent);
+* **HALF_OPEN** — after the cool-down one probe call is admitted: a
+  success re-closes the breaker, a failure re-opens it and restarts
+  the cool-down.
+
+State transitions are driven by an injectable monotonic clock, so the
+whole lifecycle is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.exceptions import ModelError
+
+__all__ = ["BreakerConfig", "BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery thresholds for one circuit breaker.
+
+    ``failure_threshold`` consecutive failures trip CLOSED → OPEN;
+    after ``reset_timeout`` seconds OPEN relaxes to HALF_OPEN, where a
+    single probe decides: success → CLOSED, failure → OPEN again.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ModelError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ModelError("reset_timeout must be positive")
+
+
+class CircuitBreaker:
+    """One breaker guarding one cascade tier.
+
+    Call :meth:`allow` before an attempt; report the outcome with
+    :meth:`record_success` / :meth:`record_failure`.  The breaker never
+    raises on a refused call — the cascade simply skips the tier.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        #: lifetime counters (surfaced in service health reports)
+        self.n_trips = 0
+        self.n_failures = 0
+        self.n_successes = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state; OPEN relaxes to HALF_OPEN after the cool-down."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.config.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_outstanding = False
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """May the guarded tier be attempted right now?
+
+        In HALF_OPEN only one probe is admitted until its outcome is
+        reported; further calls are refused so a single slow probe
+        cannot fan out.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    # -- outcome reporting -----------------------------------------------------
+
+    def record_success(self) -> None:
+        """A guarded call completed within budget."""
+        self.n_successes += 1
+        self._consecutive_failures = 0
+        self._probe_outstanding = False
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        """A guarded call timed out or raised."""
+        self.n_failures += 1
+        self._consecutive_failures += 1
+        if self._state is BreakerState.HALF_OPEN:
+            # failed probe: straight back to OPEN, restart cool-down
+            self._trip()
+        elif (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_outstanding = False
+        self.n_trips += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state.value}, "
+            f"consecutive_failures={self._consecutive_failures}, "
+            f"trips={self.n_trips})"
+        )

@@ -1,0 +1,61 @@
+"""Wall-clock deadlines for the online allocation service.
+
+Every request the mission controller serves carries a :class:`Deadline`
+— a monotonic-clock budget started when the request is accepted.  The
+solver cascade consults it before and during every tier: GA tiers
+receive the remaining budget as a ``max_wall_seconds`` stopping rule,
+single-shot tiers are skipped once the budget is spent (except the
+guaranteed last-resort tier, see :mod:`repro.service.cascade`).
+
+The clock is injectable so tests can drive deadlines deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..core.exceptions import ModelError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget measured from construction.
+
+    Parameters
+    ----------
+    budget:
+        Seconds allotted to the request (must be positive).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget <= 0:
+            raise ModelError(f"deadline budget must be positive, got {budget}")
+        self.budget = budget
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (clipped at 0)."""
+        return max(0.0, self.budget - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self.elapsed() >= self.budget
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(budget={self.budget:g}, "
+            f"remaining={self.remaining():.3f})"
+        )

@@ -1,0 +1,218 @@
+"""Mission events consumed by the online allocation controller.
+
+The controller's input is a stream of :class:`MissionEvent`\\ s:
+
+* :class:`StringArrival` / :class:`StringDeparture` — a service from
+  the mission catalog comes online or stands down;
+* :class:`PlatformFault` — one :class:`~repro.faults.events.FaultEvent`
+  (machine/route failure or degradation) strikes the platform; faults
+  accumulate until a :class:`FaultsCleared` repair event;
+* :class:`DriftStep` — per-service workload factors take a multiplicative
+  step (the :mod:`repro.dynamic` random-walk drift, evented).
+
+:func:`generate_scenario` draws a reproducible event stream from a
+seeded generator — the soak harness replays the same stream on resume
+by regenerating it from the checkpointed seed, so events never need to
+be serialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..core.model import SystemModel
+from ..faults.events import FaultEvent, MachineDegradation, MachineFailure
+
+__all__ = [
+    "DriftStep",
+    "FaultsCleared",
+    "MissionEvent",
+    "PlatformFault",
+    "ScenarioConfig",
+    "StringArrival",
+    "StringDeparture",
+    "generate_scenario",
+]
+
+
+@dataclass(frozen=True)
+class MissionEvent:
+    """Base class for controller input events."""
+
+    kind: ClassVar[str] = "abstract"
+
+    def describe(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class StringArrival(MissionEvent):
+    """Catalog service ``service_id`` requests admission."""
+
+    service_id: int
+    kind: ClassVar[str] = "arrival"
+
+    def describe(self) -> str:
+        return f"service {self.service_id} arrives"
+
+
+@dataclass(frozen=True)
+class StringDeparture(MissionEvent):
+    """Catalog service ``service_id`` stands down."""
+
+    service_id: int
+    kind: ClassVar[str] = "departure"
+
+    def describe(self) -> str:
+        return f"service {self.service_id} departs"
+
+
+@dataclass(frozen=True)
+class PlatformFault(MissionEvent):
+    """A platform fault strikes (accumulates with earlier faults)."""
+
+    fault: FaultEvent
+    kind: ClassVar[str] = "fault"
+
+    def describe(self) -> str:
+        return self.fault.describe()
+
+
+@dataclass(frozen=True)
+class FaultsCleared(MissionEvent):
+    """Repairs complete: all accumulated faults are lifted."""
+
+    kind: ClassVar[str] = "faults-cleared"
+
+    def describe(self) -> str:
+        return "all faults repaired"
+
+
+@dataclass(frozen=True)
+class DriftStep(MissionEvent):
+    """Per-service workload factors take one multiplicative step."""
+
+    #: one multiplicative step factor per catalog service
+    step_factors: tuple[float, ...]
+    kind: ClassVar[str] = "drift"
+
+    def __post_init__(self) -> None:
+        if any(f <= 0 for f in self.step_factors):
+            raise ModelError("drift step factors must be positive")
+
+    def describe(self) -> str:
+        lo, hi = min(self.step_factors), max(self.step_factors)
+        return f"workload drift step (factors {lo:.2f}..{hi:.2f})"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Event-mix knobs for :func:`generate_scenario`.
+
+    Weights need not sum to one; they are normalized.  ``drift_sigma``
+    is the per-step log-normal volatility, ``drift_bias`` the upward
+    drift of the paper's "likely to increase" workload.
+    """
+
+    p_arrival: float = 0.30
+    p_departure: float = 0.15
+    p_fault: float = 0.20
+    p_clear: float = 0.05
+    p_drift: float = 0.30
+    drift_sigma: float = 0.05
+    drift_bias: float = 0.005
+    degraded_capacity: tuple[float, float] = (0.3, 0.8)
+    #: never fail machines below this many survivors
+    min_surviving_machines: int = 2
+
+    def __post_init__(self) -> None:
+        weights = self.weights()
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ModelError("event weights must be >= 0 and sum > 0")
+        if self.drift_sigma < 0:
+            raise ModelError("drift_sigma must be >= 0")
+        lo, hi = self.degraded_capacity
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ModelError(
+                f"degraded_capacity must satisfy 0 < lo <= hi <= 1, got "
+                f"({lo}, {hi})"
+            )
+        if self.min_surviving_machines < 1:
+            raise ModelError("min_surviving_machines must be >= 1")
+
+    def weights(self) -> tuple[float, ...]:
+        return (
+            self.p_arrival,
+            self.p_departure,
+            self.p_fault,
+            self.p_clear,
+            self.p_drift,
+        )
+
+
+_EVENT_KINDS = ("arrival", "departure", "fault", "clear", "drift")
+
+
+def generate_scenario(
+    catalog: SystemModel,
+    n_events: int,
+    rng: np.random.Generator | int | None = None,
+    config: ScenarioConfig | None = None,
+) -> tuple[MissionEvent, ...]:
+    """Draw a reproducible mixed event stream against ``catalog``.
+
+    Fault events are machine failures and degradations only (route
+    faults add noise without exercising different controller paths);
+    the generator tracks currently-failed machines so the accumulated
+    fault set always leaves ``min_surviving_machines`` alive.
+    """
+    if n_events < 1:
+        raise ModelError("n_events must be >= 1")
+    config = config or ScenarioConfig()
+    generator = np.random.default_rng(rng)
+    weights = np.asarray(config.weights(), dtype=float)
+    weights = weights / weights.sum()
+
+    failed: set[int] = set()
+    events: list[MissionEvent] = []
+    while len(events) < n_events:
+        kind = _EVENT_KINDS[int(generator.choice(len(weights), p=weights))]
+        if kind == "arrival":
+            sid = int(generator.integers(catalog.n_strings))
+            events.append(StringArrival(sid))
+        elif kind == "departure":
+            sid = int(generator.integers(catalog.n_strings))
+            events.append(StringDeparture(sid))
+        elif kind == "fault":
+            alive = [
+                j for j in range(catalog.n_machines) if j not in failed
+            ]
+            can_fail = len(alive) > config.min_surviving_machines
+            if can_fail and generator.random() < 0.5:
+                machine = int(alive[generator.integers(len(alive))])
+                failed.add(machine)
+                events.append(PlatformFault(MachineFailure(machine)))
+            else:
+                machine = int(alive[generator.integers(len(alive))])
+                lo, hi = config.degraded_capacity
+                capacity = float(generator.uniform(lo, hi))
+                events.append(
+                    PlatformFault(MachineDegradation(machine, capacity))
+                )
+        elif kind == "clear":
+            failed.clear()
+            events.append(FaultsCleared())
+        else:  # drift
+            steps = np.exp(
+                generator.normal(
+                    config.drift_bias,
+                    config.drift_sigma,
+                    size=catalog.n_strings,
+                )
+            )
+            events.append(DriftStep(tuple(float(f) for f in steps)))
+    return tuple(events)

@@ -1,0 +1,188 @@
+"""Service health state machine: NORMAL → DEGRADED → CRITICAL.
+
+The mission controller degrades *gracefully* rather than falling over:
+a :class:`HealthMonitor` folds three signals into one of three states,
+and each state carries a :class:`StatePolicy` that throttles the rest of
+the service —
+
+* **slackness** of the current allocation (eq. 7): thin slack means the
+  next drift step or fault will break feasibility;
+* **open circuit breakers**: expensive tiers are failing;
+* **deadline miss rate** over a rolling window: the cascade is not
+  keeping up with its budgets.
+
+Escalation is immediate (any signal can jump the state straight to
+CRITICAL); recovery is hysteretic — the monitor steps *down one level at
+a time* only after ``recovery_cycles`` consecutive healthy
+observations, so a single good cycle cannot flap the service back into
+the expensive tiers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.exceptions import ModelError
+
+__all__ = [
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthState",
+    "StatePolicy",
+    "DEFAULT_POLICIES",
+]
+
+
+class HealthState(enum.IntEnum):
+    """Ordered health levels (higher = worse)."""
+
+    NORMAL = 0
+    DEGRADED = 1
+    CRITICAL = 2
+
+
+@dataclass(frozen=True)
+class StatePolicy:
+    """How the service behaves while in one health state.
+
+    ``allowed_tiers`` restricts the cascade (the guaranteed tier always
+    runs regardless); ``admission_slack_floor`` is the minimum projected
+    slackness below which new arrivals are rejected and actives are
+    shed — higher floors shed more aggressively, buying headroom.
+    """
+
+    allowed_tiers: frozenset[str]
+    admission_slack_floor: float
+
+    def __post_init__(self) -> None:
+        if self.admission_slack_floor < 0:
+            raise ModelError("admission_slack_floor must be >= 0")
+
+
+#: Default per-state policies: NORMAL runs the full cascade and admits
+#: anything feasible; DEGRADED drops the GA tier and keeps 2% slack in
+#: reserve; CRITICAL runs only the cheap greedy tiers and holds 5%.
+DEFAULT_POLICIES: dict[HealthState, StatePolicy] = {
+    HealthState.NORMAL: StatePolicy(
+        allowed_tiers=frozenset({"psg", "mwf+ls", "mwf", "tf"}),
+        admission_slack_floor=0.0,
+    ),
+    HealthState.DEGRADED: StatePolicy(
+        allowed_tiers=frozenset({"mwf+ls", "mwf", "tf"}),
+        admission_slack_floor=0.02,
+    ),
+    HealthState.CRITICAL: StatePolicy(
+        allowed_tiers=frozenset({"mwf", "tf"}),
+        admission_slack_floor=0.05,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds driving the state machine.
+
+    A state's threshold is the level at which that state (or worse)
+    is entered; the worst state implied by any signal wins.
+    """
+
+    degraded_slack: float = 0.05
+    critical_slack: float = 0.01
+    degraded_miss_rate: float = 0.2
+    critical_miss_rate: float = 0.5
+    degraded_open_breakers: int = 1
+    critical_open_breakers: int = 2
+    window: int = 20
+    recovery_cycles: int = 3
+    policies: dict[HealthState, StatePolicy] = field(
+        default_factory=lambda: dict(DEFAULT_POLICIES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.critical_slack > self.degraded_slack:
+            raise ModelError(
+                "critical_slack must not exceed degraded_slack"
+            )
+        if self.degraded_miss_rate > self.critical_miss_rate:
+            raise ModelError(
+                "degraded_miss_rate must not exceed critical_miss_rate"
+            )
+        if self.window < 1:
+            raise ModelError("window must be >= 1")
+        if self.recovery_cycles < 1:
+            raise ModelError("recovery_cycles must be >= 1")
+        for state in HealthState:
+            if state not in self.policies:
+                raise ModelError(f"missing policy for {state.name}")
+
+
+class HealthMonitor:
+    """Folds per-request observations into the current health state."""
+
+    def __init__(self, config: HealthConfig | None = None) -> None:
+        self.config = config or HealthConfig()
+        self.state = HealthState.NORMAL
+        self._deadline_hits: deque[bool] = deque(maxlen=self.config.window)
+        self._healthy_streak = 0
+        #: (request index implicit) state after each observation
+        self.history: list[HealthState] = []
+
+    @property
+    def policy(self) -> StatePolicy:
+        """The policy of the current state."""
+        return self.config.policies[self.state]
+
+    @property
+    def miss_rate(self) -> float:
+        """Deadline miss rate over the rolling window (0 when empty)."""
+        if not self._deadline_hits:
+            return 0.0
+        misses = sum(1 for hit in self._deadline_hits if not hit)
+        return misses / len(self._deadline_hits)
+
+    def observe(
+        self,
+        slackness: float,
+        deadline_hit: bool,
+        open_breakers: int,
+    ) -> HealthState:
+        """Fold one request's signals; return the (possibly new) state.
+
+        Escalation is immediate; recovery steps down one level only
+        after ``recovery_cycles`` consecutive observations whose implied
+        state is better than the current one.
+        """
+        self._deadline_hits.append(deadline_hit)
+        target = self._target_state(slackness, open_breakers)
+        if target >= self.state:
+            if target > self.state:
+                self.state = target
+            self._healthy_streak = 0
+        else:
+            self._healthy_streak += 1
+            if self._healthy_streak >= self.config.recovery_cycles:
+                self.state = HealthState(self.state - 1)
+                self._healthy_streak = 0
+        self.history.append(self.state)
+        return self.state
+
+    def _target_state(
+        self, slackness: float, open_breakers: int
+    ) -> HealthState:
+        cfg = self.config
+        rate = self.miss_rate
+        if (
+            slackness < cfg.critical_slack
+            or rate >= cfg.critical_miss_rate
+            or open_breakers >= cfg.critical_open_breakers
+        ):
+            return HealthState.CRITICAL
+        if (
+            slackness < cfg.degraded_slack
+            or rate >= cfg.degraded_miss_rate
+            or open_breakers >= cfg.degraded_open_breakers
+        ):
+            return HealthState.DEGRADED
+        return HealthState.NORMAL

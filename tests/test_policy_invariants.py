@@ -1,0 +1,128 @@
+"""Invariant tests for the remapping policies (repro.dynamic.policies).
+
+Every policy response, on any drifted model, must satisfy:
+
+* ``kept`` and ``shed`` are disjoint (a string cannot both keep its
+  slot and lose it);
+* ``kept``/``moved``/``shed`` partition consistently against the
+  previous allocation;
+* total worth never exceeds the pre-drift allocation's worth when
+  the previous allocation mapped every string and the drift is upward
+  (worth can only be lost to infeasibility, never invented);
+* :class:`ShedPolicy` never moves anything (``moved == ()``) and every
+  kept placement is machine-identical to the previous one;
+* the returned allocation is feasible on the drifted model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze
+from repro.dynamic import (
+    RemapPolicy,
+    RepairPolicy,
+    ShedPolicy,
+    scale_workload,
+)
+from repro.heuristics import most_worth_first
+from repro.workload import SCENARIO_3, generate_model
+
+POLICIES = [
+    ShedPolicy(),
+    RepairPolicy(),
+    RemapPolicy("mwf"),
+    RemapPolicy("tf"),
+]
+
+
+@pytest.fixture(scope="module")
+def base_model():
+    # small enough that MWF maps every string: the "worth never grows"
+    # invariant is only meaningful from a fully-mapped starting point
+    model = generate_model(
+        SCENARIO_3.scaled(n_strings=6, n_machines=5), seed=11
+    )
+    return model
+
+
+@pytest.fixture(scope="module")
+def initial(base_model):
+    result = most_worth_first(base_model)
+    assert result.n_mapped == base_model.n_strings, (
+        "fixture must start fully mapped"
+    )
+    return result
+
+
+def drifted(base_model, factor, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = rng.uniform(1.0, factor, size=base_model.n_strings)
+    return scale_workload(base_model, factors)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+@pytest.mark.parametrize("surge", [1.3, 1.8, 2.5])
+def test_kept_and_shed_are_disjoint(base_model, initial, policy, surge):
+    model = drifted(base_model, surge, seed=int(surge * 10))
+    response = policy.respond(model, initial.allocation)
+    assert set(response.kept) & set(response.shed) == set()
+    assert set(response.moved) & set(response.shed) == set()
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+@pytest.mark.parametrize("surge", [1.3, 1.8, 2.5])
+def test_worth_never_exceeds_pre_drift(base_model, initial, policy, surge):
+    """Upward drift can only lose worth relative to a fully-mapped start."""
+    model = drifted(base_model, surge, seed=int(surge * 10))
+    response = policy.respond(model, initial.allocation)
+    assert response.allocation.total_worth() <= (
+        initial.allocation.total_worth() + 1e-9
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_response_is_feasible_on_drifted_model(base_model, initial, policy):
+    model = drifted(base_model, 2.0, seed=3)
+    response = policy.respond(model, initial.allocation)
+    # re-anchor on the drifted model before analyzing
+    from repro.core import Allocation
+
+    anchored = Allocation(
+        model,
+        {k: response.allocation.machines_for(k) for k in response.allocation},
+    )
+    assert analyze(anchored).feasible
+
+
+@pytest.mark.parametrize("surge", [1.2, 2.0, 3.0])
+def test_shed_policy_never_moves(base_model, initial, surge):
+    model = drifted(base_model, surge, seed=int(surge * 7))
+    response = ShedPolicy().respond(model, initial.allocation)
+    assert response.moved == ()
+    for k in response.kept:
+        np.testing.assert_array_equal(
+            response.allocation.machines_for(k),
+            initial.allocation.machines_for(k),
+        )
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_stats_values_are_floats(base_model, initial, policy):
+    """PolicyResponse.stats is typed dict[str, float]; enforce it live."""
+    model = drifted(base_model, 2.0, seed=5)
+    response = policy.respond(model, initial.allocation)
+    for key, value in response.stats.items():
+        assert isinstance(key, str)
+        assert isinstance(value, float), (key, value)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_kept_union_moved_union_shed_covers_previous(
+    base_model, initial, policy
+):
+    """Every previously-mapped string is accounted for exactly once."""
+    model = drifted(base_model, 1.8, seed=9)
+    response = policy.respond(model, initial.allocation)
+    previous = set(initial.allocation)
+    accounted = set(response.kept) | set(response.moved) | set(response.shed)
+    assert previous <= accounted

@@ -387,6 +387,76 @@ def test_rpr006_ignores_packages_outside_repro():
 
 
 # ---------------------------------------------------------------------------
+# RPR007 — unbounded blocking waits in deadline-bearing packages
+# ---------------------------------------------------------------------------
+
+#: module name inside the packages RPR007 polices.
+SERVICE_MOD = "repro.service.fixture"
+
+RPR007_BAD = """\
+def wait(fut):
+    return fut.result()
+"""
+
+RPR007_CLEAN = """\
+def wait(fut, deadline):
+    return fut.result(timeout=deadline.remaining())
+"""
+
+
+def test_rpr007_fires_once_on_unbounded_result():
+    found = findings_for(RPR007_BAD, "RPR007", module=SERVICE_MOD)
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR007"
+    assert "timeout" in found[0].hint
+
+
+def test_rpr007_clean_fixture_passes():
+    assert findings_for(RPR007_CLEAN, "RPR007", module=SERVICE_MOD) == []
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "thread.join()",
+        "work_queue.get()",
+        "fut.result()",
+        "q.get(block=True)",  # still unbounded without a timeout
+    ],
+)
+def test_rpr007_flags_each_blocking_primitive(line):
+    src = f"def f(thread, work_queue, fut, q):\n    {line}\n"
+    found = findings_for(src, "RPR007", module=SERVICE_MOD)
+    assert len(found) == 1
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "d.get(key)",  # dict lookup, not a queue
+        '", ".join(parts)',  # string join, not a thread
+        "thread.join(timeout=5.0)",
+        "work_queue.get(timeout=remaining)",
+    ],
+)
+def test_rpr007_ignores_non_blocking_lookalikes(line):
+    src = f"def f(d, key, parts, thread, work_queue, remaining):\n    {line}\n"
+    assert findings_for(src, "RPR007", module=SERVICE_MOD) == []
+
+
+def test_rpr007_applies_to_experiments_package():
+    found = findings_for(
+        RPR007_BAD, "RPR007", module="repro.experiments.fixture"
+    )
+    assert len(found) == 1
+
+
+def test_rpr007_ignores_packages_outside_scope():
+    assert findings_for(RPR007_BAD, "RPR007", module=CORE_MOD) == []
+    assert findings_for(RPR007_BAD, "RPR007", module=OUTSIDE_MOD) == []
+
+
+# ---------------------------------------------------------------------------
 # noqa suppression
 # ---------------------------------------------------------------------------
 
