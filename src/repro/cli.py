@@ -227,8 +227,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON checkpoint path (resume after a kill)")
 
     p = sub.add_parser(
+        "bench",
+        help=(
+            "benchmark the PSG evaluation core and emit a "
+            "BENCH_<name>.json perf record (see docs/performance.md)"
+        ),
+    )
+    p.add_argument("--name", choices=("psg", "seeded-psg"), default="psg")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke-sized workload for CI")
+    p.add_argument("--seed", type=int, default=1_234)
+    p.add_argument("--trials", type=int, default=None,
+                   help="override the preset trial count")
+    p.add_argument("--workers", type=int, default=None,
+                   help="override the preset process-pool size")
+    p.add_argument("--json", dest="json_path", default=None,
+                   help="write the record here (default BENCH_<name>.json)")
+    p.add_argument("--baseline", default=None,
+                   help="committed baseline record to gate against")
+    p.add_argument("--max-regression", type=float, default=0.30,
+                   help="fail if evals/sec drops more than this fraction")
+
+    p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (rules RPR001-RPR007)",
+        help="run the domain-aware static analyzer (rules RPR001-RPR008)",
     )
     add_lint_arguments(p)
 
@@ -372,6 +394,45 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if hit >= 0.99 and overrun <= 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .experiments import compare_to_baseline, run_bench, save_record
+
+    record = run_bench(
+        name=args.name,
+        quick=args.quick,
+        seed=args.seed,
+        n_trials=args.trials,
+        n_workers=args.workers,
+    )
+    out_path = args.json_path or f"BENCH_{args.name}.json"
+    save_record(record, out_path)
+    print(f"{record['name']}: best worth={record['best_fitness']['worth']:g} "
+          f"slack={record['best_fitness']['slackness']:.4f}")
+    print(f"wall: {record['wall_seconds']:.3f}s  "
+          f"evaluations: {record['evaluations']}  "
+          f"evals/sec: {record['evals_per_second']:,.0f}")
+    prefix = record["prefix_cache"]
+    if prefix is not None:
+        print(f"prefix cache: mean hit depth "
+              f"{prefix['mean_hit_depth']:.2f} over "
+              f"{prefix['lookups']} lookups")
+    profile = record["profile_cache"]
+    if profile is not None:
+        print(f"profile cache: hit rate {profile['hit_rate']:.1%}")
+    print(f"record written to {out_path}")
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        ok, message = compare_to_baseline(
+            record, baseline, max_regression=args.max_regression
+        )
+        print(("PASS: " if ok else "FAIL: ") + message)
+        return 0 if ok else 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -469,6 +530,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "soak":
         return _cmd_soak(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "lint":
         return run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

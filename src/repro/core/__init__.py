@@ -25,7 +25,8 @@ from .feasibility import (
 from .metrics import Fitness, evaluate, system_slackness
 from .model import WORTH_FACTORS, AppString, Machine, Network, SystemModel
 from .numeric import ABS_TOL, REL_TOL, is_zero, isclose
-from .state import AllocationState, RejectionReason
+from .profile import ProfileCache, StringProfile, compute_profile
+from .state import AllocationState, RejectionReason, StateSnapshot
 from .tightness import (
     average_tightness,
     priority_key,
@@ -54,11 +55,14 @@ __all__ = [
     "Machine",
     "ModelError",
     "Network",
+    "ProfileCache",
     "REL_TOL",
     "RejectionReason",
     "ReproError",
     "SimulationError",
     "SolverError",
+    "StateSnapshot",
+    "StringProfile",
     "StringTiming",
     "SystemModel",
     "TimingEstimator",
@@ -67,6 +71,7 @@ __all__ = [
     "WORTH_FACTORS",
     "analyze",
     "average_tightness",
+    "compute_profile",
     "evaluate",
     "is_feasible",
     "is_zero",

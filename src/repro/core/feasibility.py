@@ -117,12 +117,10 @@ def analyze(
     violations: list[Violation] = []
 
     # --- stage 1: capacity --------------------------------------------------
-    for j in range(model.n_machines):
-        if snapshot.machine[j] > 1.0 + tol:
-            violations.append(
-                Violation("machine-capacity", f"machine {j}", float(snapshot.machine[j]), 1.0)
-            )
-    M = model.n_machines
+    for j in np.flatnonzero(snapshot.machine > 1.0 + tol):
+        violations.append(
+            Violation("machine-capacity", f"machine {j}", float(snapshot.machine[j]), 1.0)
+        )
     route = snapshot.route
     over = np.argwhere(route > 1.0 + tol)
     for j1, j2 in over:

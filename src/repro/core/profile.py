@@ -1,0 +1,270 @@
+"""Memoized, vectorized per-(string, assignment) resource profiles.
+
+Projecting a permutation into the solution space re-derives, for every
+string it touches, the same per-resource quantities: the stage-1 load the
+string places on each machine and route, the largest nominal time on each
+resource (the binding term of the eq. 5–6 throughput checks), how many of
+its applications/transfers use each resource, the nominal end-to-end
+path time, and the tightness priority key.  All of those are a pure
+function of ``(string, assignment)`` — they do not depend on what else is
+mapped — so the GENITOR search, which re-derives identical IMR
+assignments across thousands of chromosomes, recomputes identical
+profiles over and over.
+
+This module factors that immutable part out of
+:class:`~repro.core.state.AllocationState`:
+
+* :class:`StringProfile` — the frozen per-resource quantities;
+* :func:`compute_profile` — ``np.unique``/``np.bincount`` kernels
+  replacing the per-application Python loops (bit-identical accumulation
+  order per resource: weights are summed in application order, exactly
+  like the loops they replace);
+* :class:`ProfileCache` — a bounded model-scoped memo keyed on
+  ``(string_id, assignment bytes)`` with LRU eviction and hit statistics.
+
+The mutable interference terms (``H``, ``wait_sum``) stay in the
+allocation state; a profile can therefore be shared freely between
+states, snapshots, and worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import AllocationError
+from .model import SystemModel
+from .tightness import priority_key
+from .types import IntArray, IntVectorLike
+
+__all__ = ["StringProfile", "ProfileCache", "compute_profile"]
+
+Route = tuple[int, int]
+
+
+class StringProfile:
+    """Immutable per-resource quantities of one (string, assignment) pair.
+
+    Attributes
+    ----------
+    machines:
+        The assignment (machine index per application), read-only.
+    key:
+        Tightness priority key (larger = higher priority).
+    period / max_latency:
+        The string's QoS parameters, copied for locality.
+    nominal_path:
+        Unshared end-to-end time under this assignment (eq. 4 numerator).
+    m_load / m_tmax / m_count:
+        Per-machine stage-1 load, largest nominal execution time, and
+        application count (machine index -> value).
+    r_load / r_tmax / r_count:
+        The same per inter-machine route ``(j1, j2)``.  Intra-machine
+        transfers ride infinite bandwidth and are excluded entirely.
+    """
+
+    __slots__ = (
+        "machines",
+        "key",
+        "period",
+        "max_latency",
+        "nominal_path",
+        "m_load",
+        "m_tmax",
+        "m_count",
+        "r_load",
+        "r_tmax",
+        "r_count",
+    )
+
+    def __init__(
+        self,
+        machines: IntArray,
+        key: tuple[float, int],
+        period: float,
+        max_latency: float,
+        nominal_path: float,
+        m_load: dict[int, float],
+        m_tmax: dict[int, float],
+        m_count: dict[int, int],
+        r_load: dict[Route, float],
+        r_tmax: dict[Route, float],
+        r_count: dict[Route, int],
+    ) -> None:
+        self.machines = machines
+        self.key = key
+        self.period = period
+        self.max_latency = max_latency
+        self.nominal_path = nominal_path
+        self.m_load = m_load
+        self.m_tmax = m_tmax
+        self.m_count = m_count
+        self.r_load = r_load
+        self.r_tmax = r_tmax
+        self.r_count = r_count
+
+    def __repr__(self) -> str:
+        return (
+            f"StringProfile(n_apps={self.machines.size}, "
+            f"machines={len(self.m_load)}, routes={len(self.r_load)})"
+        )
+
+
+def _normalize_assignment(
+    model: SystemModel, string_id: int, machines: IntVectorLike
+) -> IntArray:
+    """Validate and canonicalize an assignment vector (contiguous int64)."""
+    s = model.strings[string_id]
+    m = np.ascontiguousarray(machines, dtype=np.int64)
+    if m.shape != (s.n_apps,):
+        raise AllocationError(
+            f"string {string_id}: assignment length {m.shape} != "
+            f"({s.n_apps},)"
+        )
+    if m.size and (m.min() < 0 or m.max() >= model.n_machines):
+        raise AllocationError(
+            f"string {string_id}: machine index out of range"
+        )
+    return m
+
+
+def compute_profile(
+    model: SystemModel, string_id: int, machines: IntVectorLike
+) -> StringProfile:
+    """Vectorized profile of one candidate assignment.
+
+    Per-machine and per-route reductions run through
+    ``np.unique(return_inverse=True)`` + ``np.bincount`` /
+    ``np.maximum.at`` instead of per-application Python loops.
+    ``bincount`` accumulates weights in application order within each
+    bucket, so the sums are bit-identical to the loop formulation.
+    """
+    s = model.strings[string_id]
+    net = model.network
+    m = _normalize_assignment(model, string_id, machines)
+    idx = np.arange(s.n_apps)
+    t = s.comp_times[idx, m]
+    shares = s.work[idx, m] / s.period
+
+    uniq_m, inv_m = np.unique(m, return_inverse=True)
+    loads = np.bincount(inv_m, weights=shares, minlength=uniq_m.size)
+    counts = np.bincount(inv_m, minlength=uniq_m.size)
+    tmax = np.zeros(uniq_m.size)
+    np.maximum.at(tmax, inv_m, t)
+    m_load = {int(j): float(v) for j, v in zip(uniq_m, loads)}
+    m_tmax = {int(j): float(v) for j, v in zip(uniq_m, tmax)}
+    m_count = {int(j): int(c) for j, c in zip(uniq_m, counts)}
+
+    r_load: dict[Route, float] = {}
+    r_tmax: dict[Route, float] = {}
+    r_count: dict[Route, int] = {}
+    nominal = float(t.sum())
+    if s.n_apps > 1:
+        src, dst = m[:-1], m[1:]
+        inv_bw = net.inv_bandwidth[src, dst]
+        times = s.output_sizes * inv_bw
+        nominal += float(times.sum())
+        inter = src != dst  # intra-machine: infinite bandwidth, no load
+        if inter.any():
+            rs, rd = src[inter], dst[inter]
+            route_util = (s.output_sizes[inter] / s.period) * inv_bw[inter]
+            pair = rs * model.n_machines + rd
+            uniq_r, inv_r = np.unique(pair, return_inverse=True)
+            rloads = np.bincount(inv_r, weights=route_util,
+                                 minlength=uniq_r.size)
+            rcounts = np.bincount(inv_r, minlength=uniq_r.size)
+            rtmax = np.zeros(uniq_r.size)
+            np.maximum.at(rtmax, inv_r, times[inter])
+            M = model.n_machines
+            for p, lo, tm, c in zip(uniq_r, rloads, rtmax, rcounts):
+                r = (int(p) // M, int(p) % M)
+                r_load[r] = float(lo)
+                r_tmax[r] = float(tm)
+                r_count[r] = int(c)
+
+    tightness = nominal / s.max_latency
+    m.setflags(write=False)
+    return StringProfile(
+        machines=m,
+        key=priority_key(tightness, string_id),
+        period=s.period,
+        max_latency=s.max_latency,
+        nominal_path=nominal,
+        m_load=m_load,
+        m_tmax=m_tmax,
+        m_count=m_count,
+        r_load=r_load,
+        r_tmax=r_tmax,
+        r_count=r_count,
+    )
+
+
+class ProfileCache:
+    """Bounded LRU memo of :class:`StringProfile` per (string, assignment).
+
+    Scope one cache to one :class:`~repro.core.model.SystemModel` (the
+    key does not include the model): a GENITOR run shares a single cache
+    across every chromosome projection, because the IMR is deterministic
+    given the same intermediate state and re-derives identical
+    assignments across chromosomes.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored profiles.  On overflow the least recently
+        used entry is evicted (hits refresh recency).
+    """
+
+    __slots__ = ("_entries", "max_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: dict[tuple[int, bytes], StringProfile] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get_or_compute(
+        self, model: SystemModel, string_id: int, machines: IntVectorLike
+    ) -> StringProfile:
+        """Memoized :func:`compute_profile` (validates the assignment)."""
+        m = _normalize_assignment(model, string_id, machines)
+        key = (string_id, m.tobytes())
+        profile = self._entries.pop(key, None)
+        if profile is not None:
+            self._entries[key] = profile  # refresh LRU position
+            self.hits += 1
+            return profile
+        self.misses += 1
+        profile = compute_profile(model, string_id, m)
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = profile
+        return profile
+
+    def stats(self) -> dict[str, float]:
+        """Counters for telemetry (JSON-serializable)."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "evictions": float(self.evictions),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileCache(entries={len(self._entries)}, "
+            f"hit_rate={self.hit_rate:.3f})"
+        )

@@ -27,6 +27,15 @@ lower-priority strings sharing one of its resources, so the incremental
 check touches exactly those strings.  The test suite asserts that the
 accept/reject decisions and all cached quantities agree with the
 from-scratch analysis.
+
+The immutable part of the per-string record (loads, tmax, counts,
+nominal path, priority key) lives in :class:`~repro.core.profile.StringProfile`
+and can be memoized across states through a
+:class:`~repro.core.profile.ProfileCache`; only the interference terms
+(``H``, ``wait_sum``) are state-local.  :meth:`AllocationState.snapshot`
+/ :meth:`AllocationState.restore` copy exactly that mutable core, which
+is what makes prefix-cached projection
+(:mod:`repro.heuristics.projection_cache`) cheap.
 """
 
 from __future__ import annotations
@@ -40,12 +49,10 @@ from .exceptions import AllocationError
 from .feasibility import DEFAULT_TOL
 from .metrics import Fitness
 from .model import SystemModel
-from .tightness import priority_key
-from .types import IntArray, IntVectorLike
+from .profile import ProfileCache, Route, StringProfile, compute_profile
+from .types import FloatArray, IntArray, IntVectorLike
 
-__all__ = ["AllocationState", "RejectionReason"]
-
-Route = tuple[int, int]
+__all__ = ["AllocationState", "RejectionReason", "StateSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -67,23 +74,72 @@ class RejectionReason:
 
 @dataclass
 class _StringRecord:
-    """Cached per-string quantities for a mapped string."""
+    """Per-string bookkeeping for a mapped string.
 
-    machines: IntArray
-    key: tuple[float, int]
-    period: float
-    max_latency: float
-    nominal_path: float
-    # resource -> quantities; machines keyed by int, routes by (j1, j2)
-    m_load: dict[int, float]
-    m_tmax: dict[int, float]
-    m_count: dict[int, int]
-    r_load: dict[Route, float]
-    r_tmax: dict[Route, float]
-    r_count: dict[Route, int]
+    ``profile`` is the immutable (shareable, possibly memoized) part;
+    the interference terms below are the only state-local mutables.
+    """
+
+    profile: StringProfile
     H_m: dict[int, float] = field(default_factory=dict)
     H_r: dict[Route, float] = field(default_factory=dict)
     wait_sum: float = 0.0
+
+    def clone(self) -> "_StringRecord":
+        """Copy sharing the profile but owning the mutable terms."""
+        return _StringRecord(
+            profile=self.profile,
+            H_m=dict(self.H_m),
+            H_r=dict(self.H_r),
+            wait_sum=self.wait_sum,
+        )
+
+
+class StateSnapshot:
+    """Frozen copy of an :class:`AllocationState`'s mutable core.
+
+    Holds the utilization accumulators, per-string records (profiles
+    shared, interference terms copied), and resource-user sets.  A
+    snapshot is detached: mutating the originating state never changes
+    it, and :meth:`AllocationState.restore` copies again, so one
+    snapshot can seed any number of states (the prefix cache relies on
+    this).
+    """
+
+    __slots__ = (
+        "machine_util",
+        "route_util",
+        "records",
+        "machine_users",
+        "route_users",
+        "worth",
+    )
+
+    def __init__(
+        self,
+        machine_util: FloatArray,
+        route_util: FloatArray,
+        records: dict[int, _StringRecord],
+        machine_users: list[set[int]],
+        route_users: dict[Route, set[int]],
+        worth: float,
+    ) -> None:
+        self.machine_util = machine_util
+        self.route_util = route_util
+        self.records = records
+        self.machine_users = machine_users
+        self.route_users = route_users
+        self.worth = worth
+
+    @property
+    def n_strings(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateSnapshot(n_strings={self.n_strings}, "
+            f"worth={self.worth:g})"
+        )
 
 
 class AllocationState:
@@ -96,11 +152,21 @@ class AllocationState:
     tol:
         Relative tolerance for capacity/QoS comparisons (same meaning as
         in :mod:`repro.core.feasibility`).
+    profile_cache:
+        Optional model-scoped memo for the immutable per-(string,
+        assignment) profiles.  Share one cache between states of the
+        same model; never share across models.
     """
 
-    def __init__(self, model: SystemModel, tol: float = DEFAULT_TOL) -> None:
+    def __init__(
+        self,
+        model: SystemModel,
+        tol: float = DEFAULT_TOL,
+        profile_cache: ProfileCache | None = None,
+    ) -> None:
         self.model = model
         self.tol = tol
+        self.profile_cache = profile_cache
         M = model.n_machines
         #: Eq. (2) utilization per machine (running totals).
         self.machine_util = np.zeros(M)
@@ -129,7 +195,7 @@ class AllocationState:
         return self._worth
 
     def machines_for(self, string_id: int) -> IntArray:
-        return self._records[string_id].machines
+        return self._records[string_id].profile.machines
 
     def __contains__(self, string_id: int) -> bool:
         return string_id in self._records
@@ -149,76 +215,63 @@ class AllocationState:
     def as_allocation(self) -> Allocation:
         """Materialize the current mapping as an immutable Allocation."""
         return Allocation(
-            self.model, {k: rec.machines for k, rec in self._records.items()}
+            self.model,
+            {k: rec.profile.machines for k, rec in self._records.items()},
         )
 
     def estimated_latency(self, string_id: int) -> float:
         """Estimated end-to-end latency of a mapped string."""
         rec = self._records[string_id]
-        return rec.nominal_path + rec.period * rec.wait_sum
+        return rec.profile.nominal_path + rec.profile.period * rec.wait_sum
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        """Detached copy of the mutable core (records share profiles).
+
+        Cost is ``O(mapped strings × touched resources)`` — far cheaper
+        than replaying the IMR + feasibility analysis that produced the
+        state, which is what makes prefix-cached projection pay off.
+        """
+        return StateSnapshot(
+            machine_util=self.machine_util.copy(),
+            route_util=self.route_util.copy(),
+            records={k: rec.clone() for k, rec in self._records.items()},
+            machine_users=[users.copy() for users in self._machine_users],
+            route_users={r: users.copy() for r, users in self._route_users.items()},
+            worth=self._worth,
+        )
+
+    def restore(self, snapshot: StateSnapshot) -> None:
+        """Reset this state to ``snapshot`` (which stays reusable).
+
+        The snapshot's arrays, records, and user sets are copied again
+        so later mutations of this state never leak back into the
+        snapshot — a cached snapshot can seed any number of states.
+        """
+        self.machine_util = snapshot.machine_util.copy()
+        self.route_util = snapshot.route_util.copy()
+        self._records = {k: rec.clone() for k, rec in snapshot.records.items()}
+        self._machine_users = [users.copy() for users in snapshot.machine_users]
+        self._route_users = {
+            r: users.copy() for r, users in snapshot.route_users.items()
+        }
+        self._worth = snapshot.worth
+        self.last_rejection = None
 
     # -- string profiling -------------------------------------------------------
 
     def _profile(
         self, string_id: int, machines: IntVectorLike
     ) -> _StringRecord:
-        """Compute all per-resource quantities of a candidate assignment."""
-        s = self.model.strings[string_id]
-        net = self.model.network
-        m = np.asarray(machines, dtype=int)
-        if m.shape != (s.n_apps,):
-            raise AllocationError(
-                f"string {string_id}: assignment length {m.shape} != "
-                f"({s.n_apps},)"
+        """Record for a candidate assignment (profile possibly memoized)."""
+        if self.profile_cache is not None:
+            profile = self.profile_cache.get_or_compute(
+                self.model, string_id, machines
             )
-        if m.size and (m.min() < 0 or m.max() >= self.model.n_machines):
-            raise AllocationError(
-                f"string {string_id}: machine index out of range"
-            )
-        idx = np.arange(s.n_apps)
-        t = s.comp_times[idx, m]
-        work = s.work[idx, m]
-        m_load: dict[int, float] = {}
-        m_tmax: dict[int, float] = {}
-        m_count: dict[int, int] = {}
-        for i in range(s.n_apps):
-            j = int(m[i])
-            m_load[j] = m_load.get(j, 0.0) + float(work[i]) / s.period
-            m_tmax[j] = max(m_tmax.get(j, 0.0), float(t[i]))
-            m_count[j] = m_count.get(j, 0) + 1
-        r_load: dict[Route, float] = {}
-        r_tmax: dict[Route, float] = {}
-        r_count: dict[Route, int] = {}
-        nominal = float(t.sum())
-        if s.n_apps > 1:
-            src, dst = m[:-1], m[1:]
-            inv = net.inv_bandwidth[src, dst]
-            times = s.output_sizes * inv
-            nominal += float(times.sum())
-            for i in range(s.n_apps - 1):
-                j1, j2 = int(src[i]), int(dst[i])
-                if j1 == j2:
-                    continue  # infinite bandwidth: no load, no wait
-                r = (j1, j2)
-                r_load[r] = r_load.get(r, 0.0) + float(
-                    s.output_sizes[i] / s.period * inv[i]
-                )
-                r_tmax[r] = max(r_tmax.get(r, 0.0), float(times[i]))
-                r_count[r] = r_count.get(r, 0) + 1
-        tightness = nominal / s.max_latency
-        return _StringRecord(
-            machines=m,
-            key=priority_key(tightness, string_id),
-            period=s.period,
-            max_latency=s.max_latency,
-            nominal_path=nominal,
-            m_load=m_load,
-            m_tmax=m_tmax,
-            m_count=m_count,
-            r_load=r_load,
-            r_tmax=r_tmax,
-            r_count=r_count,
-        )
+        else:
+            profile = compute_profile(self.model, string_id, machines)
+        return _StringRecord(profile=profile)
 
     # -- the core operation -----------------------------------------------------
 
@@ -234,17 +287,18 @@ class AllocationState:
             raise AllocationError(f"string {string_id} is already mapped")
         self.last_rejection = None
         rec = self._profile(string_id, machines)
+        prof = rec.profile
         tol = self.tol
 
         # ---- stage 1: capacity ---------------------------------------------
-        for j, load in rec.m_load.items():
+        for j, load in prof.m_load.items():
             if self.machine_util[j] + load > 1.0 + tol:
                 self.last_rejection = RejectionReason(
                     1, "machine-capacity", f"machine {j}",
                     float(self.machine_util[j] + load), 1.0,
                 )
                 return False
-        for (j1, j2), load in rec.r_load.items():
+        for (j1, j2), load in prof.r_load.items():
             if self.route_util[j1, j2] + load > 1.0 + tol:
                 self.last_rejection = RejectionReason(
                     1, "route-capacity", f"route {j1}->{j2}",
@@ -253,42 +307,42 @@ class AllocationState:
                 return False
 
         # ---- stage 2a: the new string under existing interference -----------
-        key = rec.key
-        for j in rec.m_load:
+        key = prof.key
+        for j in prof.m_load:
             H = 0.0
             for z in self._machine_users[j]:
                 other = self._records[z]
-                if other.key > key:
-                    H += other.m_load[j]
+                if other.profile.key > key:
+                    H += other.profile.m_load[j]
             rec.H_m[j] = H
-            if rec.m_tmax[j] + rec.period * H > rec.period * (1.0 + tol):
+            if prof.m_tmax[j] + prof.period * H > prof.period * (1.0 + tol):
                 self.last_rejection = RejectionReason(
                     2, "throughput-comp",
                     f"string {string_id} on machine {j}",
-                    rec.m_tmax[j] + rec.period * H, rec.period,
+                    prof.m_tmax[j] + prof.period * H, prof.period,
                 )
                 return False
-        for r in rec.r_load:
+        for r in prof.r_load:
             H = 0.0
             for z in self._route_users.get(r, ()):
                 other = self._records[z]
-                if other.key > key:
-                    H += other.r_load[r]
+                if other.profile.key > key:
+                    H += other.profile.r_load[r]
             rec.H_r[r] = H
-            if rec.r_tmax[r] + rec.period * H > rec.period * (1.0 + tol):
+            if prof.r_tmax[r] + prof.period * H > prof.period * (1.0 + tol):
                 self.last_rejection = RejectionReason(
                     2, "throughput-tran",
                     f"string {string_id} on route {r[0]}->{r[1]}",
-                    rec.r_tmax[r] + rec.period * H, rec.period,
+                    prof.r_tmax[r] + prof.period * H, prof.period,
                 )
                 return False
         rec.wait_sum = sum(
-            rec.m_count[j] * rec.H_m[j] for j in rec.m_load
-        ) + sum(rec.r_count[r] * rec.H_r[r] for r in rec.r_load)
-        latency = rec.nominal_path + rec.period * rec.wait_sum
-        if latency > rec.max_latency * (1.0 + tol):
+            prof.m_count[j] * rec.H_m[j] for j in prof.m_load
+        ) + sum(prof.r_count[r] * rec.H_r[r] for r in prof.r_load)
+        latency = prof.nominal_path + prof.period * rec.wait_sum
+        if latency > prof.max_latency * (1.0 + tol):
             self.last_rejection = RejectionReason(
-                2, "latency", f"string {string_id}", latency, rec.max_latency
+                2, "latency", f"string {string_id}", latency, prof.max_latency
             )
             return False
 
@@ -298,58 +352,61 @@ class AllocationState:
         wait_delta: dict[int, float] = {}
         h_m_delta: dict[tuple[int, int], float] = {}  # (string, machine)
         h_r_delta: dict[tuple[int, Route], float] = {}
-        for j, load in rec.m_load.items():
+        for j, load in prof.m_load.items():
             for z in self._machine_users[j]:
                 other = self._records[z]
-                if other.key >= key:
+                op = other.profile
+                if op.key >= key:
                     continue
                 newH = other.H_m[j] + load
                 if (
-                    other.m_tmax[j] + other.period * newH
-                    > other.period * (1.0 + tol)
+                    op.m_tmax[j] + op.period * newH
+                    > op.period * (1.0 + tol)
                 ):
                     self.last_rejection = RejectionReason(
                         2, "throughput-comp",
                         f"string {z} on machine {j}",
-                        other.m_tmax[j] + other.period * newH, other.period,
+                        op.m_tmax[j] + op.period * newH, op.period,
                     )
                     return False
                 h_m_delta[(z, j)] = load
-                wait_delta[z] = wait_delta.get(z, 0.0) + other.m_count[j] * load
-        for r, load in rec.r_load.items():
+                wait_delta[z] = wait_delta.get(z, 0.0) + op.m_count[j] * load
+        for r, load in prof.r_load.items():
             for z in self._route_users.get(r, ()):
                 other = self._records[z]
-                if other.key >= key:
+                op = other.profile
+                if op.key >= key:
                     continue
                 newH = other.H_r[r] + load
                 if (
-                    other.r_tmax[r] + other.period * newH
-                    > other.period * (1.0 + tol)
+                    op.r_tmax[r] + op.period * newH
+                    > op.period * (1.0 + tol)
                 ):
                     self.last_rejection = RejectionReason(
                         2, "throughput-tran",
                         f"string {z} on route {r[0]}->{r[1]}",
-                        other.r_tmax[r] + other.period * newH, other.period,
+                        op.r_tmax[r] + op.period * newH, op.period,
                     )
                     return False
                 h_r_delta[(z, r)] = load
-                wait_delta[z] = wait_delta.get(z, 0.0) + other.r_count[r] * load
+                wait_delta[z] = wait_delta.get(z, 0.0) + op.r_count[r] * load
         for z, delta in wait_delta.items():
             other = self._records[z]
-            new_latency = other.nominal_path + other.period * (
+            op = other.profile
+            new_latency = op.nominal_path + op.period * (
                 other.wait_sum + delta
             )
-            if new_latency > other.max_latency * (1.0 + tol):
+            if new_latency > op.max_latency * (1.0 + tol):
                 self.last_rejection = RejectionReason(
-                    2, "latency", f"string {z}", new_latency, other.max_latency
+                    2, "latency", f"string {z}", new_latency, op.max_latency
                 )
                 return False
 
         # ---- commit ----------------------------------------------------------
-        for j, load in rec.m_load.items():
+        for j, load in prof.m_load.items():
             self.machine_util[j] += load
             self._machine_users[j].add(string_id)
-        for r, load in rec.r_load.items():
+        for r, load in prof.r_load.items():
             self.route_util[r] += load
             self._route_users.setdefault(r, set()).add(string_id)
         for (z, j), load in h_m_delta.items():
@@ -371,25 +428,26 @@ class AllocationState:
         rec = self._records.pop(string_id, None)
         if rec is None:
             raise AllocationError(f"string {string_id} is not mapped")
-        key = rec.key
-        for j, load in rec.m_load.items():
+        prof = rec.profile
+        key = prof.key
+        for j, load in prof.m_load.items():
             self.machine_util[j] -= load
             self._machine_users[j].discard(string_id)
             for z in self._machine_users[j]:
                 other = self._records[z]
-                if other.key < key:
+                if other.profile.key < key:
                     other.H_m[j] -= load
-                    other.wait_sum -= other.m_count[j] * load
-        for r, load in rec.r_load.items():
+                    other.wait_sum -= other.profile.m_count[j] * load
+        for r, load in prof.r_load.items():
             self.route_util[r] -= load
             users = self._route_users.get(r)
             if users is not None:
                 users.discard(string_id)
                 for z in users:
                     other = self._records[z]
-                    if other.key < key:
+                    if other.profile.key < key:
                         other.H_r[r] -= load
-                        other.wait_sum -= other.r_count[r] * load
+                        other.wait_sum -= other.profile.r_count[r] * load
                 if not users:
                     del self._route_users[r]
         self._worth -= self.model.strings[string_id].worth

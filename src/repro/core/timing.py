@@ -147,6 +147,12 @@ def estimated_tran_times_literal(
     out = np.empty(max(s.n_apps - 1, 0))
     for i in range(s.n_apps - 1):
         j1, j2 = int(mach[i]), int(mach[i + 1])
+        if j1 == j2:
+            # Intra-machine transfer: infinite bandwidth, no queueing —
+            # excluded from eq. (6) exactly as in the eq. (3) loads and
+            # the incremental AllocationState profile.
+            out[i] = 0.0
+            continue
         total = float(s.output_sizes[i]) * net.inv_bandwidth[j1, j2]
         for z in allocation:
             if priority_key(tightness[z], z) <= own_key:
@@ -218,7 +224,10 @@ class TimingEstimator:
         if s.n_apps > 1:
             src, dst = mach[:-1], mach[1:]
             nominal = s.output_sizes * self.model.network.inv_bandwidth[src, dst]
-            tran = nominal + s.period * Hr[src, dst]
+            # Intra-machine transfers take no time and share nothing.
+            tran = np.where(
+                src != dst, nominal + s.period * Hr[src, dst], 0.0
+            )
         else:
             tran = np.empty(0)
         return StringTiming(string_id, comp, tran)
@@ -247,7 +256,9 @@ class TimingEstimator:
             if s.n_apps > 1:
                 src, dst = mach[:-1], mach[1:]
                 nominal = s.output_sizes * model.network.inv_bandwidth[src, dst]
-                tran = nominal + s.period * Hr[src, dst]
+                tran = np.where(
+                    src != dst, nominal + s.period * Hr[src, dst], 0.0
+                )
             else:
                 tran = np.empty(0)
             out[k] = StringTiming(k, comp, tran)

@@ -13,6 +13,7 @@ from .ablations import (
     seeding_ablation,
     stop_rule_ablation,
 )
+from .bench import BENCH_SCHEMA, compare_to_baseline, run_bench, save_record
 from .convergence import ConvergenceTrace, run_convergence
 from .fig2 import FIG2_CASES, Fig2Case, build_case_model, run_fig2
 from .checkpoint import ExperimentCheckpoint
@@ -34,6 +35,7 @@ from .survivability import SurvivabilityCell, run_survivability
 from .table1 import render_table1, table1_rows
 
 __all__ = [
+    "BENCH_SCHEMA",
     "FIG2_CASES",
     "FIGURES",
     "ExperimentCheckpoint",
@@ -54,6 +56,7 @@ __all__ = [
     "SCALES",
     "bias_sweep",
     "build_case_model",
+    "compare_to_baseline",
     "crossover_ablation",
     "fig3",
     "fig4",
@@ -61,6 +64,7 @@ __all__ = [
     "full_report",
     "heterogeneity_ablation",
     "render_table1",
+    "run_bench",
     "run_convergence",
     "run_experiment",
     "run_fig2",
@@ -68,6 +72,7 @@ __all__ = [
     "run_runtime_table",
     "run_surge_curves",
     "run_survivability",
+    "save_record",
     "seeding_ablation",
     "stop_rule_ablation",
     "table1_rows",

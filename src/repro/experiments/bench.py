@@ -1,0 +1,177 @@
+"""Performance benchmark for the PSG evaluation core (``repro bench``).
+
+Runs the paper's best-of-N-trials PSG protocol on a fixed workload and
+emits one JSON perf record (``BENCH_<name>.json``) so the repository
+accumulates a benchmark trajectory.  The record schema is
+``repro-bench/1`` (documented in ``docs/performance.md``):
+
+``schema / name / created``
+    Record version tag, benchmark name, UTC timestamp.
+``workload``
+    Scenario, string/machine counts, and the generator seed.
+``config``
+    The GENITOR and trial knobs the run used (population, iteration
+    bounds, trial count, worker count, cache flags).
+``wall_seconds / evaluations / evals_per_second``
+    End-to-end wall time of the whole best-of-trials run, total fresh
+    fitness evaluations across trials, and their ratio — the headline
+    number the CI regression gate compares.
+``best_fitness / trial_fitnesses``
+    The elite (worth, slackness) and the per-trial list.
+``prefix_cache / profile_cache``
+    Telemetry of the best trial's caches, including the prefix-hit
+    depth histogram (resume depth -> lookup count) and the profile
+    cache hit rate.  ``null`` when the corresponding cache is disabled.
+
+:func:`compare_to_baseline` implements the CI gate: the run fails when
+``evals_per_second`` regresses more than ``max_regression`` (fractional)
+below a committed baseline record.  Throughput baselines are inherently
+machine-dependent; commit baselines produced on the CI runner class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from ..genitor import GenitorConfig
+from ..genitor.stopping import StoppingRules
+from ..heuristics import best_of_trials, psg, seeded_psg
+from ..workload import get_scenario, generate_model
+
+__all__ = ["run_bench", "compare_to_baseline", "save_record", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+_HEURISTICS = {"psg": psg, "seeded-psg": seeded_psg}
+
+
+def run_bench(
+    name: str = "psg",
+    quick: bool = False,
+    seed: int = 1_234,
+    n_trials: int | None = None,
+    n_workers: int | None = None,
+) -> dict[str, Any]:
+    """Run the PSG benchmark workload and return a ``repro-bench/1`` record.
+
+    Parameters
+    ----------
+    name:
+        ``"psg"`` or ``"seeded-psg"``.
+    quick:
+        Smoke-sized workload (25 strings, population 30, 2 trials,
+        single worker) for CI; the default is the paper-scale protocol
+        (50 strings, population 250, best of 4 trials) with one worker
+        per trial.
+    seed:
+        Workload-generator and trial-stream seed (the run is
+        deterministic given ``seed`` and the knobs).
+    n_trials / n_workers:
+        Override the preset trial and worker counts.
+    """
+    if name not in _HEURISTICS:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(_HEURISTICS)}"
+        )
+    if quick:
+        n_strings, n_machines = 25, 4
+        config = GenitorConfig(
+            population_size=30,
+            rules=StoppingRules(max_iterations=250, max_stale_iterations=120),
+        )
+        trials = 2 if n_trials is None else n_trials
+        workers = 1 if n_workers is None else n_workers
+    else:
+        n_strings, n_machines = 50, 8
+        config = GenitorConfig()  # the paper's: population 250, 5 000 iters
+        trials = 4 if n_trials is None else n_trials
+        workers = (
+            min(os.cpu_count() or 1, trials)
+            if n_workers is None
+            else n_workers
+        )
+    params = get_scenario("1").scaled(
+        n_strings=n_strings, n_machines=n_machines
+    )
+    model = generate_model(params, seed=seed)
+    result = best_of_trials(
+        _HEURISTICS[name],
+        model,
+        n_trials=trials,
+        rng=seed,
+        n_workers=workers,
+        config=config,
+    )
+    stats = result.stats
+    wall = float(stats["wall_seconds"])
+    evaluations = int(stats["total_evaluations"])
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "workload": {
+            "scenario": params.name,
+            "n_strings": n_strings,
+            "n_machines": n_machines,
+            "seed": seed,
+        },
+        "config": {
+            "population_size": config.population_size,
+            "max_iterations": config.rules.max_iterations,
+            "max_stale_iterations": config.rules.max_stale_iterations,
+            "n_trials": trials,
+            "n_workers": workers,
+            "use_projection_cache": config.use_projection_cache,
+            "use_profile_cache": config.use_profile_cache,
+        },
+        "wall_seconds": wall,
+        "evaluations": evaluations,
+        "evals_per_second": evaluations / wall if wall > 0.0 else 0.0,
+        "best_fitness": {
+            "worth": result.fitness.worth,
+            "slackness": result.fitness.slackness,
+        },
+        "trial_fitnesses": stats["trial_fitnesses"],
+        "trial_failures": stats["trial_failures"],
+        "prefix_cache": stats.get("projection_cache"),
+        "profile_cache": stats.get("profile_cache"),
+    }
+
+
+def compare_to_baseline(
+    record: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.30,
+) -> tuple[bool, str]:
+    """CI gate: does ``record`` hold up against a committed ``baseline``?
+
+    Returns ``(ok, message)``; ``ok`` is false when ``evals_per_second``
+    fell more than ``max_regression`` (a fraction, e.g. ``0.30``) below
+    the baseline's.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError(
+            f"max_regression must be in [0, 1), got {max_regression}"
+        )
+    base_rate = float(baseline["evals_per_second"])
+    rate = float(record["evals_per_second"])
+    floor = base_rate * (1.0 - max_regression)
+    delta = (rate - base_rate) / base_rate if base_rate > 0.0 else 0.0
+    message = (
+        f"evals/sec {rate:,.0f} vs baseline {base_rate:,.0f} "
+        f"({delta:+.1%}; floor {floor:,.0f} at -{max_regression:.0%})"
+    )
+    if base_rate <= 0.0:
+        return True, message + " — baseline rate not positive, gate skipped"
+    return rate >= floor, message
+
+
+def save_record(record: dict[str, Any], path: str | Path) -> None:
+    """Write one bench record as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")

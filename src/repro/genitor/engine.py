@@ -43,18 +43,46 @@ class GenitorConfig:
     :data:`repro.genitor.operators.CROSSOVER_OPERATORS` — the paper's
     ``"positional"`` top-part operator by default, with ``"ox"`` and
     ``"pmx"`` available for the operator ablation.
+
+    The evaluation-core knobs are consumed by the PSG driver (the engine
+    itself is problem-agnostic): ``use_projection_cache`` /
+    ``use_profile_cache`` toggle the prefix-trie and per-(string,
+    assignment) profile memos, ``projection_cache_nodes`` and
+    ``projection_snapshot_stride`` bound them, and ``init_workers`` > 1
+    evaluates the initial population in parallel process batches.  None
+    of these change search results — only how fast identical fitness
+    values are obtained (see ``docs/performance.md``).
     """
 
     population_size: int = 250
     bias: float = 1.6
     rules: StoppingRules = field(default_factory=StoppingRules)
     crossover: str = "positional"
+    use_projection_cache: bool = True
+    use_profile_cache: bool = True
+    projection_cache_nodes: int = 50_000
+    projection_snapshot_stride: int = 8
+    init_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
             raise ValueError("population_size must be >= 2")
         if not 1.0 <= self.bias <= 2.0:
             raise ValueError(f"bias must be in [1, 2], got {self.bias}")
+        if self.projection_cache_nodes < 1:
+            raise ValueError(
+                f"projection_cache_nodes must be >= 1, got "
+                f"{self.projection_cache_nodes}"
+            )
+        if self.projection_snapshot_stride < 1:
+            raise ValueError(
+                f"projection_snapshot_stride must be >= 1, got "
+                f"{self.projection_snapshot_stride}"
+            )
+        if self.init_workers < 1:
+            raise ValueError(
+                f"init_workers must be >= 1, got {self.init_workers}"
+            )
         get_crossover(self.crossover)  # validates the name
 
 
@@ -68,6 +96,14 @@ class GenitorStats:
     insertions: int = 0
     elite_improvements: int = 0
     stop_reason: str = ""
+    #: Wall-clock seconds of the search loop (excludes population init).
+    elapsed_seconds: float = 0.0
+    #: Fresh fitness evaluations per second of search-loop wall time.
+    evals_per_second: float = 0.0
+    #: Mean prefix-cache resume depth (0 when no projection cache ran).
+    prefix_mean_hit_depth: float = 0.0
+    #: Profile-cache hit rate (0 when no profile cache ran).
+    profile_cache_hit_rate: float = 0.0
     #: (iteration, fitness) at each strict elite improvement.
     improvement_trace: list[tuple[int, Fitness]] = field(default_factory=list)
 
@@ -89,6 +125,12 @@ class GenitorEngine:
     seeds:
         Chromosomes guaranteed a slot in the initial population (the
         Seeded PSG passes the MWF and TF orderings).
+    initial_evaluator:
+        Optional bulk evaluator for the initial population: called once
+        with the list of distinct initial chromosomes, must return their
+        fitness values in the same order.  Lets a driver fan the
+        (embarrassingly parallel) initial evaluation over worker
+        processes; must agree exactly with ``fitness_fn``.
     """
 
     def __init__(
@@ -98,6 +140,9 @@ class GenitorEngine:
         config: GenitorConfig,
         rng: np.random.Generator,
         seeds: Sequence[Chromosome] = (),
+        initial_evaluator: Callable[
+            [Sequence[Chromosome]], Sequence[Fitness]
+        ] | None = None,
     ):
         self.genes = tuple(genes)
         self.fitness_fn = fitness_fn
@@ -121,9 +166,23 @@ class GenitorEngine:
         while len(chromosomes) < config.population_size:
             perm = tuple(int(g) for g in rng.permutation(self.genes))
             chromosomes.append(perm)
-        self.population = Population(
-            [Individual(c, self._evaluate(c)) for c in chromosomes]
-        )
+        if initial_evaluator is not None:
+            distinct = list(dict.fromkeys(chromosomes))
+            fitnesses = list(initial_evaluator(distinct))
+            if len(fitnesses) != len(distinct):
+                raise ValueError(
+                    f"initial_evaluator returned {len(fitnesses)} fitness "
+                    f"values for {len(distinct)} chromosomes"
+                )
+            self._cache.update(zip(distinct, fitnesses))
+            self.stats.evaluations += len(distinct)
+            self.population = Population(
+                [Individual(c, self._cache[c]) for c in chromosomes]
+            )
+        else:
+            self.population = Population(
+                [Individual(c, self._evaluate(c)) for c in chromosomes]
+            )
 
     # -- internals ---------------------------------------------------------------
 
@@ -195,4 +254,8 @@ class GenitorEngine:
                 break
         self.stats.iterations = tracker.iteration
         self.stats.stop_reason = tracker.reason or ""
+        elapsed = tracker.elapsed_seconds
+        self.stats.elapsed_seconds = elapsed
+        if elapsed > 0.0:
+            self.stats.evals_per_second = self.stats.evaluations / elapsed
         return self.population.best

@@ -20,6 +20,7 @@ from .local_search import local_search, mwf_with_local_search
 from .mwf import most_worth_first, mwf_order
 from .ordering import SequenceOutcome, allocate_sequence
 from .priority_class import class_based, class_order
+from .projection_cache import PrefixLookup, ProjectionCache
 from .psg import best_of_trials, psg, seeded_psg
 from .registry import (
     GA_HEURISTICS,
@@ -36,6 +37,8 @@ __all__ = [
     "HEURISTICS",
     "HeuristicResult",
     "PAPER_HEURISTICS",
+    "PrefixLookup",
+    "ProjectionCache",
     "SequenceOutcome",
     "allocate_sequence",
     "available",

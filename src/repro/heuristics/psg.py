@@ -12,33 +12,116 @@ single-shot heuristics (replace-worst insertion preserves the elite).
 The paper runs PSG with population 250 for up to 5 000 iterations and
 reports the best of four independent trials per simulation run; both
 knobs are exposed here (``config`` and :func:`best_of_trials`).
+
+Performance (see ``docs/performance.md``): each run shares one
+prefix-trie :class:`~repro.heuristics.projection_cache.ProjectionCache`
+and one :class:`~repro.core.profile.ProfileCache` across every
+chromosome projection (both on by default, toggled via
+:class:`~repro.genitor.GenitorConfig`), the initial population can be
+evaluated in parallel process batches (``config.init_workers``), and
+:func:`best_of_trials` fans independent trials over a process pool
+(``n_workers``) with a precomputed seed stream so parallel and serial
+execution produce identical results.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..core.metrics import Fitness
 from ..core.model import SystemModel
+from ..core.profile import ProfileCache
 from ..genitor import Chromosome, GenitorConfig, GenitorEngine
 from .base import HeuristicResult, timed_section
 from .mwf import mwf_order
 from .ordering import allocate_sequence
+from .projection_cache import ProjectionCache
 from .tf import tf_order
 
 __all__ = ["psg", "seeded_psg", "best_of_trials"]
 
 
-def _make_fitness_fn(model: SystemModel):
+def _make_fitness_fn(
+    model: SystemModel,
+    cache: ProjectionCache | None = None,
+    profile_cache: ProfileCache | None = None,
+) -> Callable[[Chromosome], Fitness]:
     """Permutation -> Fitness via the IMR allocate-until-failure projection."""
 
     def fitness_fn(chromosome: Chromosome) -> Fitness:
-        outcome = allocate_sequence(model, chromosome)
+        outcome = allocate_sequence(
+            model, chromosome, cache=cache, profile_cache=profile_cache
+        )
         return outcome.fitness()
 
     return fitness_fn
+
+
+def _evaluate_batch(
+    model: SystemModel, chromosomes: Sequence[Chromosome]
+) -> list[Fitness]:
+    """Worker-side bulk projection (module-level: must pickle).
+
+    Each worker builds its own caches — fitness is deterministic, so
+    worker-local caches change nothing but speed.
+    """
+    fitness_fn = _make_fitness_fn(
+        model, cache=ProjectionCache(), profile_cache=ProfileCache()
+    )
+    return [fitness_fn(c) for c in chromosomes]
+
+
+def _make_initial_evaluator(
+    model: SystemModel,
+    config: GenitorConfig,
+    fitness_fn: Callable[[Chromosome], Fitness],
+) -> Callable[[Sequence[Chromosome]], list[Fitness]] | None:
+    """Parallel initial-population evaluator (``config.init_workers`` > 1).
+
+    Splits the initial chromosomes into one batch per worker and fans
+    them over a process pool; falls back to the in-process
+    ``fitness_fn`` for any batch whose worker dies, so a crashing pool
+    degrades to the serial path instead of failing the run.
+    """
+    if config.init_workers <= 1:
+        return None
+
+    def evaluator(chromosomes: Sequence[Chromosome]) -> list[Fitness]:
+        n = len(chromosomes)
+        if n == 0:
+            return []
+        n_workers = min(config.init_workers, n)
+        bounds = np.linspace(0, n, n_workers + 1).astype(int)
+        batches = [
+            list(chromosomes[bounds[i]:bounds[i + 1]])
+            for i in range(n_workers)
+            if bounds[i] < bounds[i + 1]
+        ]
+        results: dict[int, list[Fitness]] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=len(batches)) as pool:
+                futures = {
+                    pool.submit(_evaluate_batch, model, batch): i
+                    for i, batch in enumerate(batches)
+                }
+                for fut in as_completed(futures):
+                    i = futures[fut]
+                    try:
+                        results[i] = fut.result(timeout=0)
+                    except Exception:
+                        results[i] = [fitness_fn(c) for c in batches[i]]
+        except BrokenProcessPool:
+            pass
+        for i, batch in enumerate(batches):
+            if i not in results:
+                results[i] = [fitness_fn(c) for c in batch]
+        return [f for i in range(len(batches)) for f in results[i]]
+
+    return evaluator
 
 
 def _run_engine(
@@ -49,24 +132,47 @@ def _run_engine(
     seeds: tuple[Chromosome, ...],
 ) -> HeuristicResult:
     with timed_section() as elapsed:
+        proj_cache = (
+            ProjectionCache(
+                max_nodes=config.projection_cache_nodes,
+                snapshot_stride=config.projection_snapshot_stride,
+            )
+            if config.use_projection_cache
+            else None
+        )
+        prof_cache = ProfileCache() if config.use_profile_cache else None
+        fitness_fn = _make_fitness_fn(
+            model, cache=proj_cache, profile_cache=prof_cache
+        )
         engine = GenitorEngine(
             genes=range(model.n_strings),
-            fitness_fn=_make_fitness_fn(model),
+            fitness_fn=fitness_fn,
             config=config,
             rng=rng,
             seeds=seeds,
+            initial_evaluator=_make_initial_evaluator(
+                model, config, fitness_fn
+            ),
         )
         best = engine.run()
         # Re-project the elite to materialize its allocation.
-        outcome = allocate_sequence(model, best.chromosome)
+        outcome = allocate_sequence(
+            model, best.chromosome, cache=proj_cache,
+            profile_cache=prof_cache,
+        )
     stats = engine.stats
+    if proj_cache is not None:
+        stats.prefix_mean_hit_depth = proj_cache.mean_hit_depth
+    if prof_cache is not None:
+        stats.profile_cache_hit_rate = prof_cache.hit_rate
+    wall = elapsed[0]
     return HeuristicResult(
         name=name,
         allocation=outcome.state.as_allocation(),
         fitness=best.fitness,
         order=best.chromosome,
         mapped_ids=outcome.mapped_ids,
-        runtime_seconds=elapsed[0],
+        runtime_seconds=wall,
         stats={
             "iterations": stats.iterations,
             "evaluations": stats.evaluations,
@@ -74,6 +180,17 @@ def _run_engine(
             "insertions": stats.insertions,
             "elite_improvements": stats.elite_improvements,
             "stop_reason": stats.stop_reason,
+            "evals_per_second": (
+                stats.evaluations / wall if wall > 0.0 else 0.0
+            ),
+            "prefix_mean_hit_depth": stats.prefix_mean_hit_depth,
+            "profile_cache_hit_rate": stats.profile_cache_hit_rate,
+            "projection_cache": (
+                proj_cache.stats() if proj_cache is not None else None
+            ),
+            "profile_cache": (
+                prof_cache.stats() if prof_cache is not None else None
+            ),
         },
     )
 
@@ -121,11 +238,22 @@ def seeded_psg(
     )
 
 
+def _trial_worker(
+    heuristic: Callable[..., HeuristicResult],
+    model: SystemModel,
+    seed: int,
+    kwargs: dict[str, Any],
+) -> HeuristicResult:
+    """One independent trial in a worker process (module-level: pickles)."""
+    return heuristic(model, rng=np.random.default_rng(seed), **kwargs)
+
+
 def best_of_trials(
     heuristic: Callable[..., HeuristicResult],
     model: SystemModel,
     n_trials: int,
     rng: np.random.Generator | int | None = None,
+    n_workers: int = 1,
     **kwargs: Any,
 ) -> HeuristicResult:
     """Best result over independent trials (the paper uses four).
@@ -133,18 +261,64 @@ def best_of_trials(
     Each trial gets an independent RNG stream; the returned result is
     the trial with the highest fitness, with aggregate runtime and the
     per-trial fitness list recorded in ``stats``.
+
+    With ``n_workers`` > 1 the trials fan out over a
+    ``ProcessPoolExecutor``.  The per-trial seeds are drawn from the
+    trial RNG *before* dispatch — the identical stream the serial path
+    consumes — and results are collected by trial index, so the parallel
+    path returns bit-identical results (including the ``max`` tie-break
+    in trial order) to ``n_workers=1`` for the same ``rng``.  A trial
+    whose worker dies is re-run in-process; ``stats["trial_failures"]``
+    counts such recoveries.  The ``heuristic`` must be picklable (the
+    module-level :func:`psg` / :func:`seeded_psg` are).
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
     rng = np.random.default_rng(rng)
-    results = [
-        heuristic(model, rng=np.random.default_rng(rng.integers(2**63)), **kwargs)
-        for _ in range(n_trials)
-    ]
-    best = max(results, key=lambda r: r.fitness)
+    trial_seeds = [int(rng.integers(2**63)) for _ in range(n_trials)]
+    trial_failures = 0
+    with timed_section() as elapsed:
+        if n_workers == 1 or n_trials == 1:
+            results: list[HeuristicResult | None] = [
+                _trial_worker(heuristic, model, seed, kwargs)
+                for seed in trial_seeds
+            ]
+        else:
+            results = [None] * n_trials
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(n_workers, n_trials)
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _trial_worker, heuristic, model, seed, kwargs
+                        ): i
+                        for i, seed in enumerate(trial_seeds)
+                    }
+                    for fut in as_completed(futures):
+                        i = futures[fut]
+                        try:
+                            results[i] = fut.result(timeout=0)
+                        except Exception:
+                            trial_failures += 1
+            except BrokenProcessPool:
+                pass
+            for i, seed in enumerate(trial_seeds):
+                if results[i] is None:
+                    results[i] = _trial_worker(heuristic, model, seed, kwargs)
+    done = [r for r in results if r is not None]
+    best = max(done, key=lambda r: r.fitness)
     best.stats["n_trials"] = n_trials
-    best.stats["trial_fitnesses"] = [r.fitness.as_tuple() for r in results]
+    best.stats["n_workers"] = n_workers
+    best.stats["trial_failures"] = trial_failures
+    best.stats["trial_fitnesses"] = [r.fitness.as_tuple() for r in done]
     best.stats["total_runtime_seconds"] = sum(
-        r.runtime_seconds for r in results
+        r.runtime_seconds for r in done
+    )
+    best.stats["wall_seconds"] = elapsed[0]
+    best.stats["total_evaluations"] = sum(
+        r.stats.get("evaluations", 0) for r in done
     )
     return best

@@ -1,12 +1,13 @@
 """Domain-aware static analysis for the reproduction codebase.
 
 This subpackage is tooling *about* the library rather than part of the
-paper's math: an AST-based lint engine whose rules (RPR001-RPR006)
+paper's math: an AST-based lint engine whose rules (RPR001-RPR008)
 enforce the invariants the feasibility analysis and the DES validation
 depend on — epsilon-safe float comparison, injected seeded randomness,
-frozen model objects, fully-typed public math APIs, loud failures, and
-audited package surfaces.  See ``docs/quality.md`` for the rule catalog
-and rationale.
+frozen model objects, fully-typed public math APIs, loud failures,
+audited package surfaces, bounded waits, and monotonic duration
+measurement.  See ``docs/quality.md`` for the rule catalog and
+rationale.
 
 Use it from the command line (``repro lint src/repro``) or as a library::
 

@@ -5,7 +5,7 @@ paper) and the deterministic-replay property of the DES validator depend
 on.  Rules are AST visitors registered in :data:`RULES`; the engine runs
 every enabled rule over every file and collects :class:`~repro.quality.findings.Finding`s.
 
-The seven shipped rules:
+The eight shipped rules:
 
 ``RPR001``
     No ``==`` / ``!=`` on computed floating-point quantities — feasibility
@@ -31,6 +31,11 @@ The seven shipped rules:
     ``.get()`` without a ``timeout=``) in the deadline-bearing packages
     (``repro.service``, ``repro.experiments``) — a service that promises
     an answer within a budget must never park on an unbounded primitive.
+``RPR008``
+    No ``time.time()`` for duration measurement — runtime tables, the
+    benchmark records and the service deadline accounting must use the
+    monotonic ``time.perf_counter()``, which wall-clock adjustments
+    (NTP slew, DST) cannot corrupt.
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ __all__ = [
     "SilentExceptionRule",
     "UnboundedWaitRule",
     "UnseededRandomnessRule",
+    "WallClockTimingRule",
     "register",
 ]
 
@@ -697,6 +703,77 @@ class UnboundedWaitRule(Rule):
                 "a timeout",
                 hint="pass timeout= (derive it from the request deadline)",
             )
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — wall-clock reads for duration measurement
+# ---------------------------------------------------------------------------
+
+
+class _TimeImportTracker(ast.NodeVisitor):
+    """Resolve which local names refer to the ``time`` module / function."""
+
+    def __init__(self) -> None:
+        self.time_module: set[str] = set()
+        self.time_function: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self.time_module.add(alias.asname or alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    self.time_function.add(alias.asname or alias.name)
+
+
+@register
+class WallClockTimingRule(Rule):
+    """Wall-clock reads make runtime measurements non-monotonic.
+
+    The runtime comparison (Section 6), the ``BENCH_*.json`` perf
+    records, and the service's deadline accounting all subtract two
+    clock reads.  ``time.time()`` follows the *wall* clock, which NTP
+    slew, manual adjustment, or DST can move backwards mid-measurement —
+    producing negative durations and corrupted evals/sec.  Duration
+    measurement must use the monotonic ``time.perf_counter()``;
+    timestamps that genuinely need calendar time should go through
+    :mod:`datetime` (and earn a ``# repro: noqa[RPR008]`` only when the
+    wall clock is truly intended).
+    """
+
+    rule_id = "RPR008"
+    summary = "no time.time() for duration measurement"
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        tracker = _TimeImportTracker()
+        tracker.visit(ctx.tree)
+        if not tracker.time_module and not tracker.time_function:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            flagged = (
+                isinstance(func, ast.Name)
+                and func.id in tracker.time_function
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tracker.time_module
+            )
+            if flagged:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "wall-clock `time.time()` used where a duration is "
+                    "measured",
+                    hint="use time.perf_counter() (monotonic) for "
+                    "durations",
+                )
 
 
 # Keep a stable, importable view of the registry for the CLI/docs.

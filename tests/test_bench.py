@@ -1,0 +1,146 @@
+"""Tests for the ``repro bench`` perf-record pipeline.
+
+One quick single-trial benchmark run is shared module-wide (it is a
+real PSG search, ~1s); everything else — schema shape, the CI
+regression gate, persistence, and the CLI wiring — is checked against
+that record or against hand-built ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    BENCH_SCHEMA,
+    compare_to_baseline,
+    run_bench,
+    save_record,
+)
+
+RECORD_FIELDS = {
+    "schema", "name", "created", "quick", "workload", "config",
+    "wall_seconds", "evaluations", "evals_per_second", "best_fitness",
+    "trial_fitnesses", "trial_failures", "prefix_cache", "profile_cache",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_record():
+    return run_bench(name="psg", quick=True, seed=7, n_trials=1)
+
+
+class TestRunBench:
+    def test_record_schema(self, quick_record):
+        assert set(quick_record) == RECORD_FIELDS
+        assert quick_record["schema"] == BENCH_SCHEMA
+        assert quick_record["name"] == "psg"
+        assert quick_record["quick"] is True
+        assert quick_record["workload"] == {
+            "scenario": "scenario1",
+            "n_strings": 25,
+            "n_machines": 4,
+            "seed": 7,
+        }
+        config = quick_record["config"]
+        assert config["n_trials"] == 1
+        assert config["population_size"] == 30
+        assert config["use_projection_cache"] is True
+        assert config["use_profile_cache"] is True
+
+    def test_throughput_fields_consistent(self, quick_record):
+        assert quick_record["wall_seconds"] > 0.0
+        assert quick_record["evaluations"] > 0
+        assert quick_record["evals_per_second"] == pytest.approx(
+            quick_record["evaluations"] / quick_record["wall_seconds"]
+        )
+        assert quick_record["trial_failures"] == 0
+        assert len(quick_record["trial_fitnesses"]) == 1
+
+    def test_cache_telemetry_present(self, quick_record):
+        prefix = quick_record["prefix_cache"]
+        assert prefix is not None
+        assert prefix["lookups"] > 0
+        assert sum(prefix["hit_depth_histogram"].values()) == prefix["lookups"]
+        profile = quick_record["profile_cache"]
+        assert profile is not None
+        assert 0.0 <= profile["hit_rate"] <= 1.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_bench(name="nope")
+
+
+class TestBaselineGate:
+    @staticmethod
+    def record(rate):
+        return {"evals_per_second": rate}
+
+    def test_within_budget_passes(self):
+        ok, message = compare_to_baseline(
+            self.record(80.0), self.record(100.0), max_regression=0.30
+        )
+        assert ok
+        assert "floor 70" in message
+
+    def test_regression_fails(self):
+        ok, message = compare_to_baseline(
+            self.record(60.0), self.record(100.0), max_regression=0.30
+        )
+        assert not ok
+        assert "-40.0%" in message
+
+    def test_improvement_passes(self):
+        ok, _ = compare_to_baseline(self.record(140.0), self.record(100.0))
+        assert ok
+
+    def test_zero_baseline_skips_gate(self):
+        ok, message = compare_to_baseline(self.record(10.0), self.record(0.0))
+        assert ok
+        assert "gate skipped" in message
+
+    def test_validates_max_regression(self):
+        for bad in (-0.1, 1.0, 2.0):
+            with pytest.raises(ValueError):
+                compare_to_baseline(
+                    self.record(1.0), self.record(1.0), max_regression=bad
+                )
+
+
+class TestPersistence:
+    def test_save_record_roundtrips(self, quick_record, tmp_path):
+        path = tmp_path / "BENCH_psg.json"
+        save_record(quick_record, path)
+        # tuples (trial fitnesses) become JSON arrays: compare normalized.
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(quick_record)
+        )
+
+
+class TestCli:
+    def test_bench_writes_record(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_psg.json"
+        code = main([
+            "bench", "--quick", "--seed", "7", "--trials", "1",
+            "--json", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["schema"] == BENCH_SCHEMA
+        assert "evals/sec" in capsys.readouterr().out
+
+    def test_bench_gate_pass_and_fail(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_psg.json"
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "bench", "--quick", "--seed", "7", "--trials", "1",
+            "--json", str(out), "--baseline", str(baseline),
+        ]
+        baseline.write_text(json.dumps({"evals_per_second": 1e-6}))
+        assert main(argv) == 0
+        assert "PASS: " in capsys.readouterr().out
+        baseline.write_text(json.dumps({"evals_per_second": 1e9}))
+        assert main(argv) == 1
+        assert "FAIL: " in capsys.readouterr().out

@@ -116,3 +116,93 @@ class TestCompleteAllocationScenario:
         mwf = most_worth_first(scenario3_small)
         assert res.fitness.worth == mwf.fitness.worth  # everything mapped
         assert res.fitness.slackness >= mwf.fitness.slackness - 0.05
+
+
+class TestEvaluationCore:
+    """The perf layers must not change what the search returns."""
+
+    def test_caches_do_not_change_results(self, scenario1_small):
+        on = psg(scenario1_small, config=SMALL_CONFIG, rng=5)
+        off_config = GenitorConfig(
+            population_size=SMALL_CONFIG.population_size,
+            bias=SMALL_CONFIG.bias,
+            rules=SMALL_CONFIG.rules,
+            use_projection_cache=False,
+            use_profile_cache=False,
+        )
+        off = psg(scenario1_small, config=off_config, rng=5)
+        assert on.fitness == off.fitness
+        assert on.order == off.order
+        assert on.mapped_ids == off.mapped_ids
+
+    def test_cache_telemetry_in_stats(self, scenario1_small):
+        res = psg(scenario1_small, config=SMALL_CONFIG, rng=6)
+        assert res.stats["prefix_mean_hit_depth"] > 0.0
+        assert 0.0 < res.stats["profile_cache_hit_rate"] <= 1.0
+        assert res.stats["evals_per_second"] > 0.0
+        hist = res.stats["projection_cache"]["hit_depth_histogram"]
+        assert sum(hist.values()) == res.stats["projection_cache"]["lookups"]
+
+    def test_telemetry_absent_when_disabled(self, scenario3_small):
+        config = GenitorConfig(
+            population_size=8,
+            rules=SMALL_CONFIG.rules,
+            use_projection_cache=False,
+            use_profile_cache=False,
+        )
+        res = psg(scenario3_small, config=config, rng=0)
+        assert res.stats["projection_cache"] is None
+        assert res.stats["profile_cache"] is None
+        assert res.stats["prefix_mean_hit_depth"] == 0.0
+
+    def test_parallel_init_matches_serial(self, scenario3_small):
+        serial = psg(scenario3_small, config=SMALL_CONFIG, rng=7)
+        par_config = GenitorConfig(
+            population_size=SMALL_CONFIG.population_size,
+            bias=SMALL_CONFIG.bias,
+            rules=SMALL_CONFIG.rules,
+            init_workers=2,
+        )
+        parallel = psg(scenario3_small, config=par_config, rng=7)
+        assert parallel.fitness == serial.fitness
+        assert parallel.order == serial.order
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GenitorConfig(projection_cache_nodes=0)
+        with pytest.raises(ValueError):
+            GenitorConfig(projection_snapshot_stride=0)
+        with pytest.raises(ValueError):
+            GenitorConfig(init_workers=0)
+
+
+class TestParallelTrials:
+    def test_parallel_matches_serial(self, scenario3_small):
+        serial = best_of_trials(
+            psg, scenario3_small, n_trials=3, rng=11, config=SMALL_CONFIG
+        )
+        parallel = best_of_trials(
+            psg, scenario3_small, n_trials=3, rng=11, n_workers=2,
+            config=SMALL_CONFIG,
+        )
+        assert parallel.fitness == serial.fitness
+        assert parallel.order == serial.order
+        assert parallel.stats["trial_fitnesses"] == (
+            serial.stats["trial_fitnesses"]
+        )
+        assert parallel.stats["trial_failures"] == 0
+
+    def test_invalid_workers(self, scenario3_small):
+        with pytest.raises(ValueError):
+            best_of_trials(
+                psg, scenario3_small, n_trials=2, n_workers=0,
+                config=SMALL_CONFIG,
+            )
+
+    def test_aggregate_stats_present(self, scenario3_small):
+        res = best_of_trials(
+            psg, scenario3_small, n_trials=2, rng=0, config=SMALL_CONFIG
+        )
+        assert res.stats["wall_seconds"] > 0.0
+        assert res.stats["total_evaluations"] > 0
+        assert res.stats["n_workers"] == 1

@@ -44,10 +44,10 @@ def test_live_codebase_is_clean_under_all_rules():
     assert report.ok
 
 
-def test_registry_exposes_exactly_the_seven_documented_rules():
+def test_registry_exposes_exactly_the_eight_documented_rules():
     assert sorted(RULES) == [
         "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-        "RPR007",
+        "RPR007", "RPR008",
     ]
     assert ALL_RULE_IDS == tuple(sorted(RULES))
     for rule_id, rule in RULES.items():

@@ -485,3 +485,73 @@ def test_noqa_on_other_line_does_not_suppress():
     )
     found = lint_source(src, module=CORE_MOD, rules=[RULES["RPR001"]])
     assert len(found) == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — wall-clock reads for duration measurement
+# ---------------------------------------------------------------------------
+
+RPR008_BAD = """\
+import time
+
+def measure() -> float:
+    start = time.time()
+    return start
+"""
+
+RPR008_CLEAN = """\
+import time
+
+def measure() -> float:
+    start = time.perf_counter()
+    return start
+"""
+
+
+def test_rpr008_fires_once_on_time_time():
+    found = findings_for(RPR008_BAD, "RPR008")
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR008"
+    assert found[0].line == 4
+    assert "perf_counter" in found[0].hint
+
+
+def test_rpr008_clean_fixture_passes():
+    assert findings_for(RPR008_CLEAN, "RPR008") == []
+
+
+def test_rpr008_module_alias():
+    src = "import time as clock\n\nclock.time()\n"
+    assert len(findings_for(src, "RPR008")) == 1
+
+
+def test_rpr008_from_import():
+    src = "from time import time\n\ntime()\n"
+    assert len(findings_for(src, "RPR008")) == 1
+
+
+def test_rpr008_from_import_alias():
+    src = "from time import time as now\n\nnow()\n"
+    assert len(findings_for(src, "RPR008")) == 1
+
+
+def test_rpr008_other_time_attrs_pass():
+    src = (
+        "import time\n\n"
+        "time.perf_counter()\n"
+        "time.monotonic()\n"
+        "time.sleep(1)\n"
+    )
+    assert findings_for(src, "RPR008") == []
+
+
+def test_rpr008_unrelated_time_name_passes():
+    """A local callable named `time` with no time-module import is not
+    the wall clock."""
+    src = "def time() -> int:\n    return 0\n\ntime()\n"
+    assert findings_for(src, "RPR008") == []
+
+
+def test_rpr008_noqa_suppresses():
+    src = "import time\n\nstamp = time.time()  # repro: noqa[RPR008]\n"
+    assert lint_source(src, module=CORE_MOD, rules=[RULES["RPR008"]]) == []

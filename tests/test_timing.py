@@ -152,3 +152,48 @@ class TestPriorityDirection:
             TimingEstimator(halved).string_timing(1).comp_times[0] - 3.0
         )
         assert wait_halved == pytest.approx(wait_base / 2.0)
+
+
+class TestIntraMachineTransfers:
+    """Regression: transfers between co-located apps ride infinite
+    bandwidth and must be excluded from eq. (6) exactly as they are from
+    the eq. (3) loads and the incremental state's profile."""
+
+    def build_colocated(self):
+        """One 3-app string mapped twice onto machine 0, plus a tighter
+        competitor loading route (0, 1) and machine 0."""
+        net = uniform_network(2, bandwidth=1e3)
+        s0 = build_string(
+            0, 3, 2, period=50.0, latency=5_000.0, t=2.0, u=0.1, out=100.0
+        )
+        s1 = build_string(
+            1, 2, 2, period=10.0, latency=30.0, t=1.0, u=0.5, out=500.0
+        )
+        model = __import__("repro").core.SystemModel(net, [s0, s1])
+        # s0: apps 0,1 on machine 0 (intra transfer), app 2 on machine 1.
+        return Allocation(model, {0: [0, 0, 1], 1: [0, 1]})
+
+    def test_intra_machine_transfer_takes_no_time(self):
+        alloc = self.build_colocated()
+        timing = TimingEstimator(alloc).string_timing(0)
+        assert timing.tran_times[0] == 0.0  # 0 -> 0: same machine
+        assert timing.tran_times[1] > 0.0  # 0 -> 1: real route
+
+    def test_literal_estimator_skips_diagonal(self):
+        alloc = self.build_colocated()
+        literal = estimated_tran_times_literal(alloc, 0)
+        assert literal[0] == 0.0
+        aggregated = TimingEstimator(alloc).string_timing(0)
+        np.testing.assert_allclose(literal, aggregated.tran_times)
+
+    def test_matches_incremental_state_latency(self):
+        from repro.core import AllocationState
+
+        alloc = self.build_colocated()
+        state = AllocationState(alloc.model)
+        assert state.try_add(1, [0, 1])
+        assert state.try_add(0, [0, 0, 1])
+        timing = TimingEstimator(alloc).string_timing(0)
+        assert state.estimated_latency(0) == pytest.approx(
+            timing.end_to_end_latency()
+        )
