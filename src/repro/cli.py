@@ -26,6 +26,7 @@ from . import __version__
 from .analysis.tables import format_table
 from .core.feasibility import analyze
 from .core.metrics import evaluate
+from .core.state import STATE_BACKENDS
 from .des import compare_to_estimates
 from .experiments import (
     SCALES,
@@ -233,7 +234,8 @@ def build_parser() -> argparse.ArgumentParser:
             "BENCH_<name>.json perf record (see docs/performance.md)"
         ),
     )
-    p.add_argument("--name", choices=("psg", "seeded-psg"), default="psg")
+    p.add_argument("--name", choices=("psg", "seeded-psg", "state-micro"),
+                   default="psg")
     p.add_argument("--quick", action="store_true",
                    help="smoke-sized workload for CI")
     p.add_argument("--seed", type=int, default=1_234)
@@ -241,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the preset trial count")
     p.add_argument("--workers", type=int, default=None,
                    help="override the preset process-pool size")
+    p.add_argument("--state-backend", choices=("both",) + STATE_BACKENDS,
+                   default="both",
+                   help="state-micro only: which AllocationState backend(s) "
+                        "to time (default: both, gate on soa)")
     p.add_argument("--json", dest="json_path", default=None,
                    help="write the record here (default BENCH_<name>.json)")
     p.add_argument("--baseline", default=None,
@@ -398,31 +404,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from .experiments import compare_to_baseline, run_bench, save_record
-
-    record = run_bench(
-        name=args.name,
-        quick=args.quick,
-        seed=args.seed,
-        n_trials=args.trials,
-        n_workers=args.workers,
+    from .experiments import (
+        compare_to_baseline,
+        run_bench,
+        run_state_micro,
+        save_record,
     )
-    out_path = args.json_path or f"BENCH_{args.name}.json"
-    save_record(record, out_path)
-    print(f"{record['name']}: best worth={record['best_fitness']['worth']:g} "
-          f"slack={record['best_fitness']['slackness']:.4f}")
-    print(f"wall: {record['wall_seconds']:.3f}s  "
-          f"evaluations: {record['evaluations']}  "
-          f"evals/sec: {record['evals_per_second']:,.0f}")
-    prefix = record["prefix_cache"]
-    if prefix is not None:
-        print(f"prefix cache: mean hit depth "
-              f"{prefix['mean_hit_depth']:.2f} over "
-              f"{prefix['lookups']} lookups")
-    profile = record["profile_cache"]
-    if profile is not None:
-        print(f"profile cache: hit rate {profile['hit_rate']:.1%}")
-    print(f"record written to {out_path}")
+
+    if args.name == "state-micro":
+        backends = (
+            STATE_BACKENDS
+            if args.state_backend == "both"
+            else (args.state_backend,)
+        )
+        record = run_state_micro(seed=args.seed, backends=backends)
+        out_path = args.json_path or "BENCH_state_micro.json"
+        save_record(record, out_path)
+        for backend, nums in record["backends"].items():
+            print(f"{backend}: try_add {nums['try_add_us']:.1f}us/op "
+                  f"({nums['try_add_ops_per_sec']:,.0f} ops/s)  "
+                  f"snap+restore {nums['snapshot_restore_us']:.1f}us/pair "
+                  f"({nums['snapshot_restore_ops_per_sec']:,.0f} pairs/s)")
+        if record["speedup"] is not None:
+            print(f"soa speedup over record: "
+                  f"try_add {record['speedup']['try_add']:.2f}x  "
+                  f"snap+restore "
+                  f"{record['speedup']['snapshot_restore']:.2f}x")
+        print(f"record written to {out_path}")
+    else:
+        record = run_bench(
+            name=args.name,
+            quick=args.quick,
+            seed=args.seed,
+            n_trials=args.trials,
+            n_workers=args.workers,
+        )
+        out_path = args.json_path or f"BENCH_{args.name}.json"
+        save_record(record, out_path)
+        print(f"{record['name']}: "
+              f"best worth={record['best_fitness']['worth']:g} "
+              f"slack={record['best_fitness']['slackness']:.4f}")
+        print(f"wall: {record['wall_seconds']:.3f}s  "
+              f"evaluations: {record['evaluations']}  "
+              f"evals/sec: {record['evals_per_second']:,.0f}")
+        prefix = record["prefix_cache"]
+        if prefix is not None:
+            print(f"prefix cache: mean hit depth "
+                  f"{prefix['mean_hit_depth']:.2f} over "
+                  f"{prefix['lookups']} lookups")
+        profile = record["profile_cache"]
+        if profile is not None:
+            print(f"profile cache: hit rate {profile['hit_rate']:.1%}")
+        print(f"record written to {out_path}")
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
         ok, message = compare_to_baseline(

@@ -26,7 +26,16 @@ from .metrics import Fitness, evaluate, system_slackness
 from .model import WORTH_FACTORS, AppString, Machine, Network, SystemModel
 from .numeric import ABS_TOL, REL_TOL, is_zero, isclose
 from .profile import ProfileCache, StringProfile, compute_profile
-from .state import AllocationState, RejectionReason, StateSnapshot
+from .state import (
+    STATE_BACKENDS,
+    AllocationState,
+    RecordAllocationState,
+    RejectionReason,
+    StateSnapshot,
+    get_default_state_backend,
+    set_default_state_backend,
+)
+from .state_soa import SoaAllocationState, SoaStateSnapshot
 from .tightness import (
     average_tightness,
     priority_key,
@@ -57,9 +66,13 @@ __all__ = [
     "Network",
     "ProfileCache",
     "REL_TOL",
+    "RecordAllocationState",
     "RejectionReason",
     "ReproError",
+    "STATE_BACKENDS",
     "SimulationError",
+    "SoaAllocationState",
+    "SoaStateSnapshot",
     "SolverError",
     "StateSnapshot",
     "StringProfile",
@@ -73,6 +86,7 @@ __all__ = [
     "average_tightness",
     "compute_profile",
     "evaluate",
+    "get_default_state_backend",
     "is_feasible",
     "is_zero",
     "isclose",
@@ -80,6 +94,7 @@ __all__ = [
     "priority_key",
     "relative_tightness",
     "route_utilization",
+    "set_default_state_backend",
     "string_machine_load",
     "string_route_load",
     "system_slackness",

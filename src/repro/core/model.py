@@ -119,6 +119,29 @@ class Network:
         # over all M^2 ordered pairs.
         self._avg_inv_bandwidth = float(inv.sum() / (self.n_machines**2))
 
+    @classmethod
+    def _attach(cls, bandwidth: FloatArray) -> "Network":
+        """Trusted zero-copy constructor for broadcast attach paths.
+
+        ``bandwidth`` must be the canonical matrix of an already
+        validated :class:`Network` (diagonal ``inf``, read-only) — e.g.
+        a shared-memory view shipped by
+        :mod:`repro.parallel.broadcast`.  The array is adopted without
+        copy or validation; derived quantities are recomputed with the
+        identical operations ``__init__`` performs, so the attached
+        network is bit-identical to the source.
+        """
+        net = object.__new__(cls)
+        net.bandwidth = bandwidth
+        net.n_machines = bandwidth.shape[0]
+        inv = np.zeros_like(bandwidth)
+        finite = np.isfinite(bandwidth)
+        inv[finite] = 1.0 / bandwidth[finite]
+        inv.setflags(write=False)
+        net._inv_bandwidth = inv
+        net._avg_inv_bandwidth = float(inv.sum() / (net.n_machines**2))
+        return net
+
     @property
     def inv_bandwidth(self) -> FloatArray:
         """``1 / w`` matrix; zero where bandwidth is infinite."""
@@ -263,6 +286,45 @@ class AppString:
         work.setflags(write=False)
         #: ``(n, M)`` fixed CPU work ``t[i, j] * u[i, j]`` per data set.
         self._work = work
+
+    @classmethod
+    def _attach(
+        cls,
+        string_id: int,
+        worth: float,
+        period: float,
+        max_latency: float,
+        comp_times: FloatArray,
+        cpu_utils: FloatArray,
+        output_sizes: FloatArray,
+        name: str = "",
+    ) -> "AppString":
+        """Trusted zero-copy constructor for broadcast attach paths.
+
+        The arrays must come from an already validated
+        :class:`AppString` (read-only, canonical float64) — e.g.
+        shared-memory views shipped by :mod:`repro.parallel.broadcast`.
+        They are adopted without copy or validation; the derived arrays
+        are recomputed with the identical operations ``__init__``
+        performs, so the attached string is bit-identical to the source.
+        """
+        s = object.__new__(cls)
+        s.string_id = string_id
+        s.worth = worth
+        s.period = period
+        s.max_latency = max_latency
+        s.comp_times = comp_times
+        s.cpu_utils = cpu_utils
+        s.output_sizes = output_sizes
+        s.name = name or f"string-{string_id}"
+        s._avg_comp_times = comp_times.mean(axis=1)
+        s._avg_comp_times.setflags(write=False)
+        s._avg_cpu_utils = cpu_utils.mean(axis=1)
+        s._avg_cpu_utils.setflags(write=False)
+        work = comp_times * cpu_utils
+        work.setflags(write=False)
+        s._work = work
+        return s
 
     @property
     def n_apps(self) -> int:

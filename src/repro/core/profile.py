@@ -34,7 +34,7 @@ import numpy as np
 from .exceptions import AllocationError
 from .model import SystemModel
 from .tightness import priority_key
-from .types import IntArray, IntVectorLike
+from .types import FloatArray, IntArray, IntVectorLike
 
 __all__ = ["StringProfile", "ProfileCache", "compute_profile"]
 
@@ -50,6 +50,10 @@ class StringProfile:
         The assignment (machine index per application), read-only.
     key:
         Tightness priority key (larger = higher priority).
+    tightness:
+        The scalar tightness component of ``key`` (eq. 4), duplicated so
+        the struct-of-arrays kernel can compare priorities without
+        unpacking tuples.
     period / max_latency:
         The string's QoS parameters, copied for locality.
     nominal_path:
@@ -60,11 +64,26 @@ class StringProfile:
     r_load / r_tmax / r_count:
         The same per inter-machine route ``(j1, j2)``.  Intra-machine
         transfers ride infinite bandwidth and are excluded entirely.
+    res_idx / res_load / res_tmax / res_count:
+        The same quantities flattened onto the *fused resource axis* used
+        by the struct-of-arrays feasibility kernel
+        (:mod:`repro.core.state_soa`): machine ``j`` is resource ``j``,
+        inter-machine route ``(j1, j2)`` is resource
+        ``M + j1 * M + j2``.  ``res_idx`` lists the touched resources —
+        machines ascending, then routes ascending by flat id — and the
+        value vectors are aligned with it.  The entries are bit-identical
+        to the dict values (both come from the same ``bincount`` /
+        ``maximum.at`` kernels).
+    res_count_list:
+        ``res_count`` as a plain Python list, for the scalar
+        accumulation loops that must stay sequential to preserve
+        bit-identity between backends.
     """
 
     __slots__ = (
         "machines",
         "key",
+        "tightness",
         "period",
         "max_latency",
         "nominal_path",
@@ -74,6 +93,11 @@ class StringProfile:
         "r_load",
         "r_tmax",
         "r_count",
+        "res_idx",
+        "res_load",
+        "res_tmax",
+        "res_count",
+        "res_count_list",
     )
 
     def __init__(
@@ -89,9 +113,14 @@ class StringProfile:
         r_load: dict[Route, float],
         r_tmax: dict[Route, float],
         r_count: dict[Route, int],
+        res_idx: IntArray,
+        res_load: FloatArray,
+        res_tmax: FloatArray,
+        res_count: FloatArray,
     ) -> None:
         self.machines = machines
         self.key = key
+        self.tightness = key[0]
         self.period = period
         self.max_latency = max_latency
         self.nominal_path = nominal_path
@@ -101,6 +130,13 @@ class StringProfile:
         self.r_load = r_load
         self.r_tmax = r_tmax
         self.r_count = r_count
+        for arr in (res_idx, res_load, res_tmax, res_count):
+            arr.setflags(write=False)
+        self.res_idx = res_idx
+        self.res_load = res_load
+        self.res_tmax = res_tmax
+        self.res_count = res_count
+        self.res_count_list: list[float] = res_count.tolist()
 
     def __repr__(self) -> str:
         return (
@@ -157,6 +193,10 @@ def compute_profile(
     r_load: dict[Route, float] = {}
     r_tmax: dict[Route, float] = {}
     r_count: dict[Route, int] = {}
+    uniq_r = np.empty(0, dtype=np.int64)
+    rloads = np.empty(0)
+    rtmax = np.empty(0)
+    rcounts = np.empty(0, dtype=np.int64)
     nominal = float(t.sum())
     if s.n_apps > 1:
         src, dst = m[:-1], m[1:]
@@ -181,6 +221,20 @@ def compute_profile(
                 r_tmax[r] = float(tm)
                 r_count[r] = int(c)
 
+    # Fused resource axis for the struct-of-arrays kernel: machine j is
+    # resource j, route (j1, j2) is resource M + j1*M + j2.  Machines
+    # first (ascending), then routes (ascending flat id) — the same
+    # order the dicts above iterate in.
+    n_mach = model.n_machines
+    res_idx = np.concatenate(
+        [uniq_m.astype(np.int64), n_mach + uniq_r.astype(np.int64)]
+    )
+    res_load = np.concatenate([loads, rloads])
+    res_tmax = np.concatenate([tmax, rtmax])
+    res_count = np.concatenate(
+        [counts.astype(np.float64), rcounts.astype(np.float64)]
+    )
+
     tightness = nominal / s.max_latency
     m.setflags(write=False)
     return StringProfile(
@@ -195,6 +249,10 @@ def compute_profile(
         r_load=r_load,
         r_tmax=r_tmax,
         r_count=r_count,
+        res_idx=res_idx,
+        res_load=res_load,
+        res_tmax=res_tmax,
+        res_count=res_count,
     )
 
 
@@ -237,14 +295,23 @@ class ProfileCache:
     def get_or_compute(
         self, model: SystemModel, string_id: int, machines: IntVectorLike
     ) -> StringProfile:
-        """Memoized :func:`compute_profile` (validates the assignment)."""
-        m = _normalize_assignment(model, string_id, machines)
+        """Memoized :func:`compute_profile` (validates the assignment).
+
+        On a hit, range validation is skipped: the canonical-bytes key
+        can only match an assignment of identical dtype, length, and
+        values that was fully validated when the entry was stored (the
+        shape check below rules out byte-equal reshapes).
+        """
+        m = np.ascontiguousarray(machines, dtype=np.int64)
+        if m.shape != (model.strings[string_id].n_apps,):
+            _normalize_assignment(model, string_id, m)  # raises
         key = (string_id, m.tobytes())
         profile = self._entries.pop(key, None)
         if profile is not None:
             self._entries[key] = profile  # refresh LRU position
             self.hits += 1
             return profile
+        m = _normalize_assignment(model, string_id, m)
         self.misses += 1
         profile = compute_profile(model, string_id, m)
         if len(self._entries) >= self.max_entries:

@@ -28,6 +28,30 @@ check touches exactly those strings.  The test suite asserts that the
 accept/reject decisions and all cached quantities agree with the
 from-scratch analysis.
 
+Two interchangeable backends implement this bookkeeping:
+
+* ``"record"`` (:class:`RecordAllocationState`, this module) — the
+  reference implementation: one ``dict``-based record per mapped string
+  plus sorted per-resource user lists.
+* ``"soa"`` (:class:`repro.core.state_soa.SoaAllocationState`, the
+  default) — a flat struct-of-arrays kernel: every cached quantity lives
+  in one dense ``(rows, N)`` float buffer so the feasibility stages run
+  as vectorized kernels and ``snapshot()``/``restore()`` collapse to
+  array copies.
+
+The two backends are **bit-identical**: the same call sequence produces
+the same accept/reject decisions, the same ``last_rejection`` fields,
+and the same cached floats, because both perform the same scalar
+floating-point operations in the same canonical order — interference
+``H`` for a newly added string is derived from its *priority
+predecessor* (``H[w] + load[w]`` for the lowest-priority user ``w``
+above the new key), waiting-term accumulations run over touched
+resources in ascending fused-resource order, and per-user scans run in
+ascending string-id order.  ``AllocationState(...)`` constructs whichever
+backend is selected (``backend=`` argument, then
+:func:`set_default_state_backend`, then the ``REPRO_STATE_BACKEND``
+environment variable, then ``"soa"``).
+
 The immutable part of the per-string record (loads, tmax, counts,
 nominal path, priority key) lives in :class:`~repro.core.profile.StringProfile`
 and can be memoized across states through a
@@ -40,7 +64,11 @@ is what makes prefix-cached projection
 
 from __future__ import annotations
 
+import os
+import warnings
+from bisect import insort
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
@@ -52,7 +80,76 @@ from .model import SystemModel
 from .profile import ProfileCache, Route, StringProfile, compute_profile
 from .types import FloatArray, IntArray, IntVectorLike
 
-__all__ = ["AllocationState", "RejectionReason", "StateSnapshot"]
+if TYPE_CHECKING:
+    from .state_soa import SoaStateSnapshot
+
+    #: Either backend's snapshot; the prefix cache is duck-typed over it.
+    StateSnapshotLike = Union["StateSnapshot", "SoaStateSnapshot"]
+
+__all__ = [
+    "STATE_BACKENDS",
+    "AllocationState",
+    "RecordAllocationState",
+    "RejectionReason",
+    "StateSnapshot",
+    "get_default_state_backend",
+    "set_default_state_backend",
+]
+
+#: Recognized feasibility-kernel backends (first is the shipped default).
+STATE_BACKENDS: tuple[str, ...] = ("soa", "record")
+
+
+def _env_default_backend() -> str:
+    name = os.environ.get("REPRO_STATE_BACKEND", "").strip().lower()
+    if not name:
+        return STATE_BACKENDS[0]
+    if name not in STATE_BACKENDS:
+        warnings.warn(
+            f"REPRO_STATE_BACKEND={name!r} is not one of {STATE_BACKENDS}; "
+            f"using {STATE_BACKENDS[0]!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return STATE_BACKENDS[0]
+    return name
+
+
+_default_backend: str = _env_default_backend()
+
+
+def get_default_state_backend() -> str:
+    """The backend :class:`AllocationState` constructs by default."""
+    return _default_backend
+
+
+def set_default_state_backend(name: str) -> None:
+    """Select the default feasibility-kernel backend process-wide.
+
+    ``name`` must be one of :data:`STATE_BACKENDS`.  Existing states keep
+    their backend; only subsequent ``AllocationState(...)`` constructions
+    are affected.  The initial default comes from the
+    ``REPRO_STATE_BACKEND`` environment variable (``"soa"`` when unset).
+    """
+    if name not in STATE_BACKENDS:
+        raise ValueError(
+            f"unknown state backend {name!r}; choose from {STATE_BACKENDS}"
+        )
+    global _default_backend
+    _default_backend = name
+
+
+def _backend_class(name: str | None) -> type["AllocationState"]:
+    resolved = _default_backend if name is None else name
+    if resolved == "record":
+        return RecordAllocationState
+    if resolved == "soa":
+        from .state_soa import SoaAllocationState
+
+        return SoaAllocationState
+    raise ValueError(
+        f"unknown state backend {resolved!r}; choose from {STATE_BACKENDS}"
+    )
 
 
 @dataclass(frozen=True)
@@ -96,10 +193,10 @@ class _StringRecord:
 
 
 class StateSnapshot:
-    """Frozen copy of an :class:`AllocationState`'s mutable core.
+    """Frozen copy of a record-backend state's mutable core.
 
     Holds the utilization accumulators, per-string records (profiles
-    shared, interference terms copied), and resource-user sets.  A
+    shared, interference terms copied), and resource-user lists.  A
     snapshot is detached: mutating the originating state never changes
     it, and :meth:`AllocationState.restore` copies again, so one
     snapshot can seed any number of states (the prefix cache relies on
@@ -120,8 +217,8 @@ class StateSnapshot:
         machine_util: FloatArray,
         route_util: FloatArray,
         records: dict[int, _StringRecord],
-        machine_users: list[set[int]],
-        route_users: dict[Route, set[int]],
+        machine_users: list[list[int]],
+        route_users: dict[Route, list[int]],
         worth: float,
     ) -> None:
         self.machine_util = machine_util
@@ -145,6 +242,10 @@ class StateSnapshot:
 class AllocationState:
     """Mutable allocation with O(touched-resources) feasibility updates.
 
+    ``AllocationState(model, ...)`` dispatches to the selected backend
+    subclass (see the module docstring); both backends share this public
+    interface and produce bit-identical results.
+
     Parameters
     ----------
     model:
@@ -156,27 +257,46 @@ class AllocationState:
         Optional model-scoped memo for the immutable per-(string,
         assignment) profiles.  Share one cache between states of the
         same model; never share across models.
+    backend:
+        Explicit backend choice (``"soa"`` or ``"record"``); ``None``
+        uses :func:`get_default_state_backend`.
     """
+
+    #: Backend name; overridden by subclasses.
+    backend: str = ""
+
+    #: Eq. (2) utilization per machine (running totals).
+    machine_util: FloatArray
+    #: Eq. (3) utilization per route (running totals, diag always 0).
+    route_util: FloatArray
+
+    def __new__(
+        cls,
+        model: SystemModel,
+        tol: float = DEFAULT_TOL,
+        profile_cache: ProfileCache | None = None,
+        backend: str | None = None,
+    ) -> "AllocationState":
+        if cls is AllocationState:
+            cls = _backend_class(backend)
+        elif backend is not None and backend != cls.backend:
+            raise ValueError(
+                f"backend {backend!r} conflicts with {cls.__name__}"
+            )
+        return object.__new__(cls)
 
     def __init__(
         self,
         model: SystemModel,
         tol: float = DEFAULT_TOL,
         profile_cache: ProfileCache | None = None,
+        backend: str | None = None,
     ) -> None:
         self.model = model
         self.tol = tol
         self.profile_cache = profile_cache
-        M = model.n_machines
-        #: Eq. (2) utilization per machine (running totals).
-        self.machine_util = np.zeros(M)
-        #: Eq. (3) utilization per route (running totals, diag always 0).
-        self.route_util = np.zeros((M, M))
-        self._records: dict[int, _StringRecord] = {}
-        # resource -> set of string ids using it
-        self._machine_users: list[set[int]] = [set() for _ in range(M)]
-        self._route_users: dict[Route, set[int]] = {}
         self._worth = 0.0
+        self._mapped_cache: tuple[int, ...] | None = None
         #: Diagnostic: why the most recent ``try_add`` failed (or None).
         self.last_rejection: RejectionReason | None = None
 
@@ -184,21 +304,29 @@ class AllocationState:
 
     @property
     def n_strings(self) -> int:
-        return len(self._records)
+        raise NotImplementedError
 
     @property
     def mapped_ids(self) -> tuple[int, ...]:
-        return tuple(sorted(self._records))
+        """Sorted ids of the mapped strings (cached between mutations)."""
+        cached = self._mapped_cache
+        if cached is None:
+            cached = self._compute_mapped_ids()
+            self._mapped_cache = cached
+        return cached
+
+    def _compute_mapped_ids(self) -> tuple[int, ...]:
+        raise NotImplementedError
 
     @property
     def total_worth(self) -> float:
         return self._worth
 
     def machines_for(self, string_id: int) -> IntArray:
-        return self._records[string_id].profile.machines
+        raise NotImplementedError
 
     def __contains__(self, string_id: int) -> bool:
-        return string_id in self._records
+        raise NotImplementedError
 
     def slackness(self) -> float:
         """Eq. (7) over the current utilization accumulators."""
@@ -214,66 +342,53 @@ class AllocationState:
 
     def as_allocation(self) -> Allocation:
         """Materialize the current mapping as an immutable Allocation."""
-        return Allocation(
-            self.model,
-            {k: rec.profile.machines for k, rec in self._records.items()},
-        )
+        raise NotImplementedError
 
     def estimated_latency(self, string_id: int) -> float:
         """Estimated end-to-end latency of a mapped string."""
-        rec = self._records[string_id]
-        return rec.profile.nominal_path + rec.profile.period * rec.wait_sum
+        raise NotImplementedError
+
+    def interference_terms(
+        self, string_id: int
+    ) -> tuple[dict[int, float], dict[Route, float], float]:
+        """``(H per machine, H per route, wait_sum)`` of a mapped string.
+
+        Introspection for tests and diagnostics; the equivalence suite
+        asserts these match bit-for-bit across backends.
+        """
+        raise NotImplementedError
+
+    def machine_users(self, j: int) -> IntArray:
+        """Ascending ids of mapped strings with applications on ``j``."""
+        raise NotImplementedError
+
+    def route_users(self, j1: int, j2: int) -> IntArray:
+        """Ascending ids of mapped strings with transfers on the route."""
+        raise NotImplementedError
 
     # -- snapshot / restore ------------------------------------------------------
 
-    def snapshot(self) -> StateSnapshot:
-        """Detached copy of the mutable core (records share profiles).
+    def snapshot(self) -> "StateSnapshotLike":
+        """Detached copy of the mutable core (profiles shared)."""
+        raise NotImplementedError
 
-        Cost is ``O(mapped strings × touched resources)`` — far cheaper
-        than replaying the IMR + feasibility analysis that produced the
-        state, which is what makes prefix-cached projection pay off.
-        """
-        return StateSnapshot(
-            machine_util=self.machine_util.copy(),
-            route_util=self.route_util.copy(),
-            records={k: rec.clone() for k, rec in self._records.items()},
-            machine_users=[users.copy() for users in self._machine_users],
-            route_users={r: users.copy() for r, users in self._route_users.items()},
-            worth=self._worth,
-        )
-
-    def restore(self, snapshot: StateSnapshot) -> None:
-        """Reset this state to ``snapshot`` (which stays reusable).
-
-        The snapshot's arrays, records, and user sets are copied again
-        so later mutations of this state never leak back into the
-        snapshot — a cached snapshot can seed any number of states.
-        """
-        self.machine_util = snapshot.machine_util.copy()
-        self.route_util = snapshot.route_util.copy()
-        self._records = {k: rec.clone() for k, rec in snapshot.records.items()}
-        self._machine_users = [users.copy() for users in snapshot.machine_users]
-        self._route_users = {
-            r: users.copy() for r, users in snapshot.route_users.items()
-        }
-        self._worth = snapshot.worth
-        self.last_rejection = None
+    def restore(self, snapshot: "StateSnapshotLike") -> None:
+        """Reset this state to ``snapshot`` (which stays reusable)."""
+        raise NotImplementedError
 
     # -- string profiling -------------------------------------------------------
 
-    def _profile(
+    def _get_profile(
         self, string_id: int, machines: IntVectorLike
-    ) -> _StringRecord:
-        """Record for a candidate assignment (profile possibly memoized)."""
+    ) -> StringProfile:
+        """Profile for a candidate assignment (possibly memoized)."""
         if self.profile_cache is not None:
-            profile = self.profile_cache.get_or_compute(
+            return self.profile_cache.get_or_compute(
                 self.model, string_id, machines
             )
-        else:
-            profile = compute_profile(self.model, string_id, machines)
-        return _StringRecord(profile=profile)
+        return compute_profile(self.model, string_id, machines)
 
-    # -- the core operation -----------------------------------------------------
+    # -- the core operations -----------------------------------------------------
 
     def try_add(self, string_id: int, machines: IntVectorLike) -> bool:
         """Add a string if the resulting mapping stays feasible.
@@ -283,141 +398,7 @@ class AllocationState:
         the state is left untouched, ``False`` returned, and
         :attr:`last_rejection` describes the first violated constraint.
         """
-        if string_id in self._records:
-            raise AllocationError(f"string {string_id} is already mapped")
-        self.last_rejection = None
-        rec = self._profile(string_id, machines)
-        prof = rec.profile
-        tol = self.tol
-
-        # ---- stage 1: capacity ---------------------------------------------
-        for j, load in prof.m_load.items():
-            if self.machine_util[j] + load > 1.0 + tol:
-                self.last_rejection = RejectionReason(
-                    1, "machine-capacity", f"machine {j}",
-                    float(self.machine_util[j] + load), 1.0,
-                )
-                return False
-        for (j1, j2), load in prof.r_load.items():
-            if self.route_util[j1, j2] + load > 1.0 + tol:
-                self.last_rejection = RejectionReason(
-                    1, "route-capacity", f"route {j1}->{j2}",
-                    float(self.route_util[j1, j2] + load), 1.0,
-                )
-                return False
-
-        # ---- stage 2a: the new string under existing interference -----------
-        key = prof.key
-        for j in prof.m_load:
-            H = 0.0
-            for z in self._machine_users[j]:
-                other = self._records[z]
-                if other.profile.key > key:
-                    H += other.profile.m_load[j]
-            rec.H_m[j] = H
-            if prof.m_tmax[j] + prof.period * H > prof.period * (1.0 + tol):
-                self.last_rejection = RejectionReason(
-                    2, "throughput-comp",
-                    f"string {string_id} on machine {j}",
-                    prof.m_tmax[j] + prof.period * H, prof.period,
-                )
-                return False
-        for r in prof.r_load:
-            H = 0.0
-            for z in self._route_users.get(r, ()):
-                other = self._records[z]
-                if other.profile.key > key:
-                    H += other.profile.r_load[r]
-            rec.H_r[r] = H
-            if prof.r_tmax[r] + prof.period * H > prof.period * (1.0 + tol):
-                self.last_rejection = RejectionReason(
-                    2, "throughput-tran",
-                    f"string {string_id} on route {r[0]}->{r[1]}",
-                    prof.r_tmax[r] + prof.period * H, prof.period,
-                )
-                return False
-        rec.wait_sum = sum(
-            prof.m_count[j] * rec.H_m[j] for j in prof.m_load
-        ) + sum(prof.r_count[r] * rec.H_r[r] for r in prof.r_load)
-        latency = prof.nominal_path + prof.period * rec.wait_sum
-        if latency > prof.max_latency * (1.0 + tol):
-            self.last_rejection = RejectionReason(
-                2, "latency", f"string {string_id}", latency, prof.max_latency
-            )
-            return False
-
-        # ---- stage 2b: existing lower-priority strings gain interference ----
-        # Accumulate wait_sum increments per affected string; check each
-        # resource-level throughput bound as we go.
-        wait_delta: dict[int, float] = {}
-        h_m_delta: dict[tuple[int, int], float] = {}  # (string, machine)
-        h_r_delta: dict[tuple[int, Route], float] = {}
-        for j, load in prof.m_load.items():
-            for z in self._machine_users[j]:
-                other = self._records[z]
-                op = other.profile
-                if op.key >= key:
-                    continue
-                newH = other.H_m[j] + load
-                if (
-                    op.m_tmax[j] + op.period * newH
-                    > op.period * (1.0 + tol)
-                ):
-                    self.last_rejection = RejectionReason(
-                        2, "throughput-comp",
-                        f"string {z} on machine {j}",
-                        op.m_tmax[j] + op.period * newH, op.period,
-                    )
-                    return False
-                h_m_delta[(z, j)] = load
-                wait_delta[z] = wait_delta.get(z, 0.0) + op.m_count[j] * load
-        for r, load in prof.r_load.items():
-            for z in self._route_users.get(r, ()):
-                other = self._records[z]
-                op = other.profile
-                if op.key >= key:
-                    continue
-                newH = other.H_r[r] + load
-                if (
-                    op.r_tmax[r] + op.period * newH
-                    > op.period * (1.0 + tol)
-                ):
-                    self.last_rejection = RejectionReason(
-                        2, "throughput-tran",
-                        f"string {z} on route {r[0]}->{r[1]}",
-                        op.r_tmax[r] + op.period * newH, op.period,
-                    )
-                    return False
-                h_r_delta[(z, r)] = load
-                wait_delta[z] = wait_delta.get(z, 0.0) + op.r_count[r] * load
-        for z, delta in wait_delta.items():
-            other = self._records[z]
-            op = other.profile
-            new_latency = op.nominal_path + op.period * (
-                other.wait_sum + delta
-            )
-            if new_latency > op.max_latency * (1.0 + tol):
-                self.last_rejection = RejectionReason(
-                    2, "latency", f"string {z}", new_latency, op.max_latency
-                )
-                return False
-
-        # ---- commit ----------------------------------------------------------
-        for j, load in prof.m_load.items():
-            self.machine_util[j] += load
-            self._machine_users[j].add(string_id)
-        for r, load in prof.r_load.items():
-            self.route_util[r] += load
-            self._route_users.setdefault(r, set()).add(string_id)
-        for (z, j), load in h_m_delta.items():
-            self._records[z].H_m[j] += load
-        for (z, r), load in h_r_delta.items():
-            self._records[z].H_r[r] += load
-        for z, delta in wait_delta.items():
-            self._records[z].wait_sum += delta
-        self._records[string_id] = rec
-        self._worth += self.model.strings[string_id].worth
-        return True
+        raise NotImplementedError
 
     def remove(self, string_id: int) -> None:
         """Remove a mapped string, restoring all cached quantities.
@@ -425,32 +406,7 @@ class AllocationState:
         The inverse of a successful :meth:`try_add`; used by local-search
         extensions and by tests that verify the cache algebra.
         """
-        rec = self._records.pop(string_id, None)
-        if rec is None:
-            raise AllocationError(f"string {string_id} is not mapped")
-        prof = rec.profile
-        key = prof.key
-        for j, load in prof.m_load.items():
-            self.machine_util[j] -= load
-            self._machine_users[j].discard(string_id)
-            for z in self._machine_users[j]:
-                other = self._records[z]
-                if other.profile.key < key:
-                    other.H_m[j] -= load
-                    other.wait_sum -= other.profile.m_count[j] * load
-        for r, load in prof.r_load.items():
-            self.route_util[r] -= load
-            users = self._route_users.get(r)
-            if users is not None:
-                users.discard(string_id)
-                for z in users:
-                    other = self._records[z]
-                    if other.profile.key < key:
-                        other.H_r[r] -= load
-                        other.wait_sum -= other.profile.r_count[r] * load
-                if not users:
-                    del self._route_users[r]
-        self._worth -= self.model.strings[string_id].worth
+        raise NotImplementedError
 
     # -- queries used by the IMR --------------------------------------------------
 
@@ -493,6 +449,307 @@ class AllocationState:
 
     def __repr__(self) -> str:
         return (
-            f"AllocationState(n_strings={self.n_strings}, "
+            f"{type(self).__name__}(n_strings={self.n_strings}, "
             f"worth={self._worth:g}, slack={self.slackness():.4f})"
         )
+
+
+class RecordAllocationState(AllocationState):
+    """The dict-and-record reference backend (``backend="record"``).
+
+    One :class:`_StringRecord` per mapped string plus ascending
+    per-resource user lists.  All scalar accumulations follow the
+    canonical order shared with the struct-of-arrays kernel (see the
+    module docstring), so the two backends stay bit-identical.
+    """
+
+    backend = "record"
+
+    def __init__(
+        self,
+        model: SystemModel,
+        tol: float = DEFAULT_TOL,
+        profile_cache: ProfileCache | None = None,
+        backend: str | None = None,
+    ) -> None:
+        super().__init__(model, tol, profile_cache)
+        M = model.n_machines
+        self.machine_util = np.zeros(M)
+        self.route_util = np.zeros((M, M))
+        self._records: dict[int, _StringRecord] = {}
+        # resource -> ascending list of string ids using it
+        self._machine_users: list[list[int]] = [[] for _ in range(M)]
+        self._route_users: dict[Route, list[int]] = {}
+
+    # -- read-only views -------------------------------------------------------
+
+    @property
+    def n_strings(self) -> int:
+        return len(self._records)
+
+    def _compute_mapped_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._records))
+
+    def machines_for(self, string_id: int) -> IntArray:
+        return self._records[string_id].profile.machines
+
+    def __contains__(self, string_id: int) -> bool:
+        return string_id in self._records
+
+    def as_allocation(self) -> Allocation:
+        return Allocation(
+            self.model,
+            {k: rec.profile.machines for k, rec in self._records.items()},
+        )
+
+    def estimated_latency(self, string_id: int) -> float:
+        rec = self._records[string_id]
+        return rec.profile.nominal_path + rec.profile.period * rec.wait_sum
+
+    def interference_terms(
+        self, string_id: int
+    ) -> tuple[dict[int, float], dict[Route, float], float]:
+        rec = self._records[string_id]
+        return dict(rec.H_m), dict(rec.H_r), rec.wait_sum
+
+    def machine_users(self, j: int) -> IntArray:
+        return np.asarray(self._machine_users[j], dtype=np.int64)
+
+    def route_users(self, j1: int, j2: int) -> IntArray:
+        return np.asarray(
+            self._route_users.get((j1, j2), []), dtype=np.int64
+        )
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        """Detached copy of the mutable core (records share profiles).
+
+        Cost is ``O(mapped strings × touched resources)`` — far cheaper
+        than replaying the IMR + feasibility analysis that produced the
+        state, which is what makes prefix-cached projection pay off.
+        """
+        return StateSnapshot(
+            machine_util=self.machine_util.copy(),
+            route_util=self.route_util.copy(),
+            records={k: rec.clone() for k, rec in self._records.items()},
+            machine_users=[users.copy() for users in self._machine_users],
+            route_users={r: users.copy() for r, users in self._route_users.items()},
+            worth=self._worth,
+        )
+
+    def restore(self, snapshot: "StateSnapshotLike") -> None:
+        """Reset this state to ``snapshot`` (which stays reusable).
+
+        The snapshot's arrays, records, and user lists are copied again
+        so later mutations of this state never leak back into the
+        snapshot — a cached snapshot can seed any number of states.
+        """
+        if not isinstance(snapshot, StateSnapshot):
+            raise TypeError(
+                f"cannot restore a {type(snapshot).__name__} into the "
+                f"'record' backend; snapshots do not transfer between "
+                f"backends"
+            )
+        self.machine_util = snapshot.machine_util.copy()
+        self.route_util = snapshot.route_util.copy()
+        self._records = {k: rec.clone() for k, rec in snapshot.records.items()}
+        self._machine_users = [users.copy() for users in snapshot.machine_users]
+        self._route_users = {
+            r: users.copy() for r, users in snapshot.route_users.items()
+        }
+        self._worth = snapshot.worth
+        self._mapped_cache = None
+        self.last_rejection = None
+
+    # -- the core operation -----------------------------------------------------
+
+    def try_add(self, string_id: int, machines: IntVectorLike) -> bool:
+        if string_id in self._records:
+            raise AllocationError(f"string {string_id} is already mapped")
+        self.last_rejection = None
+        prof = self._get_profile(string_id, machines)
+        rec = _StringRecord(profile=prof)
+        tol = self.tol
+
+        # ---- stage 1: capacity ---------------------------------------------
+        for j, load in prof.m_load.items():
+            if self.machine_util[j] + load > 1.0 + tol:
+                self.last_rejection = RejectionReason(
+                    1, "machine-capacity", f"machine {j}",
+                    float(self.machine_util[j] + load), 1.0,
+                )
+                return False
+        for (j1, j2), load in prof.r_load.items():
+            if self.route_util[j1, j2] + load > 1.0 + tol:
+                self.last_rejection = RejectionReason(
+                    1, "route-capacity", f"route {j1}->{j2}",
+                    float(self.route_util[j1, j2] + load), 1.0,
+                )
+                return False
+
+        # ---- stage 2a: the new string under existing interference -----------
+        # H for the new string comes from its *priority predecessor* w —
+        # the lowest-priority user above the new key:  H = H[w] + load[w].
+        # This is the canonical derivation shared with the SoA kernel.
+        key = prof.key
+        for j in prof.m_load:
+            pred: _StringRecord | None = None
+            pred_key: tuple[float, int] | None = None
+            for z in self._machine_users[j]:
+                other = self._records[z]
+                ok = other.profile.key
+                if ok > key and (pred_key is None or ok < pred_key):
+                    pred, pred_key = other, ok
+            H = 0.0 if pred is None else pred.H_m[j] + pred.profile.m_load[j]
+            rec.H_m[j] = H
+            if prof.m_tmax[j] + prof.period * H > prof.period * (1.0 + tol):
+                self.last_rejection = RejectionReason(
+                    2, "throughput-comp",
+                    f"string {string_id} on machine {j}",
+                    prof.m_tmax[j] + prof.period * H, prof.period,
+                )
+                return False
+        for r in prof.r_load:
+            rpred: _StringRecord | None = None
+            rpred_key: tuple[float, int] | None = None
+            for z in self._route_users.get(r, ()):
+                other = self._records[z]
+                ok = other.profile.key
+                if ok > key and (rpred_key is None or ok < rpred_key):
+                    rpred, rpred_key = other, ok
+            H = (
+                0.0
+                if rpred is None
+                else rpred.H_r[r] + rpred.profile.r_load[r]
+            )
+            rec.H_r[r] = H
+            if prof.r_tmax[r] + prof.period * H > prof.period * (1.0 + tol):
+                self.last_rejection = RejectionReason(
+                    2, "throughput-tran",
+                    f"string {string_id} on route {r[0]}->{r[1]}",
+                    prof.r_tmax[r] + prof.period * H, prof.period,
+                )
+                return False
+        # Canonical accumulation: one sequential chain over touched
+        # resources, machines (ascending) then routes (ascending).
+        ws = 0.0
+        for j in prof.m_load:
+            ws += prof.m_count[j] * rec.H_m[j]
+        for r in prof.r_load:
+            ws += prof.r_count[r] * rec.H_r[r]
+        rec.wait_sum = ws
+        latency = prof.nominal_path + prof.period * rec.wait_sum
+        if latency > prof.max_latency * (1.0 + tol):
+            self.last_rejection = RejectionReason(
+                2, "latency", f"string {string_id}", latency, prof.max_latency
+            )
+            return False
+
+        # ---- stage 2b: existing lower-priority strings gain interference ----
+        # Accumulate wait_sum increments per affected string; check each
+        # resource-level throughput bound as we go.  User lists iterate
+        # ascending, so the first-reported violator is canonical.
+        wait_delta: dict[int, float] = {}
+        h_m_delta: dict[tuple[int, int], float] = {}  # (string, machine)
+        h_r_delta: dict[tuple[int, Route], float] = {}
+        for j, load in prof.m_load.items():
+            for z in self._machine_users[j]:
+                other = self._records[z]
+                op = other.profile
+                if op.key >= key:
+                    continue
+                newH = other.H_m[j] + load
+                if (
+                    op.m_tmax[j] + op.period * newH
+                    > op.period * (1.0 + tol)
+                ):
+                    self.last_rejection = RejectionReason(
+                        2, "throughput-comp",
+                        f"string {z} on machine {j}",
+                        op.m_tmax[j] + op.period * newH, op.period,
+                    )
+                    return False
+                h_m_delta[(z, j)] = load
+                wait_delta[z] = wait_delta.get(z, 0.0) + op.m_count[j] * load
+        for r, load in prof.r_load.items():
+            for z in self._route_users.get(r, ()):
+                other = self._records[z]
+                op = other.profile
+                if op.key >= key:
+                    continue
+                newH = other.H_r[r] + load
+                if (
+                    op.r_tmax[r] + op.period * newH
+                    > op.period * (1.0 + tol)
+                ):
+                    self.last_rejection = RejectionReason(
+                        2, "throughput-tran",
+                        f"string {z} on route {r[0]}->{r[1]}",
+                        op.r_tmax[r] + op.period * newH, op.period,
+                    )
+                    return False
+                h_r_delta[(z, r)] = load
+                wait_delta[z] = wait_delta.get(z, 0.0) + op.r_count[r] * load
+        for z in sorted(wait_delta):
+            other = self._records[z]
+            op = other.profile
+            new_latency = op.nominal_path + op.period * (
+                other.wait_sum + wait_delta[z]
+            )
+            if new_latency > op.max_latency * (1.0 + tol):
+                self.last_rejection = RejectionReason(
+                    2, "latency", f"string {z}", new_latency, op.max_latency
+                )
+                return False
+
+        # ---- commit ----------------------------------------------------------
+        for j, load in prof.m_load.items():
+            self.machine_util[j] += load
+            insort(self._machine_users[j], string_id)
+        for r, load in prof.r_load.items():
+            self.route_util[r] += load
+            users = self._route_users.get(r)
+            if users is None:
+                self._route_users[r] = [string_id]
+            else:
+                insort(users, string_id)
+        for (z, j), load in h_m_delta.items():
+            self._records[z].H_m[j] += load
+        for (z, r), load in h_r_delta.items():
+            self._records[z].H_r[r] += load
+        for z, delta in wait_delta.items():
+            self._records[z].wait_sum += delta
+        self._records[string_id] = rec
+        self._worth += self.model.strings[string_id].worth
+        self._mapped_cache = None
+        return True
+
+    def remove(self, string_id: int) -> None:
+        rec = self._records.pop(string_id, None)
+        if rec is None:
+            raise AllocationError(f"string {string_id} is not mapped")
+        prof = rec.profile
+        key = prof.key
+        for j, load in prof.m_load.items():
+            self.machine_util[j] -= load
+            self._machine_users[j].remove(string_id)
+            for z in self._machine_users[j]:
+                other = self._records[z]
+                if other.profile.key < key:
+                    other.H_m[j] -= load
+                    other.wait_sum -= other.profile.m_count[j] * load
+        for r, load in prof.r_load.items():
+            self.route_util[r] -= load
+            users = self._route_users.get(r)
+            if users is not None:
+                users.remove(string_id)
+                for z in users:
+                    other = self._records[z]
+                    if other.profile.key < key:
+                        other.H_r[r] -= load
+                        other.wait_sum -= other.profile.r_count[r] * load
+                if not users:
+                    del self._route_users[r]
+        self._worth -= self.model.strings[string_id].worth
+        self._mapped_cache = None

@@ -13,7 +13,13 @@ from .ablations import (
     seeding_ablation,
     stop_rule_ablation,
 )
-from .bench import BENCH_SCHEMA, compare_to_baseline, run_bench, save_record
+from .bench import (
+    BENCH_SCHEMA,
+    compare_to_baseline,
+    run_bench,
+    run_state_micro,
+    save_record,
+)
 from .convergence import ConvergenceTrace, run_convergence
 from .fig2 import FIG2_CASES, Fig2Case, build_case_model, run_fig2
 from .checkpoint import ExperimentCheckpoint
@@ -65,6 +71,7 @@ __all__ = [
     "heterogeneity_ablation",
     "render_table1",
     "run_bench",
+    "run_state_micro",
     "run_convergence",
     "run_experiment",
     "run_fig2",

@@ -23,9 +23,20 @@ accumulates a benchmark trajectory.  The record schema is
     depth histogram (resume depth -> lookup count) and the profile
     cache hit rate.  ``null`` when the corresponding cache is disabled.
 
+:func:`run_state_micro` is the companion micro-benchmark for the
+feasibility kernel itself (``repro bench --name state-micro``): it
+replays a realistic MWF allocation through
+:class:`~repro.core.state.AllocationState` and times raw ``try_add``
+and ``snapshot``/``restore`` throughput for every backend, reporting
+the struct-of-arrays speedup over the record backend.  Timing rounds
+are interleaved across backends and the median is kept, which is much
+more stable than best-of-N on shared runners.
+
 :func:`compare_to_baseline` implements the CI gate: the run fails when
-``evals_per_second`` regresses more than ``max_regression`` (fractional)
-below a committed baseline record.  Throughput baselines are inherently
+any of the record's gate metrics (``evals_per_second`` for the PSG
+benchmarks; try_add and snapshot/restore ops/sec for ``state_micro``)
+regresses more than ``max_regression`` (fractional) below a committed
+baseline record.  Throughput baselines are inherently
 machine-dependent; commit baselines produced on the CI runner class.
 """
 
@@ -33,20 +44,38 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
+import time
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
+from ..core.profile import ProfileCache
+from ..core.state import STATE_BACKENDS, AllocationState
 from ..genitor import GenitorConfig
 from ..genitor.stopping import StoppingRules
 from ..heuristics import best_of_trials, psg, seeded_psg
+from ..heuristics.mwf import mwf_order
+from ..heuristics.ordering import allocate_sequence
 from ..workload import get_scenario, generate_model
 
-__all__ = ["run_bench", "compare_to_baseline", "save_record", "BENCH_SCHEMA"]
+__all__ = [
+    "run_bench",
+    "run_state_micro",
+    "compare_to_baseline",
+    "save_record",
+    "BENCH_SCHEMA",
+]
 
 BENCH_SCHEMA = "repro-bench/1"
 
 _HEURISTICS = {"psg": psg, "seeded-psg": seeded_psg}
+
+#: Gate metrics per benchmark name (default: the PSG throughput metric).
+_GATE_METRICS: dict[str, tuple[str, ...]] = {
+    "state_micro": ("try_add_ops_per_sec", "snapshot_restore_ops_per_sec"),
+}
+_DEFAULT_GATE_METRICS: tuple[str, ...] = ("evals_per_second",)
 
 
 def run_bench(
@@ -144,6 +173,150 @@ def run_bench(
     }
 
 
+def _bench_state_backend(
+    model: Any,
+    pairs: list[tuple[int, Any]],
+    backend: str,
+    rounds: int,
+    snap_reps: int,
+) -> tuple[list[float], list[float]]:
+    """One backend's raw samples: (try_add seconds/op, snap+restore s/op).
+
+    Each try_add round restores the empty state and replays every pair;
+    each snapshot round takes ``snap_reps`` snapshot+restore pairs on the
+    fully loaded state.  Returns the per-round per-operation times so the
+    caller can interleave rounds across backends and take medians.
+
+    The state gets its own :class:`ProfileCache`, warmed by a replay
+    before timing starts, so the rounds measure the feasibility kernel
+    rather than profile computation (every real search path — PSG, the
+    sequential allocators — runs with the cache on).
+    """
+    state = AllocationState(
+        model, backend=backend, profile_cache=ProfileCache()
+    )
+    empty = state.snapshot()
+    for string_id, machines in pairs:
+        state.try_add(string_id, machines)  # warmup (fills caches)
+    loaded = state.snapshot()
+    add_samples: list[float] = []
+    snap_samples: list[float] = []
+    for _ in range(rounds):
+        state.restore(empty)
+        t0 = time.perf_counter()
+        for string_id, machines in pairs:
+            state.try_add(string_id, machines)
+        add_samples.append((time.perf_counter() - t0) / len(pairs))
+        state.restore(loaded)
+        t0 = time.perf_counter()
+        for _ in range(snap_reps):
+            snap = state.snapshot()
+            state.restore(snap)
+        snap_samples.append((time.perf_counter() - t0) / snap_reps)
+    return add_samples, snap_samples
+
+
+def run_state_micro(
+    seed: int = 1_234,
+    n_strings: int = 50,
+    n_machines: int = 8,
+    rounds: int = 9,
+    snap_reps: int = 50,
+    backends: tuple[str, ...] | None = None,
+) -> dict[str, Any]:
+    """Micro-benchmark the feasibility kernel (``AllocationState``).
+
+    Replays the MWF allocation of the paper-scale benchmark workload —
+    a realistic mix of accepted mappings — through each requested state
+    backend, timing ``try_add`` and ``snapshot``/``restore`` throughput.
+    Rounds are interleaved across backends and summarized by the median,
+    so a CPU-frequency wobble hits all backends alike instead of biasing
+    whichever ran last.  The top-level gate metrics
+    (``try_add_ops_per_sec``, ``snapshot_restore_ops_per_sec``) are the
+    default backend's (struct-of-arrays); the per-backend numbers and
+    the soa-over-record speedups ride along for inspection.
+    """
+    if backends is None:
+        backends = STATE_BACKENDS
+    for backend in backends:
+        if backend not in STATE_BACKENDS:
+            raise ValueError(
+                f"unknown state backend {backend!r}; choose from "
+                f"{STATE_BACKENDS}"
+            )
+    params = get_scenario("1").scaled(
+        n_strings=n_strings, n_machines=n_machines
+    )
+    model = generate_model(params, seed=seed)
+    outcome = allocate_sequence(model, mwf_order(model))
+    allocation = outcome.state.as_allocation()
+    pairs = [
+        (string_id, allocation.machines_for(string_id))
+        for string_id in allocation.string_ids
+    ]
+    add_raw: dict[str, list[float]] = {b: [] for b in backends}
+    snap_raw: dict[str, list[float]] = {b: [] for b in backends}
+    # One interleaved round across every backend per outer iteration.
+    for _ in range(rounds):
+        for backend in backends:
+            add_s, snap_s = _bench_state_backend(
+                model, pairs, backend, rounds=1, snap_reps=snap_reps
+            )
+            add_raw[backend] += add_s
+            snap_raw[backend] += snap_s
+    per_backend: dict[str, dict[str, float]] = {}
+    for backend in backends:
+        add_med = statistics.median(add_raw[backend])
+        snap_med = statistics.median(snap_raw[backend])
+        per_backend[backend] = {
+            "try_add_us": add_med * 1e6,
+            "try_add_ops_per_sec": 1.0 / add_med if add_med > 0 else 0.0,
+            "snapshot_restore_us": snap_med * 1e6,
+            "snapshot_restore_ops_per_sec": (
+                1.0 / snap_med if snap_med > 0 else 0.0
+            ),
+        }
+    gate_backend = backends[0]
+    speedup: dict[str, float] | None = None
+    if "soa" in per_backend and "record" in per_backend:
+        speedup = {
+            "try_add": (
+                per_backend["record"]["try_add_us"]
+                / per_backend["soa"]["try_add_us"]
+            ),
+            "snapshot_restore": (
+                per_backend["record"]["snapshot_restore_us"]
+                / per_backend["soa"]["snapshot_restore_us"]
+            ),
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "state_micro",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "workload": {
+            "scenario": params.name,
+            "n_strings": n_strings,
+            "n_machines": n_machines,
+            "seed": seed,
+            "mapped_strings": len(pairs),
+        },
+        "config": {
+            "rounds": rounds,
+            "snap_reps": snap_reps,
+            "backends": list(backends),
+            "gate_backend": gate_backend,
+        },
+        "try_add_ops_per_sec": per_backend[gate_backend][
+            "try_add_ops_per_sec"
+        ],
+        "snapshot_restore_ops_per_sec": per_backend[gate_backend][
+            "snapshot_restore_ops_per_sec"
+        ],
+        "backends": per_backend,
+        "speedup": speedup,
+    }
+
+
 def compare_to_baseline(
     record: dict[str, Any],
     baseline: dict[str, Any],
@@ -151,25 +324,40 @@ def compare_to_baseline(
 ) -> tuple[bool, str]:
     """CI gate: does ``record`` hold up against a committed ``baseline``?
 
-    Returns ``(ok, message)``; ``ok`` is false when ``evals_per_second``
-    fell more than ``max_regression`` (a fraction, e.g. ``0.30``) below
-    the baseline's.
+    Returns ``(ok, message)``; ``ok`` is false when any gate metric for
+    the record's benchmark name (``evals_per_second`` for the PSG
+    benchmarks; ``try_add_ops_per_sec`` and
+    ``snapshot_restore_ops_per_sec`` for ``state_micro``) fell more
+    than ``max_regression`` (a fraction, e.g. ``0.30``) below the
+    baseline's.
     """
     if not 0.0 <= max_regression < 1.0:
         raise ValueError(
             f"max_regression must be in [0, 1), got {max_regression}"
         )
-    base_rate = float(baseline["evals_per_second"])
-    rate = float(record["evals_per_second"])
-    floor = base_rate * (1.0 - max_regression)
-    delta = (rate - base_rate) / base_rate if base_rate > 0.0 else 0.0
-    message = (
-        f"evals/sec {rate:,.0f} vs baseline {base_rate:,.0f} "
-        f"({delta:+.1%}; floor {floor:,.0f} at -{max_regression:.0%})"
+    metrics = _GATE_METRICS.get(
+        str(record.get("name", "")), _DEFAULT_GATE_METRICS
     )
-    if base_rate <= 0.0:
-        return True, message + " — baseline rate not positive, gate skipped"
-    return rate >= floor, message
+    ok = True
+    parts: list[str] = []
+    for metric in metrics:
+        base_rate = float(baseline[metric])
+        rate = float(record[metric])
+        floor = base_rate * (1.0 - max_regression)
+        delta = (rate - base_rate) / base_rate if base_rate > 0.0 else 0.0
+        message = (
+            f"{metric} {rate:,.0f} vs baseline {base_rate:,.0f} "
+            f"({delta:+.1%}; floor {floor:,.0f} at -{max_regression:.0%})"
+        )
+        if base_rate <= 0.0:
+            parts.append(
+                message + " — baseline rate not positive, gate skipped"
+            )
+            continue
+        if rate < floor:
+            ok = False
+        parts.append(message)
+    return ok, "; ".join(parts)
 
 
 def save_record(record: dict[str, Any], path: str | Path) -> None:

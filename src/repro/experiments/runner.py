@@ -46,6 +46,7 @@ import numpy as np
 from ..analysis.stats import ConfidenceInterval, mean_ci
 from ..core.exceptions import ModelError
 from ..core.numeric import isclose
+from ..core.profile import ProfileCache
 from ..genitor import GenitorConfig, StoppingRules
 from ..heuristics import GA_HEURISTICS, best_of_trials, get_heuristic
 from ..lp import upper_bound
@@ -319,6 +320,11 @@ def _run_one_inner(config: ExperimentConfig, run_index: int) -> RunRecord:
     seed = config.base_seed + run_index
     model = generate_model(config.effective_scenario(), seed=seed)
     ga_config = config.scale.genitor_config(bias=config.bias)
+    # One profile memo for the whole run: every GA trial of every
+    # heuristic maps the same model, so profiles computed by the first
+    # trial are reused by all later ones (memoization never changes
+    # results, only speed).
+    profile_cache = ProfileCache()
     results: dict[str, tuple[float, float, float, int]] = {}
     for name in config.heuristics:
         heuristic = get_heuristic(name)
@@ -329,6 +335,7 @@ def _run_one_inner(config: ExperimentConfig, run_index: int) -> RunRecord:
                 n_trials=config.scale.n_trials,
                 rng=seed * 7_919 + 13,
                 config=ga_config,
+                profile_cache=profile_cache,
             )
             runtime = res.stats.get(
                 "total_runtime_seconds", res.runtime_seconds

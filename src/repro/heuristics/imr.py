@@ -26,17 +26,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.numeric import ABS_TOL, REL_TOL
 from ..core.state import AllocationState
 
 __all__ = ["imr_map_string"]
 
 
 def _argmin_tie(values: np.ndarray, rng: np.random.Generator | None) -> int:
-    """Index of the minimum; ties broken by lowest index or randomly."""
+    """Index of the minimum; ties broken by lowest index or randomly.
+
+    A candidate ties with the minimum when it is equal up to accumulation
+    noise in the :func:`repro.core.numeric.isclose` sense (vectorized here:
+    ``values >= m`` so the symmetric ``|values - m|`` reduces to the plain
+    difference).  The utilization scores being compared are sums of
+    per-application loads, so their low bits depend on summation order — a
+    fixed ``1e-15`` cutoff used to miss ties whose noise exceeded one ulp.
+    """
     if rng is None:
         return int(np.argmin(values))
-    m = values.min()
-    candidates = np.flatnonzero(values <= m + 1e-15)
+    m = float(values.min())
+    tol = np.maximum(REL_TOL * np.maximum(np.abs(values), abs(m)), ABS_TOL)
+    candidates = np.flatnonzero(values - m <= tol)
     return int(rng.choice(candidates))
 
 

@@ -11,8 +11,9 @@ scratch therefore repeats work its parents already paid for.
 :class:`ProjectionCache` stores a trie over ordering prefixes:
 
 * every visited prefix owns a node;
-* nodes along successful chains carry a
-  :class:`~repro.core.state.StateSnapshot` every ``snapshot_stride``
+* nodes along successful chains carry a state snapshot (either
+  backend's: the trie is duck-typed over
+  :data:`~repro.core.state.StateSnapshotLike`) every ``snapshot_stride``
   depths (and always at the terminal of a fully projected ordering), so
   a later projection restores the deepest snapshotted prefix and
   replays only the suffix;
@@ -30,9 +31,10 @@ projection the PSG uses; :func:`allocate_sequence` bypasses it whenever
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from ..core.state import StateSnapshot
+if TYPE_CHECKING:
+    from ..core.state import StateSnapshotLike
 
 __all__ = ["ProjectionCache", "PrefixLookup"]
 
@@ -44,7 +46,7 @@ class _TrieNode:
 
     def __init__(self, tick: int) -> None:
         self.children: dict[int, _TrieNode] = {}
-        self.snapshot: StateSnapshot | None = None
+        self.snapshot: StateSnapshotLike | None = None
         self.fails = False
         self.tick = tick
 
@@ -76,7 +78,7 @@ class PrefixLookup:
         self,
         node: _TrieNode,
         matched_depth: int,
-        snapshot: StateSnapshot | None,
+        snapshot: StateSnapshotLike | None,
         snapshot_depth: int,
         snapshot_node: _TrieNode,
         known_failure: bool,
@@ -137,7 +139,7 @@ class ProjectionCache:
         self.lookups += 1
         node = self.root
         node.tick = self._tick
-        snapshot: StateSnapshot | None = None
+        snapshot: StateSnapshotLike | None = None
         snapshot_depth = 0
         snapshot_node = self.root
         matched = 0
@@ -192,7 +194,7 @@ class ProjectionCache:
         child.snapshot = None
 
     def store_snapshot(self, node: _TrieNode,
-                       snapshot: StateSnapshot) -> None:
+                       snapshot: StateSnapshotLike) -> None:
         node.snapshot = snapshot
 
     @property

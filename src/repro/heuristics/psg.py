@@ -26,9 +26,10 @@ execution produce identical results.
 
 from __future__ import annotations
 
+import inspect
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Sequence, Union
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from ..core.metrics import Fitness
 from ..core.model import SystemModel
 from ..core.profile import ProfileCache
 from ..genitor import Chromosome, GenitorConfig, GenitorEngine
+from ..parallel import SharedModel, get_worker_context, model_sharing_enabled
 from .base import HeuristicResult, timed_section
 from .mwf import mwf_order
 from .ordering import allocate_sequence
@@ -43,6 +45,9 @@ from .projection_cache import ProjectionCache
 from .tf import tf_order
 
 __all__ = ["psg", "seeded_psg", "best_of_trials"]
+
+#: A model, or a broadcast token resolvable via repro.parallel.
+_ModelRef = Union[SystemModel, str]
 
 
 def _make_fitness_fn(
@@ -62,17 +67,37 @@ def _make_fitness_fn(
 
 
 def _evaluate_batch(
-    model: SystemModel, chromosomes: Sequence[Chromosome]
+    model_ref: _ModelRef, chromosomes: Sequence[Chromosome]
 ) -> list[Fitness]:
     """Worker-side bulk projection (module-level: must pickle).
 
-    Each worker builds its own caches — fitness is deterministic, so
-    worker-local caches change nothing but speed.
+    ``model_ref`` is either the model itself (legacy pickle transport)
+    or a broadcast token that resolves to the worker's zero-copy model
+    and persistent :class:`ProfileCache`.  Each call builds its own
+    projection cache — fitness is deterministic, so worker-local caches
+    change nothing but speed.
     """
+    if isinstance(model_ref, str):
+        model, profile_cache = get_worker_context(model_ref)
+    else:
+        model, profile_cache = model_ref, ProfileCache()
     fitness_fn = _make_fitness_fn(
-        model, cache=ProjectionCache(), profile_cache=ProfileCache()
+        model, cache=ProjectionCache(), profile_cache=profile_cache
     )
     return [fitness_fn(c) for c in chromosomes]
+
+
+def _enter_shared_model(
+    model: SystemModel, share_model: bool | None
+) -> SharedModel | None:
+    """Set up a model broadcast, or None for the pickle fallback."""
+    share = model_sharing_enabled() if share_model is None else share_model
+    if not share:
+        return None
+    try:
+        return SharedModel(model).__enter__()
+    except Exception:
+        return None
 
 
 def _make_initial_evaluator(
@@ -83,9 +108,11 @@ def _make_initial_evaluator(
     """Parallel initial-population evaluator (``config.init_workers`` > 1).
 
     Splits the initial chromosomes into one batch per worker and fans
-    them over a process pool; falls back to the in-process
-    ``fitness_fn`` for any batch whose worker dies, so a crashing pool
-    degrades to the serial path instead of failing the run.
+    them over a process pool, broadcasting the model once per worker
+    (:mod:`repro.parallel`) instead of pickling it per batch; falls
+    back to the in-process ``fitness_fn`` for any batch whose worker
+    dies, so a crashing pool degrades to the serial path instead of
+    failing the run.
     """
     if config.init_workers <= 1:
         return None
@@ -102,20 +129,32 @@ def _make_initial_evaluator(
             if bounds[i] < bounds[i + 1]
         ]
         results: dict[int, list[Fitness]] = {}
+        shared = _enter_shared_model(model, None)
         try:
-            with ProcessPoolExecutor(max_workers=len(batches)) as pool:
-                futures = {
-                    pool.submit(_evaluate_batch, model, batch): i
-                    for i, batch in enumerate(batches)
-                }
-                for fut in as_completed(futures):
-                    i = futures[fut]
-                    try:
-                        results[i] = fut.result(timeout=0)
-                    except Exception:
-                        results[i] = [fitness_fn(c) for c in batches[i]]
-        except BrokenProcessPool:
-            pass
+            model_ref: _ModelRef = (
+                shared.token if shared is not None else model
+            )
+            pool_kwargs: dict[str, Any] = {"max_workers": len(batches)}
+            if shared is not None and shared.initializer is not None:
+                pool_kwargs["initializer"] = shared.initializer
+                pool_kwargs["initargs"] = shared.initargs
+            try:
+                with ProcessPoolExecutor(**pool_kwargs) as pool:
+                    futures = {
+                        pool.submit(_evaluate_batch, model_ref, batch): i
+                        for i, batch in enumerate(batches)
+                    }
+                    for fut in as_completed(futures):
+                        i = futures[fut]
+                        try:
+                            results[i] = fut.result(timeout=0)
+                        except Exception:
+                            results[i] = [fitness_fn(c) for c in batches[i]]
+            except BrokenProcessPool:
+                pass
+        finally:
+            if shared is not None:
+                shared.__exit__(None, None, None)
         for i, batch in enumerate(batches):
             if i not in results:
                 results[i] = [fitness_fn(c) for c in batch]
@@ -130,6 +169,7 @@ def _run_engine(
     config: GenitorConfig,
     rng: np.random.Generator,
     seeds: tuple[Chromosome, ...],
+    profile_cache: ProfileCache | None = None,
 ) -> HeuristicResult:
     with timed_section() as elapsed:
         proj_cache = (
@@ -140,7 +180,11 @@ def _run_engine(
             if config.use_projection_cache
             else None
         )
-        prof_cache = ProfileCache() if config.use_profile_cache else None
+        prof_cache = (
+            (profile_cache if profile_cache is not None else ProfileCache())
+            if config.use_profile_cache
+            else None
+        )
         fitness_fn = _make_fitness_fn(
             model, cache=proj_cache, profile_cache=prof_cache
         )
@@ -199,6 +243,7 @@ def psg(
     model: SystemModel,
     config: GenitorConfig | None = None,
     rng: np.random.Generator | int | None = None,
+    profile_cache: ProfileCache | None = None,
 ) -> HeuristicResult:
     """Run the (unseeded) PSG heuristic.
 
@@ -211,6 +256,10 @@ def psg(
         (population 250, bias 1.6, 5 000 iterations / 300 stale).
     rng:
         Seed or generator for the stochastic search.
+    profile_cache:
+        Optional pre-warmed profile cache to reuse (honoured only when
+        ``config.use_profile_cache``); caches are pure memoization, so
+        sharing one across runs changes speed, never results.
     """
     return _run_engine(
         "psg",
@@ -218,6 +267,7 @@ def psg(
         config or GenitorConfig(),
         np.random.default_rng(rng),
         seeds=(),
+        profile_cache=profile_cache,
     )
 
 
@@ -225,6 +275,7 @@ def seeded_psg(
     model: SystemModel,
     config: GenitorConfig | None = None,
     rng: np.random.Generator | int | None = None,
+    profile_cache: ProfileCache | None = None,
 ) -> HeuristicResult:
     """Run the Seeded PSG heuristic (MWF + TF orderings in the initial
     population; everything else identical to PSG)."""
@@ -235,16 +286,32 @@ def seeded_psg(
         config or GenitorConfig(),
         np.random.default_rng(rng),
         seeds=seeds,
+        profile_cache=profile_cache,
     )
 
 
 def _trial_worker(
     heuristic: Callable[..., HeuristicResult],
-    model: SystemModel,
+    model_ref: _ModelRef,
     seed: int,
     kwargs: dict[str, Any],
 ) -> HeuristicResult:
-    """One independent trial in a worker process (module-level: pickles)."""
+    """One independent trial in a worker process (module-level: pickles).
+
+    A broadcast-token ``model_ref`` resolves to the worker's zero-copy
+    model plus its persistent :class:`ProfileCache`, which is handed to
+    heuristics that accept one so profile memoization survives across
+    the trials a warm worker serves.
+    """
+    if isinstance(model_ref, str):
+        model, profile_cache = get_worker_context(model_ref)
+        if (
+            "profile_cache" not in kwargs
+            and "profile_cache" in inspect.signature(heuristic).parameters
+        ):
+            kwargs = {**kwargs, "profile_cache": profile_cache}
+    else:
+        model = model_ref
     return heuristic(model, rng=np.random.default_rng(seed), **kwargs)
 
 
@@ -254,6 +321,7 @@ def best_of_trials(
     n_trials: int,
     rng: np.random.Generator | int | None = None,
     n_workers: int = 1,
+    share_model: bool | None = None,
     **kwargs: Any,
 ) -> HeuristicResult:
     """Best result over independent trials (the paper uses four).
@@ -263,12 +331,16 @@ def best_of_trials(
     per-trial fitness list recorded in ``stats``.
 
     With ``n_workers`` > 1 the trials fan out over a
-    ``ProcessPoolExecutor``.  The per-trial seeds are drawn from the
-    trial RNG *before* dispatch — the identical stream the serial path
-    consumes — and results are collected by trial index, so the parallel
-    path returns bit-identical results (including the ``max`` tie-break
-    in trial order) to ``n_workers=1`` for the same ``rng``.  A trial
-    whose worker dies is re-run in-process; ``stats["trial_failures"]``
+    ``ProcessPoolExecutor``, with the model broadcast once per worker
+    via :mod:`repro.parallel` instead of pickled per trial
+    (``share_model``: default honours the ``REPRO_SHARE_MODEL``
+    kill-switch; ``stats["model_transport"]`` records the transport
+    used).  The per-trial seeds are drawn from the trial RNG *before*
+    dispatch — the identical stream the serial path consumes — and
+    results are collected by trial index, so the parallel path returns
+    bit-identical results (including the ``max`` tie-break in trial
+    order) to ``n_workers=1`` for the same ``rng``.  A trial whose
+    worker dies is re-run in-process; ``stats["trial_failures"]``
     counts such recoveries.  The ``heuristic`` must be picklable (the
     module-level :func:`psg` / :func:`seeded_psg` are).
     """
@@ -279,6 +351,7 @@ def best_of_trials(
     rng = np.random.default_rng(rng)
     trial_seeds = [int(rng.integers(2**63)) for _ in range(n_trials)]
     trial_failures = 0
+    transport = "none"
     with timed_section() as elapsed:
         if n_workers == 1 or n_trials == 1:
             results: list[HeuristicResult | None] = [
@@ -287,32 +360,51 @@ def best_of_trials(
             ]
         else:
             results = [None] * n_trials
+            shared = _enter_shared_model(model, share_model)
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(n_workers, n_trials)
-                ) as pool:
-                    futures = {
-                        pool.submit(
-                            _trial_worker, heuristic, model, seed, kwargs
-                        ): i
-                        for i, seed in enumerate(trial_seeds)
-                    }
-                    for fut in as_completed(futures):
-                        i = futures[fut]
-                        try:
-                            results[i] = fut.result(timeout=0)
-                        except Exception:
-                            trial_failures += 1
-            except BrokenProcessPool:
-                pass
-            for i, seed in enumerate(trial_seeds):
-                if results[i] is None:
-                    results[i] = _trial_worker(heuristic, model, seed, kwargs)
+                model_ref: _ModelRef = (
+                    shared.token if shared is not None else model
+                )
+                transport = (
+                    shared.transport if shared is not None else "pickle"
+                )
+                pool_kwargs: dict[str, Any] = {
+                    "max_workers": min(n_workers, n_trials)
+                }
+                if shared is not None and shared.initializer is not None:
+                    pool_kwargs["initializer"] = shared.initializer
+                    pool_kwargs["initargs"] = shared.initargs
+                try:
+                    with ProcessPoolExecutor(**pool_kwargs) as pool:
+                        futures = {
+                            pool.submit(
+                                _trial_worker, heuristic, model_ref, seed,
+                                kwargs,
+                            ): i
+                            for i, seed in enumerate(trial_seeds)
+                        }
+                        for fut in as_completed(futures):
+                            i = futures[fut]
+                            try:
+                                results[i] = fut.result(timeout=0)
+                            except Exception:
+                                trial_failures += 1
+                except BrokenProcessPool:
+                    pass
+                for i, seed in enumerate(trial_seeds):
+                    if results[i] is None:
+                        results[i] = _trial_worker(
+                            heuristic, model_ref, seed, kwargs
+                        )
+            finally:
+                if shared is not None:
+                    shared.__exit__(None, None, None)
     done = [r for r in results if r is not None]
     best = max(done, key=lambda r: r.fitness)
     best.stats["n_trials"] = n_trials
     best.stats["n_workers"] = n_workers
     best.stats["trial_failures"] = trial_failures
+    best.stats["model_transport"] = transport
     best.stats["trial_fitnesses"] = [r.fitness.as_tuple() for r in done]
     best.stats["total_runtime_seconds"] = sum(
         r.runtime_seconds for r in done

@@ -1,0 +1,14 @@
+"""Process-parallel infrastructure: zero-copy model broadcast.
+
+See :mod:`repro.parallel.broadcast` for the transports and the
+bit-identity contract, and ``docs/performance.md`` for when the
+broadcast engages.
+"""
+
+from .broadcast import SharedModel, get_worker_context, model_sharing_enabled
+
+__all__ = [
+    "SharedModel",
+    "get_worker_context",
+    "model_sharing_enabled",
+]

@@ -1,0 +1,282 @@
+"""Zero-copy :class:`~repro.core.model.SystemModel` broadcast to workers.
+
+The process-parallel paths (``best_of_trials``, the initial-population
+evaluator, soak, survivability, the experiments runner) repeatedly ship
+the same read-only model to every worker.  Pickling it into every task
+costs serialization *per task* and a private copy *per worker*.  This
+module broadcasts the model's large arrays **once per worker**:
+
+* **inherit transport** (fork start method): the parent parks the model
+  in a module-level registry before the pool forks; children inherit
+  the registry copy-on-write, so nothing is serialized at all.
+* **shm transport** (spawn or explicit): the bandwidth matrix and every
+  string's ``comp_times`` / ``cpu_utils`` / ``output_sizes`` are packed
+  into a single :mod:`multiprocessing.shared_memory` block.  Workers
+  attach via the pool initializer and rebuild the model with the
+  trusted ``_attach`` constructors — the arrays are *views into shared
+  memory*, never copied, and the recomputed derived quantities are
+  bit-identical to the source model's.
+
+Workers additionally keep one persistent
+:class:`~repro.core.profile.ProfileCache` per broadcast token, so
+profile memoization survives across the tasks (e.g. trials) a warm
+worker serves.
+
+Everything is advisory: :func:`model_sharing_enabled` honours the
+``REPRO_SHARE_MODEL`` environment kill-switch, and every caller falls
+back to plain model pickling when broadcast setup fails.  Sharing never
+changes results — the same seed produces the same elite with sharing
+on or off, which ``tests/test_broadcast.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import uuid
+from multiprocessing import shared_memory
+from types import TracebackType
+from typing import Callable
+
+import numpy as np
+
+from ..core.model import AppString, Machine, Network, SystemModel
+from ..core.profile import ProfileCache
+
+__all__ = [
+    "SharedModel",
+    "get_worker_context",
+    "model_sharing_enabled",
+]
+
+#: Environment kill-switch: set to ``0``/``off``/``false``/``no`` to
+#: disable model broadcast everywhere (callers fall back to pickling).
+SHARE_MODEL_ENV = "REPRO_SHARE_MODEL"
+
+#: Parent-side registry.  Entries added before a pool forks are
+#: inherited copy-on-write by its workers; the parent itself also
+#: resolves tokens here, so in-process fallback re-runs always work.
+_FORK_REGISTRY: dict[str, SystemModel] = {}
+
+#: Worker-side state: token -> (model, persistent per-worker cache).
+_WORKER_STATE: dict[str, tuple[SystemModel, ProfileCache]] = {}
+
+#: Worker-side attached shared-memory blocks (kept alive while the
+#: model views reference their buffers).
+_WORKER_SHM: dict[str, shared_memory.SharedMemory] = {}
+
+#: Per-string scalar metadata shipped alongside the shm block.
+_StringMeta = tuple[float, float, float, int, str]
+
+
+def model_sharing_enabled() -> bool:
+    """Whether model broadcast is enabled (``REPRO_SHARE_MODEL``)."""
+    value = os.environ.get(SHARE_MODEL_ENV, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def _pack_model(
+    model: SystemModel, token: str
+) -> tuple[shared_memory.SharedMemory, dict[str, object]]:
+    """Copy the model's large arrays into one shared-memory block."""
+    M = model.n_machines
+    total = M * M
+    for s in model.strings:
+        total += 2 * s.n_apps * M + max(s.n_apps - 1, 0)
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(total, 1) * 8, name=f"{token}-blk"
+    )
+    buf: np.ndarray = np.ndarray((total,), dtype=np.float64, buffer=shm.buf)
+    off = 0
+
+    def put(a: np.ndarray) -> None:
+        nonlocal off
+        flat = np.ascontiguousarray(a, dtype=np.float64).reshape(-1)
+        buf[off : off + flat.size] = flat
+        off += flat.size
+
+    put(model.network.bandwidth)
+    strings_meta: list[_StringMeta] = []
+    for s in model.strings:
+        put(s.comp_times)
+        put(s.cpu_utils)
+        put(s.output_sizes)
+        strings_meta.append(
+            (s.worth, s.period, s.max_latency, s.n_apps, s.name)
+        )
+    meta: dict[str, object] = {
+        "n_machines": M,
+        "total": total,
+        "strings": strings_meta,
+        "machine_names": [m.name for m in model.machines],
+    }
+    return shm, meta
+
+
+def _unpack_model(
+    shm: shared_memory.SharedMemory, meta: dict[str, object]
+) -> SystemModel:
+    """Rebuild the model as zero-copy views into the shm block."""
+    M = int(meta["n_machines"])  # type: ignore[call-overload]
+    total = int(meta["total"])  # type: ignore[call-overload]
+    buf: np.ndarray = np.ndarray((total,), dtype=np.float64, buffer=shm.buf)
+    off = 0
+
+    def take(shape: tuple[int, ...]) -> np.ndarray:
+        nonlocal off
+        n = 1
+        for d in shape:
+            n *= d
+        view = buf[off : off + n].reshape(shape)
+        view.setflags(write=False)
+        off += n
+        return view
+
+    network = Network._attach(take((M, M)))
+    strings: list[AppString] = []
+    strings_meta: list[_StringMeta] = meta["strings"]  # type: ignore[assignment]
+    for k, (worth, period, max_latency, n_apps, name) in enumerate(
+        strings_meta
+    ):
+        strings.append(
+            AppString._attach(
+                k,
+                worth,
+                period,
+                max_latency,
+                take((n_apps, M)),
+                take((n_apps, M)),
+                take((max(n_apps - 1, 0),)),
+                name,
+            )
+        )
+    machine_names: list[str] = meta["machine_names"]  # type: ignore[assignment]
+    machines = [Machine(j, nm) for j, nm in enumerate(machine_names)]
+    return SystemModel(network, strings, machines)
+
+
+def _init_worker_shm(
+    token: str, shm_name: str, meta: dict[str, object]
+) -> None:
+    """Pool initializer: attach the block and build the worker model."""
+    if token in _WORKER_STATE:
+        return
+    # Attaching re-registers the segment with the resource tracker; the
+    # tracker fd is inherited from the parent, so the duplicate register
+    # collapses in its cache and the parent's unlink() cleans up once.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _WORKER_SHM[token] = shm
+    _WORKER_STATE[token] = (_unpack_model(shm, meta), ProfileCache())
+
+
+def get_worker_context(token: str) -> tuple[SystemModel, ProfileCache]:
+    """Resolve a broadcast token to ``(model, per-worker ProfileCache)``.
+
+    Checks the worker-side state first (shm transport), then the
+    fork-inherited registry (inherit transport and in-parent fallback
+    re-runs), creating the persistent per-worker cache on first use.
+    """
+    ctx = _WORKER_STATE.get(token)
+    if ctx is None:
+        model = _FORK_REGISTRY.get(token)
+        if model is None:
+            raise KeyError(
+                f"unknown shared-model token {token!r}: broadcast not set "
+                f"up in this process"
+            )
+        ctx = (model, ProfileCache())
+        _WORKER_STATE[token] = ctx
+    return ctx
+
+
+class SharedModel:
+    """Context manager owning one model broadcast.
+
+    Inside the ``with`` block, :attr:`token` is a process-safe reference
+    that workers (and the parent itself) resolve via
+    :func:`get_worker_context`; pass :attr:`initializer` /
+    :attr:`initargs` to the ``ProcessPoolExecutor``.  On exit, all
+    transport resources (registry entry, shared-memory block) are
+    released.
+
+    Parameters
+    ----------
+    model:
+        The model to broadcast.
+    transport:
+        ``"inherit"`` (fork copy-on-write), ``"shm"``
+        (``multiprocessing.shared_memory``), or ``"auto"`` (inherit
+        when the start method is ``fork``, else shm).
+    """
+
+    def __init__(self, model: SystemModel, transport: str = "auto") -> None:
+        if transport not in ("auto", "shm", "inherit"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if transport == "auto":
+            transport = (
+                "inherit"
+                if multiprocessing.get_start_method() == "fork"
+                else "shm"
+            )
+        self.model = model
+        self.transport = transport
+        self.token = f"repro-{uuid.uuid4().hex[:12]}"
+        self._shm: shared_memory.SharedMemory | None = None
+        self._meta: dict[str, object] | None = None
+        self._entered = False
+
+    @property
+    def initializer(self) -> Callable[..., None] | None:
+        """Pool initializer for the shm transport (None for inherit)."""
+        if self.transport == "shm":
+            return _init_worker_shm
+        return None
+
+    @property
+    def initargs(self) -> tuple[object, ...]:
+        if self.transport == "shm":
+            assert self._shm is not None and self._meta is not None
+            return (self.token, self._shm.name, self._meta)
+        return ()
+
+    def __enter__(self) -> "SharedModel":
+        if self._entered:
+            raise RuntimeError("SharedModel is not re-entrant")
+        self._entered = True
+        # Parent-side registration happens for every transport so that
+        # in-process fallback re-runs resolve the token locally.
+        _FORK_REGISTRY[self.token] = self.model
+        if self.transport == "shm":
+            try:
+                self._shm, self._meta = _pack_model(self.model, self.token)
+            except Exception:
+                _FORK_REGISTRY.pop(self.token, None)
+                self._entered = False
+                raise
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        _FORK_REGISTRY.pop(self.token, None)
+        # Drop any worker-side state this process accumulated for the
+        # token (relevant when the parent resolved its own token).
+        _WORKER_STATE.pop(self.token, None)
+        shm = self._shm
+        if shm is not None:
+            self._shm = None
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._entered = False
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedModel(token={self.token!r}, "
+            f"transport={self.transport!r})"
+        )

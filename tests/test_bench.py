@@ -17,6 +17,7 @@ from repro.experiments import (
     BENCH_SCHEMA,
     compare_to_baseline,
     run_bench,
+    run_state_micro,
     save_record,
 )
 
@@ -108,6 +109,79 @@ class TestBaselineGate:
                     self.record(1.0), self.record(1.0), max_regression=bad
                 )
 
+    @staticmethod
+    def micro_record(try_add, snap):
+        return {
+            "name": "state_micro",
+            "try_add_ops_per_sec": try_add,
+            "snapshot_restore_ops_per_sec": snap,
+        }
+
+    def test_state_micro_gates_both_metrics(self):
+        base = self.micro_record(1_000.0, 10_000.0)
+        ok, message = compare_to_baseline(
+            self.micro_record(900.0, 9_000.0), base, max_regression=0.50
+        )
+        assert ok
+        assert "try_add_ops_per_sec" in message
+        assert "snapshot_restore_ops_per_sec" in message
+        # either metric regressing alone fails the gate
+        ok, _ = compare_to_baseline(
+            self.micro_record(400.0, 9_000.0), base, max_regression=0.50
+        )
+        assert not ok
+        ok, _ = compare_to_baseline(
+            self.micro_record(900.0, 4_000.0), base, max_regression=0.50
+        )
+        assert not ok
+
+
+class TestStateMicro:
+    @pytest.fixture(scope="class")
+    def micro_record(self):
+        # tiny workload: the record shape is what matters here
+        return run_state_micro(
+            seed=7, n_strings=10, n_machines=3, rounds=2, snap_reps=5
+        )
+
+    def test_record_shape(self, micro_record):
+        assert micro_record["schema"] == BENCH_SCHEMA
+        assert micro_record["name"] == "state_micro"
+        assert micro_record["workload"]["mapped_strings"] > 0
+        assert set(micro_record["backends"]) == {"soa", "record"}
+        for nums in micro_record["backends"].values():
+            assert nums["try_add_ops_per_sec"] > 0
+            assert nums["snapshot_restore_ops_per_sec"] > 0
+        speedup = micro_record["speedup"]
+        assert speedup is not None
+        assert speedup["try_add"] > 0
+        assert speedup["snapshot_restore"] > 0
+
+    def test_gate_metrics_are_soa(self, micro_record):
+        soa = micro_record["backends"]["soa"]
+        assert micro_record["config"]["gate_backend"] == "soa"
+        assert (
+            micro_record["try_add_ops_per_sec"]
+            == soa["try_add_ops_per_sec"]
+        )
+        assert (
+            micro_record["snapshot_restore_ops_per_sec"]
+            == soa["snapshot_restore_ops_per_sec"]
+        )
+
+    def test_single_backend_run(self):
+        record = run_state_micro(
+            seed=7, n_strings=8, n_machines=3, rounds=1, snap_reps=3,
+            backends=("record",),
+        )
+        assert set(record["backends"]) == {"record"}
+        assert record["speedup"] is None
+        assert record["config"]["gate_backend"] == "record"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown state backend"):
+            run_state_micro(backends=("simd",))
+
 
 class TestPersistence:
     def test_save_record_roundtrips(self, quick_record, tmp_path):
@@ -144,3 +218,15 @@ class TestCli:
         baseline.write_text(json.dumps({"evals_per_second": 1e9}))
         assert main(argv) == 1
         assert "FAIL: " in capsys.readouterr().out
+
+    def test_state_micro_cli(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_state_micro.json"
+        code = main([
+            "bench", "--name", "state-micro", "--json", str(out),
+            "--state-backend", "record",
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["name"] == "state_micro"
+        assert set(record["backends"]) == {"record"}
+        assert "try_add" in capsys.readouterr().out

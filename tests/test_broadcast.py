@@ -1,0 +1,216 @@
+"""Tests for the zero-copy model broadcast (repro.parallel.broadcast):
+transport roundtrips must be bit-identical and sharing must never
+change heuristic results."""
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.genitor import GenitorConfig, StoppingRules
+from repro.heuristics.psg import (
+    _evaluate_batch,
+    _trial_worker,
+    best_of_trials,
+    seeded_psg,
+)
+from repro.parallel import (
+    SharedModel,
+    get_worker_context,
+    model_sharing_enabled,
+)
+from repro.parallel.broadcast import (
+    SHARE_MODEL_ENV,
+    _init_worker_shm,
+    _pack_model,
+    _unpack_model,
+    _WORKER_SHM,
+    _WORKER_STATE,
+)
+from repro.workload import SCENARIO_1, generate_model
+
+
+@pytest.fixture
+def model():
+    params = SCENARIO_1.scaled(n_strings=10, n_machines=4)
+    return generate_model(params, seed=9)
+
+
+def _tiny_config():
+    return GenitorConfig(
+        population_size=16,
+        rules=StoppingRules(max_iterations=30, max_stale_iterations=15),
+    )
+
+
+def _assert_models_identical(a, b):
+    np.testing.assert_array_equal(a.network.bandwidth, b.network.bandwidth)
+    np.testing.assert_array_equal(
+        a.network.inv_bandwidth, b.network.inv_bandwidth
+    )
+    assert a.network.avg_inv_bandwidth == b.network.avg_inv_bandwidth
+    assert len(a.strings) == len(b.strings)
+    for s, t in zip(a.strings, b.strings):
+        assert s.string_id == t.string_id
+        assert s.worth == t.worth
+        assert s.period == t.period
+        assert s.max_latency == t.max_latency
+        assert s.name == t.name
+        np.testing.assert_array_equal(s.comp_times, t.comp_times)
+        np.testing.assert_array_equal(s.cpu_utils, t.cpu_utils)
+        np.testing.assert_array_equal(s.output_sizes, t.output_sizes)
+        np.testing.assert_array_equal(s.avg_comp_times, t.avg_comp_times)
+        np.testing.assert_array_equal(s.avg_cpu_utils, t.avg_cpu_utils)
+        np.testing.assert_array_equal(s.work, t.work)
+    assert [m.name for m in a.machines] == [m.name for m in b.machines]
+
+
+class TestKillSwitch:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(SHARE_MODEL_ENV, raising=False)
+        assert model_sharing_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " OFF "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(SHARE_MODEL_ENV, value)
+        assert not model_sharing_enabled()
+
+    def test_other_values_enable(self, monkeypatch):
+        monkeypatch.setenv(SHARE_MODEL_ENV, "1")
+        assert model_sharing_enabled()
+
+
+class TestSharedModelLifecycle:
+    def test_inherit_token_resolves_in_process(self, model):
+        with SharedModel(model, transport="inherit") as shared:
+            resolved, cache = get_worker_context(shared.token)
+            assert resolved is model
+            # the per-token cache is persistent across resolutions
+            assert get_worker_context(shared.token)[1] is cache
+        with pytest.raises(KeyError):
+            get_worker_context(shared.token)
+
+    def test_shm_pack_unpack_roundtrip(self, model):
+        with SharedModel(model, transport="shm") as shared:
+            rebuilt = _unpack_model(shared._shm, shared._meta)
+            _assert_models_identical(model, rebuilt)
+            # the rebuilt arrays are read-only views into shared memory
+            with pytest.raises(ValueError):
+                rebuilt.network.bandwidth[0, 0] = 1.0
+            with pytest.raises(ValueError):
+                rebuilt.strings[0].comp_times[0, 0] = 1.0
+
+    def test_shm_block_unlinked_on_exit(self, model):
+        from multiprocessing import shared_memory
+
+        shared = SharedModel(model, transport="shm")
+        with shared:
+            name = shared._shm.name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_not_reentrant(self, model):
+        shared = SharedModel(model, transport="inherit")
+        with shared:
+            with pytest.raises(RuntimeError):
+                shared.__enter__()
+
+    def test_unknown_transport_rejected(self, model):
+        with pytest.raises(ValueError):
+            SharedModel(model, transport="mmap")
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            get_worker_context("repro-nonexistent")
+
+    def test_initializer_only_for_shm(self, model):
+        inherit = SharedModel(model, transport="inherit")
+        assert inherit.initializer is None
+        assert inherit.initargs == ()
+        with SharedModel(model, transport="shm") as shm:
+            assert shm.initializer is _init_worker_shm
+            assert shm.initargs[0] == shm.token
+
+
+class TestWorkerAttach:
+    def test_init_worker_shm_in_process(self, model):
+        """The initializer path, exercised in-process: the attached model
+        evaluates chromosomes identically to the original."""
+        order = tuple(range(model.n_strings))
+        ref = _evaluate_batch(model, [order])
+        with SharedModel(model, transport="shm") as shared:
+            _init_worker_shm(shared.token, shared._shm.name, shared._meta)
+            try:
+                attached, _ = get_worker_context(shared.token)
+                _assert_models_identical(model, attached)
+                assert _evaluate_batch(shared.token, [order]) == ref
+            finally:
+                _WORKER_STATE.pop(shared.token, None)
+                shm = _WORKER_SHM.pop(shared.token, None)
+                if shm is not None:
+                    shm.close()
+
+    def test_trial_worker_resolves_token(self, model):
+        cfg = _tiny_config()
+        ref = _trial_worker(seeded_psg, model, 3, {"config": cfg})
+        with SharedModel(model, transport="inherit") as shared:
+            via_token = _trial_worker(seeded_psg, shared.token, 3,
+                                      {"config": cfg})
+        assert via_token.fitness == ref.fitness
+        assert via_token.order == ref.order
+
+
+class TestBestOfTrialsSharing:
+    def test_parallel_sharing_bit_identical(self, model):
+        cfg = _tiny_config()
+        serial = best_of_trials(
+            seeded_psg, model, 2, rng=4, n_workers=1, config=cfg
+        )
+        shared = best_of_trials(
+            seeded_psg, model, 2, rng=4, n_workers=2, share_model=True,
+            config=cfg,
+        )
+        pickled = best_of_trials(
+            seeded_psg, model, 2, rng=4, n_workers=2, share_model=False,
+            config=cfg,
+        )
+        for run in (shared, pickled):
+            assert run.fitness == serial.fitness
+            assert run.order == serial.order
+            assert (
+                run.stats["trial_fitnesses"]
+                == serial.stats["trial_fitnesses"]
+            )
+        assert serial.stats["model_transport"] == "none"
+        assert pickled.stats["model_transport"] == "pickle"
+        assert shared.stats["model_transport"] in ("inherit", "shm")
+
+    def test_kill_switch_disables_default(self, model, monkeypatch):
+        monkeypatch.setenv(SHARE_MODEL_ENV, "0")
+        cfg = _tiny_config()
+        run = best_of_trials(
+            seeded_psg, model, 2, rng=4, n_workers=2, config=cfg
+        )
+        assert run.stats["model_transport"] == "pickle"
+
+
+@pytest.mark.skipif(
+    "spawn" not in mp.get_all_start_methods(),
+    reason="spawn start method unavailable",
+)
+def test_spawn_pool_shm_roundtrip(model):
+    """Full cross-process shm path: a spawned worker attaches the block
+    and evaluates identically to the parent."""
+    order = tuple(range(model.n_strings))
+    ref = _evaluate_batch(model, [order])
+    ctx = mp.get_context("spawn")
+    with SharedModel(model, transport="shm") as shared:
+        with ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=ctx,
+            initializer=shared.initializer,
+            initargs=shared.initargs,
+        ) as pool:
+            got = pool.submit(_evaluate_batch, shared.token, [order]).result()
+    assert got == ref
