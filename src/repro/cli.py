@@ -246,7 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-backend", choices=("both",) + STATE_BACKENDS,
                    default="both",
                    help="state-micro only: which AllocationState backend(s) "
-                        "to time (default: both, gate on soa)")
+                        "to time (default: both = soa+record, gate on soa; "
+                        "'sanitize' times the lockstep verifier)")
     p.add_argument("--json", dest="json_path", default=None,
                    help="write the record here (default BENCH_<name>.json)")
     p.add_argument("--baseline", default=None,
@@ -256,7 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the domain-aware static analyzer (rules RPR001-RPR008)",
+        help="run the domain-aware static analyzer "
+             "(file rules RPR001-RPR008, project rules RPR009-RPR012)",
     )
     add_lint_arguments(p)
 
@@ -413,7 +415,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.name == "state-micro":
         backends = (
-            STATE_BACKENDS
+            ("soa", "record")
             if args.state_backend == "both"
             else (args.state_backend,)
         )

@@ -35,6 +35,11 @@ from .state import (
     get_default_state_backend,
     set_default_state_backend,
 )
+from .state_sanitize import (
+    SanitizeAllocationState,
+    SanitizeStateSnapshot,
+    StateDivergenceError,
+)
 from .state_soa import SoaAllocationState, SoaStateSnapshot
 from .tightness import (
     average_tightness,
@@ -70,10 +75,13 @@ __all__ = [
     "RejectionReason",
     "ReproError",
     "STATE_BACKENDS",
+    "SanitizeAllocationState",
+    "SanitizeStateSnapshot",
     "SimulationError",
     "SoaAllocationState",
     "SoaStateSnapshot",
     "SolverError",
+    "StateDivergenceError",
     "StateSnapshot",
     "StringProfile",
     "StringTiming",

@@ -39,6 +39,14 @@ Two interchangeable backends implement this bookkeeping:
   as vectorized kernels and ``snapshot()``/``restore()`` collapse to
   array copies.
 
+A third entry, ``"sanitize"``
+(:class:`repro.core.state_sanitize.SanitizeAllocationState`), is not an
+implementation but a *verifier*: it runs both backends in lockstep and
+raises :class:`~repro.core.state_sanitize.StateDivergenceError` at the
+first operation whose results are not bit-identical.  Select it via
+``REPRO_STATE_BACKEND=sanitize`` to turn any test run into an
+equivalence audit.
+
 The two backends are **bit-identical**: the same call sequence produces
 the same accept/reject decisions, the same ``last_rejection`` fields,
 and the same cached floats, because both perform the same scalar
@@ -81,10 +89,13 @@ from .profile import ProfileCache, Route, StringProfile, compute_profile
 from .types import FloatArray, IntArray, IntVectorLike
 
 if TYPE_CHECKING:
+    from .state_sanitize import SanitizeStateSnapshot
     from .state_soa import SoaStateSnapshot
 
-    #: Either backend's snapshot; the prefix cache is duck-typed over it.
-    StateSnapshotLike = Union["StateSnapshot", "SoaStateSnapshot"]
+    #: Any backend's snapshot; the prefix cache is duck-typed over it.
+    StateSnapshotLike = Union[
+        "StateSnapshot", "SoaStateSnapshot", "SanitizeStateSnapshot"
+    ]
 
 __all__ = [
     "STATE_BACKENDS",
@@ -97,7 +108,10 @@ __all__ = [
 ]
 
 #: Recognized feasibility-kernel backends (first is the shipped default).
-STATE_BACKENDS: tuple[str, ...] = ("soa", "record")
+#: ``"sanitize"`` runs the other two in lockstep and asserts
+#: bit-identity on every operation — a verification tool, never a
+#: benchmark target (see :mod:`repro.core.state_sanitize`).
+STATE_BACKENDS: tuple[str, ...] = ("soa", "record", "sanitize")
 
 
 def _env_default_backend() -> str:
@@ -147,6 +161,10 @@ def _backend_class(name: str | None) -> type["AllocationState"]:
         from .state_soa import SoaAllocationState
 
         return SoaAllocationState
+    if resolved == "sanitize":
+        from .state_sanitize import SanitizeAllocationState
+
+        return SanitizeAllocationState
     raise ValueError(
         f"unknown state backend {resolved!r}; choose from {STATE_BACKENDS}"
     )

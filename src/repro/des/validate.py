@@ -25,7 +25,7 @@ from ..core.allocation import Allocation
 from ..core.timing import TimingEstimator
 from .engine import simulate_allocation
 
-__all__ = ["TimingComparison", "compare_to_estimates"]
+__all__ = ["TimingComparison", "compare_to_estimates", "random_phase_comparison"]
 
 
 @dataclass

@@ -17,7 +17,7 @@ from typing import Iterator, Sequence
 
 from ..core.metrics import Fitness
 
-__all__ = ["Individual", "Population"]
+__all__ = ["Chromosome", "Individual", "Population"]
 
 Chromosome = tuple[int, ...]
 

@@ -14,7 +14,10 @@ from pathlib import Path
 from typing import Sequence
 
 from .baseline import Baseline, BaselineError
+from .cache import LintCache
 from .engine import LintEngine, LintReport
+from .formats import render_github, render_sarif
+from .project import PROJECT_RULES
 from .rules import RULES, Rule
 
 __all__ = ["add_lint_arguments", "run_lint"]
@@ -42,10 +45,25 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         dest="output_format",
-        help="report format",
+        help="report format (sarif: SARIF 2.1.0 log; github: workflow "
+        "annotation lines)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool width for the per-file pass "
+        "(default: auto; 1 forces serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="content-hash result cache; unchanged files skip analysis",
     )
     parser.add_argument(
         "--baseline",
@@ -70,26 +88,34 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _registry() -> dict[str, Rule]:
+    """Both registries — per-file rules and project-scoped rules."""
+    combined: dict[str, Rule] = dict(RULES)
+    combined.update(PROJECT_RULES)
+    return combined
+
+
 def _resolve_rules(
     select: str | None, ignore: str | None
 ) -> list[Rule] | None:
     """Turn --select/--ignore into a rule list; raises on unknown ids."""
-    chosen = set(RULES)
+    registry = _registry()
+    chosen = set(registry)
     if select is not None:
         requested = {tok.strip().upper() for tok in select.split(",") if tok.strip()}
         if not requested:
             raise ValueError("--select needs at least one rule id")
-        unknown = requested - set(RULES)
+        unknown = requested - set(registry)
         if unknown:
             raise KeyError(", ".join(sorted(unknown)))
         chosen = requested
     if ignore is not None:
         dropped = {tok.strip().upper() for tok in ignore.split(",") if tok.strip()}
-        unknown = dropped - set(RULES)
+        unknown = dropped - set(registry)
         if unknown:
             raise KeyError(", ".join(sorted(unknown)))
         chosen -= dropped
-    return [RULES[rule_id] for rule_id in sorted(chosen)]
+    return [registry[rule_id] for rule_id in sorted(chosen)]
 
 
 def _render_text(report: LintReport, statistics: bool) -> str:
@@ -101,6 +127,8 @@ def _render_text(report: LintReport, statistics: bool) -> str:
     summary = (
         f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
     )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
     if report.baselined:
         summary += f", {report.baselined} baselined"
     lines.append(summary)
@@ -109,9 +137,11 @@ def _render_text(report: LintReport, statistics: bool) -> str:
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute ``repro lint`` from parsed arguments."""
+    registry = _registry()
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            print(f"{rule_id}  {RULES[rule_id].summary}")
+        for rule_id in sorted(registry):
+            scope = "project" if rule_id in PROJECT_RULES else "file"
+            print(f"{rule_id}  [{scope}]  {registry[rule_id].summary}")
         return 0
 
     try:
@@ -145,7 +175,13 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 2
 
-    engine = LintEngine(rules=tuple(rules or ()), baseline=baseline)
+    cache = LintCache(args.cache) if args.cache else None
+    engine = LintEngine(
+        rules=tuple(rules or ()),
+        baseline=baseline,
+        jobs=args.jobs,
+        cache=cache,
+    )
     report = engine.run(args.paths)
 
     if args.write_baseline:
@@ -165,9 +201,14 @@ def run_lint(args: argparse.Namespace) -> int:
         payload = {
             "findings": [f.to_dict() for f in report.findings],
             "files_checked": report.files_checked,
+            "suppressed": report.suppressed,
             "baselined": report.baselined,
         }
         print(json.dumps(payload, indent=2))
+    elif args.output_format == "sarif":
+        print(render_sarif(report))
+    elif args.output_format == "github":
+        print(render_github(report))
     else:
         print(_render_text(report, statistics=args.statistics))
     return 0 if report.ok else 1

@@ -1,12 +1,25 @@
 """The lint engine: file discovery, parsing, rule dispatch, suppression.
 
 The engine is importable (``LintEngine``/:func:`lint_paths` /
-:func:`lint_source`) and drives the ``repro lint`` CLI subcommand.  It
-parses each file once, runs every enabled rule over the shared AST, then
-filters findings through two suppression layers:
+:func:`lint_source`) and drives the ``repro lint`` CLI subcommand.  One
+run has two analysis passes:
+
+* **per-file** — each file is parsed once and every enabled per-file
+  rule (RPR001–RPR008) runs over the shared AST.  With enough files this
+  pass fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``jobs``), and a content-hash :class:`~repro.quality.cache.LintCache`
+  can skip unchanged files entirely;
+* **whole-program** — every successfully parsed module is assembled into
+  a :class:`~repro.quality.project.ProjectContext` (import graph, symbol
+  tables, cross-module references) and each enabled
+  :class:`~repro.quality.project.ProjectRule` (RPR009–RPR012) runs once
+  over the whole project.  Project findings are never cached: any file's
+  change can create or remove a finding in another file.
+
+Findings then pass through two suppression layers:
 
 * inline ``# repro: noqa`` / ``# repro: noqa[RPR001,RPR004]`` comments on
-  the offending line, and
+  the offending line (counted in :attr:`LintReport.suppressed`), and
 * an optional committed baseline (see :mod:`repro.quality.baseline`) for
   grandfathering findings during incremental adoption.
 """
@@ -14,14 +27,27 @@ filters findings through two suppression layers:
 from __future__ import annotations
 
 import ast
+import os
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .baseline import Baseline
+from .cache import LintCache
 from .findings import Finding
+from .project import (
+    PROJECT_RULES,
+    ModuleInfo,
+    ProjectRule,
+    build_project,
+)
 from .rules import RULES, Rule, RuleContext
+
+# Importing the rule modules populates the registries the default rule
+# set is built from.
+from . import project_rules as project_rules  # noqa: F401
 
 __all__ = [
     "LintEngine",
@@ -48,6 +74,12 @@ _SKIP_DIRS = frozenset(
         "dist",
     }
 )
+
+#: Below this many files the process-pool fan-out costs more than it saves.
+_PARALLEL_THRESHOLD = 16
+
+#: Hard cap on auto-selected worker count.
+_MAX_AUTO_JOBS = 8
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -95,6 +127,22 @@ def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
     return suppressions
 
 
+def _apply_noqa(
+    findings: Iterable[Finding],
+    suppressions: Mapping[int, frozenset[str] | None],
+) -> tuple[list[Finding], int]:
+    """Split findings into (kept, suppressed-count) under a noqa map."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        allowed = suppressions.get(finding.line, frozenset())
+        if allowed is None or (allowed and finding.rule_id in allowed):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return kept, suppressed
+
+
 @dataclass(frozen=True)
 class LintReport:
     """Outcome of one engine run."""
@@ -115,6 +163,51 @@ class LintReport:
         return counts
 
 
+def _default_rules() -> tuple[Rule, ...]:
+    """Full registry: per-file rules then project rules, id order."""
+    return tuple(RULES[rid] for rid in sorted(RULES)) + tuple(
+        PROJECT_RULES[rid] for rid in sorted(PROJECT_RULES)
+    )
+
+
+def _registry_rule(rule_id: str) -> Rule:
+    rule = RULES.get(rule_id) or PROJECT_RULES.get(rule_id)
+    if rule is None:
+        raise KeyError(rule_id)
+    return rule
+
+
+def _registry_ids(rules: Sequence[Rule]) -> tuple[str, ...] | None:
+    """Rule ids when every rule is the shared registry instance.
+
+    Returns ``None`` when any rule is a custom (non-registry) instance —
+    those cannot be reconstructed inside a worker process or keyed into
+    the cache, so the engine runs them serially and uncached.
+    """
+    ids: list[str] = []
+    for rule in rules:
+        registered = RULES.get(rule.rule_id) or PROJECT_RULES.get(
+            rule.rule_id
+        )
+        if registered is not rule:
+            return None
+        ids.append(rule.rule_id)
+    return tuple(ids)
+
+
+def _lint_file_worker(
+    path: str, source: str, rule_ids: tuple[str, ...]
+) -> tuple[list[Finding], int]:
+    """Process-pool worker: per-file rules over one source string.
+
+    Module-level and side-effect free (fork/pickle safe, RPR009); the
+    rule set travels as registry ids and is re-resolved here.
+    """
+    rules = tuple(_registry_rule(rid) for rid in rule_ids)
+    engine = LintEngine(rules=rules)
+    return engine._lint_source_counted(source, path=path)
+
+
 @dataclass
 class LintEngine:
     """Run a set of rules over files or in-memory source.
@@ -122,15 +215,25 @@ class LintEngine:
     Parameters
     ----------
     rules:
-        Rule instances to run; defaults to the full registry.
+        Rule instances to run; defaults to the full registry (per-file
+        and project-scoped).
     baseline:
         Previously-accepted findings to filter out (incremental adoption).
+    jobs:
+        Process-pool width for the per-file pass.  ``None`` (default)
+        picks automatically: serial below ``16`` files, up to 8 workers
+        above.  ``1`` forces serial.  Only registry rules parallelize;
+        custom rule instances always run serially.
+    cache:
+        Optional content-hash result cache for the per-file pass; hits
+        skip parsing and rule dispatch for unchanged files.  Project
+        findings are recomputed every run regardless.
     """
 
-    rules: Sequence[Rule] = field(
-        default_factory=lambda: tuple(RULES[rid] for rid in sorted(RULES))
-    )
+    rules: Sequence[Rule] = field(default_factory=_default_rules)
     baseline: Baseline | None = None
+    jobs: int | None = None
+    cache: LintCache | None = None
 
     def lint_source(
         self,
@@ -139,6 +242,16 @@ class LintEngine:
         module: str | None = None,
     ) -> list[Finding]:
         """Lint a source string; ``module`` controls package-scoped rules."""
+        kept, _ = self._lint_source_counted(source, path=path, module=module)
+        return kept
+
+    def _lint_source_counted(
+        self,
+        source: str,
+        path: str = "<string>",
+        module: str | None = None,
+    ) -> tuple[list[Finding], int]:
+        """Per-file pass on one source: (kept findings, suppressed count)."""
         if module is None:
             module = module_name_for(Path(path)) if path != "<string>" else ""
         try:
@@ -153,17 +266,11 @@ class LintEngine:
                     message=f"syntax error: {exc.msg}",
                     hint="file could not be parsed; no rules were run",
                 )
-            ]
+            ], 0
         ctx = RuleContext(path=path, module=module, tree=tree, source=source)
         raw = [f for rule in self.rules for f in rule.check(ctx)]
-        suppressions = _noqa_map(source)
-        kept: list[Finding] = []
-        for finding in raw:
-            allowed = suppressions.get(finding.line, frozenset())
-            if allowed is None or (allowed and finding.rule_id in allowed):
-                continue
-            kept.append(finding)
-        return sorted(kept)
+        kept, suppressed = _apply_noqa(raw, _noqa_map(source))
+        return sorted(kept), suppressed
 
     def lint_file(self, path: str | Path) -> list[Finding]:
         file_path = Path(path)
@@ -172,23 +279,143 @@ class LintEngine:
 
     def run(self, paths: Iterable[str | Path]) -> LintReport:
         """Lint every python file under ``paths`` and apply the baseline."""
+        entries = [
+            (str(file_path), file_path.read_text(encoding="utf-8"))
+            for file_path in iter_python_files(paths)
+        ]
+        file_rules = tuple(
+            r for r in self.rules if not isinstance(r, ProjectRule)
+        )
+        project_rules_ = tuple(
+            r for r in self.rules if isinstance(r, ProjectRule)
+        )
         findings: list[Finding] = []
         suppressed = 0
-        files = 0
-        for file_path in iter_python_files(paths):
-            files += 1
-            source = file_path.read_text(encoding="utf-8")
-            raw = self.lint_source(source, path=str(file_path))
-            findings.extend(raw)
+        for kept, count in self._run_file_rules(entries, file_rules):
+            findings.extend(kept)
+            suppressed += count
+        if project_rules_:
+            kept, count = self._run_project_rules(entries, project_rules_)
+            findings.extend(kept)
+            suppressed += count
         baselined = 0
         if self.baseline is not None:
             findings, baselined = self.baseline.filter(findings)
+        if self.cache is not None:
+            self.cache.save()
         return LintReport(
             findings=tuple(sorted(findings)),
             suppressed=suppressed,
             baselined=baselined,
-            files_checked=files,
+            files_checked=len(entries),
         )
+
+    # -- per-file pass -----------------------------------------------------------
+
+    def _run_file_rules(
+        self,
+        entries: Sequence[tuple[str, str]],
+        file_rules: Sequence[Rule],
+    ) -> list[tuple[list[Finding], int]]:
+        """Per-file results for ``entries``, cached/parallel when possible."""
+        rule_ids = _registry_ids(file_rules)
+        scoped = LintEngine(rules=file_rules)
+        results: dict[int, tuple[list[Finding], int]] = {}
+        pending: list[tuple[int, str, str, str | None]] = []
+        for index, (path, source) in enumerate(entries):
+            key: str | None = None
+            if self.cache is not None and rule_ids is not None:
+                key = LintCache.key(path, source, rule_ids)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending.append((index, path, source, key))
+
+        jobs = self._effective_jobs(len(pending), rule_ids)
+        if jobs > 1 and rule_ids is not None:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    (
+                        index,
+                        key,
+                        pool.submit(_lint_file_worker, path, source, rule_ids),
+                    )
+                    for index, path, source, key in pending
+                ]
+                for index, key, future in futures:
+                    kept, count = future.result()
+                    results[index] = (kept, count)
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, kept, count)
+        else:
+            for index, path, source, key in pending:
+                kept, count = scoped._lint_source_counted(source, path=path)
+                results[index] = (kept, count)
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, kept, count)
+        return [results[index] for index in range(len(entries))]
+
+    def _effective_jobs(
+        self, n_pending: int, rule_ids: tuple[str, ...] | None
+    ) -> int:
+        """Worker count for the per-file pass (1 = run serially)."""
+        if rule_ids is None or n_pending == 0:
+            return 1
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        if n_pending < _PARALLEL_THRESHOLD:
+            return 1
+        return max(1, min(_MAX_AUTO_JOBS, os.cpu_count() or 1))
+
+    # -- whole-program pass ------------------------------------------------------
+
+    def _run_project_rules(
+        self,
+        entries: Sequence[tuple[str, str]],
+        project_rules_: Sequence[ProjectRule],
+    ) -> tuple[list[Finding], int]:
+        """Build the project context and run every project rule once.
+
+        Files that fail to parse are skipped here — the per-file pass
+        already reported them as RPR000.  Project findings respect the
+        same inline noqa suppressions as per-file ones.
+        """
+        infos: list[ModuleInfo] = []
+        noqa_by_path: dict[str, dict[int, frozenset[str] | None]] = {}
+        for path, source in entries:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            file_path = Path(path)
+            infos.append(
+                ModuleInfo(
+                    path=path,
+                    module=module_name_for(file_path),
+                    is_package=file_path.name == "__init__.py",
+                    tree=tree,
+                    source=source,
+                )
+            )
+            noqa_by_path[path] = _noqa_map(source)
+        if not infos:
+            return [], 0
+        project = build_project(infos)
+        raw = [
+            finding
+            for rule in project_rules_
+            for finding in rule.check_project(project)
+        ]
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            file_kept, count = _apply_noqa(
+                [finding], noqa_by_path.get(finding.path, {})
+            )
+            kept.extend(file_kept)
+            suppressed += count
+        return kept, suppressed
 
 
 def lint_paths(
@@ -196,11 +423,15 @@ def lint_paths(
     *,
     rules: Sequence[Rule] | None = None,
     baseline: Baseline | None = None,
+    jobs: int | None = None,
+    cache: LintCache | None = None,
 ) -> LintReport:
     """Functional entry point: lint ``paths`` with ``rules`` (default all)."""
-    engine = LintEngine(baseline=baseline)
+    engine = LintEngine(baseline=baseline, jobs=jobs, cache=cache)
     if rules is not None:
-        engine = LintEngine(rules=tuple(rules), baseline=baseline)
+        engine = LintEngine(
+            rules=tuple(rules), baseline=baseline, jobs=jobs, cache=cache
+        )
     return engine.run(paths)
 
 

@@ -1,0 +1,472 @@
+"""Whole-program analysis infrastructure for the quality engine.
+
+The per-file rules (:mod:`repro.quality.rules`) see one module at a
+time, which is enough for local invariants — float comparison, mutable
+defaults, a single file's ``__all__``.  The process-parallel and
+deterministic-replay invariants the reproduction now leans on are
+*cross-module* properties: whether a ``Generator`` reaching a worker was
+injected or freshly constructed, whether a function submitted to a
+``ProcessPoolExecutor`` mutates state the parent will never see, whether
+``repro.core`` stays import-clean of the upper layers.  This module
+gives rules the whole program at once:
+
+* every module under the linted paths is parsed exactly once into a
+  :class:`ModuleInfo`;
+* a :class:`SymbolTable` per module records its top-level bindings,
+  ``__all__`` declaration, and import records (with scope — runtime
+  module-level imports are distinguished from function-scope and
+  ``TYPE_CHECKING``-only ones);
+* :class:`ProjectContext` derives the module-level import graph, a
+  cross-module reference index (which names of module X other modules
+  actually use), and a lightweight call/def-use resolver
+  (:meth:`ProjectContext.resolve_function`) that follows ``from``
+  imports across module boundaries.
+
+Project-scoped rules subclass :class:`ProjectRule`, are registered in
+:data:`PROJECT_RULES` via :func:`register_project`, and are run once per
+engine invocation over the whole :class:`ProjectContext` (see
+:meth:`repro.quality.engine.LintEngine.run`).  The shipped project rules
+(RPR009–RPR012) live in :mod:`repro.quality.project_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .findings import Finding
+from .rules import Rule, RuleContext
+
+__all__ = [
+    "PROJECT_RULES",
+    "ImportRecord",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectRule",
+    "SymbolTable",
+    "build_project",
+    "register_project",
+]
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement binding, resolved to a dotted target.
+
+    ``target`` is the dotted module the import reaches into (relative
+    imports are resolved against the importing module); ``name`` is the
+    imported symbol for ``from target import name`` and ``None`` for a
+    plain ``import target``; ``alias`` is the local name bound.
+    """
+
+    target: str
+    name: str | None
+    alias: str
+    lineno: int
+    col: int
+    module_scope: bool
+    type_checking: bool
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    path: str
+    module: str
+    is_package: bool
+    tree: ast.Module
+    source: str
+
+
+@dataclass(frozen=True)
+class SymbolTable:
+    """Top-level symbol information of one module.
+
+    ``bindings`` maps names defined *in* the module (functions, classes,
+    assignments — not imports) to their line; ``import_bindings`` maps
+    names bound by top-level imports.  ``declared_all`` is the module's
+    ``__all__`` (``None`` when not declared).  ``has_module_getattr``
+    marks modules with a PEP 562 ``__getattr__`` whose exports cannot be
+    resolved statically.
+    """
+
+    bindings: Mapping[str, int]
+    import_bindings: Mapping[str, int]
+    declared_all: frozenset[str] | None
+    all_lineno: int
+    has_module_getattr: bool
+
+    def binds(self, name: str) -> bool:
+        return (
+            name in self.bindings
+            or name in self.import_bindings
+            or self.has_module_getattr
+        )
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def resolve_relative(module: str, is_package: bool, node: ast.ImportFrom) -> str:
+    """Dotted target of an ``ImportFrom`` seen from ``module``."""
+    if not node.level:
+        return node.module or ""
+    base = module.split(".")
+    if not is_package:
+        base = base[:-1]
+    if node.level > 1:
+        base = base[: len(base) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _collect_imports(info: ModuleInfo) -> tuple[ImportRecord, ...]:
+    records: list[ImportRecord] = []
+
+    def visit(
+        stmts: Iterable[ast.stmt], module_scope: bool, type_checking: bool
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    records.append(
+                        ImportRecord(
+                            target=alias.name,
+                            name=None,
+                            alias=alias.asname or alias.name.split(".")[0],
+                            lineno=stmt.lineno,
+                            col=stmt.col_offset,
+                            module_scope=module_scope,
+                            type_checking=type_checking,
+                        )
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                target = resolve_relative(info.module, info.is_package, stmt)
+                for alias in stmt.names:
+                    records.append(
+                        ImportRecord(
+                            target=target,
+                            name=alias.name,
+                            alias=alias.asname or alias.name,
+                            lineno=stmt.lineno,
+                            col=stmt.col_offset,
+                            module_scope=module_scope,
+                            type_checking=type_checking,
+                        )
+                    )
+            elif isinstance(stmt, ast.If):
+                tc = type_checking or _is_type_checking_test(stmt.test)
+                visit(stmt.body, module_scope, tc)
+                visit(stmt.orelse, module_scope, type_checking)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body, module_scope, type_checking)
+                for handler in stmt.handlers:
+                    visit(handler.body, module_scope, type_checking)
+                visit(stmt.orelse, module_scope, type_checking)
+                visit(stmt.finalbody, module_scope, type_checking)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                visit(stmt.body, module_scope, type_checking)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                visit(
+                    (s for s in stmt.body if isinstance(s, ast.stmt)),
+                    False,
+                    type_checking,
+                )
+
+    visit(info.tree.body, True, False)
+    return tuple(records)
+
+
+def _symbol_table(info: ModuleInfo) -> SymbolTable:
+    bindings: dict[str, int] = {}
+    import_bindings: dict[str, int] = {}
+    declared: frozenset[str] | None = None
+    all_lineno = 1
+    has_getattr = False
+
+    def string_elements(node: ast.expr | None) -> frozenset[str]:
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return frozenset(
+                elt.value
+                for elt in node.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            )
+        return frozenset()
+
+    def visit(stmts: Iterable[ast.stmt]) -> None:
+        nonlocal declared, all_lineno, has_getattr
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                names = [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                if "__all__" in names:
+                    declared = string_elements(stmt.value)
+                    all_lineno = stmt.lineno
+                    continue
+                for name in names:
+                    bindings.setdefault(name, stmt.lineno)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    if stmt.target.id == "__all__":
+                        declared = string_elements(stmt.value)
+                        all_lineno = stmt.lineno
+                    else:
+                        bindings.setdefault(stmt.target.id, stmt.lineno)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if stmt.name == "__getattr__":
+                    has_getattr = True
+                bindings.setdefault(stmt.name, stmt.lineno)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    import_bindings.setdefault(bound, stmt.lineno)
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    import_bindings.setdefault(
+                        alias.asname or alias.name, stmt.lineno
+                    )
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                for handler in stmt.handlers:
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+
+    visit(info.tree.body)
+    return SymbolTable(
+        bindings=bindings,
+        import_bindings=import_bindings,
+        declared_all=declared,
+        all_lineno=all_lineno,
+        has_module_getattr=has_getattr,
+    )
+
+
+class ProjectContext:
+    """Everything a project-scoped rule may inspect about the program.
+
+    Built once per engine run from every parsed module; all derived
+    indexes (import graph, reference index, per-module name uses) are
+    computed lazily and cached.
+    """
+
+    def __init__(self, modules: Mapping[str, ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = dict(modules)
+        self.symbols: dict[str, SymbolTable] = {
+            name: _symbol_table(info) for name, info in self.modules.items()
+        }
+        self.imports: dict[str, tuple[ImportRecord, ...]] = {
+            name: _collect_imports(info) for name, info in self.modules.items()
+        }
+        self._graph: dict[str, frozenset[str]] | None = None
+        self._references: dict[str, frozenset[str]] | None = None
+        self._used: dict[str, frozenset[str]] = {}
+
+    # -- resolution helpers ----------------------------------------------------
+
+    def context_for(self, module: str) -> RuleContext:
+        """Per-file :class:`RuleContext` for anchoring findings."""
+        info = self.modules[module]
+        return RuleContext(
+            path=info.path, module=module, tree=info.tree, source=info.source
+        )
+
+    def resolve_target(self, target: str) -> str | None:
+        """Project module a dotted import target lands in, if any.
+
+        ``from repro.core.state import AllocationState`` resolves to
+        ``repro.core.state``; ``import repro.core`` to ``repro.core``.
+        A ``from``-import whose target is itself outside the project
+        resolves to ``None``.
+        """
+        if target in self.modules:
+            return target
+        parent = target.rpartition(".")[0]
+        return parent if parent in self.modules else None
+
+    def import_graph(self) -> Mapping[str, frozenset[str]]:
+        """Runtime module-scope import edges between project modules.
+
+        ``TYPE_CHECKING``-guarded and function-scope imports are
+        excluded: they cannot create an import-time cycle and they do
+        not couple layers at runtime start-up.
+        """
+        graph = self._graph
+        if graph is None:
+            graph = {}
+            for name, records in self.imports.items():
+                edges: set[str] = set()
+                for rec in records:
+                    if not rec.module_scope or rec.type_checking:
+                        continue
+                    # `from pkg import submodule` couples the importer to
+                    # the *submodule*, not the package __init__ (which
+                    # every submodule import touches anyway — counting it
+                    # would make each package trivially cyclic with its
+                    # children).
+                    resolved: str | None = None
+                    if rec.name is not None:
+                        full = f"{rec.target}.{rec.name}"
+                        if full in self.modules:
+                            resolved = full
+                    if resolved is None:
+                        resolved = self.resolve_target(rec.target)
+                    if resolved is not None and resolved != name:
+                        edges.add(resolved)
+                graph[name] = frozenset(edges)
+            self._graph = graph
+        return graph
+
+    def references(self) -> Mapping[str, frozenset[str]]:
+        """Cross-module def-use index: module -> names others reach into.
+
+        A name of module X counts as referenced when another project
+        module imports it (``from X import name``, any scope) or
+        accesses it as an attribute through an alias of X
+        (``import X as x; x.name``).
+        """
+        refs = self._references
+        if refs is None:
+            acc: dict[str, set[str]] = {name: set() for name in self.modules}
+            for name, records in self.imports.items():
+                # local alias -> project module it denotes
+                alias_of: dict[str, str] = {}
+                for rec in records:
+                    if rec.name is None:
+                        if rec.target in self.modules:
+                            # `import a.b.c` binds `a`, but attribute
+                            # chains start from the full dotted path;
+                            # `import a.b.c as m` binds the target.
+                            alias_of[rec.alias] = rec.target
+                        continue
+                    full = f"{rec.target}.{rec.name}"
+                    if full in self.modules:
+                        alias_of[rec.alias] = full
+                        continue
+                    resolved = self.resolve_target(rec.target)
+                    if resolved is not None and resolved != name:
+                        acc[resolved].add(rec.name)
+                info = self.modules[name]
+                for node in ast.walk(info.tree):
+                    if isinstance(node, ast.Attribute) and isinstance(
+                        node.value, ast.Name
+                    ):
+                        target = alias_of.get(node.value.id)
+                        if target is not None and target != name:
+                            acc[target].add(node.attr)
+            refs = {name: frozenset(used) for name, used in acc.items()}
+            self._references = refs
+        return refs
+
+    def used_names(self, module: str) -> frozenset[str]:
+        """Every ``Name`` loaded anywhere inside ``module`` itself."""
+        cached = self._used.get(module)
+        if cached is None:
+            info = self.modules[module]
+            cached = frozenset(
+                node.id
+                for node in ast.walk(info.tree)
+                if isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+            )
+            self._used[module] = cached
+        return cached
+
+    def resolve_function(
+        self, module: str, name: str, max_hops: int = 4
+    ) -> tuple[str, ast.FunctionDef | ast.AsyncFunctionDef] | None:
+        """Find the def of ``name`` as seen from ``module``.
+
+        Looks for a top-level function definition in ``module`` itself,
+        then follows ``from``-import aliases across project modules
+        (re-export chains) for up to ``max_hops`` hops.
+        """
+        seen: set[tuple[str, str]] = set()
+        current_module, current_name = module, name
+        for _ in range(max_hops):
+            if (current_module, current_name) in seen:
+                return None
+            seen.add((current_module, current_name))
+            info = self.modules.get(current_module)
+            if info is None:
+                return None
+            for stmt in info.tree.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == current_name
+                ):
+                    return current_module, stmt
+            hop: tuple[str, str] | None = None
+            for rec in self.imports[current_module]:
+                if rec.alias != current_name or rec.name is None:
+                    continue
+                resolved = self.resolve_target(rec.target)
+                if resolved is not None:
+                    hop = (resolved, rec.name)
+                    break
+            if hop is None:
+                return None
+            current_module, current_name = hop
+        return None
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_project` over a
+    :class:`ProjectContext`; the per-file :meth:`check` hook is a no-op
+    so a ``ProjectRule`` can sit in a mixed rule list without firing
+    twice.  Findings are anchored in whichever module exhibits the
+    violation via :meth:`ProjectContext.context_for`.
+    """
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+PROJECT_RULES: dict[str, ProjectRule] = {}
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule (by id) to the registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in PROJECT_RULES:
+        raise ValueError(f"duplicate project rule id {cls.rule_id}")
+    PROJECT_RULES[cls.rule_id] = cls()
+    return cls
+
+
+def build_project(infos: Iterable[ModuleInfo]) -> ProjectContext:
+    """Assemble a :class:`ProjectContext` from parsed modules.
+
+    Later entries win on duplicate module names (a file outside any
+    package resolves to its bare stem; colliding stems are rare and the
+    project rules only reason about package-qualified modules anyway).
+    """
+    return ProjectContext({info.module: info for info in infos})

@@ -14,14 +14,18 @@ import pytest
 import repro
 from repro.quality import (
     ALL_RULE_IDS,
+    PROJECT_RULES,
     RULES,
     Baseline,
     BaselineError,
     Finding,
+    LintCache,
     LintEngine,
     Severity,
     lint_paths,
     lint_source,
+    render_github,
+    render_sarif,
 )
 from repro.quality.engine import iter_python_files, module_name_for
 
@@ -44,15 +48,20 @@ def test_live_codebase_is_clean_under_all_rules():
     assert report.ok
 
 
-def test_registry_exposes_exactly_the_eight_documented_rules():
+def test_registry_exposes_exactly_the_twelve_documented_rules():
     assert sorted(RULES) == [
         "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
         "RPR007", "RPR008",
     ]
-    assert ALL_RULE_IDS == tuple(sorted(RULES))
-    for rule_id, rule in RULES.items():
-        assert rule.rule_id == rule_id
-        assert rule.summary
+    assert sorted(PROJECT_RULES) == [
+        "RPR009", "RPR010", "RPR011", "RPR012",
+    ]
+    assert not set(RULES) & set(PROJECT_RULES)
+    assert ALL_RULE_IDS == tuple(sorted(set(RULES) | set(PROJECT_RULES)))
+    for registry in (RULES, PROJECT_RULES):
+        for rule_id, rule in registry.items():
+            assert rule.rule_id == rule_id
+            assert rule.summary
 
 
 # ---------------------------------------------------------------------------
@@ -137,6 +146,163 @@ def test_engine_run_counts_files(tmp_path):
     assert len(report.findings) == 1
     assert report.by_rule() == {"RPR001": 1}
     assert not report.ok
+
+
+# ---------------------------------------------------------------------------
+# suppression accounting
+# ---------------------------------------------------------------------------
+
+_SUPPRESSED_SRC = "y = 1.0\nz = y == 2.0  # repro: noqa[RPR001]\n"
+
+
+def test_noqa_suppressions_are_counted(tmp_path):
+    """run() must report how many findings noqa comments swallowed —
+    the count is what keeps stale suppressions discoverable."""
+    (tmp_path / "hushed.py").write_text(_SUPPRESSED_SRC)
+    (tmp_path / "loud.py").write_text("y = 1.0\nz = y == 2.0\n")
+    report = LintEngine().run([tmp_path])
+    assert report.suppressed == 1
+    assert len(report.findings) == 1
+    assert report.findings[0].path.endswith("loud.py")
+
+
+def test_suppressed_count_survives_serial_parallel_and_cache(tmp_path):
+    for i in range(20):
+        (tmp_path / f"mod_{i:02d}.py").write_text(_SUPPRESSED_SRC)
+    serial = LintEngine(jobs=1).run([tmp_path])
+    parallel = LintEngine(jobs=4).run([tmp_path])
+    cache = LintCache(tmp_path / "cache.json")
+    cold = LintEngine(cache=cache).run([tmp_path])
+    warm_cache = LintCache(tmp_path / "cache.json")
+    warm = LintEngine(cache=warm_cache).run([tmp_path])
+    assert (
+        serial.suppressed
+        == parallel.suppressed
+        == cold.suppressed
+        == warm.suppressed
+        == 20
+    )
+    assert serial.findings == parallel.findings == warm.findings == ()
+    assert warm_cache.hits == 20 and warm_cache.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# parallel pass and result cache
+# ---------------------------------------------------------------------------
+
+
+def _seed_mixed_tree(tmp_path, n=24):
+    for i in range(n):
+        if i % 3 == 0:
+            body = f"y_{i} = 1.0\nz_{i} = y_{i} == 2.0\n"
+        else:
+            body = f"x_{i} = {i}\n"
+        (tmp_path / f"mod_{i:02d}.py").write_text(body)
+
+
+def test_parallel_findings_match_serial(tmp_path):
+    _seed_mixed_tree(tmp_path)
+    serial = LintEngine(jobs=1).run([tmp_path])
+    parallel = LintEngine(jobs=4).run([tmp_path])
+    assert serial.findings == parallel.findings
+    assert serial.files_checked == parallel.files_checked == 24
+    assert serial.by_rule() == {"RPR001": 8}
+
+
+def test_cache_round_trip_and_invalidation(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    _seed_mixed_tree(tree)
+    cache_file = tmp_path / "lint-cache.json"
+
+    cold_cache = LintCache(cache_file)
+    cold = LintEngine(cache=cold_cache).run([tree])
+    assert cold_cache.misses == 24 and cold_cache.hits == 0
+    assert cache_file.exists()
+
+    warm_cache = LintCache(cache_file)
+    warm = LintEngine(cache=warm_cache).run([tree])
+    assert warm_cache.hits == 24 and warm_cache.misses == 0
+    assert warm.findings == cold.findings
+
+    # editing a file must invalidate exactly that entry
+    (tree / "mod_01.py").write_text("b = 2.0\nc = b == 3.0\n")
+    edited_cache = LintCache(cache_file)
+    edited = LintEngine(cache=edited_cache).run([tree])
+    assert edited_cache.hits == 23 and edited_cache.misses == 1
+    assert edited.by_rule() == {"RPR001": 9}
+
+
+def test_cache_tolerates_corrupt_file(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json")
+    cache = LintCache(cache_file)
+    assert len(cache) == 0
+    (tmp_path / "bad.py").write_text("y = 1.0\nz = y == 2.0\n")
+    report = LintEngine(cache=cache).run([tmp_path / "bad.py"])
+    assert len(report.findings) == 1
+
+
+def test_cache_key_depends_on_rules_and_content(tmp_path):
+    key = LintCache.key
+    base = key("a.py", "x = 1\n", ("RPR001",))
+    assert key("a.py", "x = 1\n", ("RPR001",)) == base
+    assert key("a.py", "x = 2\n", ("RPR001",)) != base
+    assert key("a.py", "x = 1\n", ("RPR001", "RPR002")) != base
+    assert key("b.py", "x = 1\n", ("RPR001",)) != base
+
+
+# ---------------------------------------------------------------------------
+# output formats
+# ---------------------------------------------------------------------------
+
+
+def _bad_report(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    return LintEngine().run([bad])
+
+
+def test_render_sarif_is_a_valid_minimal_log(tmp_path):
+    report = _bad_report(tmp_path)
+    log = json.loads(render_sarif(report))
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == ["RPR001"]
+    result = run["results"][0]
+    assert result["ruleId"] == "RPR001"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 2
+
+
+def test_render_github_annotation_lines(tmp_path):
+    report = _bad_report(tmp_path)
+    lines = render_github(report).splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("::error file=")
+    assert "title=RPR001" in lines[0]
+    assert "line=2" in lines[0]
+
+
+def test_render_github_escapes_newlines_and_clean_notice(tmp_path):
+    finding = Finding(
+        path="a.py", line=1, col=1, rule_id="RPR001",
+        message="bad\nthing: 50%",
+    )
+    from repro.quality.engine import LintReport
+
+    rendered = render_github(
+        LintReport(findings=(finding,), files_checked=1)
+    )
+    assert "\n" not in rendered
+    assert "%0A" in rendered and "%25" in rendered
+
+    clean = render_github(LintReport(findings=(), files_checked=3))
+    assert clean.startswith("::notice")
+    assert "clean" in clean
 
 
 # ---------------------------------------------------------------------------
@@ -272,6 +438,46 @@ def test_cli_write_and_consume_baseline(tmp_path):
     replay = _run_cli(str(bad), "--baseline", str(baseline_file))
     assert replay.returncode == 0
     assert "1 baselined" in replay.stdout
+
+
+def test_cli_sarif_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    proc = _run_cli(str(bad), "--format", "sarif")
+    assert proc.returncode == 1
+    log = json.loads(proc.stdout)
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"][0]["ruleId"] == "RPR001"
+
+
+def test_cli_github_format(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    proc = _run_cli(str(bad), "--format", "github")
+    assert proc.returncode == 1
+    assert proc.stdout.startswith("::error file=")
+    assert "title=RPR001" in proc.stdout
+
+
+def test_cli_jobs_and_cache_flags(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 1.0\nz = y == 2.0\n")
+    cache_file = tmp_path / "cache.json"
+    first = _run_cli(
+        str(bad), "--jobs", "2", "--cache", str(cache_file), "--format", "json"
+    )
+    assert first.returncode == 1
+    assert cache_file.exists()
+    second = _run_cli(str(bad), "--cache", str(cache_file), "--format", "json")
+    assert json.loads(second.stdout) == json.loads(first.stdout)
+
+
+def test_cli_reports_suppressed_count(tmp_path):
+    hushed = tmp_path / "hushed.py"
+    hushed.write_text("y = 1.0\nz = y == 2.0  # repro: noqa[RPR001]\n")
+    proc = _run_cli(str(hushed))
+    assert proc.returncode == 0
+    assert "1 suppressed" in proc.stdout
 
 
 def test_module_entry_point_matches_subcommand():

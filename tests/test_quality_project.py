@@ -1,0 +1,402 @@
+"""Whole-program analyzer: ProjectContext plumbing and RPR009-RPR012.
+
+Every rule gets at least one true-positive fixture (a small synthetic
+package tree that must trigger it) and negative cases showing the
+sanctioned patterns pass.  The live-tree guarantee (all twelve rules
+clean over ``src/repro``) lives in test_quality_engine.py.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.quality import PROJECT_RULES, ProjectRule, lint_paths
+from repro.quality.project_rules import LAYERS
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _write_tree(root: Path, files: dict[str, str]) -> None:
+    for rel, content in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(content)
+
+
+def _project_lint(root: Path, rule_id: str):
+    report = lint_paths([root], rules=[PROJECT_RULES[rule_id]])
+    return report.findings
+
+
+def _messages(findings) -> list[str]:
+    return [f"{f.rule_id}: {f.message}" for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_project_registry_holds_the_four_documented_rules():
+    assert sorted(PROJECT_RULES) == ["RPR009", "RPR010", "RPR011", "RPR012"]
+    for rule_id, rule in PROJECT_RULES.items():
+        assert isinstance(rule, ProjectRule)
+        assert rule.rule_id == rule_id
+        assert rule.summary
+        # the per-file hook must be a no-op so mixed rule lists are safe
+        assert list(rule.check(None)) == []
+
+
+def test_layer_map_covers_every_shipped_subpackage():
+    import repro
+
+    src = Path(repro.__file__).resolve().parent
+    shipped = {
+        p.name for p in src.iterdir() if (p / "__init__.py").exists()
+    }
+    assert shipped <= set(LAYERS), shipped - set(LAYERS)
+    assert LAYERS["core"] == 0
+    assert LAYERS["core"] < LAYERS["heuristics"] < LAYERS["experiments"]
+    assert LAYERS["experiments"] < LAYERS["service"] < LAYERS["cli"]
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — fork/pickle safety
+# ---------------------------------------------------------------------------
+
+
+def test_rpr009_flags_lambda_submitted_to_pool(tmp_path):
+    _write_tree(tmp_path, {
+        "runner.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run():\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(lambda x: x + 1, 1)\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR009")
+    assert any("lambda" in f.message for f in found), _messages(found)
+
+
+def test_rpr009_flags_nested_function_submitted_to_pool(tmp_path):
+    _write_tree(tmp_path, {
+        "runner.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run():\n"
+            "    def inner(x):\n"
+            "        return x\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(inner, 1)\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR009")
+    assert any("nested function `inner`" in f.message for f in found)
+
+
+def test_rpr009_follows_worker_across_modules_to_global_mutation(tmp_path):
+    _write_tree(tmp_path, {
+        "worker.py": (
+            "CACHE = {}\n"
+            "def work(x):\n"
+            "    CACHE[x] = x * 2\n"
+            "    return CACHE[x]\n"
+        ),
+        "runner.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from worker import work\n"
+            "def run():\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, 3)\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR009")
+    hits = [f for f in found if "mutates module global `CACHE`" in f.message]
+    assert hits, _messages(found)
+    # anchored in the worker's module, where the fix belongs
+    assert hits[0].path.endswith("worker.py")
+
+
+def test_rpr009_flags_setflags_write_true(tmp_path):
+    _write_tree(tmp_path, {
+        "views.py": (
+            "import numpy as np\n"
+            "def thaw(arr):\n"
+            "    arr.setflags(write=True)\n"
+            "    return arr\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR009")
+    assert any("setflags(write=True)" in f.message for f in found)
+
+
+def test_rpr009_accepts_module_level_pure_worker(tmp_path):
+    _write_tree(tmp_path, {
+        "worker.py": (
+            "def work(x):\n"
+            "    acc = {}\n"
+            "    acc[x] = x * 2\n"
+            "    return acc[x]\n"
+        ),
+        "runner.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from worker import work\n"
+            "def run():\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, 3)\n"
+        ),
+    })
+    assert _project_lint(tmp_path, "RPR009") == ()
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — RNG provenance
+# ---------------------------------------------------------------------------
+
+
+def test_rpr010_flags_no_arg_default_rng(tmp_path):
+    _write_tree(tmp_path, {
+        "gen.py": (
+            "import numpy as np\n"
+            "def fresh():\n"
+            "    return np.random.default_rng()\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR010")
+    assert any("no seed" in f.message for f in found)
+
+
+def test_rpr010_flags_entropy_seed(tmp_path):
+    _write_tree(tmp_path, {
+        "gen.py": (
+            "import time\n"
+            "import numpy as np\n"
+            "def fresh():\n"
+            "    return np.random.default_rng(int(time.time()))\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR010")
+    assert any("entropy source" in f.message for f in found)
+
+
+def test_rpr010_flags_entropy_through_local_assignment(tmp_path):
+    _write_tree(tmp_path, {
+        "gen.py": (
+            "import time\n"
+            "import numpy as np\n"
+            "def fresh():\n"
+            "    t = time.time()\n"
+            "    return np.random.default_rng(t)\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR010")
+    assert any("does not derive" in f.message for f in found)
+
+
+def test_rpr010_flags_entropy_at_cross_module_call_site(tmp_path):
+    _write_tree(tmp_path, {
+        "maker.py": (
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        ),
+        "caller.py": (
+            "import time\n"
+            "from maker import make\n"
+            "def bad():\n"
+            "    return make(time.time())\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR010")
+    hits = [f for f in found if "seed stream of `make`" in f.message]
+    assert hits, _messages(found)
+    assert hits[0].path.endswith("caller.py")
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        # injected parameter
+        "def make(seed):\n    return np.random.default_rng(seed)\n",
+        # derived from a parameter
+        "def make(seed):\n    return np.random.default_rng(seed * 3 + 1)\n",
+        # self state
+        "class A:\n"
+        "    def gen(self):\n"
+        "        return np.random.default_rng(self.base_seed)\n",
+        # another generator's output
+        "def split(rng):\n"
+        "    return np.random.default_rng(rng.integers(2**63))\n",
+        # module constant
+        "SEED = 1234\n"
+        "def make():\n    return np.random.default_rng(SEED)\n",
+        # literal seed (deterministic by construction)
+        "def make():\n    return np.random.default_rng(42)\n",
+    ],
+)
+def test_rpr010_accepts_injected_seed_patterns(tmp_path, body):
+    _write_tree(tmp_path, {"gen.py": "import numpy as np\n" + body})
+    assert _project_lint(tmp_path, "RPR010") == ()
+
+
+def test_rpr010_accepts_clean_cross_module_call_site(tmp_path):
+    _write_tree(tmp_path, {
+        "maker.py": (
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        ),
+        "caller.py": (
+            "from maker import make\n"
+            "def good(base_seed):\n"
+            "    return make(base_seed + 7)\n"
+        ),
+    })
+    assert _project_lint(tmp_path, "RPR010") == ()
+
+
+# ---------------------------------------------------------------------------
+# RPR011 — layering and cycles
+# ---------------------------------------------------------------------------
+
+
+def test_rpr011_flags_import_cycle(tmp_path):
+    _write_tree(tmp_path, {
+        "alpha.py": "import beta\nX = 1\n",
+        "beta.py": "import alpha\nY = 2\n",
+    })
+    found = _project_lint(tmp_path, "RPR011")
+    assert any("import cycle" in f.message for f in found), _messages(found)
+    # one finding per cycle, not one per member
+    assert sum("import cycle" in f.message for f in found) == 1
+
+
+def test_rpr011_function_scope_import_breaks_no_cycle(tmp_path):
+    _write_tree(tmp_path, {
+        "alpha.py": "import beta\nX = 1\n",
+        "beta.py": "def late():\n    import alpha\n    return alpha.X\n",
+    })
+    assert _project_lint(tmp_path, "RPR011") == ()
+
+
+def test_rpr011_flags_forbidden_upward_layer_edge(tmp_path):
+    _write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/core/__init__.py": "from repro.heuristics import helper\n",
+        "repro/heuristics/__init__.py": "def helper():\n    return 1\n",
+    })
+    found = _project_lint(tmp_path, "RPR011")
+    hits = [f for f in found if "forbidden layering edge" in f.message]
+    assert hits, _messages(found)
+    assert "repro.core" in hits[0].message
+    assert "repro.heuristics" in hits[0].message
+
+
+def test_rpr011_accepts_downward_layer_edge(tmp_path):
+    _write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/core/__init__.py": "W = 1\n",
+        "repro/heuristics/__init__.py": "from repro.core import W\nV = W\n",
+    })
+    assert _project_lint(tmp_path, "RPR011") == ()
+
+
+# ---------------------------------------------------------------------------
+# RPR012 — export consistency
+# ---------------------------------------------------------------------------
+
+
+def test_rpr012_flags_stale_cross_module_import(tmp_path):
+    _write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "__all__ = ['x']\nx = 1\n",
+        "pkg/b.py": "from pkg.a import missing\n",
+    })
+    found = _project_lint(tmp_path, "RPR012")
+    assert any(
+        "names a symbol the target module never binds" in f.message
+        for f in found
+    ), _messages(found)
+
+
+def test_rpr012_respects_module_getattr(tmp_path):
+    _write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "def __getattr__(name):\n    return 1\n",
+        "pkg/b.py": "from pkg.a import anything\n_use = anything\n",
+    })
+    assert _project_lint(tmp_path, "RPR012") == ()
+
+
+def test_rpr012_flags_reexport_all_drift(tmp_path):
+    _write_tree(tmp_path, {
+        "pkg/__init__.py": (
+            "from .m import name\n"
+            "__all__ = ['name']\n"
+        ),
+        "pkg/m.py": "__all__ = []\nname = 1\n",
+    })
+    found = _project_lint(tmp_path, "RPR012")
+    assert any(
+        "public surfaces disagree" in f.message for f in found
+    ), _messages(found)
+
+
+def test_rpr012_flags_dead_public_symbol(tmp_path):
+    _write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/m.py": (
+            "__all__ = ['used']\n"
+            "used = 1\n"
+            "dead = 2\n"
+        ),
+    })
+    found = _project_lint(tmp_path, "RPR012")
+    hits = [f for f in found if "`dead`" in f.message]
+    assert hits, _messages(found)
+    assert "dead public surface" in hits[0].message
+
+
+def test_rpr012_accepts_consistent_exports(tmp_path):
+    _write_tree(tmp_path, {
+        "pkg/__init__.py": (
+            "from .m import name\n"
+            "__all__ = ['name']\n"
+        ),
+        "pkg/m.py": "__all__ = ['name']\nname = 1\n",
+    })
+    assert _project_lint(tmp_path, "RPR012") == ()
+
+
+def test_rpr012_own_module_use_is_not_dead(tmp_path):
+    _write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/m.py": (
+            "Alias = tuple[int, ...]\n"
+            "def f(x: Alias) -> Alias:\n"
+            "    return x\n"
+            "__all__ = ['f']\n"
+        ),
+    })
+    assert _project_lint(tmp_path, "RPR012") == ()
+
+
+# ---------------------------------------------------------------------------
+# suppression and engine integration
+# ---------------------------------------------------------------------------
+
+
+def test_project_findings_respect_inline_noqa(tmp_path):
+    _write_tree(tmp_path, {
+        "gen.py": (
+            "import numpy as np\n"
+            "def fresh():\n"
+            "    return np.random.default_rng()  # repro: noqa[RPR010]\n"
+        ),
+    })
+    report = lint_paths([tmp_path], rules=[PROJECT_RULES["RPR010"]])
+    assert report.findings == ()
+    assert report.suppressed == 1

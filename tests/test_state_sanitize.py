@@ -1,0 +1,215 @@
+"""Lockstep sanitize backend: parity with soa, and divergence detection.
+
+The whole point of ``backend="sanitize"`` is that it is behaviorally
+indistinguishable from the shipped soa kernel while silently
+cross-checking the record backend — so these tests drive identical
+operation sequences through both and compare observables, then *inject*
+divergence into one child and require :class:`StateDivergenceError`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    STATE_BACKENDS,
+    AllocationError,
+    AllocationState,
+    SanitizeAllocationState,
+    SanitizeStateSnapshot,
+    StateDivergenceError,
+)
+from repro.core.state import (
+    get_default_state_backend,
+    set_default_state_backend,
+)
+from repro.workload import SCENARIO_1, generate_model
+
+
+def _model(n_strings=16, n_machines=4, seed=7):
+    params = SCENARIO_1.scaled(n_strings=n_strings, n_machines=n_machines)
+    return generate_model(params, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def test_sanitize_is_a_registered_backend():
+    assert "sanitize" in STATE_BACKENDS
+
+
+def test_constructor_dispatches_on_backend_argument():
+    st = AllocationState(_model(), backend="sanitize")
+    assert isinstance(st, SanitizeAllocationState)
+    assert st.backend == "sanitize"
+
+
+def test_set_default_state_backend_routes_to_sanitizer():
+    previous = get_default_state_backend()
+    try:
+        set_default_state_backend("sanitize")
+        st = AllocationState(_model())
+        assert isinstance(st, SanitizeAllocationState)
+    finally:
+        set_default_state_backend(previous)
+
+
+def test_env_var_selects_sanitizer_in_fresh_process():
+    code = (
+        "from repro.core import AllocationState, SanitizeAllocationState\n"
+        "from repro.workload import SCENARIO_1, generate_model\n"
+        "params = SCENARIO_1.scaled(n_strings=4, n_machines=2)\n"
+        "st = AllocationState(generate_model(params, seed=1))\n"
+        "assert isinstance(st, SanitizeAllocationState), type(st)\n"
+        "print('ok')\n"
+    )
+    env = dict(os.environ, REPRO_STATE_BACKEND="sanitize")
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"
+
+
+# ---------------------------------------------------------------------------
+# parity with the plain soa backend
+# ---------------------------------------------------------------------------
+
+
+def test_random_walk_matches_plain_soa_backend():
+    model = _model(seed=29)
+    rng = np.random.default_rng(29)
+    plain = AllocationState(model, backend="soa")
+    guard = AllocationState(model, backend="sanitize")
+    snaps = [(plain.snapshot(), guard.snapshot())]
+    decisions = []
+    for _ in range(250):
+        op = rng.random()
+        if op < 0.62:
+            sid = int(rng.integers(model.n_strings))
+            if sid in plain:
+                continue
+            m = rng.integers(
+                0, model.n_machines, size=model.strings[sid].n_apps
+            )
+            ok_plain = plain.try_add(sid, m)
+            ok_guard = guard.try_add(sid, m.copy())
+            assert ok_plain == ok_guard
+            decisions.append(ok_plain)
+        elif op < 0.77 and plain.mapped_ids:
+            sid = int(rng.choice(plain.mapped_ids))
+            plain.remove(sid)
+            guard.remove(sid)
+        elif op < 0.9:
+            snaps.append((plain.snapshot(), guard.snapshot()))
+        else:
+            k = int(rng.integers(len(snaps)))
+            plain.restore(snaps[k][0])
+            guard.restore(snaps[k][1])
+        assert plain.mapped_ids == guard.mapped_ids
+        assert plain.total_worth == guard.total_worth
+        np.testing.assert_array_equal(plain.machine_util, guard.machine_util)
+        np.testing.assert_array_equal(plain.route_util, guard.route_util)
+    assert any(decisions) and not all(decisions)  # walk was non-trivial
+
+
+def test_read_api_delegates_coherently():
+    model = _model(seed=5)
+    st = AllocationState(model, backend="sanitize")
+    rng = np.random.default_rng(5)
+    for sid in range(model.n_strings):
+        m = rng.integers(0, model.n_machines, size=model.strings[sid].n_apps)
+        st.try_add(sid, m)
+    assert st.mapped_ids
+    assert st.n_strings == len(st.mapped_ids)
+    alloc = st.as_allocation()
+    assert alloc.string_ids == st.mapped_ids
+    for sid in st.mapped_ids:
+        assert st.estimated_latency(sid) > 0.0
+        np.testing.assert_array_equal(
+            st.machines_for(sid), alloc.machines_for(sid)
+        )
+    for j in range(model.n_machines):
+        users = st.machine_users(j)
+        assert set(users) <= set(st.mapped_ids)
+
+
+def test_allocation_errors_stay_in_lockstep():
+    model = _model(seed=3)
+    st = AllocationState(model, backend="sanitize")
+    # removing an unmapped string must raise on both children and
+    # surface as the ordinary AllocationError, not a divergence
+    with pytest.raises(AllocationError):
+        st.remove(0)
+    with pytest.raises(AllocationError):
+        st.try_add(0, [0])  # wrong machine-vector length
+    assert st.mapped_ids == ()
+
+
+def test_snapshots_do_not_transfer_between_backends():
+    model = _model(seed=3)
+    plain = AllocationState(model, backend="soa")
+    guard = AllocationState(model, backend="sanitize")
+    snap = guard.snapshot()
+    assert isinstance(snap, SanitizeStateSnapshot)
+    assert snap.n_strings == 0
+    with pytest.raises(TypeError):
+        guard.restore(plain.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# injected divergence must be caught
+# ---------------------------------------------------------------------------
+
+
+def _occupied_sanitize_state(seed=17):
+    model = _model(seed=seed)
+    st = AllocationState(model, backend="sanitize")
+    rng = np.random.default_rng(seed)
+    for sid in range(model.n_strings):
+        m = rng.integers(0, model.n_machines, size=model.strings[sid].n_apps)
+        st.try_add(sid, m)
+    assert st.mapped_ids
+    return st, rng
+
+
+def test_injected_worth_divergence_raises():
+    st, rng = _occupied_sanitize_state()
+    st._rec._worth += 1.0
+    sid = st.mapped_ids[0]
+    with pytest.raises(StateDivergenceError, match="worth"):
+        st.remove(sid)
+
+
+def test_injected_worth_divergence_fails_snapshot():
+    st, _ = _occupied_sanitize_state()
+    st._rec._worth += 1.0
+    with pytest.raises(StateDivergenceError, match="worth"):
+        st.snapshot()
+
+
+def test_injected_membership_divergence_raises():
+    st, _ = _occupied_sanitize_state()
+    sid = st.mapped_ids[0]
+    # silently drop the string from the record child only
+    st._rec.remove(sid)
+    with pytest.raises(StateDivergenceError):
+        st.snapshot()
+
+
+def test_divergence_error_is_an_assertion_error():
+    # so pytest, `python -O`-aware harnesses, and plain assert-based
+    # gates all treat a divergence as a test failure
+    assert issubclass(StateDivergenceError, AssertionError)
