@@ -256,9 +256,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail if evals/sec drops more than this fraction")
 
     p = sub.add_parser(
+        "chaos",
+        help=(
+            "chaos soak: run best-of-trials clean vs. fault-injected "
+            "on a SupervisedPool and verify bit-identical results, "
+            "zero lost tasks, zero leaked shm segments "
+            "(see docs/robustness.md)"
+        ),
+    )
+    p.add_argument("--rounds", type=int, default=2,
+                   help="paired clean/chaotic rounds")
+    p.add_argument("--trials", type=int, default=4,
+                   help="GA trials per round")
+    p.add_argument("--workers", type=int, default=2,
+                   help="supervised pool width")
+    p.add_argument("--kill-rate", type=float, default=0.1,
+                   help="probability a task attempt SIGKILLs its worker")
+    p.add_argument("--delay-rate", type=float, default=0.1,
+                   help="probability a task attempt is stalled")
+    p.add_argument("--corrupt-rate", type=float, default=0.1,
+                   help="probability a result envelope comes back corrupted")
+    p.add_argument("--seed", type=int, default=777,
+                   help="root seed for workloads, trials, and faults")
+
+    p = sub.add_parser(
         "lint",
         help="run the domain-aware static analyzer "
-             "(file rules RPR001-RPR008, project rules RPR009-RPR012)",
+             "(file rules RPR001-RPR008 + RPR013, "
+             "project rules RPR009-RPR012)",
     )
     add_lint_arguments(p)
 
@@ -400,6 +425,37 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if hit >= 0.99 and overrun <= 0 else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments import run_chaos_soak
+
+    report = run_chaos_soak(
+        rounds=args.rounds,
+        n_trials=args.trials,
+        n_workers=args.workers,
+        kill_rate=args.kill_rate,
+        delay_rate=args.delay_rate,
+        corrupt_rate=args.corrupt_rate,
+        seed=args.seed,
+    )
+    for r in report["rounds"]:
+        status = "ok" if r.ok else "FAIL"
+        print(
+            f"round {r.index}: {status}  "
+            f"identical={r.identical}  lost={r.lost_tasks}  "
+            f"deaths={r.worker_deaths}  corrupted={r.corrupted}  "
+            f"retries={r.retries}  replayed={r.replayed_in_process}  "
+            f"fitness={r.chaos_fitness}"
+        )
+    print(report["summary"])
+    if report["new_shm_entries"]:
+        print(
+            f"leaked shm entries: {report['new_shm_entries']}",
+            file=sys.stderr,
+        )
+    print("PASS" if report["ok"] else "FAIL")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -565,6 +621,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "soak":
         return _cmd_soak(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "lint":

@@ -20,6 +20,7 @@ from .bench import (
     run_state_micro,
     save_record,
 )
+from .chaos_soak import ChaosSoakRound, run_chaos_soak
 from .convergence import ConvergenceTrace, run_convergence
 from .fig2 import FIG2_CASES, Fig2Case, build_case_model, run_fig2
 from .checkpoint import ExperimentCheckpoint
@@ -44,6 +45,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "FIG2_CASES",
     "FIGURES",
+    "ChaosSoakRound",
     "ExperimentCheckpoint",
     "ExperimentConfig",
     "ExperimentOutcome",
@@ -71,6 +73,7 @@ __all__ = [
     "heterogeneity_ablation",
     "render_table1",
     "run_bench",
+    "run_chaos_soak",
     "run_state_micro",
     "run_convergence",
     "run_experiment",

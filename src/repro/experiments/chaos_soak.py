@@ -1,0 +1,169 @@
+"""Chaos soak: determinism-under-failure, exercised end to end.
+
+The acceptance contract of the supervised parallel runtime
+(``docs/robustness.md``) is that process-level failure — killed
+workers, stalled tasks, corrupted returns — costs wall-clock time but
+never changes results, loses tasks, or leaks shared-memory segments.
+:func:`run_chaos_soak` drives that contract against the real PSG
+pipeline: each round runs :func:`~repro.heuristics.best_of_trials` on a
+sampled workload twice with the same RNG — once on a healthy
+:class:`~repro.parallel.SupervisedPool` and once with a seeded
+:class:`~repro.parallel.ChaosPolicy` injecting faults — and verifies
+
+* **bit-identity**: elite fitness, elite order, and the full per-trial
+  fitness list are exactly equal between the two runs;
+* **no lost tasks**: every trial produced a fitness, and the
+  supervisor's conservation counter (``tasks = completed +
+  task_errors``) holds;
+* **no leaked shm**: :func:`repro.parallel.active_segment_names` is
+  empty after each round and ``/dev/shm`` holds no new ``repro-*``
+  blocks at the end.
+
+The ``repro chaos`` CLI subcommand wraps this with flags and a
+non-zero exit code on violation — the CI chaos smoke job runs it on
+every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..genitor import GenitorConfig, StoppingRules
+from ..heuristics import best_of_trials, seeded_psg
+from ..parallel import ChaosPolicy, active_segment_names
+from ..workload import SCENARIO_1, ScenarioParameters, generate_model
+
+__all__ = ["ChaosSoakRound", "run_chaos_soak"]
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _repro_shm_entries() -> frozenset[str]:
+    """Names of live ``/dev/shm`` entries created by model broadcasts."""
+    if not _SHM_DIR.is_dir():  # non-POSIX / no tmpfs: nothing to leak-check
+        return frozenset()
+    return frozenset(
+        p.name for p in _SHM_DIR.iterdir() if p.name.startswith("repro-")
+    )
+
+
+@dataclass(frozen=True)
+class ChaosSoakRound:
+    """Outcome of one clean-vs-chaotic paired round."""
+
+    index: int
+    identical: bool
+    lost_tasks: int
+    leaked_segments: tuple[str, ...]
+    clean_fitness: tuple[float, float]
+    chaos_fitness: tuple[float, float]
+    retries: int
+    worker_deaths: int
+    corrupted: int
+    replayed_in_process: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.identical
+            and self.lost_tasks == 0
+            and not self.leaked_segments
+        )
+
+
+def run_chaos_soak(
+    rounds: int = 2,
+    n_trials: int = 4,
+    n_workers: int = 2,
+    kill_rate: float = 0.1,
+    delay_rate: float = 0.1,
+    corrupt_rate: float = 0.1,
+    seed: int = 777,
+    scenario: ScenarioParameters | None = None,
+) -> dict:
+    """Run paired clean/chaotic ``best_of_trials`` rounds and verify.
+
+    Returns ``{"rounds": [ChaosSoakRound], "ok": bool, "summary": str,
+    "new_shm_entries": [str]}``.  ``ok`` is True only when every round
+    was bit-identical with zero lost tasks and no shared-memory
+    segment outlived its round (including at the ``/dev/shm`` level).
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    params = (
+        scenario
+        if scenario is not None
+        else SCENARIO_1.scaled(n_strings=10, n_machines=4)
+    )
+    config = GenitorConfig(
+        population_size=8,
+        rules=StoppingRules(max_iterations=30, max_stale_iterations=15),
+    )
+    shm_before = _repro_shm_entries()
+    results: list[ChaosSoakRound] = []
+    for i in range(rounds):
+        model = generate_model(params, seed=seed + i)
+        rng_seed = seed * 31 + i
+        chaos = ChaosPolicy(
+            kill_rate=kill_rate,
+            delay_rate=delay_rate,
+            corrupt_rate=corrupt_rate,
+            seed=seed + i,
+        )
+        clean = best_of_trials(
+            seeded_psg, model, n_trials=n_trials, rng=rng_seed,
+            n_workers=n_workers, config=config,
+        )
+        chaotic = best_of_trials(
+            seeded_psg, model, n_trials=n_trials, rng=rng_seed,
+            n_workers=n_workers, chaos=chaos, config=config,
+        )
+        identical = (
+            clean.fitness.as_tuple() == chaotic.fitness.as_tuple()
+            and clean.order == chaotic.order
+            and clean.stats["trial_fitnesses"]
+            == chaotic.stats["trial_fitnesses"]
+        )
+        sup = chaotic.stats["supervisor"] or {}
+        lost = (
+            n_trials - len(chaotic.stats["trial_fitnesses"])
+        ) + sup.get("tasks", 0) - sup.get("completed", 0) - sup.get(
+            "task_errors", 0
+        )
+        results.append(
+            ChaosSoakRound(
+                index=i,
+                identical=identical,
+                lost_tasks=lost,
+                leaked_segments=active_segment_names(),
+                clean_fitness=clean.fitness.as_tuple(),
+                chaos_fitness=chaotic.fitness.as_tuple(),
+                retries=sup.get("retries", 0),
+                worker_deaths=sup.get("worker_deaths", 0),
+                corrupted=sup.get("corrupted", 0),
+                replayed_in_process=sup.get("replayed_in_process", 0),
+            )
+        )
+    new_entries = sorted(_repro_shm_entries() - shm_before)
+    ok = all(r.ok for r in results) and not new_entries
+    injected = sum(
+        r.retries + r.worker_deaths + r.corrupted for r in results
+    )
+    summary = (
+        f"{len(results)} round(s): "
+        f"{sum(r.identical for r in results)}/{len(results)} bit-identical, "
+        f"{sum(r.lost_tasks for r in results)} lost task(s), "
+        f"{injected} fault(s) absorbed "
+        f"({sum(r.worker_deaths for r in results)} worker death(s), "
+        f"{sum(r.corrupted for r in results)} corrupted return(s), "
+        f"{sum(r.replayed_in_process for r in results)} in-process "
+        f"replay(s)), "
+        f"{len(new_entries)} leaked shm segment(s)"
+    )
+    return {
+        "rounds": results,
+        "ok": ok,
+        "summary": summary,
+        "new_shm_entries": new_entries,
+    }

@@ -17,10 +17,12 @@ workload instances.
 
 The engine is crash-safe for multi-hour runs:
 
-* parallel collection iterates ``as_completed`` (progress reports runs
-  as they actually finish, not in submission order) and wraps every
-  ``result()`` call — one crashed or killed worker becomes a
-  :class:`RunFailure` record instead of discarding the finished runs;
+* parallel collection runs on a :class:`~repro.parallel.SupervisedPool`
+  — worker deaths and pool collapses are retried and, when exhausted,
+  the run is replayed deterministically in-process, so a crashed worker
+  costs a retry rather than the run; a run whose own code raises
+  becomes a :class:`RunFailure` record instead of discarding the
+  finished runs;
 * an optional per-run timeout (POSIX ``SIGALRM``) turns a hung run
   into a recorded failure;
 * an optional JSON checkpoint (:mod:`repro.experiments.checkpoint`)
@@ -34,8 +36,6 @@ import signal
 import threading
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,6 +50,7 @@ from ..core.profile import ProfileCache
 from ..genitor import GenitorConfig, StoppingRules
 from ..heuristics import GA_HEURISTICS, best_of_trials, get_heuristic
 from ..lp import upper_bound
+from ..parallel import ChaosPolicy, SupervisedPool, Task, TaskOutcome
 from ..workload import ScenarioParameters, generate_model
 from .checkpoint import ExperimentCheckpoint
 
@@ -375,6 +376,7 @@ def run_experiment(
     progress: Callable[[int, int], None] | None = None,
     run_timeout: float | None = None,
     checkpoint: str | Path | None = None,
+    chaos: ChaosPolicy | None = None,
 ) -> ExperimentOutcome:
     """Run the full multi-run protocol.
 
@@ -385,7 +387,11 @@ def run_experiment(
     n_workers:
         Process-level parallelism across runs (each run is independent;
         1 keeps everything in-process, which is the right default on a
-        single-core box and under pytest).
+        single-core box and under pytest).  Parallel runs execute on a
+        :class:`~repro.parallel.SupervisedPool`: a killed worker or
+        collapsed pool is retried and ultimately replayed
+        deterministically in-process, so infrastructure failures do not
+        change results.
     progress:
         Optional ``callback(done, total)`` fired after each run is
         attempted (completed or failed), counting completed-so-far +
@@ -399,11 +405,16 @@ def run_experiment(
         Optional JSON checkpoint path.  Completed runs are persisted as
         they finish; re-invoking with the same config and path resumes,
         recomputing only missing or failed runs.
+    chaos:
+        Optional seeded :class:`~repro.parallel.ChaosPolicy` threaded
+        through the supervised pool's workers (tests and the
+        ``repro chaos`` soak; ignored when ``n_workers`` is 1).
 
-    A crashed worker or a hung run produces a :class:`RunFailure` in
-    ``outcome.failures`` — already-finished records are never lost.
-    Inspect ``outcome.complete`` before trusting aggregates from a
-    partially failed experiment.
+    A run whose own code raises (or that hangs past ``run_timeout``)
+    produces a :class:`RunFailure` in ``outcome.failures`` —
+    already-finished records are never lost.  Inspect
+    ``outcome.complete`` before trusting aggregates from a partially
+    failed experiment.
     """
     outcome = ExperimentOutcome(config=config)
     n = config.scale.n_runs
@@ -436,35 +447,26 @@ def run_experiment(
             else:
                 _attempted(record, None)
     else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {
-                pool.submit(_run_one, config, r, run_timeout): r
-                for r in remaining
-            }
-            for fut in as_completed(futures):
-                r = futures[fut]
-                try:
-                    # as_completed only yields finished futures, so a
-                    # zero timeout can never block (RPR007).
-                    record = fut.result(timeout=0)
-                except BrokenProcessPool as exc:
-                    # The pool died (worker killed / OOM): every pending
-                    # future resolves here, each becoming a failure.
-                    _attempted(
-                        None,
-                        _failure_of(
-                            config,
-                            r,
-                            RuntimeError(
-                                f"worker pool broke before run {r} "
-                                f"finished ({exc})"
-                            ),
-                        ),
-                    )
-                except Exception as exc:
-                    _attempted(None, _failure_of(config, r, exc))
-                else:
-                    _attempted(record, None)
+        # The supervised pool absorbs infrastructure failures (worker
+        # deaths, pool collapse) by retrying and ultimately replaying
+        # the run in-process; only a run whose own code raises reaches
+        # the failure path.  Checkpointing rides the on_result hook, so
+        # records persist as runs finish, not at the end.
+        def _collect(task_index: int, result: TaskOutcome) -> None:
+            r = remaining[task_index]
+            if result.ok:
+                _attempted(result.value, None)
+            else:
+                _attempted(None, _failure_of(config, r, result.error))
+
+        with SupervisedPool(n_workers, chaos=chaos) as pool:
+            pool.run(
+                [
+                    Task(_run_one, (config, r, run_timeout))
+                    for r in remaining
+                ],
+                on_result=_collect,
+            )
     outcome.records.sort(key=lambda rec: rec.run_index)
     outcome.failures.sort(key=lambda f: f.run_index)
     return outcome

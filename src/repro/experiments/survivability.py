@@ -33,6 +33,7 @@ from ..faults.recovery import recover
 from ..faults.scenarios import FAULT_KINDS, sample_faults
 from ..genitor import GenitorConfig
 from ..heuristics import best_of_trials, get_heuristic
+from ..parallel import ChaosPolicy
 from ..workload import SCENARIO_1, ScenarioParameters, generate_model
 from .runner import SCALES, ExperimentScale
 
@@ -61,6 +62,8 @@ def run_survivability(
     kinds: tuple[str, ...] = FAULT_KINDS,
     base_seed: int = 9_000,
     rank_criticality: bool = True,
+    n_workers: int = 1,
+    chaos: ChaosPolicy | None = None,
 ) -> dict:
     """Measure worth retained after ``n_faults`` random faults.
 
@@ -70,6 +73,13 @@ def run_survivability(
     every policy.  Returns ``{"cells": {(heuristic, policy):
     SurvivabilityCell}, "table": str, "criticality": [(machine,
     ConfidenceInterval)], "criticality_table": str, "faults": [str]}``.
+
+    ``n_workers`` > 1 fans the GA trials of each run over a
+    :class:`~repro.parallel.SupervisedPool`; ``chaos`` threads a seeded
+    fault injector through those workers (the ``repro chaos`` soak uses
+    this to assert results stay bit-identical under injected failure —
+    process-level chaos mirroring the domain-level faults this
+    experiment injects into the *model*).
     """
     if isinstance(scale, str):
         scale = SCALES[scale]
@@ -96,6 +106,7 @@ def run_survivability(
                 result = best_of_trials(
                     heuristic, model, n_trials=scale.n_trials,
                     rng=base_seed * 11 + r, config=ga_config,
+                    n_workers=n_workers, chaos=chaos,
                 )
             else:
                 result = heuristic(model)

@@ -19,16 +19,16 @@ and one :class:`~repro.core.profile.ProfileCache` across every
 chromosome projection (both on by default, toggled via
 :class:`~repro.genitor.GenitorConfig`), the initial population can be
 evaluated in parallel process batches (``config.init_workers``), and
-:func:`best_of_trials` fans independent trials over a process pool
-(``n_workers``) with a precomputed seed stream so parallel and serial
-execution produce identical results.
+:func:`best_of_trials` fans independent trials over a
+:class:`~repro.parallel.SupervisedPool` (``n_workers``) with a
+precomputed seed stream so parallel and serial execution produce
+identical results — even under injected worker failure (see
+``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import inspect
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence, Union
 
 import numpy as np
@@ -37,7 +37,15 @@ from ..core.metrics import Fitness
 from ..core.model import SystemModel
 from ..core.profile import ProfileCache
 from ..genitor import Chromosome, GenitorConfig, GenitorEngine
-from ..parallel import SharedModel, get_worker_context, model_sharing_enabled
+from ..parallel import (
+    ChaosPolicy,
+    SharedModel,
+    SupervisedPool,
+    SupervisorConfig,
+    Task,
+    get_worker_context,
+    model_sharing_enabled,
+)
 from .base import HeuristicResult, timed_section
 from .mwf import mwf_order
 from .ordering import allocate_sequence
@@ -108,11 +116,12 @@ def _make_initial_evaluator(
     """Parallel initial-population evaluator (``config.init_workers`` > 1).
 
     Splits the initial chromosomes into one batch per worker and fans
-    them over a process pool, broadcasting the model once per worker
-    (:mod:`repro.parallel`) instead of pickling it per batch; falls
-    back to the in-process ``fitness_fn`` for any batch whose worker
-    dies, so a crashing pool degrades to the serial path instead of
-    failing the run.
+    them over a :class:`~repro.parallel.SupervisedPool`, broadcasting
+    the model once per worker (:mod:`repro.parallel`) instead of
+    pickling it per batch.  The supervisor retries worker deaths and
+    replays quarantined batches in-process; any batch that still ends
+    in error degrades to the in-process ``fitness_fn``, so a crashing
+    pool falls back to the serial path instead of failing the run.
     """
     if config.init_workers <= 1:
         return None
@@ -128,37 +137,34 @@ def _make_initial_evaluator(
             for i in range(n_workers)
             if bounds[i] < bounds[i + 1]
         ]
-        results: dict[int, list[Fitness]] = {}
         shared = _enter_shared_model(model, None)
         try:
             model_ref: _ModelRef = (
                 shared.token if shared is not None else model
             )
-            pool_kwargs: dict[str, Any] = {"max_workers": len(batches)}
-            if shared is not None and shared.initializer is not None:
-                pool_kwargs["initializer"] = shared.initializer
-                pool_kwargs["initargs"] = shared.initargs
-            try:
-                with ProcessPoolExecutor(**pool_kwargs) as pool:
-                    futures = {
-                        pool.submit(_evaluate_batch, model_ref, batch): i
-                        for i, batch in enumerate(batches)
-                    }
-                    for fut in as_completed(futures):
-                        i = futures[fut]
-                        try:
-                            results[i] = fut.result(timeout=0)
-                        except Exception:
-                            results[i] = [fitness_fn(c) for c in batches[i]]
-            except BrokenProcessPool:
-                pass
+            with SupervisedPool(
+                len(batches),
+                initializer=(
+                    shared.initializer if shared is not None else None
+                ),
+                initargs=shared.initargs if shared is not None else (),
+            ) as pool:
+                outcomes = pool.run(
+                    [
+                        Task(_evaluate_batch, (model_ref, batch))
+                        for batch in batches
+                    ]
+                )
         finally:
             if shared is not None:
                 shared.__exit__(None, None, None)
-        for i, batch in enumerate(batches):
-            if i not in results:
-                results[i] = [fitness_fn(c) for c in batch]
-        return [f for i in range(len(batches)) for f in results[i]]
+        evaluated: list[Fitness] = []
+        for outcome, batch in zip(outcomes, batches):
+            if outcome.ok:
+                evaluated.extend(outcome.value)
+            else:
+                evaluated.extend(fitness_fn(c) for c in batch)
+        return evaluated
 
     return evaluator
 
@@ -322,6 +328,8 @@ def best_of_trials(
     rng: np.random.Generator | int | None = None,
     n_workers: int = 1,
     share_model: bool | None = None,
+    chaos: ChaosPolicy | None = None,
+    trial_timeout: float | None = None,
     **kwargs: Any,
 ) -> HeuristicResult:
     """Best result over independent trials (the paper uses four).
@@ -331,18 +339,26 @@ def best_of_trials(
     per-trial fitness list recorded in ``stats``.
 
     With ``n_workers`` > 1 the trials fan out over a
-    ``ProcessPoolExecutor``, with the model broadcast once per worker
-    via :mod:`repro.parallel` instead of pickled per trial
-    (``share_model``: default honours the ``REPRO_SHARE_MODEL``
+    :class:`~repro.parallel.SupervisedPool`, with the model broadcast
+    once per worker via :mod:`repro.parallel` instead of pickled per
+    trial (``share_model``: default honours the ``REPRO_SHARE_MODEL``
     kill-switch; ``stats["model_transport"]`` records the transport
     used).  The per-trial seeds are drawn from the trial RNG *before*
     dispatch — the identical stream the serial path consumes — and
     results are collected by trial index, so the parallel path returns
     bit-identical results (including the ``max`` tie-break in trial
-    order) to ``n_workers=1`` for the same ``rng``.  A trial whose
-    worker dies is re-run in-process; ``stats["trial_failures"]``
-    counts such recoveries.  The ``heuristic`` must be picklable (the
-    module-level :func:`psg` / :func:`seeded_psg` are).
+    order) to ``n_workers=1`` for the same ``rng``.  Worker deaths,
+    per-trial deadline expiries (``trial_timeout`` seconds), and
+    corrupted returns are retried by the supervisor and, when
+    exhausted, replayed deterministically in-process;
+    ``stats["trial_failures"]`` counts such recoveries and
+    ``stats["supervisor"]`` carries the full
+    :class:`~repro.parallel.PoolStats` counters.  ``chaos`` threads a
+    seeded :class:`~repro.parallel.ChaosPolicy` fault injector through
+    the workers (tests and the ``repro chaos`` soak; ignored on the
+    serial path, which has no workers to kill).  The ``heuristic``
+    must be picklable (the module-level :func:`psg` / :func:`seeded_psg`
+    are).
     """
     if n_trials < 1:
         raise ValueError("n_trials must be >= 1")
@@ -352,14 +368,14 @@ def best_of_trials(
     trial_seeds = [int(rng.integers(2**63)) for _ in range(n_trials)]
     trial_failures = 0
     transport = "none"
+    supervisor_stats: dict[str, int] | None = None
     with timed_section() as elapsed:
         if n_workers == 1 or n_trials == 1:
-            results: list[HeuristicResult | None] = [
+            results: list[HeuristicResult] = [
                 _trial_worker(heuristic, model, seed, kwargs)
                 for seed in trial_seeds
             ]
         else:
-            results = [None] * n_trials
             shared = _enter_shared_model(model, share_model)
             try:
                 model_ref: _ModelRef = (
@@ -368,49 +384,53 @@ def best_of_trials(
                 transport = (
                     shared.transport if shared is not None else "pickle"
                 )
-                pool_kwargs: dict[str, Any] = {
-                    "max_workers": min(n_workers, n_trials)
-                }
-                if shared is not None and shared.initializer is not None:
-                    pool_kwargs["initializer"] = shared.initializer
-                    pool_kwargs["initargs"] = shared.initargs
-                try:
-                    with ProcessPoolExecutor(**pool_kwargs) as pool:
-                        futures = {
-                            pool.submit(
-                                _trial_worker, heuristic, model_ref, seed,
-                                kwargs,
-                            ): i
-                            for i, seed in enumerate(trial_seeds)
-                        }
-                        for fut in as_completed(futures):
-                            i = futures[fut]
-                            try:
-                                results[i] = fut.result(timeout=0)
-                            except Exception:
-                                trial_failures += 1
-                except BrokenProcessPool:
-                    pass
-                for i, seed in enumerate(trial_seeds):
-                    if results[i] is None:
-                        results[i] = _trial_worker(
-                            heuristic, model_ref, seed, kwargs
-                        )
+                with SupervisedPool(
+                    min(n_workers, n_trials),
+                    initializer=(
+                        shared.initializer if shared is not None else None
+                    ),
+                    initargs=(
+                        shared.initargs if shared is not None else ()
+                    ),
+                    config=SupervisorConfig(task_timeout=trial_timeout),
+                    chaos=chaos,
+                ) as pool:
+                    outcomes = pool.run(
+                        [
+                            Task(
+                                _trial_worker,
+                                (heuristic, model_ref, seed, kwargs),
+                            )
+                            for seed in trial_seeds
+                        ]
+                    )
+                supervisor_stats = pool.stats.as_dict()
+                trial_failures = (
+                    pool.stats.retries + pool.stats.quarantined
+                )
+                results = []
+                for outcome in outcomes:
+                    if outcome.error is not None:
+                        # Deterministic trial exception: re-running the
+                        # pure trial cannot change it, so propagate —
+                        # exactly what the serial path would do.
+                        raise outcome.error
+                    results.append(outcome.value)
             finally:
                 if shared is not None:
                     shared.__exit__(None, None, None)
-    done = [r for r in results if r is not None]
-    best = max(done, key=lambda r: r.fitness)
+    best = max(results, key=lambda r: r.fitness)
     best.stats["n_trials"] = n_trials
     best.stats["n_workers"] = n_workers
     best.stats["trial_failures"] = trial_failures
     best.stats["model_transport"] = transport
-    best.stats["trial_fitnesses"] = [r.fitness.as_tuple() for r in done]
+    best.stats["supervisor"] = supervisor_stats
+    best.stats["trial_fitnesses"] = [r.fitness.as_tuple() for r in results]
     best.stats["total_runtime_seconds"] = sum(
-        r.runtime_seconds for r in done
+        r.runtime_seconds for r in results
     )
     best.stats["wall_seconds"] = elapsed[0]
     best.stats["total_evaluations"] = sum(
-        r.stats.get("evaluations", 0) for r in done
+        r.stats.get("evaluations", 0) for r in results
     )
     return best

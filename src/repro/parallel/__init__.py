@@ -1,14 +1,53 @@
-"""Process-parallel infrastructure: zero-copy model broadcast.
+"""Process-parallel infrastructure: supervised pools, chaos, broadcast.
 
-See :mod:`repro.parallel.broadcast` for the transports and the
-bit-identity contract, and ``docs/performance.md`` for when the
-broadcast engages.
+:class:`SupervisedPool` (:mod:`repro.parallel.supervisor`) is the single
+hardened executor layer every parallel call site runs on — worker
+liveness, per-task deadlines, jittered-backoff retry, poison-task
+quarantine with deterministic in-process replay, and result-envelope
+integrity checks.  :class:`ChaosPolicy` (:mod:`repro.parallel.chaos`)
+injects seeded worker kills / delays / corrupted returns through it for
+tests and the ``repro chaos`` soak.  :mod:`repro.parallel.broadcast`
+provides the zero-copy model transports and the shared-memory leak
+registry; :mod:`repro.parallel.retry` is the shared home of the
+jittered-backoff helpers.  See ``docs/robustness.md`` for the
+determinism-under-failure contract and ``docs/performance.md`` for when
+the broadcast engages.
 """
 
-from .broadcast import SharedModel, get_worker_context, model_sharing_enabled
+from .broadcast import (
+    SharedModel,
+    active_segment_names,
+    get_worker_context,
+    model_sharing_enabled,
+)
+from .chaos import ChaosDecision, ChaosPolicy
+from .retry import RetryError, RetryPolicy, backoff_delays, retry_call
+from .supervisor import (
+    CorruptResultError,
+    PoolStats,
+    SupervisedPool,
+    SupervisorConfig,
+    Task,
+    TaskOutcome,
+    TaskQuarantinedError,
+)
 
 __all__ = [
+    "ChaosDecision",
+    "ChaosPolicy",
+    "CorruptResultError",
+    "PoolStats",
+    "RetryError",
+    "RetryPolicy",
     "SharedModel",
+    "SupervisedPool",
+    "SupervisorConfig",
+    "Task",
+    "TaskOutcome",
+    "TaskQuarantinedError",
+    "active_segment_names",
+    "backoff_delays",
     "get_worker_context",
     "model_sharing_enabled",
+    "retry_call",
 ]

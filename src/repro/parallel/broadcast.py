@@ -31,6 +31,7 @@ on or off, which ``tests/test_broadcast.py`` asserts.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import uuid
@@ -45,6 +46,7 @@ from ..core.profile import ProfileCache
 
 __all__ = [
     "SharedModel",
+    "active_segment_names",
     "get_worker_context",
     "model_sharing_enabled",
 ]
@@ -67,6 +69,45 @@ _WORKER_SHM: dict[str, shared_memory.SharedMemory] = {}
 
 #: Per-string scalar metadata shipped alongside the shm block.
 _StringMeta = tuple[float, float, float, int, str]
+
+#: Parent-side leak registry: every shared-memory segment this process
+#: *created* (token -> segment).  ``SharedModel.__exit__`` is the happy
+#: path; the atexit sweep is the crash path, so a pool dying mid-run
+#: (or the parent exiting with a broadcast still open) can never strand
+#: a ``/dev/shm`` entry.
+_PARENT_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+_ATEXIT_REGISTERED = False
+
+
+def _cleanup_parent_segments() -> None:
+    """Unlink every segment this process created and never released."""
+    for token in list(_PARENT_SEGMENTS):
+        shm = _PARENT_SEGMENTS.pop(token)
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - gone
+            continue
+
+
+def _register_parent_segment(
+    token: str, shm: shared_memory.SharedMemory
+) -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_cleanup_parent_segments)
+        _ATEXIT_REGISTERED = True
+    _PARENT_SEGMENTS[token] = shm
+
+
+def active_segment_names() -> tuple[str, ...]:
+    """Shared-memory block names this process created and not yet freed.
+
+    Empty outside live ``SharedModel`` contexts — soak harnesses and the
+    leak regression test assert exactly that.
+    """
+    return tuple(sorted(shm.name for shm in _PARENT_SEGMENTS.values()))
 
 
 def model_sharing_enabled() -> bool:
@@ -253,6 +294,7 @@ class SharedModel:
                 _FORK_REGISTRY.pop(self.token, None)
                 self._entered = False
                 raise
+            _register_parent_segment(self.token, self._shm)
         return self
 
     def __exit__(
@@ -265,6 +307,7 @@ class SharedModel:
         # Drop any worker-side state this process accumulated for the
         # token (relevant when the parent resolved its own token).
         _WORKER_STATE.pop(self.token, None)
+        _PARENT_SEGMENTS.pop(self.token, None)
         shm = self._shm
         if shm is not None:
             self._shm = None

@@ -1,0 +1,132 @@
+"""Seeded chaos fault injection for the supervised process pool.
+
+The paper's shipboard setting assumes resources fail *while the mission
+runs*; the process infrastructure that executes the solvers must keep
+producing bit-identical answers when workers are killed, stalled, or
+return garbage.  :class:`ChaosPolicy` makes those failures injectable
+and — crucially — **deterministic**: every fault decision is a pure
+function of ``(policy.seed, task_id, attempt)``, so a chaotic run is
+exactly reproducible and a test can pick a seed that kills attempt 0 of
+a task but spares attempt 1.
+
+Three fault kinds are modelled, matching what a real pool suffers:
+
+* **kill** — the worker ``SIGKILL``s itself before running the task,
+  which the parent observes as a ``BrokenProcessPool`` (the stdlib pool
+  is condemned wholesale when any worker dies abruptly);
+* **delay** — the task is stalled for ``delay_seconds`` before running,
+  which trips per-task deadlines when one is configured;
+* **corrupt** — the task runs to completion but its result envelope is
+  returned truncated/mismatched, modelling transport corruption, which
+  the supervisor detects via envelope validation.
+
+A :class:`ChaosPolicy` only ever engages where it is explicitly threaded
+(the :class:`~repro.parallel.supervisor.SupervisedPool` worker shim);
+in-process quarantine replays run chaos-free, which is what makes the
+determinism-under-failure contract hold (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+
+__all__ = ["ChaosDecision", "ChaosPolicy"]
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """The faults injected into one ``(task, attempt)`` execution."""
+
+    kill: bool
+    delay: float
+    corrupt: bool
+
+    @property
+    def any(self) -> bool:
+        return self.kill or self.delay > 0.0 or self.corrupt
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Deterministic, seeded fault-injection schedule.
+
+    Parameters
+    ----------
+    kill_rate:
+        Probability that a task attempt SIGKILLs its worker before the
+        task body runs (the parent sees ``BrokenProcessPool``).
+    delay_rate:
+        Probability that a task attempt is stalled by ``delay_seconds``
+        before the task body runs.
+    delay_seconds:
+        Stall length for delayed attempts.
+    corrupt_rate:
+        Probability that a completed attempt's result envelope comes
+        back corrupted (wrong task id), modelling transport truncation.
+    seed:
+        Root of the decision stream.  Decisions for a given
+        ``(task_id, attempt)`` are independent of every other pair and
+        of execution order, so chaotic runs replay exactly.
+    """
+
+    kill_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.01
+    corrupt_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "delay_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must lie in [0, 1], got {value}")
+        if self.delay_seconds < 0.0:
+            raise ModelError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+        if self.seed < 0:
+            raise ModelError(f"seed must be >= 0, got {self.seed}")
+
+    def decide(self, task_id: int, attempt: int) -> ChaosDecision:
+        """The faults this policy injects into one task attempt.
+
+        Pure and deterministic: the same ``(seed, task_id, attempt)``
+        always yields the same decision, in the parent or any worker.
+        """
+        if task_id < 0 or attempt < 0:
+            raise ModelError("task_id and attempt must be >= 0")
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, task_id, attempt))
+        )
+        # Fixed draw order keeps each fault's marginal rate independent
+        # of the other rates.
+        kill = bool(rng.random() < self.kill_rate)
+        delay = (
+            self.delay_seconds if rng.random() < self.delay_rate else 0.0
+        )
+        corrupt = bool(rng.random() < self.corrupt_rate)
+        return ChaosDecision(kill=kill, delay=delay, corrupt=corrupt)
+
+    def inject_before(self, task_id: int, attempt: int) -> ChaosDecision:
+        """Worker-side hook: apply pre-execution faults, return the plan.
+
+        Applies the delay (sleep) and the kill (``SIGKILL`` to the
+        calling process, so the parent observes an abrupt worker death
+        rather than a tidy exception).  The returned decision carries
+        the ``corrupt`` flag for the caller to apply on the way out.
+        """
+        decision = self.decide(task_id, attempt)
+        if decision.delay > 0.0:
+            time.sleep(decision.delay)
+        if decision.kill:
+            if hasattr(signal, "SIGKILL"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            os._exit(137)  # pragma: no cover - non-POSIX fallback
+        return decision

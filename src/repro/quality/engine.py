@@ -5,10 +5,11 @@ The engine is importable (``LintEngine``/:func:`lint_paths` /
 run has two analysis passes:
 
 * **per-file** — each file is parsed once and every enabled per-file
-  rule (RPR001–RPR008) runs over the shared AST.  With enough files this
-  pass fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (``jobs``), and a content-hash :class:`~repro.quality.cache.LintCache`
-  can skip unchanged files entirely;
+  rule (RPR001–RPR008, RPR013) runs over the shared AST.  With enough
+  files this pass fans out over a
+  :class:`~repro.parallel.SupervisedPool` (``jobs``), and a
+  content-hash :class:`~repro.quality.cache.LintCache` can skip
+  unchanged files entirely;
 * **whole-program** — every successfully parsed module is assembled into
   a :class:`~repro.quality.project.ProjectContext` (import graph, symbol
   tables, cross-module references) and each enabled
@@ -29,11 +30,11 @@ from __future__ import annotations
 import ast
 import os
 import re
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..parallel import SupervisedPool, Task
 from .baseline import Baseline
 from .cache import LintCache
 from .findings import Finding
@@ -334,20 +335,23 @@ class LintEngine:
 
         jobs = self._effective_jobs(len(pending), rule_ids)
         if jobs > 1 and rule_ids is not None:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    (
-                        index,
-                        key,
-                        pool.submit(_lint_file_worker, path, source, rule_ids),
-                    )
-                    for index, path, source, key in pending
-                ]
-                for index, key, future in futures:
-                    kept, count = future.result()
-                    results[index] = (kept, count)
-                    if self.cache is not None and key is not None:
-                        self.cache.put(key, kept, count)
+            # The supervisor retries worker deaths and replays
+            # quarantined files in-process, so one crashing worker
+            # cannot take down (or silently truncate) a lint run.
+            with SupervisedPool(jobs) as pool:
+                outcomes = pool.run(
+                    [
+                        Task(_lint_file_worker, (path, source, rule_ids))
+                        for _, path, source, _ in pending
+                    ]
+                )
+            for (index, _, _, key), outcome in zip(pending, outcomes):
+                if outcome.error is not None:
+                    raise outcome.error
+                kept, count = outcome.value
+                results[index] = (kept, count)
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, kept, count)
         else:
             for index, path, source, key in pending:
                 kept, count = scoped._lint_source_counted(source, path=path)

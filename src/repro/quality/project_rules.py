@@ -608,11 +608,11 @@ LAYERS: dict[str, int] = {
     "lp": 1,
     "parallel": 1,
     "pools": 1,
-    "quality": 1,
     "robustness": 1,
     "workload": 1,
     "dag": 2,
     "heuristics": 2,
+    "quality": 2,
     "dynamic": 3,
     "io_utils": 3,
     "faults": 4,

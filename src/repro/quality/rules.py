@@ -5,7 +5,7 @@ paper) and the deterministic-replay property of the DES validator depend
 on.  Rules are AST visitors registered in :data:`RULES`; the engine runs
 every enabled rule over every file and collects :class:`~repro.quality.findings.Finding`s.
 
-The eight shipped rules:
+The nine shipped per-file rules:
 
 ``RPR001``
     No ``==`` / ``!=`` on computed floating-point quantities — feasibility
@@ -36,6 +36,13 @@ The eight shipped rules:
     benchmark records and the service deadline accounting must use the
     monotonic ``time.perf_counter()``, which wall-clock adjustments
     (NTP slew, DST) cannot corrupt.
+``RPR013``
+    No bare ``ProcessPoolExecutor`` / ``multiprocessing.Pool``
+    construction outside ``repro.parallel`` — every parallel call site
+    must go through :class:`repro.parallel.SupervisedPool`, which owns
+    worker liveness, deadlines, retry, quarantine, and shared-memory
+    cleanup.  A raw executor silently reintroduces every failure mode
+    the supervisor exists to absorb.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ from .findings import Finding, Severity
 __all__ = [
     "ALL_RULE_IDS",
     "RULES",
+    "BarePoolConstructionRule",
     "FloatEqualityRule",
     "FrozenModelRule",
     "MissingAnnotationsRule",
@@ -774,6 +782,134 @@ class WallClockTimingRule(Rule):
                     hint="use time.perf_counter() (monotonic) for "
                     "durations",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR013 — no bare process-pool construction outside repro.parallel
+# ---------------------------------------------------------------------------
+
+
+class _PoolImportTracker(ast.NodeVisitor):
+    """Resolve local names referring to the raw pool constructors.
+
+    Tracks every spelling that binds a constructor into scope:
+    ``from concurrent.futures import ProcessPoolExecutor [as X]``,
+    ``from multiprocessing[.pool] import Pool [as P]``, plus the module
+    aliases (``import concurrent.futures as cf`` / ``import
+    multiprocessing as mp``) through which ``cf.ProcessPoolExecutor`` /
+    ``mp.Pool`` / ``mp.pool.Pool`` are reached.
+    """
+
+    def __init__(self) -> None:
+        self.direct: dict[str, str] = {}
+        self.futures_modules: set[str] = set()
+        self.mp_modules: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name in ("concurrent", "concurrent.futures"):
+                self.futures_modules.add(bound)
+            elif alias.name.split(".")[0] == "multiprocessing":
+                self.mp_modules.add(bound)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "concurrent.futures":
+            for alias in node.names:
+                if alias.name == "ProcessPoolExecutor":
+                    self.direct[alias.asname or alias.name] = (
+                        "concurrent.futures.ProcessPoolExecutor"
+                    )
+        elif node.module in ("multiprocessing", "multiprocessing.pool"):
+            for alias in node.names:
+                if alias.name == "Pool":
+                    self.direct[alias.asname or alias.name] = (
+                        f"{node.module}.Pool"
+                    )
+        elif node.module == "concurrent":
+            for alias in node.names:
+                if alias.name == "futures":
+                    self.futures_modules.add(alias.asname or alias.name)
+
+
+@register
+class BarePoolConstructionRule(Rule):
+    """Raw process pools bypass the supervised failure handling.
+
+    :class:`repro.parallel.SupervisedPool` is the single place worker
+    liveness, per-task deadlines, retry with backoff, poison-task
+    quarantine, deterministic replay, and shared-memory cleanup are
+    implemented; a bare ``ProcessPoolExecutor(...)`` or
+    ``multiprocessing.Pool(...)`` constructed anywhere else silently
+    reintroduces the lost-task and leaked-segment failure modes the
+    supervisor absorbs (one dead worker condemns the whole stdlib pool).
+    Only construction *calls* are flagged — importing the names for
+    typing or isinstance checks stays legal — and only outside
+    ``repro.parallel``, which is where the one sanctioned wrapper lives.
+    """
+
+    rule_id = "RPR013"
+    summary = "no bare ProcessPoolExecutor/Pool outside repro.parallel"
+    exempt_packages: ClassVar[tuple[str, ...]] = ("repro.parallel",)
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.in_packages(self.exempt_packages):
+            return
+        tracker = _PoolImportTracker()
+        tracker.visit(ctx.tree)
+        if not (
+            tracker.direct
+            or tracker.futures_modules
+            or tracker.mp_modules
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = self._constructed_pool(node.func, tracker)
+            if qualname is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare `{qualname}` construction outside "
+                    "repro.parallel",
+                    hint="use repro.parallel.SupervisedPool (supervised "
+                    "retry, deadlines, quarantine, shm cleanup)",
+                )
+
+    @staticmethod
+    def _constructed_pool(
+        func: ast.expr, tracker: _PoolImportTracker
+    ) -> str | None:
+        """Qualified name when ``func`` is a raw pool constructor."""
+        if isinstance(func, ast.Name):
+            return tracker.direct.get(func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if func.attr == "ProcessPoolExecutor":
+            # cf.ProcessPoolExecutor / concurrent.futures.ProcessPoolExecutor
+            if isinstance(base, ast.Name) and base.id in tracker.futures_modules:
+                return "concurrent.futures.ProcessPoolExecutor"
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "futures"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in tracker.futures_modules
+            ):
+                return "concurrent.futures.ProcessPoolExecutor"
+        if func.attr == "Pool":
+            # mp.Pool / mp.pool.Pool
+            if isinstance(base, ast.Name) and base.id in tracker.mp_modules:
+                return "multiprocessing.Pool"
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "pool"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in tracker.mp_modules
+            ):
+                return "multiprocessing.pool.Pool"
+        return None
 
 
 # Keep a stable, importable view of the registry for the CLI/docs.

@@ -15,8 +15,10 @@ from repro.heuristics.psg import (
     best_of_trials,
     seeded_psg,
 )
+import repro.parallel.broadcast as broadcast
 from repro.parallel import (
     SharedModel,
+    active_segment_names,
     get_worker_context,
     model_sharing_enabled,
 )
@@ -131,6 +133,39 @@ class TestSharedModelLifecycle:
         with SharedModel(model, transport="shm") as shm:
             assert shm.initializer is _init_worker_shm
             assert shm.initargs[0] == shm.token
+
+
+class TestLeakRegistry:
+    """Regression: shm segments must never outlive their owner.
+
+    The parent-side leak registry guarantees that a segment created by
+    ``SharedModel(transport="shm")`` is unlinked even when the owning
+    context manager never exits (worker crash, KeyboardInterrupt, a
+    supervisor tearing down a broken pool mid-broadcast)."""
+
+    def test_normal_exit_leaves_registry_empty(self, model):
+        with SharedModel(model, transport="shm"):
+            assert len(active_segment_names()) == 1
+        assert active_segment_names() == ()
+
+    def test_abandoned_segment_is_tracked_and_reclaimed(self, model):
+        from multiprocessing import shared_memory
+
+        shared = SharedModel(model, transport="shm")
+        shared.__enter__()  # simulate a crash: __exit__ never runs
+        name = shared._shm.name
+        assert name in active_segment_names()
+
+        broadcast._cleanup_parent_segments()  # the atexit crash path
+        assert active_segment_names() == ()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        # late __exit__ after cleanup must not raise (already unlinked)
+        shared.__exit__(None, None, None)
+
+    def test_inherit_transport_registers_nothing(self, model):
+        with SharedModel(model, transport="inherit"):
+            assert active_segment_names() == ()
 
 
 class TestWorkerAttach:

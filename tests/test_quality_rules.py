@@ -555,3 +555,95 @@ def test_rpr008_unrelated_time_name_passes():
 def test_rpr008_noqa_suppresses():
     src = "import time\n\nstamp = time.time()  # repro: noqa[RPR008]\n"
     assert lint_source(src, module=CORE_MOD, rules=[RULES["RPR008"]]) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR013 — bare process-pool construction outside repro.parallel
+# ---------------------------------------------------------------------------
+
+RPR013_BAD = """\
+from concurrent.futures import ProcessPoolExecutor
+
+def fan_out(tasks):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return [pool.submit(t) for t in tasks]
+"""
+
+RPR013_CLEAN = """\
+from repro.parallel import SupervisedPool, Task
+
+def fan_out(tasks):
+    with SupervisedPool(4) as pool:
+        return pool.run([Task(t) for t in tasks])
+"""
+
+
+def test_rpr013_fires_once_on_bare_executor():
+    found = findings_for(RPR013_BAD, "RPR013", module=CORE_MOD)
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR013"
+    assert "SupervisedPool" in found[0].hint
+
+
+def test_rpr013_clean_fixture_passes():
+    assert findings_for(RPR013_CLEAN, "RPR013", module=CORE_MOD) == []
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "ProcessPoolExecutor()\n",
+        "from concurrent.futures import ProcessPoolExecutor as PPE\n"
+        "PPE(max_workers=2)\n",
+        "import concurrent.futures\n"
+        "concurrent.futures.ProcessPoolExecutor()\n",
+        "import concurrent.futures as cf\n"
+        "cf.ProcessPoolExecutor(max_workers=2)\n",
+        "from concurrent import futures\n"
+        "futures.ProcessPoolExecutor()\n",
+        "from multiprocessing import Pool\nPool(4)\n",
+        "from multiprocessing.pool import Pool\nPool(4)\n",
+        "import multiprocessing\nmultiprocessing.Pool(4)\n",
+        "import multiprocessing as mp\nmp.Pool(4)\n",
+        "import multiprocessing.pool as mpp\nmpp.Pool(4)\n",
+    ],
+)
+def test_rpr013_flags_every_construction_spelling(src):
+    found = findings_for(src, "RPR013", module=OUTSIDE_MOD)
+    assert len(found) == 1
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        # importing the name for typing / isinstance is legal
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def f(pool: ProcessPoolExecutor) -> bool:\n"
+        "    return isinstance(pool, ProcessPoolExecutor)\n",
+        # other executors are not process pools
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "ThreadPoolExecutor(2)\n",
+        # an unrelated local Pool with no multiprocessing import
+        "class Pool:\n    pass\n\nPool()\n",
+        # multiprocessing primitives other than Pool stay legal
+        "import multiprocessing as mp\nmp.Queue()\n",
+    ],
+)
+def test_rpr013_ignores_non_construction_uses(src):
+    assert findings_for(src, "RPR013", module=OUTSIDE_MOD) == []
+
+
+def test_rpr013_exempts_repro_parallel():
+    found = findings_for(
+        RPR013_BAD, "RPR013", module="repro.parallel.supervisor"
+    )
+    assert found == []
+
+
+def test_rpr013_noqa_suppresses():
+    src = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "pool = ProcessPoolExecutor()  # repro: noqa[RPR013]\n"
+    )
+    assert lint_source(src, module=CORE_MOD, rules=[RULES["RPR013"]]) == []

@@ -1,0 +1,279 @@
+"""SupervisedPool: liveness, retry, deadlines, quarantine, envelopes."""
+
+import os
+import time
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.parallel import (
+    ChaosPolicy,
+    RetryPolicy,
+    SupervisedPool,
+    SupervisorConfig,
+    Task,
+    TaskQuarantinedError,
+)
+from repro.parallel.supervisor import _ENVELOPE_TAG, _execute_supervised
+
+#: Worker fns must be module-level so they pickle by reference.
+PARENT_PID = os.getpid()
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise KeyError(x)
+
+
+def _hang_in_worker(x):
+    """Sleeps forever in a pool worker; instant when replayed in-parent."""
+    if os.getpid() != PARENT_PID:
+        time.sleep(60.0)
+    return x + 100
+
+
+def _find_seed(predicate, limit=10_000):
+    """First chaos seed whose decision stream satisfies ``predicate``."""
+    for seed in range(limit):
+        if predicate(seed):
+            return seed
+    raise AssertionError("no chaos seed found in range")
+
+
+# ---------------------------------------------------------------------------
+# construction and validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_invalid_workers(self):
+        with pytest.raises(ModelError):
+            SupervisedPool(0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ModelError):
+            SupervisorConfig(task_timeout=0.0)
+
+    def test_invalid_heartbeat(self):
+        with pytest.raises(ModelError):
+            SupervisorConfig(heartbeat_interval=-1.0)
+
+    def test_closed_pool_rejects_run(self):
+        pool = SupervisedPool(1)
+        pool.close()
+        with pytest.raises(ModelError):
+            pool.run([Task(_square, (1,))])
+
+    def test_chaos_policy_validation(self):
+        with pytest.raises(ModelError):
+            ChaosPolicy(kill_rate=1.5)
+        with pytest.raises(ModelError):
+            ChaosPolicy(delay_seconds=-0.1)
+        with pytest.raises(ModelError):
+            ChaosPolicy(seed=-1)
+
+
+# ---------------------------------------------------------------------------
+# happy path
+# ---------------------------------------------------------------------------
+
+
+class TestBasics:
+    def test_results_in_task_order(self):
+        with SupervisedPool(2) as pool:
+            outcomes = pool.run([Task(_square, (i,)) for i in range(9)])
+        assert [o.value for o in outcomes] == [i * i for i in range(9)]
+        assert [o.index for o in outcomes] == list(range(9))
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert pool.stats.completed == 9
+        assert pool.stats.lost_tasks == 0
+
+    def test_empty_task_list(self):
+        with SupervisedPool(1) as pool:
+            assert pool.run([]) == []
+
+    def test_kwargs_and_multiple_runs_accumulate_stats(self):
+        with SupervisedPool(1) as pool:
+            first = pool.run([Task(pow, (2, 5))])
+            second = pool.run([Task(pow, (3, 2))])
+        assert first[0].value == 32
+        assert second[0].value == 9
+        assert pool.stats.tasks == 2
+        assert pool.stats.completed == 2
+
+    def test_worker_pids_and_heartbeats_tracked(self):
+        with SupervisedPool(2) as pool:
+            pool.run([Task(_square, (i,)) for i in range(4)])
+            pids = pool.worker_pids()
+            assert pids
+            beats = pool.heartbeats()
+            assert set(pids) <= set(beats)
+
+    def test_on_result_fires_once_per_task(self):
+        seen = {}
+        with SupervisedPool(2) as pool:
+            pool.run(
+                [Task(_square, (i,)) for i in range(5)],
+                on_result=lambda i, o: seen.setdefault(i, o),
+            )
+        assert sorted(seen) == list(range(5))
+        assert all(seen[i].value == i * i for i in range(5))
+
+
+# ---------------------------------------------------------------------------
+# deterministic task errors: finalized, never retried
+# ---------------------------------------------------------------------------
+
+
+class TestDeterministicErrors:
+    def test_task_exception_recorded_not_retried(self):
+        with SupervisedPool(2) as pool:
+            outcomes = pool.run([Task(_boom, ("k",)), Task(_square, (3,))])
+        assert isinstance(outcomes[0].error, KeyError)
+        assert outcomes[0].attempts == 1
+        assert not outcomes[0].ok
+        assert outcomes[1].value == 9
+        assert pool.stats.task_errors == 1
+        assert pool.stats.retries == 0
+        assert pool.stats.lost_tasks == 0
+
+
+# ---------------------------------------------------------------------------
+# chaos: kills, corruption, quarantine, replay
+# ---------------------------------------------------------------------------
+
+
+class TestChaosRecovery:
+    def test_worker_kill_retried_to_success(self):
+        # a seed that kills task 0's first attempt but spares the second
+        seed = _find_seed(
+            lambda s: ChaosPolicy(kill_rate=0.5, seed=s).decide(0, 1).kill
+            and not ChaosPolicy(kill_rate=0.5, seed=s).decide(0, 2).kill
+        )
+        chaos = ChaosPolicy(kill_rate=0.5, seed=seed)
+        with SupervisedPool(2, chaos=chaos) as pool:
+            outcomes = pool.run([Task(_square, (7,))])
+        assert outcomes[0].value == 49
+        assert outcomes[0].attempts == 2
+        assert pool.stats.retries == 1
+        assert pool.stats.pool_restarts >= 1
+        assert pool.stats.lost_tasks == 0
+
+    def test_corrupted_return_detected_and_retried(self):
+        seed = _find_seed(
+            lambda s: ChaosPolicy(corrupt_rate=0.5, seed=s)
+            .decide(0, 1)
+            .corrupt
+            and not ChaosPolicy(corrupt_rate=0.5, seed=s).decide(0, 2).corrupt
+        )
+        chaos = ChaosPolicy(corrupt_rate=0.5, seed=seed)
+        with SupervisedPool(1, chaos=chaos) as pool:
+            outcomes = pool.run([Task(_square, (6,))])
+        assert outcomes[0].value == 36
+        assert pool.stats.corrupted == 1
+        assert pool.stats.retries == 1
+
+    def test_poison_task_quarantined_and_replayed_in_process(self):
+        # kill every attempt: the pool can never finish the task, so it
+        # must be quarantined and replayed chaos-free in the parent.
+        chaos = ChaosPolicy(kill_rate=1.0, seed=3)
+        with SupervisedPool(2, chaos=chaos) as pool:
+            outcomes = pool.run([Task(_square, (5,))])
+        out = outcomes[0]
+        assert out.value == 25  # bit-identical: pure fn of args
+        assert out.ok and out.replayed and out.quarantined
+        assert pool.stats.quarantined == 1
+        assert pool.stats.replayed_in_process == 1
+        assert pool.stats.lost_tasks == 0
+
+    def test_quarantine_without_replay_surfaces_error(self):
+        chaos = ChaosPolicy(kill_rate=1.0, seed=3)
+        config = SupervisorConfig(replay_in_process=False)
+        with SupervisedPool(1, chaos=chaos, config=config) as pool:
+            outcomes = pool.run([Task(_square, (5,))])
+        out = outcomes[0]
+        assert isinstance(out.error, TaskQuarantinedError)
+        assert out.quarantined and not out.replayed
+        assert pool.stats.task_errors == 1
+
+    def test_chaos_decisions_are_deterministic(self):
+        policy = ChaosPolicy(
+            kill_rate=0.3, delay_rate=0.3, corrupt_rate=0.3, seed=99
+        )
+        a = [policy.decide(t, a) for t in range(8) for a in range(1, 4)]
+        b = [policy.decide(t, a) for t in range(8) for a in range(1, 4)]
+        assert a == b
+
+    def test_backoff_sleeps_between_retries(self):
+        sleeps = []
+        chaos = ChaosPolicy(kill_rate=1.0, seed=3)
+        config = SupervisorConfig(
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=0.01, max_delay=0.05
+            )
+        )
+        with SupervisedPool(
+            1, chaos=chaos, config=config, sleep=sleeps.append
+        ) as pool:
+            pool.run([Task(_square, (2,))])
+        # two transient failures scheduled before quarantine -> at least
+        # one idle backoff pause went through the injected sleep
+        assert sleeps
+        assert all(s > 0 for s in sleeps)
+
+
+# ---------------------------------------------------------------------------
+# per-task deadlines
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_hung_task_killed_and_replayed(self):
+        config = SupervisorConfig(
+            task_timeout=0.4,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01,
+                              max_delay=0.02),
+        )
+        with SupervisedPool(1, config=config) as pool:
+            t0 = time.monotonic()
+            outcomes = pool.run([Task(_hang_in_worker, (1,))])
+            elapsed = time.monotonic() - t0
+        assert outcomes[0].value == 101  # in-process replay returned fast
+        assert outcomes[0].replayed
+        assert pool.stats.timeouts >= 1
+        assert pool.stats.pool_restarts >= 1
+        assert elapsed < 30.0  # never waited for the 60 s worker sleep
+
+
+# ---------------------------------------------------------------------------
+# envelope protocol
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelope:
+    def test_execute_supervised_wraps_value(self):
+        payload = _execute_supervised(4, 2, _square, (3,), None, None)
+        assert payload == (_ENVELOPE_TAG, 4, 2, 9)
+
+    def test_valid_envelope_opens(self):
+        value, why = SupervisedPool._open_envelope(
+            (_ENVELOPE_TAG, 1, 1, "v"), 1, 1
+        )
+        assert value == "v" and why is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "garbage",
+            (_ENVELOPE_TAG, 2, 1, "wrong-task"),
+            (_ENVELOPE_TAG, 1, 2, "wrong-attempt"),
+            ("other-tag", 1, 1, "wrong-tag"),
+            (_ENVELOPE_TAG, 1, 1),
+        ],
+    )
+    def test_invalid_envelopes_rejected(self, payload):
+        value, why = SupervisedPool._open_envelope(payload, 1, 1)
+        assert value is None and why is not None
