@@ -226,6 +226,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the shed-only baseline instead of the service")
     p.add_argument("--checkpoint", default=None,
                    help="JSON checkpoint path (resume after a kill)")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="write-ahead journal directory: commit every "
+                        "event before applying it, recover bit-"
+                        "identically after kill -9 (excludes "
+                        "--checkpoint)")
+
+    p = sub.add_parser(
+        "recover",
+        help=(
+            "kill-at-any-point recovery soak: SIGKILL a journaled "
+            "mission controller at fuzzed crash points, recover, and "
+            "verify bit-identical state with zero committed-event "
+            "loss (see docs/robustness.md)"
+        ),
+    )
+    p.add_argument("--events", type=int, default=10,
+                   help="mission events per run")
+    p.add_argument("--kills", type=int, default=5,
+                   help="SIGKILL rounds (phases cycle pre-commit, "
+                        "torn-commit, post-commit, pre-outcome, "
+                        "post-apply)")
+    p.add_argument("--seed", type=int, default=29)
+    p.add_argument("--services", type=int, default=6)
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--torn-rate", type=float, default=0.0,
+                   help="chaos round: torn-write probability per append")
+    p.add_argument("--fsync-rate", type=float, default=0.0,
+                   help="chaos round: fsync-failure probability")
+    p.add_argument("--enospc-rate", type=float, default=0.0,
+                   help="chaos round: ENOSPC probability")
+    p.add_argument("--duplicate-rate", type=float, default=0.0,
+                   help="chaos round: duplicated-frame probability")
+    p.add_argument("--workdir", default=None,
+                   help="journal workspace (default: a temp dir)")
+    p.add_argument("--keep", action="store_true",
+                   help="keep the workspace for inspection")
+    # child mode: internal — the soak spawns these to SIGKILL them
+    p.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    p.add_argument("--config", default=None, help=argparse.SUPPRESS)
+    p.add_argument("--journal", default=None, help=argparse.SUPPRESS)
+    p.add_argument("--phase", default=None, help=argparse.SUPPRESS)
+    p.add_argument("--kill-seq", type=int, default=0,
+                   help=argparse.SUPPRESS)
 
     p = sub.add_parser(
         "bench",
@@ -282,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="run the domain-aware static analyzer "
-             "(file rules RPR001-RPR008 + RPR013, "
+             "(file rules RPR001-RPR008 + RPR013-RPR014, "
              "project rules RPR009-RPR012)",
     )
     add_lint_arguments(p)
@@ -414,7 +457,11 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         initial_active=initial,
         mode="shed-baseline" if args.baseline else "service",
     )
-    report = run_soak(config, checkpoint_path=args.checkpoint)
+    report = run_soak(
+        config,
+        checkpoint_path=args.checkpoint,
+        journal_dir=args.journal,
+    )
     print(report.summary())
     hit = report.deadline_hit_rate
     overrun = report.max_elapsed - (config.budget + config.grace)
@@ -425,6 +472,55 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if hit >= 0.99 and overrun <= 0 else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .experiments.recovery import (
+        RecoveryConfig,
+        run_recovery_child,
+        run_recovery_soak,
+    )
+
+    if args.child:
+        if args.config is None or args.journal is None or args.phase is None:
+            print(
+                "--child requires --config, --journal, and --phase",
+                file=sys.stderr,
+            )
+            return 2
+        return run_recovery_child(
+            args.config, args.journal, args.phase, args.kill_seq
+        )
+
+    config = RecoveryConfig(
+        n_services=args.services,
+        n_machines=args.machines,
+        n_events=args.events,
+        seed=args.seed,
+        kills=args.kills,
+        torn_rate=args.torn_rate,
+        fsync_rate=args.fsync_rate,
+        enospc_rate=args.enospc_rate,
+        duplicate_rate=args.duplicate_rate,
+    )
+    cleanup = None
+    workdir = args.workdir
+    if workdir is None:
+        import tempfile
+
+        tmp = tempfile.TemporaryDirectory(prefix="repro-recover-")
+        workdir = tmp.name
+        if not args.keep:
+            cleanup = tmp
+    try:
+        report = run_recovery_soak(
+            config, workdir, progress=lambda msg: print(f"  .. {msg}")
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -564,9 +660,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         report = full_report(scale=args.scale)
         text = report.to_markdown()
         if args.output:
-            from pathlib import Path
+            from .io_utils.atomic import atomic_write_text
 
-            Path(args.output).write_text(text)
+            atomic_write_text(args.output, text)
             print(f"report written to {args.output}")
         else:
             print(text)
@@ -621,6 +717,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "soak":
         return _cmd_soak(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "bench":

@@ -35,6 +35,15 @@ from .runner import (
     RunTimeoutError,
     run_experiment,
 )
+from .recovery import (
+    KILL_PHASES,
+    KillRound,
+    RecoveryConfig,
+    RecoverySoakReport,
+    TickClock,
+    run_recovery_child,
+    run_recovery_soak,
+)
 from .report import ReportSection, ReproductionReport, full_report
 from .runtime_table import RuntimeRow, run_runtime_table
 from .surge_curve import SurgeCurve, run_surge_curves
@@ -45,7 +54,12 @@ __all__ = [
     "BENCH_SCHEMA",
     "FIG2_CASES",
     "FIGURES",
+    "KILL_PHASES",
     "ChaosSoakRound",
+    "KillRound",
+    "RecoveryConfig",
+    "RecoverySoakReport",
+    "TickClock",
     "ExperimentCheckpoint",
     "ExperimentConfig",
     "ExperimentOutcome",
@@ -79,6 +93,8 @@ __all__ = [
     "run_experiment",
     "run_fig2",
     "run_figure",
+    "run_recovery_child",
+    "run_recovery_soak",
     "run_runtime_table",
     "run_surge_curves",
     "run_survivability",

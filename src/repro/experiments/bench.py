@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.profile import ProfileCache
+from ..io_utils.atomic import atomic_write_text
 from ..core.state import STATE_BACKENDS, AllocationState
 from ..genitor import GenitorConfig
 from ..genitor.stopping import StoppingRules
@@ -363,5 +364,5 @@ def compare_to_baseline(
 
 
 def save_record(record: dict[str, Any], path: str | Path) -> None:
-    """Write one bench record as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+    """Write one bench record as pretty-printed JSON (atomic, durable)."""
+    atomic_write_text(path, json.dumps(record, indent=2) + "\n")

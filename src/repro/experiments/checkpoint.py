@@ -5,9 +5,10 @@ pure Python; a killed process should not forfeit the finished work.
 This module provides two layers:
 
 * :class:`JsonCheckpoint` — a generic, fingerprint-guarded JSON record
-  log.  Every flush is an atomic replace (write to a sibling temp file,
-  then ``os.replace``), so a ``kill -9`` mid-write cannot corrupt the
-  document.  The checkpoint stores a SHA-256 fingerprint of the
+  log.  Every flush is an atomic *durable* replace through
+  :func:`repro.io_utils.atomic.atomic_write_text` (temp file → fsync →
+  ``os.replace`` → fsync dir), so neither a ``kill -9`` mid-write nor a
+  power loss right after a flush can corrupt or lose the document.  The checkpoint stores a SHA-256 fingerprint of the
   producing configuration; resuming against a checkpoint written by a
   *different* configuration raises
   :class:`~repro.core.exceptions.ModelError` — silently mixing records
@@ -28,11 +29,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..core.exceptions import ModelError
+from ..io_utils.atomic import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import ExperimentConfig, RunRecord
@@ -141,9 +142,7 @@ class JsonCheckpoint:
             "fingerprint": self.fingerprint,
             "records": self.records,
         }
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, self.path)
+        atomic_write_text(self.path, json.dumps(payload))
 
 
 def record_to_dict(record: "RunRecord") -> dict[str, Any]:

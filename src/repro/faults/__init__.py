@@ -32,6 +32,8 @@ from .events import (
     Route,
     RouteDegradation,
     RouteFailure,
+    fault_from_record,
+    fault_to_record,
     normalize_faults,
     parse_fault,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "available_policies",
     "blocking_bandwidth",
     "critical_machines",
+    "fault_from_record",
+    "fault_to_record",
     "get_recovery_policy",
     "inject",
     "normalize_faults",

@@ -43,6 +43,8 @@ __all__ = [
     "RouteDegradation",
     "DamageZone",
     "FaultSet",
+    "fault_from_record",
+    "fault_to_record",
     "normalize_faults",
     "parse_fault",
 ]
@@ -327,6 +329,99 @@ def normalize_faults(
         machine_capacity=machine_capacity,
         route_capacity=route_capacity,
     )
+
+
+def fault_to_record(event: FaultEvent) -> dict[str, object]:
+    """Encode one fault event as JSON-compatible data.
+
+    The inverse of :func:`fault_from_record`; used by the service
+    journal (:mod:`repro.service.journal`) to persist
+    :class:`~repro.service.events.PlatformFault` mission events.
+    """
+    if isinstance(event, MachineFailure):
+        return {"kind": event.kind, "machine": event.machine}
+    if isinstance(event, RouteFailure):
+        return {"kind": event.kind, "route": list(event.route)}
+    if isinstance(event, MachineDegradation):
+        return {
+            "kind": event.kind,
+            "machine": event.machine,
+            "capacity": event.capacity,
+        }
+    if isinstance(event, RouteDegradation):
+        return {
+            "kind": event.kind,
+            "route": list(event.route),
+            "capacity": event.capacity,
+        }
+    if isinstance(event, DamageZone):
+        return {
+            "kind": event.kind,
+            "machine": event.machine,
+            "collateral_routes": [
+                list(r) for r in event.collateral_routes
+            ],
+            "collateral_capacity": event.collateral_capacity,
+        }
+    raise ModelError(f"cannot serialize fault event {event!r}")
+
+
+def _record_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ModelError(f"expected a number in fault record, got {value!r}")
+    return int(value)
+
+
+def _record_float(value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ModelError(f"expected a number in fault record, got {value!r}")
+    return float(value)
+
+
+def _record_route(value: object) -> Route:
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise ModelError(f"malformed route in fault record: {value!r}")
+    return (_record_int(value[0]), _record_int(value[1]))
+
+
+def fault_from_record(record: Mapping[str, object]) -> FaultEvent:
+    """Decode :func:`fault_to_record` output (validated reconstruction)."""
+    if not isinstance(record, Mapping) or "kind" not in record:
+        raise ModelError(f"fault record has no 'kind': {record!r}")
+    kind = record["kind"]
+    try:
+        if kind == MachineFailure.kind:
+            return MachineFailure(_record_int(record["machine"]))
+        if kind == RouteFailure.kind:
+            return RouteFailure(_record_route(record["route"]))
+        if kind == MachineDegradation.kind:
+            return MachineDegradation(
+                _record_int(record["machine"]),
+                _record_float(record["capacity"]),
+            )
+        if kind == RouteDegradation.kind:
+            return RouteDegradation(
+                _record_route(record["route"]),
+                _record_float(record["capacity"]),
+            )
+        if kind == DamageZone.kind:
+            routes = record.get("collateral_routes", [])
+            if not isinstance(routes, (list, tuple)):
+                raise ModelError(
+                    f"malformed collateral_routes: {routes!r}"
+                )
+            return DamageZone(
+                _record_int(record["machine"]),
+                collateral_routes=tuple(
+                    _record_route(r) for r in routes
+                ),
+                collateral_capacity=_record_float(
+                    record.get("collateral_capacity", 0.0)
+                ),
+            )
+    except KeyError as exc:
+        raise ModelError(f"malformed fault record {record!r}") from exc
+    raise ModelError(f"unknown fault kind {kind!r} in record")
 
 
 def _parse_route(text: str) -> Route:

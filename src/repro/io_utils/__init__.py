@@ -1,5 +1,12 @@
-"""JSON persistence for models and allocations."""
+"""JSON persistence for models and allocations.
 
+:mod:`repro.io_utils.atomic` is the sanctioned durable-write layer
+(write temp → fsync → ``os.replace`` → fsync dir); every persistent
+artifact in the repository goes through it (enforced by lint rule
+RPR014).
+"""
+
+from .atomic import atomic_write_bytes, atomic_write_text, fsync_dir
 from .dag_serialize import (
     dag_system_from_dict,
     dag_system_to_dict,
@@ -20,6 +27,9 @@ from .serialize import (
 __all__ = [
     "allocation_from_dict",
     "allocation_to_dict",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
     "dag_system_from_dict",
     "dag_system_to_dict",
     "load_dag_system",

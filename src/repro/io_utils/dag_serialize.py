@@ -11,6 +11,7 @@ import numpy as np
 from ..core.exceptions import ModelError
 from ..core.model import Network
 from ..dag.model import DagEdge, DagString, DagSystem
+from .atomic import atomic_write_text
 from .serialize import _bandwidth_from_json, _bandwidth_to_json
 
 __all__ = [
@@ -79,7 +80,7 @@ def dag_system_from_dict(data: dict[str, Any]) -> DagSystem:
 
 def save_dag_system(system: DagSystem, path: str | Path) -> None:
     """Write a DAG system to a JSON file."""
-    Path(path).write_text(json.dumps(dag_system_to_dict(system)))
+    atomic_write_text(path, json.dumps(dag_system_to_dict(system)))
 
 
 def load_dag_system(path: str | Path) -> DagSystem:

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.allocation import Allocation
 from ..core.exceptions import ModelError
 from ..core.model import AppString, Machine, Network, SystemModel
+from .atomic import atomic_write_text
 
 __all__ = [
     "model_to_dict",
@@ -128,7 +129,7 @@ def allocation_from_dict(
 
 def save_model(model: SystemModel, path: str | Path) -> None:
     """Write a model to a JSON file."""
-    Path(path).write_text(json.dumps(model_to_dict(model)))
+    atomic_write_text(path, json.dumps(model_to_dict(model)))
 
 
 def load_model(path: str | Path) -> SystemModel:
@@ -138,7 +139,7 @@ def load_model(path: str | Path) -> SystemModel:
 
 def save_allocation(allocation: Allocation, path: str | Path) -> None:
     """Write an allocation to a JSON file."""
-    Path(path).write_text(json.dumps(allocation_to_dict(allocation)))
+    atomic_write_text(path, json.dumps(allocation_to_dict(allocation)))
 
 
 def load_allocation(path: str | Path, model: SystemModel) -> Allocation:

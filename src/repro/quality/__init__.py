@@ -2,11 +2,12 @@
 
 This subpackage is tooling *about* the library rather than part of the
 paper's math: an AST-based lint engine whose per-file rules
-(RPR001-RPR008, RPR013) enforce the invariants the feasibility analysis
-and the DES validation depend on — epsilon-safe float comparison,
-injected seeded randomness, frozen model objects, fully-typed public
-math APIs, loud failures, audited package surfaces, bounded waits,
-monotonic duration measurement, and supervised-only process pools —
+(RPR001-RPR008, RPR013-RPR014) enforce the invariants the feasibility
+analysis and the DES validation depend on — epsilon-safe float
+comparison, injected seeded randomness, frozen model objects,
+fully-typed public math APIs, loud failures, audited package surfaces,
+bounded waits, monotonic duration measurement, supervised-only process
+pools, and atomic-only durable writes —
 and whose whole-program rules (RPR009-RPR012)
 prove the *cross-module* properties one file cannot witness:
 fork/pickle safety of process-pool workers, RNG-seed provenance across

@@ -69,9 +69,11 @@ class Baseline:
             for (p, r, m), n in sorted(self.entries.items())
         ]
         payload = {"version": _FORMAT_VERSION, "entries": rows}
-        Path(path).write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-        )
+        # function-scope import: quality (layer 2) may not depend on
+        # io_utils (layer 3) at module scope (RPR011)
+        from ..io_utils.atomic import atomic_write_text
+
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
     def filter(
         self, findings: Sequence[Finding]

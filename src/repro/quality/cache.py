@@ -125,7 +125,12 @@ class LintCache:
             return
         payload = {"version": _FORMAT_VERSION, "entries": self._entries}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(
-            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        # function-scope import: quality (layer 2) may not depend on
+        # io_utils (layer 3) at module scope (RPR011); the cache is
+        # disposable, so skip the fsyncs (atomicity only)
+        from ..io_utils.atomic import atomic_write_text
+
+        atomic_write_text(
+            self.path, json.dumps(payload, sort_keys=True), durable=False
         )
         self._dirty = False

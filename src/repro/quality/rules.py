@@ -5,7 +5,7 @@ paper) and the deterministic-replay property of the DES validator depend
 on.  Rules are AST visitors registered in :data:`RULES`; the engine runs
 every enabled rule over every file and collects :class:`~repro.quality.findings.Finding`s.
 
-The nine shipped per-file rules:
+The ten shipped per-file rules:
 
 ``RPR001``
     No ``==`` / ``!=`` on computed floating-point quantities — feasibility
@@ -43,6 +43,14 @@ The nine shipped per-file rules:
     worker liveness, deadlines, retry, quarantine, and shared-memory
     cleanup.  A raw executor silently reintroduces every failure mode
     the supervisor exists to absorb.
+``RPR014``
+    No non-atomic durable writes (``open(..., "w")``, ``json.dump``,
+    ``Path.write_text`` / ``write_bytes``) outside the two sanctioned
+    durability modules (``repro.io_utils.atomic``,
+    ``repro.service.journal``) — a truncate-then-write leaves a
+    half-written file behind a crash; every persistent artifact must go
+    through :func:`repro.io_utils.atomic.atomic_write_text` /
+    ``atomic_write_bytes`` (write-temp → fsync → ``os.replace``).
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ __all__ = [
     "ALL_RULE_IDS",
     "RULES",
     "BarePoolConstructionRule",
+    "DurableWriteRule",
     "FloatEqualityRule",
     "FrozenModelRule",
     "MissingAnnotationsRule",
@@ -909,6 +918,128 @@ class BarePoolConstructionRule(Rule):
                 and base.value.id in tracker.mp_modules
             ):
                 return "multiprocessing.pool.Pool"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RPR014 — no non-atomic durable writes outside the durability modules
+# ---------------------------------------------------------------------------
+
+
+class _JsonImportTracker(ast.NodeVisitor):
+    """Resolve local names referring to ``json.dump``."""
+
+    def __init__(self) -> None:
+        self.json_modules: set[str] = set()
+        self.dump_names: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "json":
+                self.json_modules.add(alias.asname or alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "json":
+            for alias in node.names:
+                if alias.name == "dump":
+                    self.dump_names.add(alias.asname or alias.name)
+
+
+def _write_mode(call: ast.Call, *, mode_position: int) -> str | None:
+    """The write-intent mode string of an ``open``-style call, if any.
+
+    ``mode_position`` is the positional index of the mode argument (1
+    for builtin ``open(path, mode)``, 0 for ``Path.open(mode)``).  Only
+    literal string modes are inspected — a computed mode is invisible
+    to static analysis and stays legal.
+    """
+    mode: ast.expr | None = None
+    if len(call.args) > mode_position:
+        mode = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and mode.value
+        and set(mode.value) <= set("rwxab+tU")
+        and any(flag in mode.value for flag in ("w", "a", "x"))
+    ):
+        return mode.value
+    return None
+
+
+@register
+class DurableWriteRule(Rule):
+    """Non-atomic writes can leave torn files behind a crash.
+
+    A plain ``open(path, "w")`` (or ``json.dump`` into one, or
+    ``Path.write_text``/``write_bytes``) truncates the target before
+    the new bytes are durable: a crash mid-write destroys the old
+    contents *and* the new.  Every durable artifact — models,
+    checkpoints, benchmark records, baselines — must go through
+    :func:`repro.io_utils.atomic.atomic_write_text` /
+    ``atomic_write_bytes`` (write-temp → fsync → ``os.replace``), or
+    the framed write-ahead log in :mod:`repro.service.journal`.  Those
+    two modules are the only places allowed to open files for writing;
+    read-mode opens and computed mode strings are not flagged.
+    """
+
+    rule_id = "RPR014"
+    summary = (
+        "no non-atomic durable writes outside repro.io_utils.atomic / "
+        "repro.service.journal"
+    )
+    exempt_modules: ClassVar[tuple[str, ...]] = (
+        "repro.io_utils.atomic",
+        "repro.service.journal",
+    )
+    _hint: ClassVar[str] = (
+        "use repro.io_utils.atomic.atomic_write_text/atomic_write_bytes "
+        "(write-temp, fsync, os.replace)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.module in self.exempt_modules:
+            return
+        tracker = _JsonImportTracker()
+        tracker.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node, tracker)
+            if message is not None:
+                yield self.finding(ctx, node, message, hint=self._hint)
+
+    def _violation(
+        self, call: ast.Call, tracker: _JsonImportTracker
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in tracker.dump_names:
+                return "`json.dump` writes through a non-atomic handle"
+            if func.id == "open":
+                mode = _write_mode(call, mode_position=1)
+                if mode is not None:
+                    return (
+                        f"non-atomic write-mode `open(..., {mode!r})`"
+                    )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        if (
+            func.attr == "dump"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in tracker.json_modules
+        ):
+            return "`json.dump` writes through a non-atomic handle"
+        if func.attr in ("write_text", "write_bytes"):
+            return f"non-atomic `.{func.attr}(...)` durable write"
+        if func.attr == "open":
+            mode = _write_mode(call, mode_position=0)
+            if mode is not None:
+                return f"non-atomic write-mode `.open({mode!r})`"
         return None
 
 

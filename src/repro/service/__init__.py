@@ -19,12 +19,20 @@ gracefully under pressure:
   machine throttling cascade tiers and admission;
 * :mod:`repro.service.controller` — the mission controller tying it
   together;
-* :mod:`repro.service.events` — the mission event vocabulary and a
-  seeded scenario generator;
+* :mod:`repro.service.events` — the mission event vocabulary (JSON
+  round-trippable) and a seeded scenario generator;
+* :mod:`repro.service.journal` — the length+CRC32-framed, fsync'd
+  write-ahead log with snapshot+compaction;
+* :mod:`repro.service.diskchaos` — seeded storage-fault injection
+  (torn writes, fsync errors, ENOSPC, duplicated frames);
+* :mod:`repro.service.durable` — :class:`DurableMissionController`,
+  the commit-before-apply wrapper whose recovery replays the journal
+  to bit-identical state;
 * :mod:`repro.service.soak` — the checkpointable long-horizon soak
-  harness behind ``repro soak``.
+  harness behind ``repro soak`` (optionally journaled).
 
-See ``docs/service.md`` for the architecture walk-through.
+See ``docs/service.md`` for the architecture walk-through and the
+durability contract.
 """
 
 from .admission import (
@@ -50,6 +58,8 @@ from .controller import (
     build_working_model,
 )
 from .deadline import Deadline
+from .diskchaos import DiskChaosPolicy, DiskFault
+from .durable import DurableMissionController, RecoveryReport
 from .events import (
     DriftStep,
     FaultsCleared,
@@ -58,6 +68,8 @@ from .events import (
     ScenarioConfig,
     StringArrival,
     StringDeparture,
+    event_from_record,
+    event_to_record,
     generate_scenario,
 )
 from .health import (
@@ -66,6 +78,15 @@ from .health import (
     HealthMonitor,
     HealthState,
     StatePolicy,
+)
+from .journal import (
+    JOURNAL_MAGIC,
+    JournalError,
+    JournalHooks,
+    JournalScan,
+    JournalStore,
+    encode_frame,
+    scan_journal,
 )
 from .retry import RetryError, RetryPolicy, backoff_delays, retry_call
 from .soak import SoakConfig, SoakReport, SoakStepRecord, run_soak
@@ -81,15 +102,24 @@ __all__ = [
     "CascadeResult",
     "CircuitBreaker",
     "Deadline",
+    "DiskChaosPolicy",
+    "DiskFault",
     "DriftStep",
+    "DurableMissionController",
     "FaultsCleared",
     "HealthConfig",
     "HealthMonitor",
     "HealthState",
+    "JOURNAL_MAGIC",
+    "JournalError",
+    "JournalHooks",
+    "JournalScan",
+    "JournalStore",
     "MissionController",
     "MissionEvent",
     "PlatformFault",
     "QueuedRequest",
+    "RecoveryReport",
     "RequestOutcome",
     "RequestQueue",
     "RetryError",
@@ -106,9 +136,13 @@ __all__ = [
     "TierSpec",
     "backoff_delays",
     "build_working_model",
+    "encode_frame",
+    "event_from_record",
+    "event_to_record",
     "generate_scenario",
     "plan_shedding",
     "retry_call",
     "run_soak",
+    "scan_journal",
     "shed_order",
 ]

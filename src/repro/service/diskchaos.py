@@ -1,0 +1,141 @@
+"""Seeded storage-fault injection for the durable journal.
+
+The write-ahead log in :mod:`repro.service.journal` claims that a
+committed event is never lost and a torn tail is never trusted.  Claims
+about crash behaviour are worthless untested, so — mirroring the
+process-pool chaos layer (:mod:`repro.parallel.chaos`) — this module
+makes storage failures injectable and **deterministic**: every fault
+decision is a pure function of ``(policy.seed, record_index, attempt)``,
+so a chaotic run replays exactly and a test can pick a seed that tears
+attempt 0 of an append but spares attempt 1.
+
+Four fault kinds are modelled, matching what a real disk (or a crash
+mid-syscall) does to an append-only log:
+
+* **torn** — only a prefix of the frame reaches the file before the
+  write "fails" (a crash mid-``write``); the writer repairs by
+  truncating back to the last committed offset and retrying;
+* **fsync** — ``os.fsync`` raises ``OSError`` after the bytes were
+  buffered; the frame cannot be considered committed;
+* **enospc** — the write fails up front with ``ENOSPC``;
+* **duplicate** — the frame is durably appended *twice* (a retried
+  write whose first attempt actually landed); readers must dedupe by
+  sequence number.
+
+Faults are *transient* by default: only attempt 0 of a record is
+faulted, so a retrying writer always makes progress ("faults cost
+time, never results" — ``docs/robustness.md``).  With
+``transient=False`` every attempt faults and the writer surfaces
+:class:`~repro.service.journal.JournalError` after its retry budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+
+__all__ = ["DiskChaosPolicy", "DiskFault"]
+
+#: fault kinds in draw order (fixed so each marginal rate is
+#: independent of the other rates)
+_FAULT_KINDS = ("torn", "fsync", "enospc", "duplicate")
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """The storage fault injected into one ``(record, attempt)`` append."""
+
+    kind: str | None
+
+    @property
+    def any(self) -> bool:
+        return self.kind is not None
+
+
+@dataclass(frozen=True)
+class DiskChaosPolicy:
+    """Deterministic, seeded storage-fault schedule.
+
+    Parameters
+    ----------
+    torn_rate / fsync_rate / enospc_rate / duplicate_rate:
+        Per-append probability of each fault kind.  At most one fault
+        fires per attempt; when several are drawn the earliest in
+        ``(torn, fsync, enospc, duplicate)`` order wins.
+    seed:
+        Root of the decision stream.  Decisions for a given
+        ``(record_index, attempt)`` are independent of every other pair
+        and of execution order.
+    transient:
+        When true (default) faults fire only on attempt 0, so a
+        retrying writer always commits.  When false, faults fire on
+        every attempt of an afflicted record.
+    """
+
+    torn_rate: float = 0.0
+    fsync_rate: float = 0.0
+    enospc_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    seed: int = 0
+    transient: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "torn_rate",
+            "fsync_rate",
+            "enospc_rate",
+            "duplicate_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(
+                    f"{name} must lie in [0, 1], got {value}"
+                )
+        if self.seed < 0:
+            raise ModelError(f"seed must be >= 0, got {self.seed}")
+
+    def decide(self, record_index: int, attempt: int) -> DiskFault:
+        """The fault this policy injects into one append attempt.
+
+        Pure and deterministic: the same
+        ``(seed, record_index, attempt)`` always yields the same
+        decision, in any process.
+        """
+        if record_index < 0 or attempt < 0:
+            raise ModelError("record_index and attempt must be >= 0")
+        if self.transient and attempt > 0:
+            return DiskFault(kind=None)
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, record_index, attempt))
+        )
+        rates = (
+            self.torn_rate,
+            self.fsync_rate,
+            self.enospc_rate,
+            self.duplicate_rate,
+        )
+        # Fixed draw order: consume one uniform per kind regardless of
+        # earlier outcomes, so each kind's stream is rate-independent.
+        draws = [bool(rng.random() < rate) for rate in rates]
+        for kind, fired in zip(_FAULT_KINDS, draws):
+            if fired:
+                return DiskFault(kind=kind)
+        return DiskFault(kind=None)
+
+    def expected_faults(self, n_records: int) -> dict[str, int]:
+        """First-attempt fault counts over ``n_records`` appends.
+
+        Pure recomputation of what :meth:`decide` will inject — the
+        recovery soak uses it to prove that a chaotic run actually
+        exercised the fault paths (a zero count means the seed/rate
+        combination tests nothing).
+        """
+        counts = {kind: 0 for kind in _FAULT_KINDS}
+        for index in range(n_records):
+            fault = self.decide(index, 0)
+            if fault.kind is not None:
+                counts[fault.kind] += 1
+        return counts

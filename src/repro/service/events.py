@@ -12,20 +12,31 @@ The controller's input is a stream of :class:`MissionEvent`\\ s:
 
 :func:`generate_scenario` draws a reproducible event stream from a
 seeded generator — the soak harness replays the same stream on resume
-by regenerating it from the checkpointed seed, so events never need to
-be serialized.
+by regenerating it from the checkpointed seed.  Events arriving from
+*outside* a seeded scenario (a network front end, the durable journal)
+cannot be regenerated, so every event type also round-trips through
+JSON via :meth:`MissionEvent.to_record` / :meth:`MissionEvent.from_record`
+(dispatched by :func:`event_to_record` / :func:`event_from_record`);
+the write-ahead log in :mod:`repro.service.journal` persists exactly
+these records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar
+from typing import Any, ClassVar, Mapping
 
 import numpy as np
 
 from ..core.exceptions import ModelError
 from ..core.model import SystemModel
-from ..faults.events import FaultEvent, MachineDegradation, MachineFailure
+from ..faults.events import (
+    FaultEvent,
+    MachineDegradation,
+    MachineFailure,
+    fault_from_record,
+    fault_to_record,
+)
 
 __all__ = [
     "DriftStep",
@@ -35,18 +46,36 @@ __all__ = [
     "ScenarioConfig",
     "StringArrival",
     "StringDeparture",
+    "event_from_record",
+    "event_to_record",
     "generate_scenario",
 ]
 
 
 @dataclass(frozen=True)
 class MissionEvent:
-    """Base class for controller input events."""
+    """Base class for controller input events.
+
+    Every concrete subclass must override :meth:`to_record` and
+    :meth:`from_record` (JSON round-trip; enforced by an exhaustiveness
+    test) — the durable journal persists events as these records.
+    """
 
     kind: ClassVar[str] = "abstract"
 
     def describe(self) -> str:
         return self.kind
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-compatible payload (without the ``kind`` tag)."""
+        raise ModelError(
+            f"{type(self).__name__} does not implement to_record"
+        )
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "MissionEvent":
+        """Reconstruct an event from :meth:`to_record` output."""
+        raise ModelError(f"{cls.__name__} does not implement from_record")
 
 
 @dataclass(frozen=True)
@@ -59,6 +88,13 @@ class StringArrival(MissionEvent):
     def describe(self) -> str:
         return f"service {self.service_id} arrives"
 
+    def to_record(self) -> dict[str, Any]:
+        return {"service_id": self.service_id}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "StringArrival":
+        return cls(service_id=int(record["service_id"]))
+
 
 @dataclass(frozen=True)
 class StringDeparture(MissionEvent):
@@ -69,6 +105,13 @@ class StringDeparture(MissionEvent):
 
     def describe(self) -> str:
         return f"service {self.service_id} departs"
+
+    def to_record(self) -> dict[str, Any]:
+        return {"service_id": self.service_id}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "StringDeparture":
+        return cls(service_id=int(record["service_id"]))
 
 
 @dataclass(frozen=True)
@@ -81,6 +124,13 @@ class PlatformFault(MissionEvent):
     def describe(self) -> str:
         return self.fault.describe()
 
+    def to_record(self) -> dict[str, Any]:
+        return {"fault": fault_to_record(self.fault)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "PlatformFault":
+        return cls(fault=fault_from_record(record["fault"]))
+
 
 @dataclass(frozen=True)
 class FaultsCleared(MissionEvent):
@@ -90,6 +140,13 @@ class FaultsCleared(MissionEvent):
 
     def describe(self) -> str:
         return "all faults repaired"
+
+    def to_record(self) -> dict[str, Any]:
+        return {}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "FaultsCleared":
+        return cls()
 
 
 @dataclass(frozen=True)
@@ -107,6 +164,52 @@ class DriftStep(MissionEvent):
     def describe(self) -> str:
         lo, hi = min(self.step_factors), max(self.step_factors)
         return f"workload drift step (factors {lo:.2f}..{hi:.2f})"
+
+    def to_record(self) -> dict[str, Any]:
+        return {"step_factors": list(self.step_factors)}
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "DriftStep":
+        return cls(
+            step_factors=tuple(
+                float(f) for f in record["step_factors"]
+            )
+        )
+
+
+def _event_types() -> dict[str, type[MissionEvent]]:
+    """All concrete event classes, keyed by ``kind`` (walks subclasses
+    recursively so the registry can never go stale)."""
+    types: dict[str, type[MissionEvent]] = {}
+    stack: list[type[MissionEvent]] = list(MissionEvent.__subclasses__())
+    while stack:
+        klass = stack.pop()
+        types[klass.kind] = klass
+        stack.extend(klass.__subclasses__())
+    return types
+
+
+def event_to_record(event: MissionEvent) -> dict[str, Any]:
+    """Encode any mission event as a self-describing JSON record."""
+    record = event.to_record()
+    record["kind"] = event.kind
+    return record
+
+
+def event_from_record(record: Mapping[str, Any]) -> MissionEvent:
+    """Decode :func:`event_to_record` output back into a typed event."""
+    if not isinstance(record, Mapping) or "kind" not in record:
+        raise ModelError(f"event record has no 'kind': {record!r}")
+    kind = record["kind"]
+    klass = _event_types().get(kind)
+    if klass is None:
+        raise ModelError(f"unknown mission event kind {kind!r}")
+    try:
+        return klass.from_record(record)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(
+            f"malformed {kind!r} event record {record!r}"
+        ) from exc
 
 
 @dataclass(frozen=True)

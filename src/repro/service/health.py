@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..core.exceptions import ModelError
 
@@ -167,6 +168,33 @@ class HealthMonitor:
                 self._healthy_streak = 0
         self.history.append(self.state)
         return self.state
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-compatible monitor state for journal snapshots.
+
+        Captures everything :meth:`observe` folds over — the current
+        state, the rolling deadline window, and the healthy streak.
+        ``history`` is diagnostics, not state, and is not exported.
+        """
+        return {
+            "state": self.state.name,
+            "deadline_hits": [bool(h) for h in self._deadline_hits],
+            "healthy_streak": self._healthy_streak,
+        }
+
+    def restore_state(self, record: Mapping[str, Any]) -> None:
+        """Restore :meth:`export_state` output (bit-identical resume)."""
+        try:
+            self.state = HealthState[str(record["state"])]
+        except KeyError as exc:
+            raise ModelError(
+                f"malformed health snapshot {record!r}"
+            ) from exc
+        self._deadline_hits = deque(
+            (bool(h) for h in record.get("deadline_hits", [])),
+            maxlen=self.config.window,
+        )
+        self._healthy_streak = int(record.get("healthy_streak", 0))
 
     def _target_state(
         self, slackness: float, open_breakers: int

@@ -340,17 +340,112 @@ class _ShedBaseline:
         return dict(self.placements)
 
 
+def _journaled_soak(
+    config: SoakConfig,
+    journal_dir: str | Path,
+    events: Sequence[MissionEvent],
+    catalog: SystemModel,
+    initial: Sequence[int],
+    progress: ProgressFn | None,
+) -> SoakReport:
+    """Soak on the write-ahead journal instead of the JSON checkpoint.
+
+    Recovery is the :class:`~repro.service.durable.DurableMissionController`
+    constructor; per-step records for already-applied events are
+    reconstructed from the journaled outcome records (no solve re-run).
+    """
+    from .durable import DurableMissionController
+
+    controller = DurableMissionController(
+        catalog,
+        ServiceConfig(default_budget=config.budget, grace=config.grace),
+        rng=config.seed + 2,
+        journal_dir=journal_dir,
+        initial_active=initial,
+        fingerprint=config.fingerprint(),
+    )
+    recovery = controller.recovery
+    if recovery.snapshot_seq > 0:
+        raise ModelError(
+            "journaled soak does not compact its journal; this "
+            "directory holds a snapshot from another workflow"
+        )
+    if recovery.applied > config.n_events:
+        raise ModelError(
+            f"journal holds {recovery.applied} events but the config "
+            f"expects {config.n_events}"
+        )
+    records: list[SoakStepRecord] = []
+    for outcome_rec in recovery.tail_outcomes:
+        if outcome_rec.get("status") != "ok":
+            raise ModelError(
+                f"journaled soak step {outcome_rec.get('seq')} had "
+                f"failed: {outcome_rec.get('error')}"
+            )
+        records.append(
+            SoakStepRecord(
+                step=int(outcome_rec["seq"]) - 1,
+                event_kind=str(outcome_rec["event_kind"]),
+                worth=float(outcome_rec["worth"]),
+                slackness=float(outcome_rec["slackness"]),
+                deadline_hit=bool(outcome_rec["deadline_hit"]),
+                elapsed_seconds=float(outcome_rec["elapsed_seconds"]),
+                tier_used=outcome_rec.get("tier_used"),
+                health=str(outcome_rec["health"]),
+                n_active=int(outcome_rec["n_active"]),
+                n_shed=int(outcome_rec["n_shed"]),
+                n_rejected=int(outcome_rec["n_rejected"]),
+                active=tuple(int(s) for s in outcome_rec["active"]),
+                placements={
+                    int(sid): tuple(int(j) for j in machines)
+                    for sid, machines in outcome_rec[
+                        "placements"
+                    ].items()
+                },
+            )
+        )
+    for step in range(recovery.applied, config.n_events):
+        outcome = controller.handle(events[step])
+        records.append(
+            SoakStepRecord(
+                step=step,
+                event_kind=outcome.event_kind,
+                worth=outcome.worth,
+                slackness=outcome.slackness,
+                deadline_hit=outcome.deadline_hit,
+                elapsed_seconds=outcome.elapsed_seconds,
+                tier_used=outcome.tier_used,
+                health=outcome.health,
+                n_active=outcome.n_active,
+                n_shed=len(outcome.shed),
+                n_rejected=len(outcome.rejected),
+                active=tuple(sorted(controller.active)),
+                placements=controller.allocation_snapshot(),
+            )
+        )
+        if progress is not None:
+            progress(step, config.n_events)
+    controller.close()
+    return SoakReport(config=config, records=records)
+
+
 def run_soak(
     config: SoakConfig,
     checkpoint_path: str | Path | None = None,
     progress: ProgressFn | None = None,
+    journal_dir: str | Path | None = None,
 ) -> SoakReport:
     """Replay the soak scenario; return the aggregated report.
 
     With ``checkpoint_path`` every finished step is flushed atomically;
     an interrupted run resumes from the first unfinished step without
     re-running any finished solve (finished steps are replayed
-    state-only from the checkpoint records).
+    state-only from the checkpoint records).  With ``journal_dir`` the
+    run instead sits on the fsync'd write-ahead journal
+    (:mod:`repro.service.durable`): every event is committed before it
+    is applied, so ``kill -9`` at *any* instruction loses at most the
+    event whose commit never completed, and the next run with the same
+    ``journal_dir`` recovers bit-identically and continues.
     """
     catalog = build_catalog(config)
     initial = initial_services(config, catalog)
@@ -360,6 +455,18 @@ def run_soak(
         rng=config.seed + 1,
         config=config.events,
     )
+
+    if journal_dir is not None:
+        if config.mode != "service":
+            raise ModelError("journal_dir requires mode='service'")
+        if checkpoint_path is not None:
+            raise ModelError(
+                "journal_dir and checkpoint_path are mutually "
+                "exclusive durability mechanisms"
+            )
+        return _journaled_soak(
+            config, journal_dir, events, catalog, initial, progress
+        )
 
     store: JsonCheckpoint | None = None
     done: list[SoakStepRecord] = []

@@ -1,0 +1,137 @@
+"""JSON round-trip serialization of mission and fault events.
+
+The journal persists every mission event as a record; a subclass that
+forgets its serializer would silently break recovery, so the round-trip
+coverage here is *exhaustive by introspection*: every concrete subclass
+is discovered and checked, not just the ones listed by hand.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.faults.events import (
+    DamageZone,
+    FaultEvent,
+    MachineDegradation,
+    MachineFailure,
+    RouteDegradation,
+    RouteFailure,
+    fault_from_record,
+    fault_to_record,
+)
+from repro.service.events import (
+    DriftStep,
+    FaultsCleared,
+    MissionEvent,
+    PlatformFault,
+    StringArrival,
+    StringDeparture,
+    event_from_record,
+    event_to_record,
+)
+
+FAULT_SAMPLES = [
+    MachineFailure(3),
+    RouteFailure((0, 2)),
+    MachineDegradation(1, 0.5),
+    RouteDegradation((2, 4), 0.25),
+    DamageZone(0, collateral_routes=((1, 2),), collateral_capacity=0.5),
+    DamageZone(2),
+]
+
+EVENT_SAMPLES = [
+    StringArrival(4),
+    StringDeparture(0),
+    PlatformFault(MachineFailure(1)),
+    PlatformFault(DamageZone(0, collateral_routes=((1, 3), (2, 3)))),
+    FaultsCleared(),
+    DriftStep((1.0, 0.9, 1.25)),
+]
+
+
+def _concrete_subclasses(base):
+    found = set()
+    stack = list(base.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if cls.kind != "abstract":
+            found.add(cls)
+    return found
+
+
+@pytest.mark.parametrize("fault", FAULT_SAMPLES, ids=lambda f: f.describe())
+def test_fault_roundtrip(fault):
+    record = fault_to_record(fault)
+    # must survive an actual JSON hop, not just the dict form
+    assert fault_from_record(json.loads(json.dumps(record))) == fault
+
+
+@pytest.mark.parametrize("event", EVENT_SAMPLES, ids=lambda e: e.kind)
+def test_event_roundtrip(event):
+    record = event_to_record(event)
+    assert record["kind"] == event.kind
+    assert event_from_record(json.loads(json.dumps(record))) == event
+
+
+def test_every_fault_subclass_is_sampled():
+    assert _concrete_subclasses(FaultEvent) == {
+        type(f) for f in FAULT_SAMPLES
+    }
+
+
+def test_every_event_subclass_is_sampled_and_roundtrips():
+    """Exhaustiveness: a new MissionEvent subclass must ship both a
+    sample here and working to_record/from_record overrides."""
+    concrete = _concrete_subclasses(MissionEvent)
+    assert concrete == {type(e) for e in EVENT_SAMPLES}
+    for cls in concrete:
+        assert cls.to_record is not MissionEvent.to_record, (
+            f"{cls.__name__} does not override to_record"
+        )
+        assert (
+            cls.from_record.__func__
+            is not MissionEvent.from_record.__func__
+        ), f"{cls.__name__} does not override from_record"
+
+
+def test_base_event_serializers_refuse():
+    with pytest.raises(ModelError):
+        MissionEvent().to_record()
+    with pytest.raises(ModelError):
+        MissionEvent.from_record({})
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        {},  # no kind
+        {"kind": "no-such-event"},
+        {"kind": "arrival"},  # missing service_id
+        {"kind": "fault", "fault": {"kind": "no-such-fault"}},
+        {"kind": "drift"},  # missing step_factors
+        {"kind": "drift", "step_factors": [0.0]},  # invalid factor
+    ],
+)
+def test_malformed_event_records_raise_modelerror(record):
+    with pytest.raises(ModelError):
+        event_from_record(record)
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        {},
+        {"kind": "machine-failure"},  # missing machine
+        {"kind": "machine-failure", "machine": True},  # bool is not int
+        {"kind": "route-failure", "route": [1]},  # malformed route
+        {"kind": "machine-degradation", "machine": 0, "capacity": "x"},
+    ],
+)
+def test_malformed_fault_records_raise_modelerror(record):
+    with pytest.raises(ModelError):
+        fault_from_record(record)

@@ -48,10 +48,10 @@ def test_live_codebase_is_clean_under_all_rules():
     assert report.ok
 
 
-def test_registry_exposes_exactly_the_thirteen_documented_rules():
+def test_registry_exposes_exactly_the_fourteen_documented_rules():
     assert sorted(RULES) == [
         "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-        "RPR007", "RPR008", "RPR013",
+        "RPR007", "RPR008", "RPR013", "RPR014",
     ]
     assert sorted(PROJECT_RULES) == [
         "RPR009", "RPR010", "RPR011", "RPR012",

@@ -647,3 +647,104 @@ def test_rpr013_noqa_suppresses():
         "pool = ProcessPoolExecutor()  # repro: noqa[RPR013]\n"
     )
     assert lint_source(src, module=CORE_MOD, rules=[RULES["RPR013"]]) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR014 — non-atomic durable writes outside the durability modules
+# ---------------------------------------------------------------------------
+
+RPR014_BAD = """\
+import json
+
+def save(path: str, payload: dict) -> None:
+    with open(path, "w") as handle:
+        handle.write(json.dumps(payload))
+"""
+
+RPR014_CLEAN = """\
+import json
+from repro.io_utils.atomic import atomic_write_text
+
+def save(path: str, payload: dict) -> None:
+    atomic_write_text(path, json.dumps(payload))
+"""
+
+
+def test_rpr014_flags_write_mode_open():
+    found = findings_for(RPR014_BAD, "RPR014", module=OUTSIDE_MOD)
+    assert len(found) == 1
+    assert found[0].rule_id == "RPR014"
+    assert "atomic_write_text" in found[0].hint
+
+
+def test_rpr014_clean_atomic_write():
+    assert findings_for(RPR014_CLEAN, "RPR014", module=OUTSIDE_MOD) == []
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        # json.dump through a module alias
+        "import json as j\n"
+        "def f(handle, payload):\n"
+        "    j.dump(payload, handle)\n",
+        # json.dump imported directly (and renamed)
+        "from json import dump as jdump\n"
+        "def f(handle, payload):\n"
+        "    jdump(payload, handle)\n",
+        # Path.write_text / write_bytes
+        "from pathlib import Path\n"
+        "Path('x.json').write_text('{}')\n",
+        "from pathlib import Path\n"
+        "Path('x.bin').write_bytes(b'')\n",
+        # Path.open in write mode (positional and keyword)
+        "from pathlib import Path\n"
+        "handle = Path('x').open('w')\n",
+        "handle = open('x', mode='ab')\n",
+        # exclusive-create mode is still a durable write
+        "handle = open('x', 'x')\n",
+    ],
+)
+def test_rpr014_flags_every_write_spelling(src):
+    found = findings_for(src, "RPR014", module=OUTSIDE_MOD)
+    assert len(found) == 1
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        # read-mode opens are legal
+        "handle = open('x')\n",
+        "handle = open('x', 'rb')\n",
+        "from pathlib import Path\nhandle = Path('x').open('r')\n",
+        # a computed mode is invisible to static analysis
+        "def f(path, mode):\n    return open(path, mode)\n",
+        # json.dumps (the string form) is how atomic writes are built
+        "import json\ntext = json.dumps({})\n",
+        # an unrelated .dump method with no json import
+        "class Sink:\n"
+        "    def dump(self, x):\n"
+        "        return x\n"
+        "Sink().dump(1)\n",
+        # a classmethod named open whose first arg is a path, not a mode
+        "class Store:\n"
+        "    @classmethod\n"
+        "    def open(cls, path, config):\n"
+        "        return cls()\n"
+        "Store.open('cfg.json', None)\n",
+    ],
+)
+def test_rpr014_ignores_reads_and_lookalikes(src):
+    assert findings_for(src, "RPR014", module=OUTSIDE_MOD) == []
+
+
+@pytest.mark.parametrize(
+    "module", ["repro.io_utils.atomic", "repro.service.journal"]
+)
+def test_rpr014_exempts_durability_modules(module):
+    assert findings_for(RPR014_BAD, "RPR014", module=module) == []
+
+
+def test_rpr014_noqa_suppresses():
+    src = 'handle = open("x", "w")  # repro: noqa[RPR014]\n'
+    assert lint_source(src, module=CORE_MOD, rules=[RULES["RPR014"]]) == []

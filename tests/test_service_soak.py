@@ -392,3 +392,56 @@ class TestSoakCli:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "soak [shed-baseline]" in proc.stdout
+
+
+class TestSoakJournal:
+    """`run_soak(journal_dir=...)` rides the write-ahead journal."""
+
+    def test_journaled_soak_recovers_identically(
+        self, tmp_path, greedy_cascade
+    ):
+        config = SoakConfig(
+            n_services=6, n_machines=4, n_events=6, seed=5,
+            budget=5.0, initial_active=3,
+        )
+        first = run_soak(config, journal_dir=tmp_path / "j")
+        again = run_soak(config, journal_dir=tmp_path / "j")
+        assert [record_key(r) for r in again.records] == [
+            record_key(r) for r in first.records
+        ]
+        assert again.total_worth == first.total_worth
+
+    def test_journal_requires_service_mode(self, tmp_path):
+        config = SoakConfig(
+            n_services=6, n_machines=4, n_events=3, seed=5,
+            mode="shed-baseline",
+        )
+        with pytest.raises(ModelError, match="mode='service'"):
+            run_soak(config, journal_dir=tmp_path / "j")
+
+    def test_journal_excludes_checkpoint(self, tmp_path):
+        config = SoakConfig(
+            n_services=6, n_machines=4, n_events=3, seed=5
+        )
+        with pytest.raises(ModelError, match="mutually"):
+            run_soak(
+                config,
+                checkpoint_path=tmp_path / "ck.json",
+                journal_dir=tmp_path / "j",
+            )
+
+    def test_cli_journal_flag(self, tmp_path):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "soak",
+                "--services", "6", "--machines", "4", "--events", "4",
+                "--budget", "5.0", "--seed", "5",
+                "--journal", str(tmp_path / "j"),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": SRC_ROOT, "PATH": os.environ["PATH"]},
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert (tmp_path / "j" / "wal.log").exists()
