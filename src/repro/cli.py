@@ -297,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="committed baseline record to gate against")
     p.add_argument("--max-regression", type=float, default=0.30,
                    help="fail if evals/sec drops more than this fraction")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile; print the top functions by "
+                        "cumulative time and write the full table next to "
+                        "the BENCH record (<record>.profile.txt)")
+    p.add_argument("--profile-top", type=int, default=25,
+                   help="rows of the cProfile table to print (default 25)")
 
     p = sub.add_parser(
         "chaos",
@@ -554,6 +560,43 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _profiled(args: argparse.Namespace, fn, *fn_args, **fn_kwargs):
+    """Run ``fn`` under cProfile when ``--profile`` is set.
+
+    Returns ``(result, stats_or_None)``.  Profiling a benchmark slows it
+    down (the tracer fires on every call), so the measured throughput is
+    only meaningful relative to other profiled runs — the printed table
+    answers *where the time goes*, not *how fast it is*.
+    """
+    if not args.profile:
+        return fn(*fn_args, **fn_kwargs), None
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *fn_args, **fn_kwargs)
+    return result, pstats.Stats(profiler)
+
+
+def _emit_profile(args: argparse.Namespace, stats, out_path: str) -> None:
+    """Print the top-N cumulative table and save it next to the record."""
+    import io
+
+    stream = io.StringIO()
+    stats.stream = stream
+    stats.sort_stats("cumulative").print_stats(args.profile_top)
+    table = stream.getvalue()
+    print()
+    print(f"cProfile top {args.profile_top} by cumulative time "
+          f"(timings include tracer overhead):")
+    print(table, end="")
+    from .io_utils.atomic import atomic_write_text
+
+    profile_path = f"{out_path}.profile.txt"
+    atomic_write_text(profile_path, table)
+    print(f"profile table written to {profile_path}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -571,7 +614,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if args.state_backend == "both"
             else (args.state_backend,)
         )
-        record = run_state_micro(seed=args.seed, backends=backends)
+        record, prof_stats = _profiled(
+            args, run_state_micro, seed=args.seed, backends=backends
+        )
         out_path = args.json_path or "BENCH_state_micro.json"
         save_record(record, out_path)
         for backend, nums in record["backends"].items():
@@ -584,9 +629,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"try_add {record['speedup']['try_add']:.2f}x  "
                   f"snap+restore "
                   f"{record['speedup']['snapshot_restore']:.2f}x")
+        print(f"batched kernel ({record['config']['batch_lanes']} lanes): "
+              f"{record['batch_try_add_us']:.1f}us/lane-op "
+              f"({record['batch_try_add_ops_per_sec']:,.0f} lane-ops/s, "
+              f"{record['batch_speedup_over_scalar']:.2f}x scalar try_add)")
         print(f"record written to {out_path}")
     else:
-        record = run_bench(
+        record, prof_stats = _profiled(
+            args,
+            run_bench,
             name=args.name,
             quick=args.quick,
             seed=args.seed,
@@ -610,6 +661,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if profile is not None:
             print(f"profile cache: hit rate {profile['hit_rate']:.1%}")
         print(f"record written to {out_path}")
+    if prof_stats is not None:
+        _emit_profile(args, prof_stats, out_path)
+        if args.baseline:
+            print(
+                "warning: --profile adds tracer overhead to every call; "
+                "the baseline gate below will under-report throughput",
+                file=sys.stderr,
+            )
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
         ok, message = compare_to_baseline(

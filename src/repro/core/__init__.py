@@ -27,14 +27,24 @@ from .model import WORTH_FACTORS, AppString, Machine, Network, SystemModel
 from .numeric import ABS_TOL, REL_TOL, is_zero, isclose
 from .profile import ProfileCache, StringProfile, compute_profile
 from .state import (
+    AUTO_BACKEND,
     STATE_BACKENDS,
     AllocationState,
     RecordAllocationState,
     RejectionReason,
     StateSnapshot,
     get_default_state_backend,
+    resolve_auto_backend,
     set_default_state_backend,
 )
+from .state_batch import (
+    BatchEvaluator,
+    BatchSoaState,
+    evaluate_batch,
+    probe_try_add,
+    project_batch,
+)
+from .state_jit import HAVE_NUMBA, JitAllocationState
 from .state_sanitize import (
     SanitizeAllocationState,
     SanitizeStateSnapshot,
@@ -58,14 +68,19 @@ from .utilization import (
 
 __all__ = [
     "ABS_TOL",
+    "AUTO_BACKEND",
     "Allocation",
     "AllocationError",
     "AllocationState",
     "AppString",
+    "BatchEvaluator",
+    "BatchSoaState",
     "DEFAULT_TOL",
     "FeasibilityReport",
     "Fitness",
+    "HAVE_NUMBA",
     "InfeasibleError",
+    "JitAllocationState",
     "Machine",
     "ModelError",
     "Network",
@@ -94,13 +109,17 @@ __all__ = [
     "average_tightness",
     "compute_profile",
     "evaluate",
+    "evaluate_batch",
     "get_default_state_backend",
     "is_feasible",
     "is_zero",
     "isclose",
     "machine_utilization",
     "priority_key",
+    "probe_try_add",
+    "project_batch",
     "relative_tightness",
+    "resolve_auto_backend",
     "route_utilization",
     "set_default_state_backend",
     "string_machine_load",

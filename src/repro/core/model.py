@@ -90,7 +90,13 @@ class Network:
     so the matrix need not be symmetric.
     """
 
-    __slots__ = ("bandwidth", "n_machines", "_inv_bandwidth", "_avg_inv_bandwidth")
+    __slots__ = (
+        "bandwidth",
+        "n_machines",
+        "_inv_bandwidth",
+        "_avg_inv_bandwidth",
+        "_inv_bw_rows",
+    )
 
     def __init__(self, bandwidth: FloatArrayLike) -> None:
         bw = np.asarray(bandwidth, dtype=float).copy()
@@ -113,6 +119,7 @@ class Network:
         inv.setflags(write=False)
         #: Element-wise ``1 / w[j1, j2]`` with 0 on infinite-bandwidth routes.
         self._inv_bandwidth = inv
+        self._inv_bw_rows: list[list[float]] | None = None
         # Average inverse bandwidth (Section 5, TF heuristic):
         #   1/w_av = (1/M^2) * sum_{j1, j2} 1/w[j1, j2]
         # The diagonal contributes zero, matching the printed double sum
@@ -139,6 +146,7 @@ class Network:
         inv[finite] = 1.0 / bandwidth[finite]
         inv.setflags(write=False)
         net._inv_bandwidth = inv
+        net._inv_bw_rows = None
         net._avg_inv_bandwidth = float(inv.sum() / (net.n_machines**2))
         return net
 
@@ -146,6 +154,19 @@ class Network:
     def inv_bandwidth(self) -> FloatArray:
         """``1 / w`` matrix; zero where bandwidth is infinite."""
         return self._inv_bandwidth
+
+    def inv_bandwidth_rows(self) -> list[list[float]]:
+        """``inv_bandwidth`` as nested Python lists (cached).
+
+        The IMR's scalar inner loop reads single route entries; plain
+        list indexing avoids per-element NumPy scalar boxing.  The
+        values are ``inv_bandwidth.tolist()`` — the identical doubles.
+        """
+        rows = self._inv_bw_rows
+        if rows is None:
+            rows = self._inv_bandwidth.tolist()
+            self._inv_bw_rows = rows
+        return rows
 
     @property
     def avg_inv_bandwidth(self) -> float:
@@ -223,7 +244,12 @@ class AppString:
         "_avg_comp_times",
         "_avg_cpu_utils",
         "_work",
+        "_intensity",
+        "_imr_lists",
     )
+
+    _intensity: FloatArray | None
+    _imr_lists: tuple[list[list[float]], list[float], list[int]] | None
 
     def __init__(
         self,
@@ -286,6 +312,8 @@ class AppString:
         work.setflags(write=False)
         #: ``(n, M)`` fixed CPU work ``t[i, j] * u[i, j]`` per data set.
         self._work = work
+        self._intensity = None
+        self._imr_lists = None
 
     @classmethod
     def _attach(
@@ -324,6 +352,8 @@ class AppString:
         work = comp_times * cpu_utils
         work.setflags(write=False)
         s._work = work
+        s._intensity = None
+        s._imr_lists = None
         return s
 
     @property
@@ -356,7 +386,43 @@ class AppString:
         This is the quantity the IMR uses (step 1 / step 4b) to pick the
         most computationally intensive application.
         """
-        return self._avg_comp_times * self._avg_cpu_utils / self.period
+        cached = self._intensity
+        if cached is None:
+            cached = self._avg_comp_times * self._avg_cpu_utils / self.period
+            cached.setflags(write=False)
+            self._intensity = cached
+        return cached
+
+    def imr_lists(self) -> tuple[list[list[float]], list[float], list[int]]:
+        """Cached Python-list IMR constants for the scalar fast path.
+
+        Returns ``(share_rows, transfer_demand, intensity_order)``:
+
+        * ``share_rows[i][j]`` — utilization impact ``work[i, j] / P``
+          (the ``app_share`` rows the IMR scores machines with);
+        * ``transfer_demand[i]`` — route demand ``O[i] / P`` in
+          bytes/second (empty for single-application strings);
+        * ``intensity_order`` — application indices sorted by descending
+          computational intensity, ties in ascending index order, so
+          scanning it for the first unassigned application reproduces
+          ``argmax`` over the unassigned set exactly.
+
+        The doubles are ``tolist()`` conversions of the same expressions
+        the vectorized IMR path computes, so both paths see identical
+        values; plain list indexing just avoids per-element NumPy scalar
+        boxing in the inner loop.
+        """
+        cached = self._imr_lists
+        if cached is None:
+            share_rows: list[list[float]] = (self._work / self.period).tolist()
+            transfer_demand: list[float] = (
+                (self.output_sizes / self.period).tolist() if self.n_apps > 1 else []
+            )
+            intensity = self.computational_intensity()
+            order: list[int] = np.argsort(-intensity, kind="stable").tolist()
+            cached = (share_rows, transfer_demand, order)
+            self._imr_lists = cached
+        return cached
 
     def nominal_path_time(
         self, machines: IntVectorLike, network: Network

@@ -98,34 +98,69 @@ if TYPE_CHECKING:
     ]
 
 __all__ = [
+    "AUTO_BACKEND",
+    "AUTO_RECORD_CELLS",
     "STATE_BACKENDS",
     "AllocationState",
     "RecordAllocationState",
     "RejectionReason",
     "StateSnapshot",
     "get_default_state_backend",
+    "resolve_auto_backend",
     "set_default_state_backend",
 ]
 
-#: Recognized feasibility-kernel backends (first is the shipped default).
-#: ``"sanitize"`` runs the other two in lockstep and asserts
-#: bit-identity on every operation — a verification tool, never a
-#: benchmark target (see :mod:`repro.core.state_sanitize`).
-STATE_BACKENDS: tuple[str, ...] = ("soa", "record", "sanitize")
+#: Recognized feasibility-kernel backends.  ``"soa"`` is the vectorized
+#: struct-of-arrays kernel, ``"record"`` the scalar reference kernel,
+#: ``"jit"`` the optionally-compiled SoA variant (pure-NumPy fallback
+#: when :mod:`numba` is absent).  ``"sanitize"`` runs soa and record in
+#: lockstep and asserts bit-identity on every operation — a
+#: verification tool, never a benchmark target (see
+#: :mod:`repro.core.state_sanitize`).
+STATE_BACKENDS: tuple[str, ...] = ("soa", "record", "jit", "sanitize")
+
+#: Pseudo-backend: resolve to a concrete kernel per instance size at
+#: construction time (see :func:`resolve_auto_backend`).  All kernels
+#: are bit-identical, so the choice is purely a throughput matter.
+AUTO_BACKEND = "auto"
+
+#: ``n_strings * (M + M²)`` at or below which ``"auto"`` picks the
+#: scalar record kernel.  On small instances every NumPy expression in
+#: the SoA kernel touches a handful of elements and per-call dispatch
+#: dominates, so the plain-Python kernel is measurably faster; past
+#: this size the vectorized kernel and its O(1)-ish snapshots win.
+AUTO_RECORD_CELLS = 1024
+
+
+def resolve_auto_backend(model: SystemModel) -> str:
+    """The concrete kernel ``"auto"`` selects for ``model``.
+
+    Small instances (``n_strings * (M + M²) <= AUTO_RECORD_CELLS``) get
+    the scalar ``"record"`` kernel; larger ones the vectorized
+    ``"soa"`` kernel — with its compiled ``"jit"`` variant instead
+    whenever :mod:`numba` is importable.  Results are bit-identical
+    across all three, so this only ever changes throughput.
+    """
+    m = model.n_machines
+    if model.n_strings * (m + m * m) <= AUTO_RECORD_CELLS:
+        return "record"
+    from .state_jit import HAVE_NUMBA
+
+    return "jit" if HAVE_NUMBA else "soa"
 
 
 def _env_default_backend() -> str:
     name = os.environ.get("REPRO_STATE_BACKEND", "").strip().lower()
     if not name:
-        return STATE_BACKENDS[0]
-    if name not in STATE_BACKENDS:
+        return AUTO_BACKEND
+    if name != AUTO_BACKEND and name not in STATE_BACKENDS:
         warnings.warn(
-            f"REPRO_STATE_BACKEND={name!r} is not one of {STATE_BACKENDS}; "
-            f"using {STATE_BACKENDS[0]!r}",
+            f"REPRO_STATE_BACKEND={name!r} is not one of "
+            f"{STATE_BACKENDS + (AUTO_BACKEND,)}; using {AUTO_BACKEND!r}",
             RuntimeWarning,
             stacklevel=2,
         )
-        return STATE_BACKENDS[0]
+        return AUTO_BACKEND
     return name
 
 
@@ -140,27 +175,42 @@ def get_default_state_backend() -> str:
 def set_default_state_backend(name: str) -> None:
     """Select the default feasibility-kernel backend process-wide.
 
-    ``name`` must be one of :data:`STATE_BACKENDS`.  Existing states keep
-    their backend; only subsequent ``AllocationState(...)`` constructions
-    are affected.  The initial default comes from the
-    ``REPRO_STATE_BACKEND`` environment variable (``"soa"`` when unset).
+    ``name`` must be one of :data:`STATE_BACKENDS` or ``"auto"``.
+    Existing states keep their backend; only subsequent
+    ``AllocationState(...)`` constructions are affected.  The initial
+    default comes from the ``REPRO_STATE_BACKEND`` environment variable
+    (``"auto"`` when unset).
     """
-    if name not in STATE_BACKENDS:
+    if name != AUTO_BACKEND and name not in STATE_BACKENDS:
         raise ValueError(
-            f"unknown state backend {name!r}; choose from {STATE_BACKENDS}"
+            f"unknown state backend {name!r}; choose from "
+            f"{STATE_BACKENDS + (AUTO_BACKEND,)}"
         )
     global _default_backend
     _default_backend = name
 
 
-def _backend_class(name: str | None) -> type["AllocationState"]:
+def _backend_class(
+    name: str | None, model: SystemModel | None = None
+) -> type["AllocationState"]:
     resolved = _default_backend if name is None else name
+    if resolved == AUTO_BACKEND:
+        if model is None:
+            raise ValueError(
+                "the 'auto' backend resolves per model; construct via "
+                "AllocationState(model, ...) or name a concrete backend"
+            )
+        resolved = resolve_auto_backend(model)
     if resolved == "record":
         return RecordAllocationState
     if resolved == "soa":
         from .state_soa import SoaAllocationState
 
         return SoaAllocationState
+    if resolved == "jit":
+        from .state_jit import JitAllocationState
+
+        return JitAllocationState
     if resolved == "sanitize":
         from .state_sanitize import SanitizeAllocationState
 
@@ -296,7 +346,7 @@ class AllocationState:
         backend: str | None = None,
     ) -> "AllocationState":
         if cls is AllocationState:
-            cls = _backend_class(backend)
+            cls = _backend_class(backend, model)
         elif backend is not None and backend != cls.backend:
             raise ValueError(
                 f"backend {backend!r} conflicts with {cls.__name__}"

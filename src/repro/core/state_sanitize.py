@@ -1,7 +1,9 @@
 """Lockstep sanitizer backend (``backend="sanitize"``).
 
-:class:`SanitizeAllocationState` drives the ``"soa"`` struct-of-arrays
-kernel and the ``"record"`` reference implementation *in lockstep*: every
+:class:`SanitizeAllocationState` drives the SoA-family kernel (the
+``"jit"`` tier, which is the plain ``"soa"`` struct-of-arrays kernel
+wherever numba is absent and the compiled one where it is installed)
+and the ``"record"`` reference implementation *in lockstep*: every
 mutation (:meth:`try_add`, :meth:`remove`), snapshot, and restore is
 executed on both children and the full mutable core is then asserted
 bit-identical — utilization accumulators, mapped-string sets, worth,
@@ -37,7 +39,8 @@ from .feasibility import DEFAULT_TOL
 from .model import SystemModel
 from .profile import ProfileCache, Route
 from .state import AllocationState, RecordAllocationState, RejectionReason
-from .state_soa import SoaAllocationState, SoaStateSnapshot
+from .state_jit import JitAllocationState
+from .state_soa import SoaStateSnapshot
 from .types import IntArray, IntVectorLike
 
 if TYPE_CHECKING:
@@ -106,7 +109,11 @@ class SanitizeAllocationState(AllocationState):
         # Share one profile cache so both children see the identical
         # (memoized) immutable profiles; profiles are deterministic, so
         # this is an optimization, not a correctness requirement.
-        self._soa = SoaAllocationState(model, tol, profile_cache)
+        # The SoA-family child is the jit backend: without numba it IS
+        # the plain SoA kernel (pure inheritance), and where numba is
+        # installed the sanitizer thereby lockstep-checks the compiled
+        # try_add kernel against the record reference on every call.
+        self._soa = JitAllocationState(model, tol, profile_cache)
         self._rec = RecordAllocationState(model, tol, profile_cache)
         # Alias the soa views; they survive restore (copyto), so the
         # inherited slackness()/machine_util_if()/route_util_if() read

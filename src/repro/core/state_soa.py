@@ -174,6 +174,45 @@ class SoaAllocationState(AllocationState):
         self._ids: IntArray = np.arange(N, dtype=np.int64)
         self._profiles: dict[int, StringProfile] = {}
         self._csr: tuple[IntArray, IntArray] | None = None
+        # Reusable scratch for try_add/remove temporaries (never part of
+        # snapshots; each value is fully rewritten before it is read
+        # within one call).  The (c, N) blocks are sized for the widest
+        # profile seen so far and grown on demand — c is bounded by the
+        # largest string's touched-resource count, not by C.
+        self._sc_cap = 0
+        self._sc_S: FloatArray = np.empty((0, N))
+        self._sc_keyed: FloatArray = np.empty((0, N))
+        self._sc_Hg: FloatArray = np.empty((0, N))
+        self._sc_Hp: FloatArray = np.empty((0, N))
+        self._sc_tmax: FloatArray = np.empty((0, N))
+        self._sc_used = np.zeros((0, N), dtype=bool)
+        self._sc_Mh = np.zeros((0, N), dtype=bool)
+        self._sc_Ml = np.zeros((0, N), dtype=bool)
+        self._sc_viol = np.zeros((0, N), dtype=bool)
+        self._sc_has = np.zeros(0, dtype=bool)
+        self._sc_row_f: FloatArray = np.empty(N)
+        self._sc_row_g: FloatArray = np.empty(N)
+        self._sc_hi = np.zeros(N, dtype=bool)
+        self._sc_eq = np.zeros(N, dtype=bool)
+        self._sc_lt = np.zeros(N, dtype=bool)
+        self._sc_violL = np.zeros(N, dtype=bool)
+
+    def _ensure_scratch(self, c: int) -> None:
+        """Grow the per-resource scratch blocks to at least ``c`` rows."""
+        if c <= self._sc_cap:
+            return
+        N = self._ids.size
+        self._sc_cap = c
+        self._sc_S = np.empty((c, N))
+        self._sc_keyed = np.empty((c, N))
+        self._sc_Hg = np.empty((c, N))
+        self._sc_Hp = np.empty((c, N))
+        self._sc_tmax = np.empty((c, N))
+        self._sc_used = np.zeros((c, N), dtype=bool)
+        self._sc_Mh = np.zeros((c, N), dtype=bool)
+        self._sc_Ml = np.zeros((c, N), dtype=bool)
+        self._sc_viol = np.zeros((c, N), dtype=bool)
+        self._sc_has = np.zeros(c, dtype=bool)
 
     # -- read-only views -------------------------------------------------------
 
@@ -316,15 +355,22 @@ class SoaAllocationState(AllocationState):
         sid = string_id
         tight = self._tight
         ids = self._ids
-        hi = (tight > t) | (
-            (tight == t)  # repro: noqa[RPR001] exact-key tie, ids break it
-            & (ids < sid)
+        hi = np.greater(tight, t, out=self._sc_hi)
+        eq = np.equal(  # repro: noqa[RPR001] exact-key tie, ids break it
+            tight, t, out=self._sc_eq
         )
+        np.less(ids, sid, out=self._sc_lt)
+        np.logical_and(eq, self._sc_lt, out=eq)
+        np.logical_or(hi, eq, out=hi)
 
-        S = self._cntT.take(res_idx, axis=0)  # (c, N) membership counts
-        used = S > 0.0
-        Mh = used & hi
-        Ml = used ^ Mh  # used & ~hi (Mh is a subset of used)
+        c = res_idx.size
+        self._ensure_scratch(c)
+        # (c, N) membership counts
+        S = np.take(self._cntT, res_idx, axis=0, out=self._sc_S[:c])
+        used = np.greater(S, 0.0, out=self._sc_used[:c])
+        Mh = np.logical_and(used, hi, out=self._sc_Mh[:c])
+        # used & ~hi (Mh is a subset of used)
+        Ml = np.logical_xor(used, Mh, out=self._sc_Ml[:c])
 
         # ---- stage 2a: the new string under existing interference -----------
         # Priority predecessor per resource: among higher-priority users,
@@ -332,12 +378,14 @@ class SoaAllocationState(AllocationState):
         # ties.  H_new = H[pred] + load[pred] (one add, no re-summation).
         # argmin over the reversed slot axis returns the *last* minimum,
         # i.e. the largest id among tied tightness values.
-        c = res_idx.size
         P = prof.period
-        has = Mh.any(axis=1)
+        has = np.any(Mh, axis=1, out=self._sc_has[:c])
         if has.any():
             n_slots = ids.size
-            keyed = np.where(Mh, tight, np.inf)
+            # keyed = np.where(Mh, tight, inf), built in scratch.
+            keyed = self._sc_keyed[:c]
+            keyed.fill(np.inf)
+            np.copyto(keyed, tight, where=Mh)
             wsel = (n_slots - 1) - keyed[:, ::-1].argmin(axis=1)
             wclip = np.where(has, wsel, 0)
             Hnew = np.where(
@@ -375,10 +423,15 @@ class SoaAllocationState(AllocationState):
         Hgather: FloatArray | None = None
         Hplus: FloatArray | None = None
         if Ml.any():
-            Hgather = self._HT.take(res_idx, axis=0)
-            Hplus = Hgather + res_load[:, None]
-            lhs2b = self._tmaxT.take(res_idx, axis=0) + self._period * Hplus
-            viol2b = Ml & (lhs2b > self._pbound)
+            Hgather = np.take(self._HT, res_idx, axis=0, out=self._sc_Hg[:c])
+            Hplus = np.add(Hgather, res_load[:, None], out=self._sc_Hp[:c])
+            # lhs2b = tmax_gather + period * Hplus, built in scratch
+            # (keyed is dead after stage 2a and holds the product).
+            tmaxg = np.take(self._tmaxT, res_idx, axis=0, out=self._sc_tmax[:c])
+            ph = np.multiply(self._period, Hplus, out=self._sc_keyed[:c])
+            lhs2b = np.add(tmaxg, ph, out=ph)
+            viol2b = np.greater(lhs2b, self._pbound, out=self._sc_viol[:c])
+            np.logical_and(Ml, viol2b, out=viol2b)
             if viol2b.any():
                 rows = viol2b.any(axis=1)
                 ci = int(rows.argmax())
@@ -394,14 +447,19 @@ class SoaAllocationState(AllocationState):
             # in fused order: np.add.reduce over the outer axis performs
             # sequential row additions — the identical scalar chain the
             # record backend builds (+0.0 on untouched slots is exact).
-            prods = np.where(Ml, S * res_load[:, None], 0.0)
-            wd = np.add.reduce(prods, axis=0)
+            # S is dead after the product, so the multiply lands there;
+            # `used` is dead too and takes the ~Ml mask.
+            prods = np.multiply(S, res_load[:, None], out=S)
+            np.copyto(prods, 0.0, where=np.logical_not(Ml, out=used))
+            wd = np.add.reduce(prods, axis=0, out=self._sc_row_f)
             # No `wd > 0` mask needed: a slot whose wait_sum does not
             # grow keeps its current latency, which already passed this
             # identical check when the slot was last touched (unmapped
             # slots compare 0 > 0).
-            newlat = self._nominal + self._period * (self._wait + wd)
-            violL = newlat > self._lbound
+            newlat = np.add(self._wait, wd, out=self._sc_row_g)
+            np.multiply(self._period, newlat, out=newlat)
+            np.add(self._nominal, newlat, out=newlat)
+            violL = np.greater(newlat, self._lbound, out=self._sc_violL)
             if violL.any():
                 z = int(violL.argmax())
                 self.last_rejection = RejectionReason(
@@ -417,8 +475,12 @@ class SoaAllocationState(AllocationState):
             # Full-row writeback selecting the incremented value for
             # lower-priority users (the same H + load addition checked
             # above); stale column sid carries zeros and is overwritten
-            # by the row scatter just below.
-            self._HT[res_idx] = np.where(Ml, Hplus, Hgather)
+            # by the row scatter just below.  Built in the dead tmax
+            # scratch: np.where(Ml, Hplus, Hgather).
+            wb = self._sc_tmax[:c]
+            np.copyto(wb, Hgather)
+            np.copyto(wb, Hplus, where=Ml)
+            self._HT[res_idx] = wb
             self._wait += wd
         self._period[sid] = P
         self._nominal[sid] = prof.nominal_path
@@ -448,25 +510,36 @@ class SoaAllocationState(AllocationState):
         sid = string_id
         tight = self._tight
         ids = self._ids
-        lo = (tight < t) | (
-            (tight == t)  # repro: noqa[RPR001] exact-key tie, ids break it
-            & (ids > sid)
+        lo = np.less(tight, t, out=self._sc_hi)
+        eq = np.equal(  # repro: noqa[RPR001] exact-key tie, ids break it
+            tight, t, out=self._sc_eq
         )
+        np.greater(ids, sid, out=self._sc_lt)
+        np.logical_and(eq, self._sc_lt, out=eq)
+        np.logical_or(lo, eq, out=lo)
 
+        c = res_idx.size
+        self._ensure_scratch(c)
         self._util[res_idx] -= res_load
-        S = self._cntT.take(res_idx, axis=0)
+        S = np.take(self._cntT, res_idx, axis=0, out=self._sc_S[:c])
         # count > 0 already restricts to mapped slots (columns are
         # zeroed on remove), so no explicit mapped mask is needed.
-        Ml = (S > 0.0) & lo
+        Ml = np.greater(S, 0.0, out=self._sc_used[:c])
+        np.logical_and(Ml, lo, out=Ml)
         if Ml.any():
-            self._HT[res_idx] = self._HT.take(res_idx, axis=0) - np.where(
-                Ml, res_load[:, None], 0.0
-            )
-            prods = np.where(Ml, S * res_load[:, None], 0.0)
+            # HT[res_idx] -= np.where(Ml, res_load[:, None], 0.0)
+            Hg = np.take(self._HT, res_idx, axis=0, out=self._sc_Hg[:c])
+            sub = self._sc_Hp[:c]
+            sub.fill(0.0)
+            np.copyto(sub, res_load[:, None], where=Ml)
+            np.subtract(Hg, sub, out=Hg)
+            self._HT[res_idx] = Hg
+            prods = np.multiply(S, res_load[:, None], out=S)
+            np.copyto(prods, 0.0, where=np.logical_not(Ml, out=self._sc_Mh[:c]))
             # Column-by-column subtraction: the record backend's
             # per-resource chain, in the same fused order (a fold of
             # subtractions is NOT a subtraction of a sum, so no reduce).
-            for col in range(res_idx.size):
+            for col in range(c):
                 self._wait -= prods[col]
         self._buf[:, sid] = 0.0
         self._mapped[sid] = False

@@ -74,7 +74,11 @@ _HEURISTICS = {"psg": psg, "seeded-psg": seeded_psg}
 
 #: Gate metrics per benchmark name (default: the PSG throughput metric).
 _GATE_METRICS: dict[str, tuple[str, ...]] = {
-    "state_micro": ("try_add_ops_per_sec", "snapshot_restore_ops_per_sec"),
+    "state_micro": (
+        "try_add_ops_per_sec",
+        "snapshot_restore_ops_per_sec",
+        "batch_try_add_ops_per_sec",
+    ),
 }
 _DEFAULT_GATE_METRICS: tuple[str, ...] = ("evals_per_second",)
 
@@ -217,6 +221,46 @@ def _bench_state_backend(
     return add_samples, snap_samples
 
 
+def _bench_batch_micro(
+    model: Any,
+    pairs: list[tuple[int, Any]],
+    n_lanes: int,
+    rounds: int,
+) -> list[float]:
+    """Per-lane-op times of the batched try_add kernel.
+
+    Replays the same accepted (string, machines) pairs as the scalar
+    rounds, but across ``n_lanes`` identical lanes of one
+    :class:`~repro.core.state_batch.BatchSoaState` — each
+    ``try_add_batch`` call performs one feasibility analysis per lane,
+    so one replay does ``len(pairs) * n_lanes`` lane-ops.  The per-op
+    median against the scalar ``try_add_ops_per_sec`` is exactly the
+    dispatch amortization the batched population evaluator buys.
+    """
+    from ..core.state_batch import BatchSoaState
+
+    cache = ProfileCache()
+    state = BatchSoaState(model, n_lanes, profile_cache=cache)
+    lanes = list(range(n_lanes))
+    profs = {
+        string_id: state.get_profile(string_id, machines)
+        for string_id, machines in pairs
+    }  # warmed once: the scalar rounds also time with a hot cache
+    samples: list[float] = []
+    for _ in range(rounds):
+        for b in lanes:
+            state.reset_lane(b)
+        t0 = time.perf_counter()
+        for string_id, _machines in pairs:
+            state.try_add_batch(
+                lanes, [string_id] * n_lanes, [profs[string_id]] * n_lanes
+            )
+        samples.append(
+            (time.perf_counter() - t0) / (len(pairs) * n_lanes)
+        )
+    return samples
+
+
 def run_state_micro(
     seed: int = 1_234,
     n_strings: int = 50,
@@ -224,6 +268,7 @@ def run_state_micro(
     rounds: int = 9,
     snap_reps: int = 50,
     backends: tuple[str, ...] | None = None,
+    batch_lanes: int = 32,
 ) -> dict[str, Any]:
     """Micro-benchmark the feasibility kernel (``AllocationState``).
 
@@ -235,7 +280,11 @@ def run_state_micro(
     whichever ran last.  The top-level gate metrics
     (``try_add_ops_per_sec``, ``snapshot_restore_ops_per_sec``) are the
     default backend's (struct-of-arrays); the per-backend numbers and
-    the soa-over-record speedups ride along for inspection.
+    the soa-over-record speedups ride along for inspection.  A third
+    gate metric, ``batch_try_add_ops_per_sec``, times the same replay
+    across ``batch_lanes`` lanes of the batched kernel and reports
+    per-lane-op throughput — the dispatch amortization the population
+    evaluator relies on.
     """
     if backends is None:
         # Time only the real implementations: the "sanitize" verifier
@@ -259,7 +308,10 @@ def run_state_micro(
     ]
     add_raw: dict[str, list[float]] = {b: [] for b in backends}
     snap_raw: dict[str, list[float]] = {b: [] for b in backends}
-    # One interleaved round across every backend per outer iteration.
+    batch_raw: list[float] = []
+    # One interleaved round across every backend per outer iteration
+    # (the batched kernel participates in the interleave for the same
+    # frequency-wobble fairness).
     for _ in range(rounds):
         for backend in backends:
             add_s, snap_s = _bench_state_backend(
@@ -267,6 +319,9 @@ def run_state_micro(
             )
             add_raw[backend] += add_s
             snap_raw[backend] += snap_s
+        batch_raw += _bench_batch_micro(
+            model, pairs, n_lanes=batch_lanes, rounds=1
+        )
     per_backend: dict[str, dict[str, float]] = {}
     for backend in backends:
         add_med = statistics.median(add_raw[backend])
@@ -279,6 +334,7 @@ def run_state_micro(
                 1.0 / snap_med if snap_med > 0 else 0.0
             ),
         }
+    batch_med = statistics.median(batch_raw)
     gate_backend = backends[0]
     speedup: dict[str, float] | None = None
     if "soa" in per_backend and "record" in per_backend:
@@ -308,6 +364,7 @@ def run_state_micro(
             "snap_reps": snap_reps,
             "backends": list(backends),
             "gate_backend": gate_backend,
+            "batch_lanes": batch_lanes,
         },
         "try_add_ops_per_sec": per_backend[gate_backend][
             "try_add_ops_per_sec"
@@ -315,8 +372,17 @@ def run_state_micro(
         "snapshot_restore_ops_per_sec": per_backend[gate_backend][
             "snapshot_restore_ops_per_sec"
         ],
+        "batch_try_add_ops_per_sec": (
+            1.0 / batch_med if batch_med > 0 else 0.0
+        ),
+        "batch_try_add_us": batch_med * 1e6,
         "backends": per_backend,
         "speedup": speedup,
+        "batch_speedup_over_scalar": (
+            per_backend[gate_backend]["try_add_us"] / (batch_med * 1e6)
+            if batch_med > 0
+            else 0.0
+        ),
     }
 
 
@@ -344,6 +410,12 @@ def compare_to_baseline(
     ok = True
     parts: list[str] = []
     for metric in metrics:
+        if metric not in baseline or metric not in record:
+            # A metric added after the baseline was committed (or
+            # dropped since) cannot gate; the re-baselining procedure
+            # in docs/performance.md refreshes the committed record.
+            parts.append(f"{metric} absent from record/baseline, skipped")
+            continue
         base_rate = float(baseline[metric])
         rate = float(record[metric])
         floor = base_rate * (1.0 - max_regression)

@@ -48,10 +48,13 @@ class GenitorConfig:
     itself is problem-agnostic): ``use_projection_cache`` /
     ``use_profile_cache`` toggle the prefix-trie and per-(string,
     assignment) profile memos, ``projection_cache_nodes`` and
-    ``projection_snapshot_stride`` bound them, and ``init_workers`` > 1
-    evaluates the initial population in parallel process batches.  None
-    of these change search results — only how fast identical fitness
-    values are obtained (see ``docs/performance.md``).
+    ``projection_snapshot_stride`` bound them, ``init_workers`` > 1
+    evaluates the initial population in parallel process batches, and
+    ``batch_evaluation`` scores the initial population through the
+    batched stacked-buffer kernel (:mod:`repro.core.state_batch`) when
+    no parallel evaluator runs.  None of these change search results —
+    only how fast identical fitness values are obtained (see
+    ``docs/performance.md``).
     """
 
     population_size: int = 250
@@ -61,8 +64,9 @@ class GenitorConfig:
     use_projection_cache: bool = True
     use_profile_cache: bool = True
     projection_cache_nodes: int = 50_000
-    projection_snapshot_stride: int = 8
+    projection_snapshot_stride: int = 2
     init_workers: int = 1
+    batch_evaluation: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:

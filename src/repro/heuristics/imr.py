@@ -20,6 +20,14 @@ paper); pass a random generator for randomized tie-breaking.
 The routine *derives* an assignment; it does not itself commit the string
 to an :class:`~repro.core.state.AllocationState` or check feasibility —
 that is the sequential allocator's job (:mod:`repro.heuristics.ordering`).
+
+Two implementations produce bit-identical assignments: a vectorized one
+(kept for randomized tie-breaking, where `_argmin_tie` needs the whole
+score vector) and a plain-Python one used when ``rng is None``.  At the
+paper's scenario sizes (M ≤ 12) every NumPy expression here touches only
+a handful of elements, so per-call ufunc dispatch dominates; the scalar
+loop over cached ``AppString.imr_lists()`` constants performs the exact
+same IEEE-754 operations in the same order without that overhead.
 """
 
 from __future__ import annotations
@@ -73,6 +81,8 @@ def imr_map_string(
     numpy.ndarray
         Machine index per application (``m[i, k]``), dtype int64.
     """
+    if rng is None:
+        return _imr_fast(state, string_id)
     model = state.model
     s = model.strings[string_id]
     net = model.network
@@ -150,3 +160,105 @@ def imr_map_string(
             place(left, left + 1, incoming=False)
 
     return assignment
+
+
+def _imr_fast(state: AllocationState, string_id: int) -> np.ndarray:
+    """Deterministic (``rng is None``) IMR over plain Python lists.
+
+    Bit-identical to the vectorized path: each machine score is computed
+    as ``(committed + partial) + candidate`` — the same left-to-right
+    IEEE-754 additions NumPy performs elementwise — and minima are taken
+    with a strict ``<`` scan, which selects the first minimum exactly
+    like ``np.argmin``.  Target selection walks the cached
+    descending-stable intensity order, equivalent to ``argmax`` over the
+    unassigned set (ties at equal intensity keep ascending index order).
+    """
+    model = state.model
+    s = model.strings[string_id]
+    M = model.n_machines
+    n = s.n_apps
+
+    share_rows, transfer_demand, order = s.imr_lists()
+    mu: list[float] = state.machine_util.tolist()
+    ru: list[list[float]] = state.route_util.tolist()
+    inv = model.network.inv_bandwidth_rows()
+
+    part_machine = [0.0] * M
+    part_route = [[0.0] * M for _ in range(M)]
+    assignment = [-1] * n
+
+    # Step 1-2: place the most intensive application by machine
+    # utilization alone (first minimum wins, as np.argmin does).
+    seed = order[0]
+    sh = share_rows[seed]
+    best_j = 0
+    best_v = (mu[0] + part_machine[0]) + sh[0]
+    for j in range(1, M):
+        v = (mu[j] + part_machine[j]) + sh[j]
+        if v < best_v:
+            best_j = j
+            best_v = v
+    assignment[seed] = best_j
+    part_machine[best_j] += sh[best_j]
+
+    def place(i: int, jn: int, incoming: bool) -> None:
+        """Assign app ``i``; its transfer connects to the already-placed
+        neighbour on machine ``jn`` (``incoming=True`` means the route
+        runs neighbour -> i, else i -> neighbour)."""
+        sh = share_rows[i]
+        if incoming:
+            demand = transfer_demand[i - 1]
+            ru_row = ru[jn]
+            pr_row = part_route[jn]
+            inv_row = inv[jn]
+            best_j = 0
+            m_v = (mu[0] + part_machine[0]) + sh[0]
+            r_v = (ru_row[0] + pr_row[0]) + demand * inv_row[0]
+            best_v = m_v if m_v > r_v else r_v
+            for j in range(1, M):
+                m_v = (mu[j] + part_machine[j]) + sh[j]
+                r_v = (ru_row[j] + pr_row[j]) + demand * inv_row[j]
+                v = m_v if m_v > r_v else r_v
+                if v < best_v:
+                    best_j = j
+                    best_v = v
+            part_route[jn][best_j] += demand * inv_row[best_j]
+        else:
+            demand = transfer_demand[i]
+            best_j = 0
+            m_v = (mu[0] + part_machine[0]) + sh[0]
+            r_v = (ru[0][jn] + part_route[0][jn]) + demand * inv[0][jn]
+            best_v = m_v if m_v > r_v else r_v
+            for j in range(1, M):
+                m_v = (mu[j] + part_machine[j]) + sh[j]
+                r_v = (ru[j][jn] + part_route[j][jn]) + demand * inv[j][jn]
+                v = m_v if m_v > r_v else r_v
+                if v < best_v:
+                    best_j = j
+                    best_v = v
+            part_route[best_j][jn] += demand * inv[best_j][jn]
+        assignment[i] = best_j
+        part_machine[best_j] += sh[best_j]
+
+    left = right = seed
+    assigned = 1
+    pos = 0
+    while assigned < n:
+        # Step 4b: next most intensive unassigned application.  Earlier
+        # entries in the order stay assigned, so the scan pointer only
+        # moves forward.
+        while assignment[order[pos]] >= 0:
+            pos += 1
+        target = order[pos]
+        # Step 4c: grow rightward to reach the target.
+        while target > right:
+            right += 1
+            place(right, assignment[right - 1], incoming=True)
+            assigned += 1
+        # Step 4d: grow leftward to reach the target.
+        while target < left:
+            left -= 1
+            place(left, assignment[left + 1], incoming=False)
+            assigned += 1
+
+    return np.array(assignment, dtype=np.int64)

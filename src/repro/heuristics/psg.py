@@ -36,6 +36,12 @@ import numpy as np
 from ..core.metrics import Fitness
 from ..core.model import SystemModel
 from ..core.profile import ProfileCache
+from ..core.state import (
+    AUTO_BACKEND,
+    get_default_state_backend,
+    resolve_auto_backend,
+)
+from ..core.state_batch import BatchEvaluator
 from ..genitor import Chromosome, GenitorConfig, GenitorEngine
 from ..parallel import (
     ChaosPolicy,
@@ -74,8 +80,35 @@ def _make_fitness_fn(
     return fitness_fn
 
 
+def _make_batch_evaluator(
+    model: SystemModel,
+    proj_cache: ProjectionCache | None,
+    prof_cache: ProfileCache | None,
+) -> BatchEvaluator | None:
+    """Bulk evaluator over the batched stacked-buffer kernel, when the
+    run's scalar backend permits it.
+
+    Returns ``None`` under the ``sanitize`` backend — its whole point is
+    lockstep-checking every scalar projection, which the batched kernel
+    would bypass.  The shared projection cache is forwarded only when
+    the scalar side resolves to an SoA-family backend: lane snapshots
+    are :class:`~repro.core.state_soa.SoaStateSnapshot` and do not
+    restore into ``record``-backend states (the batch then runs
+    cache-less, which changes speed, never results).
+    """
+    backend = get_default_state_backend()
+    if backend == AUTO_BACKEND:
+        backend = resolve_auto_backend(model)
+    if backend == "sanitize":
+        return None
+    cache = proj_cache if backend in ("soa", "jit") else None
+    return BatchEvaluator(model, cache=cache, profile_cache=prof_cache)
+
+
 def _evaluate_batch(
-    model_ref: _ModelRef, chromosomes: Sequence[Chromosome]
+    model_ref: _ModelRef,
+    chromosomes: Sequence[Chromosome],
+    batch_evaluation: bool = True,
 ) -> list[Fitness]:
     """Worker-side bulk projection (module-level: must pickle).
 
@@ -83,12 +116,20 @@ def _evaluate_batch(
     or a broadcast token that resolves to the worker's zero-copy model
     and persistent :class:`ProfileCache`.  Each call builds its own
     projection cache — fitness is deterministic, so worker-local caches
-    change nothing but speed.
+    change nothing but speed.  Scores through the batched kernel
+    (bit-identical to the scalar projection) unless disabled by config
+    or the ``sanitize`` backend.
     """
     if isinstance(model_ref, str):
         model, profile_cache = get_worker_context(model_ref)
     else:
         model, profile_cache = model_ref, ProfileCache()
+    if batch_evaluation:
+        evaluator = _make_batch_evaluator(
+            model, ProjectionCache(), profile_cache
+        )
+        if evaluator is not None:
+            return evaluator(chromosomes)
     fitness_fn = _make_fitness_fn(
         model, cache=ProjectionCache(), profile_cache=profile_cache
     )
@@ -151,7 +192,10 @@ def _make_initial_evaluator(
             ) as pool:
                 outcomes = pool.run(
                     [
-                        Task(_evaluate_batch, (model_ref, batch))
+                        Task(
+                            _evaluate_batch,
+                            (model_ref, batch, config.batch_evaluation),
+                        )
                         for batch in batches
                     ]
                 )
@@ -194,15 +238,23 @@ def _run_engine(
         fitness_fn = _make_fitness_fn(
             model, cache=proj_cache, profile_cache=prof_cache
         )
+        initial_evaluator: Callable[
+            [Sequence[Chromosome]], Sequence[Fitness]
+        ] | None = _make_initial_evaluator(model, config, fitness_fn)
+        if initial_evaluator is None and config.batch_evaluation:
+            # Serial init: score the initial population through the
+            # batched kernel (bit-identical to fitness_fn; the engine's
+            # steady-state single-offspring iterations stay scalar).
+            initial_evaluator = _make_batch_evaluator(
+                model, proj_cache, prof_cache
+            )
         engine = GenitorEngine(
             genes=range(model.n_strings),
             fitness_fn=fitness_fn,
             config=config,
             rng=rng,
             seeds=seeds,
-            initial_evaluator=_make_initial_evaluator(
-                model, config, fitness_fn
-            ),
+            initial_evaluator=initial_evaluator,
         )
         best = engine.run()
         # Re-project the elite to materialize its allocation.

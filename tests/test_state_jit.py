@@ -1,0 +1,165 @@
+"""Parity tests for the optional JIT backend (repro.core.state_jit).
+
+Without numba the ``"jit"`` backend *is* the SoA backend (pure
+inheritance), so these tests force the kernel path by monkeypatching
+``HAVE_NUMBA`` — the interpreted kernel body is the exact code numba
+compiles (``njit`` without ``fastmath`` preserves IEEE-754 semantics
+and operation order), so its bit-identity against the SoA backend is
+what the dedicated CI job re-checks under real numba."""
+
+import numpy as np
+import pytest
+
+import repro.core.state_jit as state_jit
+from repro.core import AllocationState, SoaAllocationState
+from repro.core.state_jit import HAVE_NUMBA, JitAllocationState
+from repro.workload import SCENARIO_1, SCENARIO_2, SCENARIO_3, generate_model
+
+
+def _assert_same_rejection(a, b):
+    if a is None or b is None:
+        assert a is None and b is None
+        return
+    assert a.stage == b.stage
+    assert a.kind == b.kind
+    assert a.where == b.where
+    assert a.value == b.value
+    assert a.bound == b.bound
+
+
+@pytest.fixture
+def kernel_path(monkeypatch):
+    """Force JitAllocationState.try_add through the kernel body even
+    when numba is absent (the interpreted function is the same code)."""
+    monkeypatch.setattr(state_jit, "HAVE_NUMBA", True)
+
+
+class TestFallbackTier:
+    def test_backend_registration(self, small_model):
+        state = AllocationState(small_model, backend="jit")
+        assert isinstance(state, JitAllocationState)
+        assert isinstance(state, SoaAllocationState)
+        assert state.backend == "jit"
+
+    def test_without_numba_is_soa(self, small_model, monkeypatch):
+        """The pure-NumPy tier defers to the inherited SoA try_add."""
+        monkeypatch.setattr(state_jit, "HAVE_NUMBA", False)
+        jit = AllocationState(small_model, backend="jit")
+        soa = AllocationState(small_model, backend="soa")
+        assert jit.try_add(0, [0, 1, 2]) == soa.try_add(0, [0, 1, 2])
+        np.testing.assert_array_equal(jit._buf, soa._buf)
+
+    def test_have_numba_is_bool(self):
+        assert isinstance(HAVE_NUMBA, bool)
+
+
+class TestKernelParity:
+    """Random add/remove/snapshot/restore walks: the kernel-path jit
+    backend and the SoA backend must agree on every decision, rejection
+    field, and buffer bit."""
+
+    @pytest.mark.parametrize("scenario,seed", [
+        (SCENARIO_1, 61), (SCENARIO_2, 62), (SCENARIO_3, 63),
+    ])
+    def test_random_walk(self, scenario, seed, kernel_path):
+        params = scenario.scaled(n_strings=16, n_machines=4)
+        model = generate_model(params, seed=seed)
+        rng = np.random.default_rng(seed)
+        jit = AllocationState(model, backend="jit")
+        soa = AllocationState(model, backend="soa")
+        snaps = [(jit.snapshot(), soa.snapshot())]
+        decisions = []
+        rejections = 0
+        for _ in range(220):
+            op = rng.random()
+            if op < 0.62:
+                sid = int(rng.integers(model.n_strings))
+                if sid in jit:
+                    continue
+                m = rng.integers(
+                    0, model.n_machines, size=model.strings[sid].n_apps
+                )
+                ok_jit = jit.try_add(sid, m)
+                ok_soa = soa.try_add(sid, m.copy())
+                assert ok_jit == ok_soa
+                decisions.append(ok_jit)
+                if not ok_jit:
+                    rejections += 1
+                _assert_same_rejection(jit.last_rejection, soa.last_rejection)
+            elif op < 0.77 and jit.mapped_ids:
+                sid = int(rng.choice(jit.mapped_ids))
+                jit.remove(sid)
+                soa.remove(sid)
+            elif op < 0.9:
+                snaps.append((jit.snapshot(), soa.snapshot()))
+            else:
+                k = int(rng.integers(len(snaps)))
+                jit.restore(snaps[k][0])
+                soa.restore(snaps[k][1])
+            np.testing.assert_array_equal(jit._buf, soa._buf)
+            np.testing.assert_array_equal(jit._util, soa._util)
+            assert jit.fitness() == soa.fitness()
+            assert jit.mapped_ids == soa.mapped_ids
+        assert any(decisions) and not all(decisions)
+        assert rejections > 0
+
+    def test_rejection_stage_coverage(self, kernel_path):
+        """The walk above plus a capacity-saturating sweep must exercise
+        the kernel's distinct rejection decodings."""
+        params = SCENARIO_1.scaled(n_strings=30, n_machines=3)
+        model = generate_model(params, seed=64)
+        rng = np.random.default_rng(64)
+        jit = AllocationState(model, backend="jit")
+        soa = AllocationState(model, backend="soa")
+        stages = set()
+        for sid in range(model.n_strings):
+            m = rng.integers(
+                0, model.n_machines, size=model.strings[sid].n_apps
+            )
+            ok_jit = jit.try_add(sid, m)
+            assert ok_jit == soa.try_add(sid, m)
+            _assert_same_rejection(jit.last_rejection, soa.last_rejection)
+            if not ok_jit:
+                stages.add(
+                    (jit.last_rejection.stage, jit.last_rejection.kind)
+                )
+        np.testing.assert_array_equal(jit._buf, soa._buf)
+        assert stages  # the sweep saturated something
+
+    def test_already_mapped_raises(self, small_model, kernel_path):
+        from repro.core import AllocationError
+
+        jit = AllocationState(small_model, backend="jit")
+        assert jit.try_add(0, [0, 1, 2])
+        with pytest.raises(AllocationError):
+            jit.try_add(0, [0, 1, 2])
+
+
+class TestSanitizeGate:
+    """The sanitize backend's SoA-family child is the jit tier, so a
+    lockstep walk under ``backend="sanitize"`` cross-checks the kernel
+    path against the record reference on every operation."""
+
+    def test_lockstep_walk_through_kernel(self, kernel_path):
+        from repro.core.state_sanitize import SanitizeAllocationState
+
+        params = SCENARIO_2.scaled(n_strings=14, n_machines=3)
+        model = generate_model(params, seed=65)
+        rng = np.random.default_rng(65)
+        guard = AllocationState(model, backend="sanitize")
+        assert isinstance(guard, SanitizeAllocationState)
+        assert isinstance(guard._soa, state_jit.JitAllocationState)
+        decisions = []
+        for _ in range(120):
+            op = rng.random()
+            if op < 0.7:
+                sid = int(rng.integers(model.n_strings))
+                if sid in guard:
+                    continue
+                m = rng.integers(
+                    0, model.n_machines, size=model.strings[sid].n_apps
+                )
+                decisions.append(guard.try_add(sid, m))
+            elif guard.mapped_ids:
+                guard.remove(int(rng.choice(guard.mapped_ids)))
+        assert any(decisions) and not all(decisions)

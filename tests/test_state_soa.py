@@ -15,7 +15,10 @@ from repro.core import (
     analyze,
 )
 from repro.core.state import (
+    AUTO_BACKEND,
+    AUTO_RECORD_CELLS,
     get_default_state_backend,
+    resolve_auto_backend,
     set_default_state_backend,
 )
 from repro.workload import SCENARIO_1, SCENARIO_2, SCENARIO_3, generate_model
@@ -223,10 +226,27 @@ class TestMappedIdsCache:
 
 
 class TestBackendDispatch:
-    def test_default_is_soa(self, small_model):
-        assert get_default_state_backend() in STATE_BACKENDS
+    def test_default_backend_valid(self, small_model):
+        default = get_default_state_backend()
+        assert default in STATE_BACKENDS or default == AUTO_BACKEND
         state = AllocationState(small_model)
-        assert state.backend == get_default_state_backend()
+        if default == AUTO_BACKEND:
+            assert state.backend == resolve_auto_backend(small_model)
+        else:
+            assert state.backend == default
+
+    def test_auto_resolution_by_size(self, small_model):
+        # small_model fits the record threshold; the concrete class is
+        # always a member of STATE_BACKENDS, never "auto" itself.
+        resolved = resolve_auto_backend(small_model)
+        assert resolved in STATE_BACKENDS
+        cells = small_model.n_strings * (
+            small_model.n_machines + small_model.n_machines**2
+        )
+        if cells <= AUTO_RECORD_CELLS:
+            assert resolved == "record"
+        else:
+            assert resolved in ("jit", "soa")
 
     def test_explicit_backends(self, small_model):
         assert isinstance(
@@ -236,6 +256,9 @@ class TestBackendDispatch:
             AllocationState(small_model, backend="record"),
             RecordAllocationState,
         )
+        jit_state = AllocationState(small_model, backend="jit")
+        assert isinstance(jit_state, SoaAllocationState)
+        assert jit_state.backend == "jit"
 
     def test_unknown_backend_rejected(self, small_model):
         with pytest.raises(ValueError):
