@@ -277,22 +277,31 @@ def build_parser() -> argparse.ArgumentParser:
             "BENCH_<name>.json perf record (see docs/performance.md)"
         ),
     )
-    p.add_argument("--name", choices=("psg", "seeded-psg", "state-micro"),
+    p.add_argument("--name",
+                   choices=("psg", "seeded-psg", "state-micro", "fleet"),
                    default="psg")
     p.add_argument("--quick", action="store_true",
                    help="smoke-sized workload for CI")
-    p.add_argument("--seed", type=int, default=1_234)
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default 1234; 42 for fleet)")
     p.add_argument("--trials", type=int, default=None,
                    help="override the preset trial count")
     p.add_argument("--workers", type=int, default=None,
                    help="override the preset process-pool size")
+    p.add_argument("--reps", type=int, default=None,
+                   help="fleet only: timed repetitions per shard count "
+                        "(minimum kept; default 3, 1 with --quick)")
     p.add_argument("--state-backend", choices=("both",) + STATE_BACKENDS,
                    default="both",
                    help="state-micro only: which AllocationState backend(s) "
                         "to time (default: both = soa+record, gate on soa; "
                         "'sanitize' times the lockstep verifier)")
     p.add_argument("--json", dest="json_path", default=None,
-                   help="write the record here (default BENCH_<name>.json)")
+                   help="write the record to this exact path (overrides "
+                        "--out-dir)")
+    p.add_argument("--out-dir", default="bench-out",
+                   help="directory for BENCH_<name>.json records "
+                        "(created on demand; default bench-out/)")
     p.add_argument("--baseline", default=None,
                    help="committed baseline record to gate against")
     p.add_argument("--max-regression", type=float, default=0.30,
@@ -303,6 +312,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "the BENCH record (<record>.profile.txt)")
     p.add_argument("--profile-top", type=int, default=25,
                    help="rows of the cProfile table to print (default 25)")
+
+    p = sub.add_parser(
+        "fleet",
+        help=(
+            "sharded fleet-scale solve: partition a generated fleet "
+            "into K affinity shards, solve them over the supervised "
+            "pool, rebalance boundary strings, and print the "
+            "conservation-checked composition (see docs/fleet.md)"
+        ),
+    )
+    p.add_argument("--scenario", default="fleet-smoke",
+                   help="fleet-smoke | fleet-bench | fleet-large")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard count K (1 = monolithic baseline; "
+                        "must be <= the scenario's zone count)")
+    p.add_argument("--machines", type=int, default=None,
+                   help="override the scenario's machine count")
+    p.add_argument("--strings", type=int, default=None,
+                   help="override the scenario's string count")
+    p.add_argument("--seed", type=int, default=42,
+                   help="fleet generator / partition / solver seed")
+    p.add_argument("--solver", choices=("skip-ahead", "mwf", "psg"),
+                   default="skip-ahead", help="per-shard solver")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool width (default min(K, 4); 1 = inline)")
+    p.add_argument("--rebalance-rounds", type=int, default=2,
+                   help="max cross-shard migration rounds (0 disables)")
+    p.add_argument("--json", dest="json_path", default=None,
+                   help="write the composed result summary here")
 
     p = sub.add_parser(
         "chaos",
@@ -327,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probability a result envelope comes back corrupted")
     p.add_argument("--seed", type=int, default=777,
                    help="root seed for workloads, trials, and faults")
+    p.add_argument("--fleet-shards", type=int, default=2,
+                   help="shard count for the sharded-fleet chaos round "
+                        "(0 skips it)")
 
     p = sub.add_parser(
         "lint",
@@ -529,6 +570,79 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .fleet import solve_fleet
+    from .workload.fleet import generate_fleet, get_fleet_scenario
+
+    scenario = get_fleet_scenario(args.scenario)
+    overrides: dict[str, int] = {}
+    if args.machines is not None:
+        overrides["n_machines"] = args.machines
+    if args.strings is not None:
+        overrides["n_strings"] = args.strings
+    if overrides:
+        scenario = scenario.scaled(**overrides)
+    workload = generate_fleet(scenario, seed=args.seed)
+    result = solve_fleet(
+        workload,
+        args.shards,
+        solver=args.solver,
+        seed=args.seed,
+        n_workers=args.workers,
+        rebalance_rounds=args.rebalance_rounds,
+    )
+    print(
+        f"{scenario.name}: {workload.n_machines} machines / "
+        f"{workload.n_strings} strings in {scenario.n_zones} zones, "
+        f"seed {args.seed}"
+    )
+    for sol in result.shard_solutions:
+        shard_rejected = len(sol.rejected)
+        print(
+            f"  shard {sol.shard_index}: "
+            f"{len(sol.placements)} placed, {shard_rejected} rejected, "
+            f"worth={sol.worth:g}, slack={sol.slackness:.4f}"
+        )
+    reb = result.stats.get("rebalance")
+    if reb is not None:
+        print(
+            f"rebalance: {reb['migrated']} migrated over "
+            f"{reb['rounds']} round(s) "
+            f"({reb['attempted']} attempts, "
+            f"worth gained {reb['worth_gained']:g})"
+        )
+    print(
+        f"composed: {result.n_placed}/{workload.n_strings} placed, "
+        f"worth={result.total_worth:g}, "
+        f"min slack={result.min_slackness:.4f}, "
+        f"{result.runtime_seconds:.3f}s"
+    )
+    print(f"signature: {result.signature()}")
+    if args.json_path:
+        from .io_utils.atomic import atomic_write_text
+
+        payload = {
+            "scenario": scenario.name,
+            "n_machines": workload.n_machines,
+            "n_strings": workload.n_strings,
+            "n_shards": result.n_shards,
+            "solver": result.solver,
+            "seed": result.seed,
+            "total_worth": result.total_worth,
+            "min_slackness": result.min_slackness,
+            "n_placed": result.n_placed,
+            "rejected": list(result.rejected),
+            "runtime_seconds": result.runtime_seconds,
+            "signature": result.signature(),
+            "stats": result.stats,
+        }
+        atomic_write_text(args.json_path, json.dumps(payload, indent=2) + "\n")
+        print(f"result summary written to {args.json_path}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .experiments import run_chaos_soak
 
@@ -540,6 +654,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         delay_rate=args.delay_rate,
         corrupt_rate=args.corrupt_rate,
         seed=args.seed,
+        fleet_shards=args.fleet_shards,
     )
     for r in report["rounds"]:
         status = "ok" if r.ok else "FAIL"
@@ -549,6 +664,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"deaths={r.worker_deaths}  corrupted={r.corrupted}  "
             f"retries={r.retries}  replayed={r.replayed_in_process}  "
             f"fitness={r.chaos_fitness}"
+        )
+    fleet = report["fleet"]
+    if fleet is not None:
+        status = "ok" if fleet.ok else "FAIL"
+        print(
+            f"fleet (K={fleet.n_shards}): {status}  "
+            f"identical={fleet.identical}  lost={fleet.lost_tasks}  "
+            f"deaths={fleet.worker_deaths}  corrupted={fleet.corrupted}  "
+            f"worth={fleet.chaos_worth:g}"
         )
     print(report["summary"])
     if report["new_shm_entries"]:
@@ -604,20 +728,61 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import (
         compare_to_baseline,
         run_bench,
+        run_fleet_bench,
         run_state_micro,
         save_record,
     )
 
-    if args.name == "state-micro":
+    seed = args.seed
+    if seed is None:
+        seed = 42 if args.name == "fleet" else 1_234
+
+    def record_path(name: str) -> str:
+        if args.json_path:
+            return args.json_path
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        return str(out_dir / f"BENCH_{name}.json")
+
+    if args.name == "fleet":
+        record, prof_stats = _profiled(
+            args,
+            run_fleet_bench,
+            quick=args.quick,
+            seed=seed,
+            reps=args.reps,
+            n_workers=1 if args.workers is None else args.workers,
+        )
+        out_path = record_path("fleet")
+        save_record(record, out_path)
+        mono = record["sweep"][0]
+        print(f"fleet: {record['workload']['scenario']} "
+              f"({record['workload']['n_machines']} machines, "
+              f"{record['workload']['n_strings']} strings, "
+              f"seed {record['workload']['seed']})")
+        for row in record["sweep"]:
+            reb = row["rebalance"] or {}
+            print(f"  K={row['n_shards']}: {row['wall_seconds']:.3f}s  "
+                  f"worth={row['total_worth']:g}  "
+                  f"placed={row['n_placed']}/"
+                  f"{row['n_placed'] + row['n_rejected']}  "
+                  f"migrated={reb.get('migrated', 0)}  "
+                  f"sig={row['signature'][:12]}")
+        print(f"speedup (K={mono['n_shards']} -> "
+              f"K={record['sweep'][-1]['n_shards']}): "
+              f"{record['speedup']:.2f}x  "
+              f"worth gap vs monolithic: {record['worth_gap_pct']:.2f}%")
+        print(f"record written to {out_path}")
+    elif args.name == "state-micro":
         backends = (
             ("soa", "record")
             if args.state_backend == "both"
             else (args.state_backend,)
         )
         record, prof_stats = _profiled(
-            args, run_state_micro, seed=args.seed, backends=backends
+            args, run_state_micro, seed=seed, backends=backends
         )
-        out_path = args.json_path or "BENCH_state_micro.json"
+        out_path = record_path("state_micro")
         save_record(record, out_path)
         for backend, nums in record["backends"].items():
             print(f"{backend}: try_add {nums['try_add_us']:.1f}us/op "
@@ -640,11 +805,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             run_bench,
             name=args.name,
             quick=args.quick,
-            seed=args.seed,
+            seed=seed,
             n_trials=args.trials,
             n_workers=args.workers,
         )
-        out_path = args.json_path or f"BENCH_{args.name}.json"
+        out_path = record_path(args.name)
         save_record(record, out_path)
         print(f"{record['name']}: "
               f"best worth={record['best_fitness']['worth']:g} "
@@ -778,6 +943,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_soak(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "bench":

@@ -246,10 +246,12 @@ class AppString:
         "_work",
         "_intensity",
         "_imr_lists",
+        "_profile_rows",
     )
 
     _intensity: FloatArray | None
     _imr_lists: tuple[list[list[float]], list[float], list[int]] | None
+    _profile_rows: tuple[list[list[float]], list[float]] | None
 
     def __init__(
         self,
@@ -304,16 +306,15 @@ class AppString:
         self.cpu_utils = cu
         self.output_sizes = os_
         self.name = name or f"string-{string_id}"
-        self._avg_comp_times = ct.mean(axis=1)
-        self._avg_comp_times.setflags(write=False)
-        self._avg_cpu_utils = cu.mean(axis=1)
-        self._avg_cpu_utils.setflags(write=False)
+        self._avg_comp_times = None
+        self._avg_cpu_utils = None
         work = ct * cu
         work.setflags(write=False)
         #: ``(n, M)`` fixed CPU work ``t[i, j] * u[i, j]`` per data set.
         self._work = work
         self._intensity = None
         self._imr_lists = None
+        self._profile_rows = None
 
     @classmethod
     def _attach(
@@ -345,15 +346,14 @@ class AppString:
         s.cpu_utils = cpu_utils
         s.output_sizes = output_sizes
         s.name = name or f"string-{string_id}"
-        s._avg_comp_times = comp_times.mean(axis=1)
-        s._avg_comp_times.setflags(write=False)
-        s._avg_cpu_utils = cpu_utils.mean(axis=1)
-        s._avg_cpu_utils.setflags(write=False)
+        s._avg_comp_times = None
+        s._avg_cpu_utils = None
         work = comp_times * cpu_utils
         work.setflags(write=False)
         s._work = work
         s._intensity = None
         s._imr_lists = None
+        s._profile_rows = None
         return s
 
     @property
@@ -367,13 +367,23 @@ class AppString:
 
     @property
     def avg_comp_times(self) -> FloatArray:
-        """``t_av^k[i]`` (eq. 8): per-application mean over machines."""
-        return self._avg_comp_times
+        """``t_av^k[i]`` (eq. 8): per-application mean over machines (lazy)."""
+        cached = self._avg_comp_times
+        if cached is None:
+            cached = self.comp_times.mean(axis=1)
+            cached.setflags(write=False)
+            self._avg_comp_times = cached
+        return cached
 
     @property
     def avg_cpu_utils(self) -> FloatArray:
-        """``u_av^k[i]`` (eq. 9): per-application mean over machines."""
-        return self._avg_cpu_utils
+        """``u_av^k[i]`` (eq. 9): per-application mean over machines (lazy)."""
+        cached = self._avg_cpu_utils
+        if cached is None:
+            cached = self.cpu_utils.mean(axis=1)
+            cached.setflags(write=False)
+            self._avg_cpu_utils = cached
+        return cached
 
     @property
     def work(self) -> FloatArray:
@@ -388,7 +398,7 @@ class AppString:
         """
         cached = self._intensity
         if cached is None:
-            cached = self._avg_comp_times * self._avg_cpu_utils / self.period
+            cached = self.avg_comp_times * self.avg_cpu_utils / self.period
             cached.setflags(write=False)
             self._intensity = cached
         return cached
@@ -422,6 +432,21 @@ class AppString:
             order: list[int] = np.argsort(-intensity, kind="stable").tolist()
             cached = (share_rows, transfer_demand, order)
             self._imr_lists = cached
+        return cached
+
+    def profile_rows(self) -> tuple[list[list[float]], list[float]]:
+        """Cached Python-list constants for the scalar profile fast path.
+
+        Returns ``(comp_rows, output_list)`` — ``comp_times`` and
+        ``output_sizes`` as plain lists (``tolist()``: the identical
+        doubles), so :func:`~repro.core.profile.compute_profile` can
+        bucket per-machine loads without per-element NumPy scalar
+        boxing.
+        """
+        cached = self._profile_rows
+        if cached is None:
+            cached = (self.comp_times.tolist(), self.output_sizes.tolist())
+            self._profile_rows = cached
         return cached
 
     def nominal_path_time(

@@ -60,10 +60,14 @@ class StringProfile:
         Unshared end-to-end time under this assignment (eq. 4 numerator).
     m_load / m_tmax / m_count:
         Per-machine stage-1 load, largest nominal execution time, and
-        application count (machine index -> value).
+        application count (machine index -> value).  Built lazily on
+        first access from the fused-axis arrays below (only the record
+        backend walks the dicts; the struct-of-arrays hot path never
+        pays for them).
     r_load / r_tmax / r_count:
-        The same per inter-machine route ``(j1, j2)``.  Intra-machine
-        transfers ride infinite bandwidth and are excluded entirely.
+        The same per inter-machine route ``(j1, j2)``, also lazy.
+        Intra-machine transfers ride infinite bandwidth and are
+        excluded entirely.
     res_idx / res_load / res_tmax / res_count:
         The same quantities flattened onto the *fused resource axis* used
         by the struct-of-arrays feasibility kernel
@@ -87,17 +91,13 @@ class StringProfile:
         "period",
         "max_latency",
         "nominal_path",
-        "m_load",
-        "m_tmax",
-        "m_count",
-        "r_load",
-        "r_tmax",
-        "r_count",
+        "n_machines",
         "res_idx",
         "res_load",
         "res_tmax",
         "res_count",
         "res_count_list",
+        "_dicts",
     )
 
     def __init__(
@@ -107,12 +107,7 @@ class StringProfile:
         period: float,
         max_latency: float,
         nominal_path: float,
-        m_load: dict[int, float],
-        m_tmax: dict[int, float],
-        m_count: dict[int, int],
-        r_load: dict[Route, float],
-        r_tmax: dict[Route, float],
-        r_count: dict[Route, int],
+        n_machines: int,
         res_idx: IntArray,
         res_load: FloatArray,
         res_tmax: FloatArray,
@@ -124,12 +119,7 @@ class StringProfile:
         self.period = period
         self.max_latency = max_latency
         self.nominal_path = nominal_path
-        self.m_load = m_load
-        self.m_tmax = m_tmax
-        self.m_count = m_count
-        self.r_load = r_load
-        self.r_tmax = r_tmax
-        self.r_count = r_count
+        self.n_machines = n_machines
         for arr in (res_idx, res_load, res_tmax, res_count):
             arr.setflags(write=False)
         self.res_idx = res_idx
@@ -137,11 +127,93 @@ class StringProfile:
         self.res_tmax = res_tmax
         self.res_count = res_count
         self.res_count_list: list[float] = res_count.tolist()
+        self._dicts: (
+            tuple[
+                dict[int, float],
+                dict[int, float],
+                dict[int, int],
+                dict[Route, float],
+                dict[Route, float],
+                dict[Route, int],
+            ]
+            | None
+        ) = None
+
+    def _build_dicts(
+        self,
+    ) -> tuple[
+        dict[int, float],
+        dict[int, float],
+        dict[int, int],
+        dict[Route, float],
+        dict[Route, float],
+        dict[Route, int],
+    ]:
+        """Materialize the per-machine / per-route dict views once.
+
+        ``res_idx`` lists machines (ascending) before routes (ascending
+        flat id), so the split point is the first index >= n_machines.
+        The values are the exact fused-axis entries — the dicts are
+        bit-identical to the eager construction they replace.
+        """
+        dicts = self._dicts
+        if dicts is None:
+            M = self.n_machines
+            nm = int(np.searchsorted(self.res_idx, M))
+            m_idx = self.res_idx[:nm]
+            m_load = {
+                int(j): float(v) for j, v in zip(m_idx, self.res_load[:nm])
+            }
+            m_tmax = {
+                int(j): float(v) for j, v in zip(m_idx, self.res_tmax[:nm])
+            }
+            m_count = {
+                int(j): int(c) for j, c in zip(m_idx, self.res_count[:nm])
+            }
+            pair = self.res_idx[nm:] - M
+            routes = [(int(p) // M, int(p) % M) for p in pair]
+            r_load = {
+                r: float(v) for r, v in zip(routes, self.res_load[nm:])
+            }
+            r_tmax = {
+                r: float(v) for r, v in zip(routes, self.res_tmax[nm:])
+            }
+            r_count = {
+                r: int(c) for r, c in zip(routes, self.res_count[nm:])
+            }
+            dicts = (m_load, m_tmax, m_count, r_load, r_tmax, r_count)
+            self._dicts = dicts
+        return dicts
+
+    @property
+    def m_load(self) -> dict[int, float]:
+        return self._build_dicts()[0]
+
+    @property
+    def m_tmax(self) -> dict[int, float]:
+        return self._build_dicts()[1]
+
+    @property
+    def m_count(self) -> dict[int, int]:
+        return self._build_dicts()[2]
+
+    @property
+    def r_load(self) -> dict[Route, float]:
+        return self._build_dicts()[3]
+
+    @property
+    def r_tmax(self) -> dict[Route, float]:
+        return self._build_dicts()[4]
+
+    @property
+    def r_count(self) -> dict[Route, int]:
+        return self._build_dicts()[5]
 
     def __repr__(self) -> str:
+        nm = int(np.searchsorted(self.res_idx, self.n_machines))
         return (
             f"StringProfile(n_apps={self.machines.size}, "
-            f"machines={len(self.m_load)}, routes={len(self.r_load)})"
+            f"machines={nm}, routes={self.res_idx.size - nm})"
         )
 
 
@@ -163,20 +235,141 @@ def _normalize_assignment(
     return m
 
 
+#: Assignments at or below this length take the scalar bucket path —
+#: for the paper's string sizes the per-call NumPy dispatch overhead of
+#: the vector kernels dominates their arithmetic.
+_SCALAR_MAX_APPS = 32
+
+
 def compute_profile(
     model: SystemModel, string_id: int, machines: IntVectorLike
 ) -> StringProfile:
-    """Vectorized profile of one candidate assignment.
+    """Profile of one candidate assignment (scalar or vector kernel).
 
-    Per-machine and per-route reductions run through
-    ``np.unique(return_inverse=True)`` + ``np.bincount`` /
-    ``np.maximum.at`` instead of per-application Python loops.
+    Short strings (the paper's regime) bucket per-machine and per-route
+    quantities in a plain Python loop over cached ``tolist()`` constants;
+    long ones run through ``np.unique(return_inverse=True)`` +
+    ``np.bincount`` / ``np.maximum.at``.  Both accumulate weights in
+    application order within each bucket and reduce path sums with the
+    same NumPy kernel, so the two paths are bit-identical (covered by
+    tests).
+    """
+    m = _normalize_assignment(model, string_id, machines)
+    s = model.strings[string_id]
+    if s.n_apps <= _SCALAR_MAX_APPS:
+        return _profile_scalar(model, string_id, m)
+    return _profile_vector(model, string_id, m)
+
+
+def _profile_scalar(
+    model: SystemModel, string_id: int, m: IntArray
+) -> StringProfile:
+    """Scalar bucket kernel over cached Python-list model constants.
+
+    ``share_rows`` / ``transfer_demand`` (:meth:`AppString.imr_lists`),
+    ``comp_rows`` / ``output_list`` (:meth:`AppString.profile_rows`) and
+    ``inv_bandwidth_rows`` hold the identical doubles the vector path
+    gathers, and the dict accumulation below adds them in application
+    order — the same order ``np.bincount`` sums each bucket.  Path sums
+    still go through ``np.add.reduce`` so their pairwise order matches
+    ``ndarray.sum`` exactly.
+    """
+    s = model.strings[string_id]
+    n = s.n_apps
+    n_mach = model.n_machines
+    m_list: list[int] = m.tolist()
+    share_rows, transfer_demand, _ = s.imr_lists()
+    comp_rows, output_list = s.profile_rows()
+
+    mload: dict[int, float] = {}
+    mtmax: dict[int, float] = {}
+    mcount: dict[int, int] = {}
+    t_list: list[float] = []
+    for i in range(n):
+        j = m_list[i]
+        ti = comp_rows[i][j]
+        t_list.append(ti)
+        if j in mload:
+            mload[j] += share_rows[i][j]
+            if ti > mtmax[j]:
+                mtmax[j] = ti
+            mcount[j] += 1
+        else:
+            mload[j] = share_rows[i][j]
+            mtmax[j] = ti
+            mcount[j] = 1
+
+    nominal = float(np.add.reduce(np.asarray(t_list)))
+    rload: dict[int, float] = {}
+    rtmax: dict[int, float] = {}
+    rcount: dict[int, int] = {}
+    if n > 1:
+        inv_rows = model.network.inv_bandwidth_rows()
+        times: list[float] = []
+        for i in range(n - 1):
+            a = m_list[i]
+            b = m_list[i + 1]
+            ibw = inv_rows[a][b]
+            ti = output_list[i] * ibw
+            times.append(ti)
+            if a != b:
+                pair = a * n_mach + b
+                ru = transfer_demand[i] * ibw
+                if pair in rload:
+                    rload[pair] += ru
+                    if ti > rtmax[pair]:
+                        rtmax[pair] = ti
+                    rcount[pair] += 1
+                else:
+                    rload[pair] = ru
+                    rtmax[pair] = ti
+                    rcount[pair] = 1
+        nominal += float(np.add.reduce(np.asarray(times)))
+
+    uniq_m = sorted(mload)
+    uniq_r = sorted(rload)
+    res_idx = np.array(
+        uniq_m + [n_mach + p for p in uniq_r], dtype=np.int64
+    )
+    res_load = np.array(
+        [mload[j] for j in uniq_m] + [rload[p] for p in uniq_r],
+        dtype=np.float64,
+    )
+    res_tmax = np.array(
+        [mtmax[j] for j in uniq_m] + [rtmax[p] for p in uniq_r],
+        dtype=np.float64,
+    )
+    res_count = np.array(
+        [mcount[j] for j in uniq_m] + [rcount[p] for p in uniq_r],
+        dtype=np.float64,
+    )
+
+    tightness = nominal / s.max_latency
+    m.setflags(write=False)
+    return StringProfile(
+        machines=m,
+        key=priority_key(tightness, string_id),
+        period=s.period,
+        max_latency=s.max_latency,
+        nominal_path=nominal,
+        n_machines=n_mach,
+        res_idx=res_idx,
+        res_load=res_load,
+        res_tmax=res_tmax,
+        res_count=res_count,
+    )
+
+
+def _profile_vector(
+    model: SystemModel, string_id: int, m: IntArray
+) -> StringProfile:
+    """Vectorized profile kernel (``np.unique`` + ``np.bincount``).
+
     ``bincount`` accumulates weights in application order within each
     bucket, so the sums are bit-identical to the loop formulation.
     """
     s = model.strings[string_id]
     net = model.network
-    m = _normalize_assignment(model, string_id, machines)
     idx = np.arange(s.n_apps)
     t = s.comp_times[idx, m]
     shares = s.work[idx, m] / s.period
@@ -186,13 +379,7 @@ def compute_profile(
     counts = np.bincount(inv_m, minlength=uniq_m.size)
     tmax = np.zeros(uniq_m.size)
     np.maximum.at(tmax, inv_m, t)
-    m_load = {int(j): float(v) for j, v in zip(uniq_m, loads)}
-    m_tmax = {int(j): float(v) for j, v in zip(uniq_m, tmax)}
-    m_count = {int(j): int(c) for j, c in zip(uniq_m, counts)}
 
-    r_load: dict[Route, float] = {}
-    r_tmax: dict[Route, float] = {}
-    r_count: dict[Route, int] = {}
     uniq_r = np.empty(0, dtype=np.int64)
     rloads = np.empty(0)
     rtmax = np.empty(0)
@@ -214,17 +401,11 @@ def compute_profile(
             rcounts = np.bincount(inv_r, minlength=uniq_r.size)
             rtmax = np.zeros(uniq_r.size)
             np.maximum.at(rtmax, inv_r, times[inter])
-            M = model.n_machines
-            for p, lo, tm, c in zip(uniq_r, rloads, rtmax, rcounts):
-                r = (int(p) // M, int(p) % M)
-                r_load[r] = float(lo)
-                r_tmax[r] = float(tm)
-                r_count[r] = int(c)
 
     # Fused resource axis for the struct-of-arrays kernel: machine j is
     # resource j, route (j1, j2) is resource M + j1*M + j2.  Machines
-    # first (ascending), then routes (ascending flat id) — the same
-    # order the dicts above iterate in.
+    # first (ascending), then routes (ascending flat id) — the dict
+    # views (record backend only) derive lazily from these arrays.
     n_mach = model.n_machines
     res_idx = np.concatenate(
         [uniq_m.astype(np.int64), n_mach + uniq_r.astype(np.int64)]
@@ -243,12 +424,7 @@ def compute_profile(
         period=s.period,
         max_latency=s.max_latency,
         nominal_path=nominal,
-        m_load=m_load,
-        m_tmax=m_tmax,
-        m_count=m_count,
-        r_load=r_load,
-        r_tmax=r_tmax,
-        r_count=r_count,
+        n_machines=n_mach,
         res_idx=res_idx,
         res_load=res_load,
         res_tmax=res_tmax,
@@ -313,7 +489,12 @@ class ProfileCache:
             return profile
         m = _normalize_assignment(model, string_id, m)
         self.misses += 1
-        profile = compute_profile(model, string_id, m)
+        # The assignment is canonical now — dispatch straight to the
+        # kernel instead of compute_profile's re-normalization.
+        if model.strings[string_id].n_apps <= _SCALAR_MAX_APPS:
+            profile = _profile_scalar(model, string_id, m)
+        else:
+            profile = _profile_vector(model, string_id, m)
         if len(self._entries) >= self.max_entries:
             self._entries.pop(next(iter(self._entries)))
             self.evictions += 1

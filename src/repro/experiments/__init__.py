@@ -20,7 +20,8 @@ from .bench import (
     run_state_micro,
     save_record,
 )
-from .chaos_soak import ChaosSoakRound, run_chaos_soak
+from .chaos_soak import ChaosSoakRound, FleetChaosRound, run_chaos_soak
+from .fleet_bench import run_fleet_bench
 from .convergence import ConvergenceTrace, run_convergence
 from .fig2 import FIG2_CASES, Fig2Case, build_case_model, run_fig2
 from .checkpoint import ExperimentCheckpoint
@@ -56,6 +57,7 @@ __all__ = [
     "FIGURES",
     "KILL_PHASES",
     "ChaosSoakRound",
+    "FleetChaosRound",
     "KillRound",
     "RecoveryConfig",
     "RecoverySoakReport",
@@ -92,6 +94,7 @@ __all__ = [
     "run_convergence",
     "run_experiment",
     "run_fig2",
+    "run_fleet_bench",
     "run_figure",
     "run_recovery_child",
     "run_recovery_soak",

@@ -79,6 +79,9 @@ _GATE_METRICS: dict[str, tuple[str, ...]] = {
         "snapshot_restore_ops_per_sec",
         "batch_try_add_ops_per_sec",
     ),
+    # Both fleet gate metrics are same-host ratios (K=max vs K=1), so
+    # the committed baseline transfers across machine classes.
+    "fleet": ("speedup", "worth_ratio"),
 }
 _DEFAULT_GATE_METRICS: tuple[str, ...] = ("evals_per_second",)
 

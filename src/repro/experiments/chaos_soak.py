@@ -29,12 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..fleet import solve_fleet
 from ..genitor import GenitorConfig, StoppingRules
 from ..heuristics import best_of_trials, seeded_psg
 from ..parallel import ChaosPolicy, active_segment_names
 from ..workload import SCENARIO_1, ScenarioParameters, generate_model
+from ..workload.fleet import FLEET_SMOKE, generate_fleet
 
-__all__ = ["ChaosSoakRound", "run_chaos_soak"]
+__all__ = ["ChaosSoakRound", "FleetChaosRound", "run_chaos_soak"]
 
 _SHM_DIR = Path("/dev/shm")
 
@@ -72,6 +74,71 @@ class ChaosSoakRound:
         )
 
 
+@dataclass(frozen=True)
+class FleetChaosRound:
+    """Outcome of the paired clean-vs-chaotic sharded fleet solve.
+
+    The sharded solver's contract mirrors ``best_of_trials``: shard
+    results are collected by shard index and the composition is
+    conservation-checked, so a chaotic pool may cost retries but must
+    compose the bit-identical global allocation with no shard result
+    lost or double-counted (``validate_result`` would raise on either).
+    """
+
+    n_shards: int
+    identical: bool
+    lost_tasks: int
+    leaked_segments: tuple[str, ...]
+    clean_signature: str
+    chaos_signature: str
+    clean_worth: float
+    chaos_worth: float
+    retries: int
+    worker_deaths: int
+    corrupted: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.identical
+            and self.lost_tasks == 0
+            and not self.leaked_segments
+        )
+
+
+def _run_fleet_round(
+    n_shards: int,
+    n_workers: int,
+    chaos: ChaosPolicy,
+    seed: int,
+) -> FleetChaosRound:
+    """One paired clean/chaotic :func:`solve_fleet` on the smoke fleet."""
+    workload = generate_fleet(FLEET_SMOKE, seed=seed)
+    clean = solve_fleet(
+        workload, n_shards, seed=seed, n_workers=n_workers
+    )
+    chaotic = solve_fleet(
+        workload, n_shards, seed=seed, n_workers=n_workers, chaos=chaos
+    )
+    sup = chaotic.stats.get("pool", {})
+    lost = sup.get("tasks", 0) - sup.get("completed", 0) - sup.get(
+        "task_errors", 0
+    )
+    return FleetChaosRound(
+        n_shards=n_shards,
+        identical=clean.signature() == chaotic.signature(),
+        lost_tasks=lost,
+        leaked_segments=active_segment_names(),
+        clean_signature=clean.signature(),
+        chaos_signature=chaotic.signature(),
+        clean_worth=clean.total_worth,
+        chaos_worth=chaotic.total_worth,
+        retries=sup.get("retries", 0),
+        worker_deaths=sup.get("worker_deaths", 0),
+        corrupted=sup.get("corrupted", 0),
+    )
+
+
 def run_chaos_soak(
     rounds: int = 2,
     n_trials: int = 4,
@@ -81,13 +148,20 @@ def run_chaos_soak(
     corrupt_rate: float = 0.1,
     seed: int = 777,
     scenario: ScenarioParameters | None = None,
+    fleet_shards: int = 2,
 ) -> dict:
     """Run paired clean/chaotic ``best_of_trials`` rounds and verify.
 
-    Returns ``{"rounds": [ChaosSoakRound], "ok": bool, "summary": str,
-    "new_shm_entries": [str]}``.  ``ok`` is True only when every round
-    was bit-identical with zero lost tasks and no shared-memory
-    segment outlived its round (including at the ``/dev/shm`` level).
+    Returns ``{"rounds": [ChaosSoakRound], "fleet": FleetChaosRound |
+    None, "ok": bool, "summary": str, "new_shm_entries": [str]}``.
+    ``ok`` is True only when every round was bit-identical with zero
+    lost tasks and no shared-memory segment outlived its round
+    (including at the ``/dev/shm`` level).
+
+    ``fleet_shards >= 2`` appends one sharded-fleet round: a paired
+    clean/chaotic :func:`~repro.fleet.solve_fleet` on the smoke fleet,
+    held to the same contract (bit-identical composition, no shard
+    result lost or double-counted).  ``0`` disables it.
     """
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
@@ -145,8 +219,25 @@ def run_chaos_soak(
                 replayed_in_process=sup.get("replayed_in_process", 0),
             )
         )
+    fleet: FleetChaosRound | None = None
+    if fleet_shards >= 2:
+        fleet = _run_fleet_round(
+            fleet_shards,
+            n_workers,
+            ChaosPolicy(
+                kill_rate=kill_rate,
+                delay_rate=delay_rate,
+                corrupt_rate=corrupt_rate,
+                seed=seed + rounds,
+            ),
+            seed=seed,
+        )
     new_entries = sorted(_repro_shm_entries() - shm_before)
-    ok = all(r.ok for r in results) and not new_entries
+    ok = (
+        all(r.ok for r in results)
+        and (fleet is None or fleet.ok)
+        and not new_entries
+    )
     injected = sum(
         r.retries + r.worker_deaths + r.corrupted for r in results
     )
@@ -161,8 +252,17 @@ def run_chaos_soak(
         f"replay(s)), "
         f"{len(new_entries)} leaked shm segment(s)"
     )
+    if fleet is not None:
+        summary += (
+            f"; fleet K={fleet.n_shards}: "
+            f"{'bit-identical' if fleet.identical else 'DIVERGED'}, "
+            f"{fleet.lost_tasks} lost shard result(s), "
+            f"{fleet.worker_deaths} worker death(s), "
+            f"{fleet.corrupted} corrupted return(s)"
+        )
     return {
         "rounds": results,
+        "fleet": fleet,
         "ok": ok,
         "summary": summary,
         "new_shm_entries": new_entries,

@@ -1,0 +1,170 @@
+"""Fleet K-sweep benchmark (``repro bench --name fleet``).
+
+Solves one fleet workload at several shard counts and reports the two
+numbers the sharded architecture is accountable for:
+
+``speedup``
+    Wall-clock of the monolithic solve (``K=1``) over the wall-clock at
+    the largest shard count in the sweep.  Each configuration is timed
+    ``reps`` times and the **minimum** is kept — the sweep measures the
+    algorithmic cost, and on shared runners min-of-reps is far more
+    stable than a single sample.
+``worth_ratio``
+    Composed worth at the largest ``K`` (after cross-shard rebalancing)
+    divided by the monolithic worth.  Sharding restricts each string to
+    one machine subset, so the ratio is expected slightly below 1; the
+    gate keeps the gap bounded.
+
+Both gate metrics are ratios of quantities measured on the same host in
+the same process, so — unlike the throughput benchmarks — the committed
+baseline transfers across machine classes.
+
+Every repetition also re-checks bit-reproducibility: all ``reps`` runs
+of a configuration must compose to the same
+:meth:`~repro.fleet.FleetResult.signature`, and the record carries the
+signatures so two runs of the benchmark itself can be diffed.
+
+The sweep is deliberately run with ``n_workers=1`` by default: shard
+solves are bit-identical across worker counts (collection is by shard
+index), so inline solves measure the partitioning/rebalancing algorithm
+itself without process-pool spawn noise.  Pass ``n_workers`` to time the
+pooled path instead.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+from typing import Any
+
+from ..core.exceptions import ModelError
+from ..fleet import solve_fleet
+from ..workload.fleet import generate_fleet, get_fleet_scenario
+from .bench import BENCH_SCHEMA
+
+__all__ = ["run_fleet_bench"]
+
+#: Default shard counts for the full sweep (must start at 1 — the
+#: monolithic baseline every other configuration is compared against).
+_FULL_SWEEP = (1, 2, 4, 8)
+_QUICK_SWEEP = (1, 2)
+
+
+def run_fleet_bench(
+    scenario: str = "fleet-bench",
+    quick: bool = False,
+    seed: int = 42,
+    shard_counts: tuple[int, ...] | None = None,
+    reps: int | None = None,
+    n_workers: int = 1,
+    solver: str = "skip-ahead",
+) -> dict[str, Any]:
+    """Run the fleet K-sweep and return a ``repro-bench/1`` record.
+
+    Parameters
+    ----------
+    scenario:
+        Fleet scenario name (``fleet-smoke`` / ``fleet-bench`` / ...).
+        ``quick=True`` switches the default to ``fleet-smoke`` with a
+        ``(1, 2)`` sweep and a single repetition.
+    seed:
+        Fleet generator seed; also drives partitioning tie-breaks and
+        per-shard solver streams, so the whole sweep is deterministic.
+    shard_counts:
+        Ascending shard counts; must start at 1.
+    reps:
+        Timed repetitions per configuration (minimum kept); defaults to
+        3 (1 when ``quick``).
+    n_workers:
+        Pool width per solve (1 = inline, the algorithmic measurement).
+    """
+    if quick and scenario == "fleet-bench":
+        scenario = "fleet-smoke"
+    counts = shard_counts if shard_counts is not None else (
+        _QUICK_SWEEP if quick else _FULL_SWEEP
+    )
+    if not counts or counts[0] != 1 or list(counts) != sorted(set(counts)):
+        raise ModelError(
+            "shard_counts must be strictly ascending and start at 1, "
+            f"got {counts!r}"
+        )
+    n_reps = reps if reps is not None else (1 if quick else 3)
+    if n_reps < 1:
+        raise ModelError("reps must be >= 1")
+
+    scn = get_fleet_scenario(scenario)
+    workload = generate_fleet(scn, seed=seed)
+
+    sweep: list[dict[str, Any]] = []
+    for k in counts:
+        walls: list[float] = []
+        result = None
+        signature = None
+        for _ in range(n_reps):
+            t0 = time.perf_counter()
+            result = solve_fleet(
+                workload,
+                k,
+                solver=solver,
+                seed=seed,
+                n_workers=n_workers,
+            )
+            walls.append(time.perf_counter() - t0)
+            sig = result.signature()
+            if signature is None:
+                signature = sig
+            elif sig != signature:
+                raise ModelError(
+                    f"fleet solve not reproducible at K={k}: "
+                    f"{sig[:12]} != {signature[:12]}"
+                )
+        assert result is not None
+        sweep.append(
+            {
+                "n_shards": k,
+                "wall_seconds": min(walls),
+                "wall_samples": walls,
+                "total_worth": result.total_worth,
+                "n_placed": result.n_placed,
+                "n_rejected": len(result.rejected),
+                "min_slackness": result.min_slackness,
+                "signature": signature,
+                "rebalance": result.stats.get("rebalance"),
+            }
+        )
+
+    mono = sweep[0]
+    best = sweep[-1]
+    speedup = (
+        mono["wall_seconds"] / best["wall_seconds"]
+        if best["wall_seconds"] > 0.0
+        else 0.0
+    )
+    worth_ratio = (
+        best["total_worth"] / mono["total_worth"]
+        if mono["total_worth"] > 0.0
+        else 0.0
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "fleet",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "workload": {
+            "scenario": scn.name,
+            "n_machines": scn.n_machines,
+            "n_strings": scn.n_strings,
+            "n_zones": scn.n_zones,
+            "seed": seed,
+        },
+        "config": {
+            "shard_counts": list(counts),
+            "reps": n_reps,
+            "n_workers": n_workers,
+            "solver": solver,
+        },
+        "sweep": sweep,
+        "speedup": speedup,
+        "worth_ratio": worth_ratio,
+        "worth_gap_pct": 100.0 * (1.0 - worth_ratio),
+    }

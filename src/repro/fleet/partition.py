@@ -1,0 +1,153 @@
+"""Deterministic affinity partitioning of a fleet into K shards.
+
+Zones are the unit of machine locality (intra-zone links are faster —
+see :mod:`repro.workload.fleet`), so the partitioner works zone-first:
+
+1. **Zones → shards** by greedy balanced assignment: zones in
+   descending machine-count order (ties by zone id) each go to the
+   currently smallest shard (ties by shard index).  Purely structural —
+   no randomness — so a given ``(workload, n_shards)`` always yields
+   the same machine split.
+2. **Strings → shards** by transfer affinity: a string lands with its
+   route peers — the shard holding its home zone.  When a cross-zone
+   string's home and peer zones fall into *different* shards, a seeded
+   coin (one :class:`~numpy.random.SeedSequence` per string id) picks
+   between the two candidates, so the split is reproducible: same seed
+   ⇒ same shards, regardless of iteration order or platform.
+
+Every machine and every string lands in exactly one shard; shard
+machine/string id lists are sorted ascending so downstream
+materialization is order-canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ModelError
+from ..workload.fleet import FleetWorkload
+
+__all__ = ["FleetPartition", "Shard", "partition_fleet"]
+
+#: Domain separator for the tie-break seed stream (disjoint from the
+#: workload-generation tags in :mod:`repro.workload.fleet`).
+_TIEBREAK_TAG = 0x5A4D
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard: a machine subset plus the strings assigned to it."""
+
+    index: int
+    #: Global machine ids, ascending.
+    machine_ids: tuple[int, ...]
+    #: Global string ids, ascending.
+    string_ids: tuple[int, ...]
+    #: Zones whose machines this shard holds, ascending.
+    zones: tuple[int, ...]
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machine_ids)
+
+    @property
+    def n_strings(self) -> int:
+        return len(self.string_ids)
+
+
+@dataclass(frozen=True)
+class FleetPartition:
+    """A complete K-way split of one fleet workload."""
+
+    n_shards: int
+    shards: tuple[Shard, ...]
+    #: Zone index -> shard index.
+    shard_of_zone: tuple[int, ...]
+    #: Global string id -> shard index.
+    shard_of_string: tuple[int, ...]
+
+    def shard_of_machine(self, workload: FleetWorkload, machine_id: int) -> int:
+        """Shard index holding a global machine id."""
+        return self.shard_of_zone[int(workload.zone_of[machine_id])]
+
+
+def partition_fleet(
+    workload: FleetWorkload,
+    n_shards: int,
+    *,
+    seed: int | None = None,
+) -> FleetPartition:
+    """Split a fleet into ``n_shards`` affinity shards, deterministically.
+
+    ``seed`` drives only the cross-shard tie-break coins and defaults to
+    the workload's own seed, so a ``(workload, n_shards)`` pair is fully
+    reproducible with no extra state.  Requires
+    ``1 <= n_shards <= n_zones`` (zones are indivisible).
+    """
+    scn = workload.scenario
+    if not (1 <= n_shards <= scn.n_zones):
+        raise ModelError(
+            f"n_shards must satisfy 1 <= n_shards <= n_zones="
+            f"{scn.n_zones}, got {n_shards}"
+        )
+    if seed is None:
+        seed = workload.seed
+
+    # -- zones -> shards: greedy balance on machine counts ------------
+    zone_sizes = [
+        int((workload.zone_of == z).sum()) for z in range(scn.n_zones)
+    ]
+    order = sorted(range(scn.n_zones), key=lambda z: (-zone_sizes[z], z))
+    shard_machines = [0] * n_shards
+    shard_of_zone = [0] * scn.n_zones
+    for z in order:
+        target = min(range(n_shards), key=lambda i: (shard_machines[i], i))
+        shard_of_zone[z] = target
+        shard_machines[target] += zone_sizes[z]
+
+    # -- strings -> shards: home-zone affinity with seeded tie-breaks -
+    shard_of_string = [0] * workload.n_strings
+    for s in workload.strings:
+        home = shard_of_zone[s.home_zone]
+        peer = shard_of_zone[s.peer_zone]
+        if home == peer:
+            shard_of_string[s.string_id] = home
+        else:
+            rng = np.random.default_rng(
+                np.random.SeedSequence((seed, _TIEBREAK_TAG, s.string_id))
+            )
+            shard_of_string[s.string_id] = (
+                home if float(rng.uniform()) < 0.5 else peer
+            )
+
+    shards = []
+    for i in range(n_shards):
+        zones = tuple(z for z in range(scn.n_zones) if shard_of_zone[z] == i)
+        machine_ids = tuple(
+            int(j)
+            for j in np.flatnonzero(
+                np.isin(workload.zone_of, np.asarray(zones))
+            )
+        )
+        string_ids = tuple(
+            k
+            for k in range(workload.n_strings)
+            if shard_of_string[k] == i
+        )
+        shards.append(
+            Shard(
+                index=i,
+                machine_ids=machine_ids,
+                string_ids=string_ids,
+                zones=zones,
+            )
+        )
+
+    return FleetPartition(
+        n_shards=n_shards,
+        shards=tuple(shards),
+        shard_of_zone=tuple(shard_of_zone),
+        shard_of_string=tuple(shard_of_string),
+    )

@@ -1,0 +1,299 @@
+"""Iterative cross-shard rebalancing of boundary strings.
+
+After the independent shard solves, some strings are rejected by their
+own shard while another shard still has slack.  Rebalancing migrates
+them across shard boundaries:
+
+* Each shard that may receive migrants builds **one** live context for
+  the whole run: the shard's machine subset is materialized together
+  with its current strings plus every migrant it may be offered, the
+  existing allocation is re-anchored onto that extended model via
+  :func:`~repro.robustness.surge.transfer_allocation` (structural +
+  worth checks), and replayed through a fresh
+  :class:`~repro.core.state.AllocationState`.
+* **Rounds** run until a fixed cap (``max_rounds``) or convergence (a
+  round that accepts no migration).  Each round processes the
+  still-rejected migrants in descending-worth order (ties by id) and
+  offers each to a bounded list of *candidate* shards — its affinity
+  shards (home zone, peer zone) first, then the shards slackest at the
+  start of the run — excluding the shard it currently belongs to
+  (migration means crossing a boundary, so ``K=1`` is a structural
+  no-op).
+* A move commits only if the feasibility kernel (``try_add``) accepts
+  the IMR's placement.  Placing a string adds its (positive) worth, so
+  every accepted move strictly improves global worth; a rejected
+  ``try_add`` leaves the shard state untouched.  Feasibility is
+  monotone as a shard fills, so a failed ``(migrant, shard)`` pair is
+  recorded and never retried.
+
+Everything is deterministic: orderings are pure functions of worths,
+ids, and start-of-run slackness; no randomness, no wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.allocation import Allocation
+from ..core.exceptions import ModelError
+from ..core.model import SystemModel
+from ..core.state import AllocationState
+from ..heuristics import imr_map_string
+from ..robustness.surge import transfer_allocation
+from ..workload.fleet import FleetWorkload, materialize_model
+from .partition import FleetPartition
+from .solver import ShardSolution
+
+__all__ = ["RebalanceStats", "rebalance"]
+
+
+@dataclass
+class RebalanceStats:
+    """Counters describing one rebalancing run."""
+
+    rounds: int = 0
+    attempted: int = 0
+    migrated: int = 0
+    worth_gained: float = 0.0
+    #: Accepted migrations per round, in order.
+    per_round: list[int] = field(default_factory=list)
+    #: Rejected strings left out of the migrant pool by ``max_migrants``.
+    pool_overflow: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds,
+            "attempted": self.attempted,
+            "migrated": self.migrated,
+            "worth_gained": self.worth_gained,
+            "per_round": list(self.per_round),
+            "pool_overflow": self.pool_overflow,
+        }
+
+
+class _ShardContext:
+    """One shard's live state, built once and reused across rounds.
+
+    ``ext_ids`` is the shard's current string set plus every migrant it
+    may be offered this run; the shard's existing allocation is
+    re-anchored onto the extended model (``transfer_allocation``) and
+    replayed into a fresh kernel state, which then accepts or rejects
+    migrants incrementally.
+    """
+
+    def __init__(
+        self,
+        workload: FleetWorkload,
+        machine_ids: tuple[int, ...],
+        current_ids: list[int],
+        placements: dict[int, tuple[int, ...]],
+        migrant_ids: list[int],
+    ) -> None:
+        self.machine_ids = machine_ids
+        self.ext_ids = list(current_ids) + migrant_ids
+        self.local_of = {gid: p for p, gid in enumerate(self.ext_ids)}
+        machine_pos = {j: p for p, j in enumerate(machine_ids)}
+
+        # One materialization: the base (pre-migration) model shares the
+        # extended model's network and string objects — the current
+        # strings are the prefix of ``ext_ids``, so their local ids
+        # coincide in both models.
+        self.model = materialize_model(workload, machine_ids, self.ext_ids)
+        base_model = SystemModel(
+            self.model.network, list(self.model.strings[: len(current_ids)])
+        )
+        base_local = {gid: p for p, gid in enumerate(current_ids)}
+        base_alloc = Allocation(
+            base_model,
+            {
+                base_local[gid]: np.array(
+                    [machine_pos[j] for j in machines], dtype=np.int64
+                )
+                for gid, machines in placements.items()
+            },
+        )
+        # Structural + worth validation of the re-anchoring: the
+        # extended model must be a faithful superset of the shard.
+        ext_alloc = transfer_allocation(
+            base_alloc, self.model, check_worth=True
+        )
+        self.state = AllocationState(self.model)
+        for k in sorted(ext_alloc):
+            if not self.state.try_add(k, ext_alloc.machines_for(k)):
+                raise ModelError(
+                    f"rebalance replay diverged: string {self.ext_ids[k]} "
+                    f"no longer feasible on its own shard"
+                )
+
+    def try_place(self, gid: int) -> tuple[int, ...] | None:
+        """Attempt to place a migrant; commit only on kernel acceptance."""
+        local = self.local_of[gid]
+        machines = imr_map_string(self.state, local)
+        if not self.state.try_add(local, machines):
+            return None
+        return tuple(int(self.machine_ids[p]) for p in machines)
+
+    def solution(
+        self, shard_index: int, solver: str, runtime_seconds: float
+    ) -> ShardSolution:
+        """Snapshot the context back into a global-id ShardSolution."""
+        allocation = self.state.as_allocation()
+        placements = {
+            self.ext_ids[local]: tuple(
+                int(self.machine_ids[p])
+                for p in allocation.machines_for(local)
+            )
+            for local in allocation
+        }
+        fitness = self.state.fitness()
+        return ShardSolution(
+            shard_index=shard_index,
+            placements=placements,
+            rejected=(),
+            worth=float(fitness.worth),
+            slackness=float(fitness.slackness),
+            runtime_seconds=runtime_seconds,
+            solver=solver,
+        )
+
+
+def rebalance(
+    workload: FleetWorkload,
+    partition: FleetPartition,
+    solutions: list[ShardSolution],
+    *,
+    max_rounds: int = 2,
+    max_targets: int = 4,
+    max_migrants: int = 256,
+) -> tuple[list[ShardSolution], RebalanceStats]:
+    """Migrate rejected boundary strings between shards.
+
+    Returns updated per-shard solutions (same order as ``partition``)
+    plus counters.  Deterministic for a given input; only
+    worth-improving, kernel-validated moves are accepted, so the
+    composed worth after rebalancing is monotonically non-decreasing.
+    ``max_migrants`` caps the pool (highest worth first, ties by id) so
+    rebalancing stays cheap even when most of a saturated fleet is
+    rejected; the overflow count is reported in the stats.
+    """
+    stats = RebalanceStats()
+    n_shards = partition.n_shards
+
+    # Live ownership: shard -> ordered string ids; global placements.
+    member_ids: list[list[int]] = [
+        list(partition.shards[i].string_ids) for i in range(n_shards)
+    ]
+    owner = {
+        gid: i for i in range(n_shards) for gid in member_ids[i]
+    }
+    placements: list[dict[int, tuple[int, ...]]] = [
+        dict(solutions[i].placements) for i in range(n_shards)
+    ]
+    rejected = {
+        gid for sol in solutions for gid in sol.rejected
+    }
+    if max_rounds < 1 or not rejected or n_shards < 2:
+        return list(solutions), stats
+
+    pool = sorted(rejected, key=lambda g: (-workload.strings[g].worth, g))
+    stats.pool_overflow = max(0, len(pool) - max_migrants)
+    pool = pool[:max_migrants]
+
+    # Candidate shards per migrant: affinity first, then slackest at the
+    # start of the run, never the current owner (a migration must cross
+    # a boundary).
+    by_slack = sorted(
+        range(n_shards), key=lambda i: (-solutions[i].slackness, i)
+    )
+    candidates: dict[int, list[int]] = {}
+    per_shard_migrants: list[list[int]] = [[] for _ in range(n_shards)]
+    for gid in pool:
+        s = workload.strings[gid]
+        affinity = [partition.shard_of_zone[s.home_zone]]
+        if partition.shard_of_zone[s.peer_zone] not in affinity:
+            affinity.append(partition.shard_of_zone[s.peer_zone])
+        ordered = affinity + [i for i in by_slack if i not in affinity]
+        targets = [i for i in ordered if i != owner[gid]][:max_targets]
+        candidates[gid] = targets
+        for i in targets:
+            per_shard_migrants[i].append(gid)
+
+    # One context per receiving shard, reused across rounds.  Only the
+    # *placed* members matter for the kernel state — a member the shard
+    # itself rejected is never re-offered to its own shard, so leaving
+    # it out keeps the extended model (and every per-slot kernel op)
+    # small.
+    contexts: dict[int, _ShardContext] = {}
+    for i in range(n_shards):
+        if per_shard_migrants[i]:
+            contexts[i] = _ShardContext(
+                workload,
+                partition.shards[i].machine_ids,
+                sorted(placements[i]),
+                placements[i],
+                per_shard_migrants[i],
+            )
+
+    # A shard only fills as the run proceeds, so a failed (migrant,
+    # shard) pair can never succeed later — record and skip it.
+    failed: set[tuple[int, int]] = set()
+
+    for _ in range(max_rounds):
+        accepted = 0
+        for gid in pool:
+            if gid not in rejected:
+                continue
+            for target in candidates[gid]:
+                if (gid, target) in failed:
+                    continue
+                stats.attempted += 1
+                machines = contexts[target].try_place(gid)
+                if machines is None:
+                    failed.add((gid, target))
+                    continue
+                source = owner[gid]
+                member_ids[source].remove(gid)
+                member_ids[target].append(gid)
+                owner[gid] = target
+                placements[target][gid] = machines
+                rejected.discard(gid)
+                stats.migrated += 1
+                stats.worth_gained += workload.strings[gid].worth
+                accepted += 1
+                break
+        stats.rounds += 1
+        stats.per_round.append(accepted)
+        if accepted == 0:
+            break
+
+    # Fold the receiving contexts back into solutions; shards that only
+    # donated keep their kernel-measured worth/slackness but need their
+    # membership and rejected lists refreshed.
+    final: list[ShardSolution] = []
+    for i in range(n_shards):
+        if i in contexts:
+            sol = contexts[i].solution(
+                i, solutions[i].solver, solutions[i].runtime_seconds
+            )
+            placements[i] = dict(sol.placements)
+        else:
+            sol = solutions[i]
+        final.append(
+            ShardSolution(
+                shard_index=i,
+                placements=dict(placements[i]),
+                rejected=tuple(
+                    sorted(
+                        g for g in member_ids[i] if g not in placements[i]
+                    )
+                ),
+                worth=sol.worth,
+                slackness=sol.slackness,
+                runtime_seconds=sol.runtime_seconds,
+                solver=sol.solver,
+            )
+        )
+    return final, stats

@@ -16,6 +16,7 @@ the broadcast engages.
 
 from .broadcast import (
     SharedModel,
+    SharedModelGroup,
     active_segment_names,
     get_worker_context,
     model_sharing_enabled,
@@ -40,6 +41,7 @@ __all__ = [
     "RetryError",
     "RetryPolicy",
     "SharedModel",
+    "SharedModelGroup",
     "SupervisedPool",
     "SupervisorConfig",
     "Task",

@@ -37,7 +37,7 @@ import os
 import uuid
 from multiprocessing import shared_memory
 from types import TracebackType
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from ..core.profile import ProfileCache
 
 __all__ = [
     "SharedModel",
+    "SharedModelGroup",
     "active_segment_names",
     "get_worker_context",
     "model_sharing_enabled",
@@ -321,5 +322,94 @@ class SharedModel:
     def __repr__(self) -> str:
         return (
             f"SharedModel(token={self.token!r}, "
+            f"transport={self.transport!r})"
+        )
+
+
+def _init_worker_shm_group(
+    specs: tuple[tuple[str, str, dict[str, object]], ...]
+) -> None:
+    """Pool initializer for a multi-model broadcast: attach every block."""
+    for token, shm_name, meta in specs:
+        _init_worker_shm(token, shm_name, meta)
+
+
+class SharedModelGroup:
+    """Broadcast several models (e.g. one per fleet shard) at once.
+
+    Wraps one :class:`SharedModel` per model under a single context
+    manager and merges their pool wiring: :attr:`tokens` lists one token
+    per model (same order as ``models``), and :attr:`initializer` /
+    :attr:`initargs` attach *all* shared-memory blocks in each worker.
+    Exiting releases every broadcast, even when one member's teardown
+    raises.
+    """
+
+    def __init__(
+        self, models: Sequence[SystemModel], transport: str = "auto"
+    ) -> None:
+        self._shared = [SharedModel(m, transport=transport) for m in models]
+        self._entered = False
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        return tuple(s.token for s in self._shared)
+
+    @property
+    def transport(self) -> str:
+        return self._shared[0].transport if self._shared else "inherit"
+
+    @property
+    def initializer(self) -> Callable[..., None] | None:
+        if any(s.transport == "shm" for s in self._shared):
+            return _init_worker_shm_group
+        return None
+
+    @property
+    def initargs(self) -> tuple[object, ...]:
+        if self.initializer is None:
+            return ()
+        return (
+            tuple(
+                s.initargs for s in self._shared if s.transport == "shm"
+            ),
+        )
+
+    def __enter__(self) -> "SharedModelGroup":
+        if self._entered:
+            raise RuntimeError("SharedModelGroup is not re-entrant")
+        self._entered = True
+        entered: list[SharedModel] = []
+        try:
+            for s in self._shared:
+                s.__enter__()
+                entered.append(s)
+        except Exception:
+            for s in reversed(entered):
+                s.__exit__(None, None, None)
+            self._entered = False
+            raise
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        first_error: BaseException | None = None
+        for s in reversed(self._shared):
+            try:
+                s.__exit__(exc_type, exc, tb)
+            except BaseException as err:  # pragma: no cover - defensive
+                if first_error is None:
+                    first_error = err
+        self._entered = False
+        if first_error is not None:  # pragma: no cover - defensive
+            raise first_error
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedModelGroup(n={len(self._shared)}, "
             f"transport={self.transport!r})"
         )

@@ -616,6 +616,7 @@ LAYERS: dict[str, int] = {
     "dynamic": 3,
     "io_utils": 3,
     "faults": 4,
+    "fleet": 4,
     "experiments": 5,
     "service": 6,
     "cli": 7,

@@ -73,7 +73,10 @@ def surge_model(model: SystemModel, delta: float) -> SystemModel:
 
 
 def transfer_allocation(
-    allocation: Allocation, target_model: SystemModel
+    allocation: Allocation,
+    target_model: SystemModel,
+    *,
+    check_worth: bool = False,
 ) -> Allocation:
     """Re-anchor an allocation onto a structurally identical model.
 
@@ -84,6 +87,14 @@ def transfer_allocation(
     :class:`~repro.core.exceptions.ModelError` up front, rather than
     leaking an index error (or, worse, silently re-anchoring onto an
     unrelated instance).
+
+    ``check_worth=True`` additionally requires every mapped string's
+    worth to match between source and target.  Surge/drift transfers
+    deliberately allow worth changes (the perturbed instance *is* a
+    different problem); cross-shard migration must not — a worth
+    mismatch there would silently break the fleet composition's
+    conservation invariant (total worth = sum of shard worths), so the
+    fleet rebalancer always passes ``check_worth=True``.
     """
     source = allocation.model
     if target_model.n_machines != source.n_machines:
@@ -106,6 +117,15 @@ def transfer_allocation(
                 f"{target_apps} applications in the target model, "
                 f"{source_apps} in the source"
             )
+        if check_worth:
+            target_worth = target_model.strings[k].worth
+            source_worth = source.strings[k].worth
+            if target_worth != source_worth:
+                raise ModelError(
+                    f"cannot transfer allocation: string {k} has worth "
+                    f"{target_worth} in the target model, {source_worth} "
+                    f"in the source (check_worth=True)"
+                )
     return Allocation(
         target_model,
         {k: allocation.machines_for(k) for k in allocation},

@@ -5,6 +5,20 @@ Public surface: the three scenario definitions (:data:`SCENARIO_1`,
 deterministic generator :func:`generate_model`.
 """
 
+from .fleet import (
+    FLEET_BENCH,
+    FLEET_LARGE,
+    FLEET_SCENARIOS,
+    FLEET_SMOKE,
+    FleetScenario,
+    FleetString,
+    FleetWorkload,
+    MONOLITHIC_LIMIT,
+    generate_fleet,
+    get_fleet_scenario,
+    materialize_model,
+    materialize_string,
+)
 from .generator import generate_model, generate_network, generate_string
 from .heterogeneity import (
     HETEROGENEITY_MODELS,
@@ -24,19 +38,31 @@ from .parameters import (
 )
 
 __all__ = [
+    "FLEET_BENCH",
+    "FLEET_LARGE",
+    "FLEET_SCENARIOS",
+    "FLEET_SMOKE",
+    "FleetScenario",
+    "FleetString",
+    "FleetWorkload",
     "HETEROGENEITY_MODELS",
     "KBYTE",
     "MB_PER_SEC",
+    "MONOLITHIC_LIMIT",
     "SCENARIO_1",
     "SCENARIO_2",
     "SCENARIO_3",
     "SCENARIOS",
     "ScenarioParameters",
     "consistency_index",
+    "generate_fleet",
     "generate_heterogeneous_model",
     "generate_model",
     "generate_network",
     "generate_string",
+    "get_fleet_scenario",
     "get_scenario",
+    "materialize_model",
+    "materialize_string",
     "sample_comp_times",
 ]

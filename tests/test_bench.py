@@ -219,6 +219,18 @@ class TestCli:
         assert main(argv) == 1
         assert "FAIL: " in capsys.readouterr().out
 
+    def test_bench_default_writes_under_out_dir(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Without --json, records land in --out-dir (default bench-out/),
+        # never at the repository root.
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--quick", "--seed", "7", "--trials", "1"])
+        assert code == 0
+        assert (tmp_path / "bench-out" / "BENCH_psg.json").is_file()
+        assert not (tmp_path / "BENCH_psg.json").exists()
+        capsys.readouterr()
+
     def test_state_micro_cli(self, tmp_path, capsys):
         out = tmp_path / "BENCH_state_micro.json"
         code = main([

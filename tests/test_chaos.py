@@ -230,6 +230,22 @@ class TestChaosSoak:
         assert round_.identical
         assert round_.lost_tasks == 0
         assert round_.leaked_segments == ()
+        fleet = report["fleet"]
+        assert fleet is not None
+        assert fleet.ok
+        assert fleet.identical
+        assert fleet.clean_signature == fleet.chaos_signature
+        assert fleet.lost_tasks == 0
+        assert "fleet K=2" in report["summary"]
+
+    def test_soak_fleet_round_can_be_disabled(self):
+        report = run_chaos_soak(
+            rounds=1, n_trials=2, n_workers=2,
+            kill_rate=0.0, delay_rate=0.0, corrupt_rate=0.0, seed=770,
+            fleet_shards=0,
+        )
+        assert report["fleet"] is None
+        assert "fleet" not in report["summary"]
 
     def test_soak_rejects_bad_rounds(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,175 @@
+"""Tests for the fleet K-sweep benchmark and its CLI/gate wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.exceptions import ModelError
+from repro.experiments import (
+    BENCH_SCHEMA,
+    compare_to_baseline,
+    run_fleet_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    # Quick mode: smoke fleet, K in {1, 2}, one rep — a real sweep in
+    # well under a second.
+    return run_fleet_bench(quick=True, seed=42)
+
+
+class TestRecord:
+    def test_schema(self, record):
+        assert record["schema"] == BENCH_SCHEMA
+        assert record["name"] == "fleet"
+        assert record["quick"] is True
+        assert record["workload"]["scenario"] == "fleet-smoke"
+        assert record["config"]["shard_counts"] == [1, 2]
+        assert record["config"]["reps"] == 1
+
+    def test_sweep_rows(self, record):
+        assert [row["n_shards"] for row in record["sweep"]] == [1, 2]
+        for row in record["sweep"]:
+            assert row["wall_seconds"] > 0.0
+            assert row["wall_seconds"] == min(row["wall_samples"])
+            assert row["n_placed"] + row["n_rejected"] == (
+                record["workload"]["n_strings"]
+            )
+            assert len(row["signature"]) == 64
+
+    def test_ratio_metrics(self, record):
+        mono, best = record["sweep"][0], record["sweep"][-1]
+        assert record["speedup"] == pytest.approx(
+            mono["wall_seconds"] / best["wall_seconds"]
+        )
+        assert record["worth_ratio"] == pytest.approx(
+            best["total_worth"] / mono["total_worth"]
+        )
+        assert record["worth_gap_pct"] == pytest.approx(
+            100.0 * (1.0 - record["worth_ratio"])
+        )
+        # Sharding only restricts placement choices per string; the
+        # rebalanced composition stays close to monolithic worth.
+        assert record["worth_ratio"] > 0.9
+
+    def test_monolithic_row_never_rebalances(self, record):
+        reb = record["sweep"][0]["rebalance"]
+        assert reb is None or reb["migrated"] == 0
+
+    def test_validates_sweep_shape(self):
+        with pytest.raises(ModelError, match="start at 1"):
+            run_fleet_bench(shard_counts=(2, 4))
+        with pytest.raises(ModelError, match="ascending"):
+            run_fleet_bench(shard_counts=(1, 4, 2))
+        with pytest.raises(ModelError, match="reps"):
+            run_fleet_bench(quick=True, reps=0)
+
+
+class TestGate:
+    def test_fleet_gate_uses_ratio_metrics(self, record):
+        baseline = {
+            "name": "fleet",
+            "speedup": record["speedup"],
+            "worth_ratio": record["worth_ratio"],
+        }
+        ok, message = compare_to_baseline(record, baseline)
+        assert ok
+        assert "speedup" in message and "worth_ratio" in message
+
+    def test_gate_fails_on_speedup_collapse(self, record):
+        baseline = {
+            "name": "fleet",
+            "speedup": record["speedup"] * 10.0,
+            "worth_ratio": record["worth_ratio"],
+        }
+        ok, _ = compare_to_baseline(record, baseline, max_regression=0.30)
+        assert not ok
+
+    def test_gate_fails_on_worth_collapse(self, record):
+        baseline = {
+            "name": "fleet",
+            "speedup": record["speedup"],
+            "worth_ratio": record["worth_ratio"] * 10.0,
+        }
+        ok, _ = compare_to_baseline(record, baseline, max_regression=0.30)
+        assert not ok
+
+
+class TestCommittedBaseline:
+    def test_baseline_meets_acceptance_floors(self):
+        # The committed full-sweep baseline is the PR's deliverable:
+        # >= 3x wall-clock at K=8 vs K=1 with <= 5% worth gap.
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baselines" / "BENCH_fleet.json"
+        )
+        baseline = json.loads(path.read_text())
+        assert baseline["name"] == "fleet"
+        assert baseline["config"]["shard_counts"] == [1, 2, 4, 8]
+        assert baseline["speedup"] >= 3.0
+        assert baseline["worth_gap_pct"] <= 5.0
+        sigs = {row["signature"] for row in baseline["sweep"]}
+        assert len(sigs) == len(baseline["sweep"])
+
+
+class TestCli:
+    def test_bench_fleet_writes_to_out_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "records"
+        code = main([
+            "bench", "--name", "fleet", "--quick",
+            "--out-dir", str(out_dir),
+        ])
+        assert code == 0
+        record = json.loads((out_dir / "BENCH_fleet.json").read_text())
+        assert record["name"] == "fleet"
+        out = capsys.readouterr().out
+        assert "speedup" in out and "worth gap" in out
+
+    def test_bench_fleet_gate(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fleet.json"
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "bench", "--name", "fleet", "--quick", "--json", str(out),
+            "--baseline", str(baseline),
+        ]
+        baseline.write_text(json.dumps(
+            {"name": "fleet", "speedup": 1e-6, "worth_ratio": 1e-6}
+        ))
+        assert main(argv) == 0
+        assert "PASS: " in capsys.readouterr().out
+        baseline.write_text(json.dumps(
+            {"name": "fleet", "speedup": 1e6, "worth_ratio": 1e6}
+        ))
+        assert main(argv) == 1
+        assert "FAIL: " in capsys.readouterr().out
+
+    def test_fleet_command_prints_signature(self, capsys):
+        code = main([
+            "fleet", "--scenario", "fleet-smoke", "--shards", "2",
+            "--workers", "1", "--seed", "42",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "signature: " in out
+        assert "composed: " in out
+
+    def test_fleet_command_json_summary(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        code = main([
+            "fleet", "--scenario", "fleet-smoke", "--shards", "2",
+            "--workers", "1", "--seed", "42", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["n_shards"] == 2
+        assert payload["n_placed"] + len(payload["rejected"]) == (
+            payload["n_strings"]
+        )
+        sig = capsys.readouterr().out.split("signature: ")[1].split()[0]
+        assert payload["signature"] == sig

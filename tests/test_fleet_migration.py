@@ -1,0 +1,198 @@
+"""Cross-shard migration tests: ``transfer_allocation`` re-anchoring
+guarantees and the rebalancer's conservation/feasibility behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.exceptions import ModelError
+from repro.core.state import AllocationState
+from repro.fleet import partition_fleet, rebalance, solve_shard
+from repro.fleet.solver import compose, validate_result
+from repro.robustness.surge import transfer_allocation
+from repro.workload.fleet import FLEET_SMOKE, generate_fleet, materialize_model
+
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_fleet(FLEET_SMOKE, seed=SEED)
+
+
+def _greedy_allocation(model):
+    """First-fit allocation on a small model (whatever the kernel takes)."""
+    state = AllocationState(model)
+    for k in range(model.n_strings):
+        n = model.strings[k].n_apps
+        for j in range(model.n_machines):
+            if state.try_add(k, np.full(n, j, dtype=np.int64)):
+                break
+    return state.as_allocation()
+
+
+class TestTransferAllocation:
+    """Satellite: the migration path's structural/worth validation."""
+
+    def test_superset_transfer_preserves_machines(self, workload):
+        machines = tuple(range(8))
+        base = materialize_model(workload, machines, [0, 1, 2])
+        alloc = _greedy_allocation(base)
+        assert len(alloc) > 0
+        ext = materialize_model(workload, machines, [0, 1, 2, 5, 9])
+        moved = transfer_allocation(alloc, ext, check_worth=True)
+        assert set(moved) == set(alloc)
+        for k in alloc:
+            assert np.array_equal(
+                moved.machines_for(k), alloc.machines_for(k)
+            )
+
+    def test_app_count_mismatch_rejected(self, workload):
+        sizes = {s.string_id: s.n_apps for s in workload.strings}
+        a = 0
+        b = next(k for k, n in sizes.items() if n != sizes[a])
+        machines = tuple(range(6))
+        base = materialize_model(workload, machines, [a])
+        alloc = _greedy_allocation(base)
+        swapped = materialize_model(workload, machines, [b])
+        with pytest.raises(ModelError, match="applications"):
+            transfer_allocation(alloc, swapped)
+
+    def test_worth_mismatch_rejected_only_with_check_worth(self, workload):
+        by_shape: dict[int, int] = {}
+        pair = None
+        for s in workload.strings:
+            other = by_shape.get(s.n_apps)
+            if other is not None and workload.strings[other].worth != s.worth:
+                pair = (other, s.string_id)
+                break
+            by_shape.setdefault(s.n_apps, s.string_id)
+        assert pair is not None, "smoke fleet should vary worth"
+        a, b = pair
+        machines = tuple(range(6))
+        base = materialize_model(workload, machines, [a])
+        alloc = _greedy_allocation(base)
+        assert len(alloc) == 1
+        swapped = materialize_model(workload, machines, [b])
+        # Structurally compatible: allowed without the worth check
+        # (surge/drift semantics) but refused for migration.
+        transfer_allocation(alloc, swapped)
+        with pytest.raises(ModelError, match="worth"):
+            transfer_allocation(alloc, swapped, check_worth=True)
+
+    def test_machine_count_mismatch_rejected(self, workload):
+        base = materialize_model(workload, tuple(range(6)), [0, 1])
+        alloc = _greedy_allocation(base)
+        narrow = materialize_model(workload, tuple(range(4)), [0, 1])
+        with pytest.raises(ModelError, match="machines"):
+            transfer_allocation(alloc, narrow)
+
+    def test_missing_string_rejected(self, workload):
+        machines = tuple(range(6))
+        base = materialize_model(workload, machines, [0, 1, 2])
+        n = base.strings[2].n_apps
+        alloc = Allocation(base, {2: np.zeros(n, dtype=np.int64)})
+        shrunk = materialize_model(workload, machines, [0, 1])
+        with pytest.raises(ModelError, match="does not exist"):
+            transfer_allocation(alloc, shrunk)
+
+
+@pytest.fixture(scope="module")
+def shard_setup(workload):
+    part = partition_fleet(workload, 2, seed=SEED)
+    sols = [solve_shard(workload, s, seed=SEED) for s in part.shards]
+    return part, sols
+
+
+class TestRebalance:
+    def test_worth_monotone_and_conserved(self, workload, shard_setup):
+        part, sols = shard_setup
+        before = sum(s.worth for s in sols)
+        after_sols, stats = rebalance(workload, part, sols)
+        after = sum(s.worth for s in after_sols)
+        assert after >= before
+        assert after == pytest.approx(before + stats.worth_gained)
+        # Per-shard worth still equals the worth of that shard's
+        # placements — migrations moved strings, never duplicated them.
+        for sol in after_sols:
+            assert sol.worth == pytest.approx(
+                sum(workload.strings[g].worth for g in sol.placements)
+            )
+
+    def test_composition_valid_after_migration(self, workload, shard_setup):
+        part, sols = shard_setup
+        after_sols, stats = rebalance(workload, part, sols)
+        assert stats.migrated > 0, "smoke fleet should migrate something"
+        result = compose(
+            part, after_sols, solver="skip-ahead", seed=SEED,
+            runtime_seconds=0.0,
+        )
+        validate_result(workload, part, result, deep=True)
+
+    def test_migrated_strings_cross_a_boundary(self, workload, shard_setup):
+        part, sols = shard_setup
+        after_sols, _ = rebalance(workload, part, sols)
+        origin = {g: s.shard_index for s in sols for g in s.rejected}
+        for sol in after_sols:
+            for gid in sol.placements:
+                if gid in origin:
+                    assert sol.shard_index != origin[gid]
+
+    def test_stats_consistent(self, workload, shard_setup):
+        part, sols = shard_setup
+        _, stats = rebalance(workload, part, sols)
+        assert stats.migrated == sum(stats.per_round)
+        assert stats.rounds == len(stats.per_round)
+        assert stats.attempted >= stats.migrated
+        # Convergence: the loop stops after the first empty round.
+        if stats.per_round:
+            assert all(n > 0 for n in stats.per_round[:-1])
+
+    def test_deterministic(self, workload, shard_setup):
+        part, sols = shard_setup
+        a_sols, a_stats = rebalance(workload, part, sols)
+        b_sols, b_stats = rebalance(workload, part, sols)
+        assert a_stats.as_dict() == b_stats.as_dict()
+        assert [s.placements for s in a_sols] == [
+            s.placements for s in b_sols
+        ]
+
+    def test_zero_rounds_is_identity(self, workload, shard_setup):
+        part, sols = shard_setup
+        out, stats = rebalance(workload, part, sols, max_rounds=0)
+        assert out == sols
+        assert stats.migrated == 0
+        assert stats.attempted == 0
+
+    def test_single_shard_is_identity(self, workload):
+        part = partition_fleet(workload, 1, seed=SEED)
+        sols = [solve_shard(workload, part.shards[0], seed=SEED)]
+        out, stats = rebalance(workload, part, sols)
+        assert out == sols
+        assert stats.migrated == 0
+
+    def test_pool_cap_reports_overflow(self, workload, shard_setup):
+        part, sols = shard_setup
+        n_rejected = sum(len(s.rejected) for s in sols)
+        assert n_rejected > 1
+        _, stats = rebalance(workload, part, sols, max_migrants=1)
+        assert stats.pool_overflow == n_rejected - 1
+        assert stats.migrated <= 1
+
+    def test_infeasible_moves_leave_shards_intact(self, workload):
+        # Saturate the receiving side by shrinking every shard to very
+        # few machines is awkward at smoke scale; instead verify the
+        # failed-pair contract directly: strings still rejected after
+        # rebalancing appear in exactly one shard's rejected list and
+        # in no shard's placements.
+        part = partition_fleet(workload, 2, seed=SEED)
+        sols = [solve_shard(workload, s, seed=SEED) for s in part.shards]
+        after_sols, _ = rebalance(workload, part, sols)
+        placed = [g for s in after_sols for g in s.placements]
+        rejected = [g for s in after_sols for g in s.rejected]
+        assert len(placed) == len(set(placed))
+        assert len(rejected) == len(set(rejected))
+        assert set(placed).isdisjoint(rejected)
+        assert sorted(placed + rejected) == list(range(workload.n_strings))

@@ -1,0 +1,181 @@
+"""Tests for the parallel shard solver, composition, and conservation
+invariants (repro.fleet.solver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.fleet import (
+    FleetResult,
+    partition_fleet,
+    solve_fleet,
+    solve_shard,
+)
+from repro.fleet.solver import SHARD_SOLVERS, compose, validate_result
+from repro.parallel import ChaosPolicy
+from repro.workload.fleet import FLEET_SMOKE, generate_fleet
+
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_fleet(FLEET_SMOKE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def result(workload):
+    return solve_fleet(workload, 2, seed=SEED, n_workers=1)
+
+
+class TestSolveShard:
+    def test_shard_solution_uses_global_ids(self, workload):
+        part = partition_fleet(workload, 3, seed=SEED)
+        shard = part.shards[1]
+        sol = solve_shard(workload, shard, seed=SEED)
+        assert sol.shard_index == 1
+        machine_set = set(shard.machine_ids)
+        for gid, machines in sol.placements.items():
+            assert gid in set(shard.string_ids)
+            assert set(machines) <= machine_set
+            assert len(machines) == workload.strings[gid].n_apps
+        assert set(sol.rejected) <= set(shard.string_ids)
+        assert set(sol.rejected).isdisjoint(sol.placements)
+
+    def test_worth_matches_placements(self, workload):
+        part = partition_fleet(workload, 2, seed=SEED)
+        sol = solve_shard(workload, part.shards[0], seed=SEED)
+        assert sol.worth == pytest.approx(
+            sum(workload.strings[g].worth for g in sol.placements)
+        )
+
+    def test_unknown_solver_rejected(self, workload):
+        part = partition_fleet(workload, 2, seed=SEED)
+        with pytest.raises(ModelError, match="unknown shard solver"):
+            solve_shard(workload, part.shards[0], solver="anneal")
+        with pytest.raises(ModelError, match="unknown shard solver"):
+            solve_fleet(workload, 2, solver="anneal")
+
+
+class TestComposition:
+    def test_validates_clean(self, workload, result):
+        part = partition_fleet(workload, 2, seed=SEED)
+        validate_result(workload, part, result, deep=True)
+
+    def test_every_string_exactly_once(self, workload, result):
+        placed = set(result.placements)
+        rejected = set(result.rejected)
+        assert placed | rejected == set(range(workload.n_strings))
+        assert placed.isdisjoint(rejected)
+
+    def test_total_worth_is_sum_of_shards(self, result):
+        assert result.total_worth == pytest.approx(
+            sum(s.worth for s in result.shard_solutions)
+        )
+
+    def test_placements_respect_shard_machines(self, workload, result):
+        part = partition_fleet(workload, 2, seed=SEED)
+        machines_of = {
+            s.index: set(s.machine_ids) for s in part.shards
+        }
+        for shard_index, machines in result.placements.values():
+            assert set(machines) <= machines_of[shard_index]
+
+    def test_double_placement_detected(self, workload, result):
+        part = partition_fleet(workload, 2, seed=SEED)
+        sols = list(result.shard_solutions)
+        gid, placement = next(iter(sols[0].placements.items()))
+        clash = dict(sols[1].placements)
+        clash[gid] = placement  # illegally claim shard 0's string
+        bad = sols[1].__class__(
+            shard_index=sols[1].shard_index,
+            placements=clash,
+            rejected=sols[1].rejected,
+            worth=sols[1].worth,
+            slackness=sols[1].slackness,
+            runtime_seconds=sols[1].runtime_seconds,
+            solver=sols[1].solver,
+        )
+        with pytest.raises(ModelError, match="placed by two shards"):
+            compose(
+                part, [sols[0], bad], solver="skip-ahead", seed=SEED,
+                runtime_seconds=0.0,
+            )
+
+    def test_validate_rejects_lost_string(self, workload, result):
+        part = partition_fleet(workload, 2, seed=SEED)
+        dropped = FleetResult(
+            n_shards=result.n_shards,
+            solver=result.solver,
+            seed=result.seed,
+            placements=result.placements,
+            rejected=result.rejected[1:],  # lose one rejection
+            total_worth=result.total_worth,
+            min_slackness=result.min_slackness,
+            shard_solutions=result.shard_solutions,
+            runtime_seconds=result.runtime_seconds,
+        )
+        with pytest.raises(ModelError, match="exactly once"):
+            validate_result(workload, part, dropped)
+
+    def test_validate_rejects_worth_drift(self, workload, result):
+        part = partition_fleet(workload, 2, seed=SEED)
+        drifted = FleetResult(
+            n_shards=result.n_shards,
+            solver=result.solver,
+            seed=result.seed,
+            placements=result.placements,
+            rejected=result.rejected,
+            total_worth=result.total_worth + 7.0,
+            min_slackness=result.min_slackness,
+            shard_solutions=result.shard_solutions,
+            runtime_seconds=result.runtime_seconds,
+        )
+        with pytest.raises(ModelError, match="worth not conserved"):
+            validate_result(workload, part, drifted)
+
+
+class TestReproducibility:
+    def test_same_seed_same_signature(self, workload, result):
+        again = solve_fleet(workload, 2, seed=SEED, n_workers=1)
+        assert again.signature() == result.signature()
+        assert again.total_worth == result.total_worth
+
+    def test_signature_stable_across_worker_counts(self, workload, result):
+        pooled = solve_fleet(workload, 2, seed=SEED, n_workers=2)
+        assert pooled.signature() == result.signature()
+        assert pooled.total_worth == result.total_worth
+
+    def test_different_seed_changes_composition(self, workload, result):
+        other = solve_fleet(workload, 2, seed=SEED + 1, n_workers=1)
+        assert other.signature() != result.signature()
+
+    @pytest.mark.parametrize("solver", SHARD_SOLVERS)
+    def test_all_solvers_compose_validly(self, workload, solver):
+        out = solve_fleet(
+            workload, 2, solver=solver, seed=SEED, n_workers=1
+        )
+        part = partition_fleet(workload, 2, seed=SEED)
+        validate_result(workload, part, out)
+
+    def test_monolithic_k1_has_no_migrations(self, workload):
+        mono = solve_fleet(workload, 1, seed=SEED, n_workers=1)
+        assert mono.n_shards == 1
+        reb = mono.stats.get("rebalance")
+        assert reb is None or reb["migrated"] == 0
+
+
+class TestChaos:
+    def test_chaotic_pool_composes_identically(self, workload, result):
+        chaos = ChaosPolicy(
+            kill_rate=0.3, delay_rate=0.1, corrupt_rate=0.3, seed=5
+        )
+        chaotic = solve_fleet(
+            workload, 2, seed=SEED, n_workers=2, chaos=chaos
+        )
+        assert chaotic.signature() == result.signature()
+        pool = chaotic.stats.get("pool", {})
+        # Conservation: every shard task accounted for, none lost.
+        if pool:
+            assert pool["tasks"] == pool["completed"] + pool["task_errors"]
